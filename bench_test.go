@@ -1,0 +1,232 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure
+// of the paper's evaluation (§5). Each benchmark executes the matching
+// harness runner with Burn enabled, so real CPU work is proportional to
+// the virtual cost and wall-clock ns/op preserves the paper's relative
+// shape. The key comparison figures are also exported as custom metrics
+// (speedup ratios), so `go test -bench` output shows "who wins by how
+// much" directly.
+//
+// Scale is kept small (benchmark workloads are minutes of video in the
+// paper); shapes hold at this scale, absolute times do not matter.
+package vqpy_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"vqpy"
+
+	"vqpy/internal/bench"
+	"vqpy/internal/metrics"
+)
+
+const benchScale = 0.1
+
+func benchConfig() bench.Config {
+	return bench.Config{Seed: 99, Scale: benchScale, Burn: true}
+}
+
+// reportRatio extracts a ratio cell ("4.2x") and reports it as a metric.
+func reportRatio(b *testing.B, rep *metrics.Report, row, col int, name string) {
+	b.Helper()
+	if row >= len(rep.Rows) || col >= len(rep.Rows[row]) {
+		return
+	}
+	s := strings.TrimSuffix(rep.Rows[row][col], "x")
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+// BenchmarkFig13a regenerates Figure 13(a): CVIP vs VQPy vs
+// VQPy+intrinsic on the five CityFlow queries.
+func BenchmarkFig13a(b *testing.B) {
+	var rep *metrics.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.RunFig13a(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRatio(b, rep, 0, 4, "q1_vqpy_speedup")
+	reportRatio(b, rep, 0, 6, "q1_memo_speedup")
+}
+
+// BenchmarkFig13b regenerates Figure 13(b): per-frame time curves.
+func BenchmarkFig13b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig13b(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14: the red-car query vs EVA.
+func BenchmarkFig14(b *testing.B) {
+	var rep *metrics.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.RunFig14(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRatio(b, rep, 0, 4, "banff3_speedup")
+	reportRatio(b, rep, 3, 4, "jackson10_speedup")
+}
+
+// BenchmarkFig15 regenerates Figure 15: the speeding-car query vs EVA.
+func BenchmarkFig15(b *testing.B) {
+	var rep *metrics.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.RunFig15(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRatio(b, rep, 0, 4, "banff3_speedup")
+}
+
+// BenchmarkFig16 regenerates Figure 16: the red speeding car query vs
+// naive and refined EVA.
+func BenchmarkFig16(b *testing.B) {
+	var rep *metrics.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = bench.RunFig16(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRatio(b, rep, 0, 4, "naive_speedup")
+	reportRatio(b, rep, 0, 6, "refined_speedup")
+}
+
+// BenchmarkTable5 regenerates Table 5: per-frame execution time against
+// VideoChat.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable5(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: boolean-query F1.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable6(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: aggregation-query responses.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable7(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntrinsicMemo is the E13 ablation: object-level reuse vs
+// dwell time.
+func BenchmarkIntrinsicMemo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunMemoAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerAblation is the E12 ablation: canary profiling and
+// plan selection.
+func BenchmarkPlannerAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunPlannerAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLazyAblation isolates the lazy-evaluation mechanism of §5.1.
+func BenchmarkLazyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunLazyAblation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiQueryReuse is the E10 ablation: query-level computation
+// reuse across Q1-Q5 (also reported inside Table 5).
+func BenchmarkMultiQueryReuse(b *testing.B) {
+	v := vqpy.GenerateVideo(vqpy.DatasetAuburn(99, 60))
+	queries := func() []*vqpy.Query {
+		var qs []*vqpy.Query
+		for i, color := range []string{"red", "blue", "black"} {
+			qs = append(qs, vqpy.NewQuery("Q"+strconv.Itoa(i)).
+				Use("car", vqpy.Car()).
+				Where(vqpy.P("car", "color").Eq(color)))
+		}
+		return qs
+	}
+	b.Run("individual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := vqpy.NewSession(99)
+			for _, q := range queries() {
+				if _, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := vqpy.NewSession(99)
+			cache := vqpy.NewSharedCache()
+			for _, q := range queries() {
+				if _, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized(),
+					vqpy.WithSharedCache(cache)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkQ6Specialized is the E11 ablation: the §5.3 Q6 optimization
+// (cheap detector + action-proposal filter before UPT). The Table 5
+// harness reports the same comparison with F1; this benchmark times it.
+func BenchmarkQ6Specialized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable5(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRedCarPerFrame measures raw engine throughput on the
+// canonical red-car query (engine overhead per frame, excluding report
+// assembly).
+func BenchmarkEngineRedCarPerFrame(b *testing.B) {
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(99, 30))
+	q := vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+			vqpy.P("car", "color").Eq("red"),
+		))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := vqpy.NewSession(99)
+		if _, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(v.Frames)), "frames/op")
+}

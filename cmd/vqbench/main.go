@@ -1,0 +1,79 @@
+// Command vqbench regenerates the paper's tables and figures. Each
+// experiment prints its report in the paper's row/series structure; see
+// DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag]
+//	        [-seed N] [-scale F] [-burn] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vqpy/internal/bench"
+	"vqpy/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag)")
+	seed := flag.Uint64("seed", 20240501, "experiment seed")
+	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
+	burn := flag.Bool("burn", false, "do real CPU work proportional to virtual cost")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn}
+	runners := map[string]func(bench.Config) (*metrics.Report, error){
+		"fig13a":  bench.RunFig13a,
+		"fig13b":  bench.RunFig13b,
+		"fig14":   bench.RunFig14,
+		"fig15":   bench.RunFig15,
+		"fig16":   bench.RunFig16,
+		"table5":  bench.RunTable5,
+		"table6":  bench.RunTable6,
+		"table7":  bench.RunTable7,
+		"memo":    bench.RunMemoAblation,
+		"planner": bench.RunPlannerAblation,
+		"batch":   bench.RunBatchAblation,
+		"lazy":    bench.RunLazyAblation,
+		"edge":    bench.RunEdgeAblation,
+	}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "dag"}
+
+	selected := []string{*exp}
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		if name == "dag" {
+			out, err := bench.ExplainSuspectDAG(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vqbench: dag: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+			continue
+		}
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vqbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rep, err := run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", rep.Title, rep.CSV())
+		} else {
+			fmt.Println(rep.String())
+		}
+		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+}

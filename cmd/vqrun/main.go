@@ -1,0 +1,115 @@
+// Command vqrun executes one of the library's named queries against a
+// named scenario and prints the matched frames, events and virtual-time
+// ledger — a small end-to-end driver for exploring the system.
+//
+// Usage:
+//
+//	vqrun [-query redcar|speeding|redspeeding|loitering|hitandrun]
+//	      [-dataset cityflow|banff|jackson|southampton|auburn|pickup|retail]
+//	      [-seconds N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vqpy"
+)
+
+func buildQuery(name string) (vqpy.QueryNode, error) {
+	switch name {
+	case "redcar":
+		car := vqpy.Car()
+		return vqpy.NewQuery("RedCar").
+			Use("car", car).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("red"),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "plate")), nil
+	case "speeding":
+		return vqpy.SpeedQuery("SpeedingCar", "car", vqpy.Car(), 12), nil
+	case "redspeeding":
+		car := vqpy.Car()
+		return vqpy.NewQuery("RedSpeedingCar").
+			Use("car", car).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("red"),
+				vqpy.P("car", "velocity").Gt(12),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", vqpy.PropBBox)), nil
+	case "loitering":
+		person := vqpy.Person()
+		base := vqpy.NewQuery("PersonPresent").
+			Use("p", person).
+			Where(vqpy.P("p", vqpy.PropScore).Gt(0.5))
+		return vqpy.NewDurationQuery("Loitering", base, 20)
+	case "hitandrun":
+		person, car := vqpy.Person(), vqpy.Car()
+		collision, err := vqpy.CollisionQuery("CarHitPerson", car, person, 100)
+		if err != nil {
+			return nil, err
+		}
+		runAway := vqpy.SpeedQuery("CarRunAway", "car2", vqpy.Car(), 8)
+		return vqpy.NewTemporalQuery("HitAndRun", collision, runAway, 15)
+	}
+	return nil, fmt.Errorf("unknown query %q", name)
+}
+
+func main() {
+	query := flag.String("query", "redcar", "query to run (redcar, speeding, redspeeding, loitering, hitandrun)")
+	dataset := flag.String("dataset", "cityflow", "scenario (cityflow, banff, jackson, southampton, auburn, pickup, retail)")
+	seconds := flag.Float64("seconds", 60, "video length in seconds")
+	seed := flag.Uint64("seed", 42, "scenario and model seed")
+	verbose := flag.Bool("v", false, "print per-hit detail")
+	flag.Parse()
+
+	gens := map[string]func(uint64, float64) vqpy.Scenario{
+		"cityflow": vqpy.DatasetCityFlow, "banff": vqpy.DatasetBanff,
+		"jackson": vqpy.DatasetJackson, "southampton": vqpy.DatasetSouthampton,
+		"auburn": vqpy.DatasetAuburn, "pickup": vqpy.DatasetPickup,
+		"retail": vqpy.DatasetRetail,
+	}
+	gen, ok := gens[*dataset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vqrun: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	node, err := buildQuery(*query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
+		os.Exit(2)
+	}
+
+	v := vqpy.GenerateVideo(gen(*seed, *seconds))
+	s := vqpy.NewSession(*seed)
+	s.SetNoBurn(true)
+	rr, err := s.Execute(node, v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("query %s on %s (%d frames @ %d fps)\n", rr.Name, v.Name, len(v.Frames), v.FPS)
+	fmt.Printf("matched %d/%d frames, %d events\n", rr.MatchedCount(), len(rr.Matched), len(rr.Events))
+	for _, ev := range rr.Events {
+		fmt.Printf("  event: frames %d-%d (%.1fs)\n", ev.Start, ev.End, float64(ev.Frames())/float64(v.FPS))
+	}
+	if rr.Basic != nil {
+		if rr.Basic.Count > 0 {
+			fmt.Printf("video aggregation count: %d\n", rr.Basic.Count)
+		}
+		if *verbose {
+			for _, hit := range rr.Basic.Hits {
+				fmt.Printf("  frame %5d t=%6.1fs:", hit.FrameIdx, hit.TimeSec)
+				for _, o := range hit.Objects {
+					fmt.Printf("  %s#%d %v", o.Instance, o.TrackID, o.Values)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Printf("\n%s", s.Clock())
+}

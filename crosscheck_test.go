@@ -1,0 +1,84 @@
+package vqpy_test
+
+import (
+	"testing"
+
+	"vqpy"
+
+	"vqpy/internal/metrics"
+	"vqpy/internal/sqlbase"
+	"vqpy/internal/video"
+)
+
+// TestVQPyAgreesWithEVA is a cross-system oracle check: the VQPy engine
+// and the SQL baseline answer the same red-car query over the same video
+// with the same underlying models, so their matched-frame sets must
+// agree closely (differences come only from tracker-memo propagation of
+// per-frame classifier noise).
+func TestVQPyAgreesWithEVA(t *testing.T) {
+	sc := video.CityFlow(88, 30)
+	v := sc.Generate()
+
+	// VQPy side.
+	s := vqpy.NewSession(88)
+	s.SetNoBurn(true)
+	q := vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+		))
+	rr, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized(), vqpy.WithoutMemo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vqpyFrames := map[int]bool{}
+	for i, m := range rr.Matched {
+		if m {
+			vqpyFrames[i] = true
+		}
+	}
+
+	// EVA side (same seed → same model noise).
+	s2 := vqpy.NewSession(88)
+	s2.SetNoBurn(true)
+	eng := sqlbase.NewEngine(s2.Env(), s2.Registry())
+	sqlbase.RegisterStandardUDFs(eng)
+	eng.RegisterVideo("v.mp4", v)
+	res, err := eng.ExecScript(sqlbase.RedCarScript("v.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evaFrames := res.FrameSet("id")
+
+	conf := metrics.CompareFrameSets(vqpyFrames, evaFrames, len(v.Frames))
+	if f1 := conf.F1(); f1 < 0.85 {
+		t.Errorf("VQPy and EVA disagree: F1 = %.3f (vqpy %d frames, eva %d frames)",
+			f1, len(vqpyFrames), len(evaFrames))
+	}
+}
+
+// TestVQPyAgreesWithGroundTruth closes the loop against the synthetic
+// oracle itself.
+func TestVQPyAgreesWithGroundTruth(t *testing.T) {
+	v := video.CityFlow(89, 60).Generate()
+	s := vqpy.NewSession(89)
+	s.SetNoBurn(true)
+	q := vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+		))
+	rr, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := v.FramesMatching(func(o video.Object) bool {
+		return o.Class == video.ClassCar && o.Color == video.ColorRed
+	})
+	conf := metrics.CompareMatched(rr.Matched, truth)
+	if f1 := conf.F1(); f1 < 0.85 {
+		t.Errorf("ground-truth F1 = %.3f (p=%.2f r=%.2f)", f1, conf.Precision(), conf.Recall())
+	}
+}

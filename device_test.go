@@ -1,0 +1,90 @@
+package vqpy_test
+
+import (
+	"math"
+	"testing"
+
+	"vqpy"
+)
+
+// TestDevicePlacementAccounting verifies the §4.1 placement view: every
+// charged millisecond is attributed to exactly one device, uplink is
+// charged per surviving frame, and the device view never double-counts
+// against the total.
+func TestDevicePlacementAccounting(t *testing.T) {
+	s := vqpy.NewSession(90)
+	s.SetNoBurn(true)
+	v := vqpy.GenerateVideo(vqpy.DatasetBanff(90, 60))
+	q := vqpy.NewQuery("RedCarEdge").
+		Use("car", vqpy.RedCar()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+		))
+	if _, err := s.Execute(q, v, vqpy.WithoutSpecialized(), vqpy.WithEdgePlacement(2)); err != nil {
+		t.Fatal(err)
+	}
+	total := s.Clock().TotalMS()
+	edge := s.Clock().Account("device:edge")
+	server := s.Clock().Account("device:server")
+	uplink := s.Clock().Account("net:uplink")
+	if edge <= 0 {
+		t.Error("no edge time attributed")
+	}
+	if server <= 0 {
+		t.Error("no server time attributed")
+	}
+	if uplink <= 0 {
+		t.Error("no uplink charged")
+	}
+	// The device view re-slices the main-run charges. Canary profiling
+	// runs on an isolated clock, so edge+server+uplink must equal the
+	// session total.
+	if got := edge + server + uplink; math.Abs(got-total) > total*0.01+1 {
+		t.Errorf("device attribution %.1f != total %.1f (edge %.1f server %.1f uplink %.1f)",
+			got, total, edge, server, uplink)
+	}
+}
+
+// TestNoDeviceAccountsWithoutPlacement: placement accounting is strictly
+// opt-in.
+func TestNoDeviceAccountsWithoutPlacement(t *testing.T) {
+	s := vqpy.NewSession(91)
+	s.SetNoBurn(true)
+	v := vqpy.GenerateVideo(vqpy.DatasetBanff(91, 20))
+	q := vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", "color").Eq("red"))
+	if _, err := s.Execute(q, v, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock().Account("device:server") != 0 || s.Clock().Account("net:uplink") != 0 {
+		t.Error("device accounts appeared without WithEdgePlacement")
+	}
+}
+
+// TestResultCacheFacade: repeated Execute with a result cache is free.
+func TestResultCacheFacade(t *testing.T) {
+	s := vqpy.NewSession(92)
+	s.SetNoBurn(true)
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(92, 20))
+	rc := vqpy.NewResultCache()
+	q := vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", "color").Eq("red"))
+	r1, err := s.Execute(q, v, vqpy.WithResultCache(rc), vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAfterFirst := s.Clock().TotalMS()
+	r2, err := s.Execute(q, v, vqpy.WithResultCache(rc), vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock().TotalMS() != costAfterFirst {
+		t.Error("cached re-execution charged time")
+	}
+	if r1.MatchedCount() != r2.MatchedCount() {
+		t.Error("cached result differs")
+	}
+}

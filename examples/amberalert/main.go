@@ -1,0 +1,68 @@
+// Amber alert: find a red car whose license plate ends in a known
+// fragment — the §4.2 motivating example for intrinsic properties
+// ("an amber alert query may search for a red car with a license plate
+// ending at 45, where both the red color and the license plate are
+// intrinsic properties").
+//
+// The example also demonstrates the §4.4 extension workflow: registering
+// a user-provided specialized NN and binary classifier on the RedCar
+// VObj (Figure 11) and letting the planner decide whether to use them.
+//
+//	go run ./examples/amberalert
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vqpy"
+)
+
+func main() {
+	s := vqpy.NewSession(7)
+	s.SetNoBurn(true)
+	video := vqpy.GenerateVideo(vqpy.DatasetCityFlow(7, 120))
+
+	// RedCar extends Car and registers the specialized detector and the
+	// no_red_on_road binary classifier (both already in the zoo; a user
+	// model would be added with s.RegisterModel first).
+	redCar := vqpy.RedCar()
+
+	query := vqpy.NewQuery("AmberAlert").
+		Use("car", redCar).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+			vqpy.P("car", "plate").Contains("4"),
+		)).
+		FrameOutput(
+			vqpy.Sel("car", vqpy.PropTrackID),
+			vqpy.Sel("car", "plate"),
+			vqpy.Sel("car", vqpy.PropBBox),
+		)
+
+	// Explain first: show the plan alternatives the planner profiled.
+	best, all, err := s.Explain(query, video)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planner considered %d DAGs; selected %q (est %.0f ms, F1 %.2f):\n%s\n",
+		len(all), best.Label, best.EstCostMS, best.EstF1, best)
+
+	res, err := s.Execute(query, video)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alert frames: %d\n", res.MatchedCount())
+	seen := map[int]string{}
+	for _, hit := range res.Basic.Hits {
+		for _, obj := range hit.Objects {
+			if p, ok := obj.Values["plate"].(string); ok {
+				seen[obj.TrackID] = p
+			}
+		}
+	}
+	for id, plate := range seen {
+		fmt.Printf("  suspect vehicle track %d, plate %s\n", id, plate)
+	}
+}

@@ -1,0 +1,57 @@
+// Hit and run: the paper's Figure 8 — compose a spatial event (car close
+// to a person) and a basic event (car moving away fast) into a temporal
+// sequence using the higher-order query combinators.
+//
+//	go run ./examples/hitandrun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vqpy"
+)
+
+func main() {
+	s := vqpy.NewSession(11)
+	s.SetNoBurn(true)
+
+	// The pickup scenario stages a person approaching a parked car
+	// which then drives away — the event pattern we are after.
+	video := vqpy.GenerateVideo(vqpy.DatasetPickup(11, 90))
+
+	car := vqpy.Car()
+	person := vqpy.Person()
+
+	// Event 1 — CarHitPerson: a CollisionQuery (library sub-query of
+	// the higher-order SpatialQuery) checks whether car and person come
+	// closer than a threshold.
+	collision, err := vqpy.CollisionQuery("CarHitPerson", car, person, 90)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Event 2 — CarRunAway: the library SpeedQuery on the Car VObj.
+	runAway := vqpy.SpeedQuery("CarRunAway", "car2", vqpy.Car(), 8)
+
+	// Compose sequentially: the getaway must start within 15 seconds
+	// of the collision (composition rule 3).
+	hitAndRun, err := vqpy.NewTemporalQuery("HitAndRun", collision, runAway, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := s.Execute(hitAndRun, video)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hit-and-run occurrences: %d\n", len(res.Events))
+	for _, ev := range res.Events {
+		fmt.Printf("  frames %d-%d (%.1fs to %.1fs)\n",
+			ev.Start, ev.End,
+			float64(ev.Start)/float64(res.FPS), float64(ev.End)/float64(res.FPS))
+	}
+	if len(res.Events) == 0 {
+		fmt.Println("  (none found — try a different seed)")
+	}
+}

@@ -1,0 +1,61 @@
+// Streaming: the real-time mode of §4.1/§5.4 — frames arrive one at a
+// time (as from a live camera), the engine emits a verdict per frame,
+// and edge/server operator placement is accounted separately, the way
+// DeepVision deploys filters on cameras and detectors on GPU servers.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vqpy"
+)
+
+func main() {
+	s := vqpy.NewSession(31)
+	s.SetNoBurn(true)
+
+	// The "camera": in this offline reproduction a generated scenario
+	// stands in for the live stream; frames are fed one by one.
+	camera := vqpy.GenerateVideo(vqpy.DatasetBanff(31, 180))
+
+	query := vqpy.NewQuery("RedCarAlert").
+		Use("car", vqpy.RedCar()). // carries the no_red_on_road edge filter
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID))
+
+	// Plan against a canary prefix, place cheap filters on the edge
+	// (2 ms uplink per surviving frame), then stream.
+	stream, err := s.OpenStream(query, camera, camera.FPS,
+		vqpy.WithEdgePlacement(2), vqpy.WithoutSpecialized())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	alerts := 0
+	for i := range camera.Frames {
+		verdict, err := stream.Feed(&camera.Frames[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if verdict.Matched {
+			alerts++
+			if alerts <= 3 && verdict.Hit != nil {
+				fmt.Printf("ALERT frame %d t=%.1fs: %d red car(s)\n",
+					verdict.FrameIdx, verdict.Hit.TimeSec, len(verdict.Hit.Objects))
+			}
+		}
+	}
+	res := stream.Close()
+
+	fmt.Printf("\nstreamed %d frames, %d alert frames\n", res.FramesProcessed, alerts)
+	fmt.Printf("device split: edge %.1fs, server %.1fs, uplink %.1fs\n",
+		s.Clock().Account("device:edge")/1000,
+		s.Clock().Account("device:server")/1000,
+		s.Clock().Account("net:uplink")/1000)
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"vqpy"
+
+	"vqpy/internal/core"
+	"vqpy/internal/cvip"
+	"vqpy/internal/metrics"
+	"vqpy/internal/video"
+)
+
+// Fig13aDurationSec is the CityFlow workload length at Scale=1 (the
+// paper evaluates 3.25 h of footage; three minutes of the synthetic
+// intersection preserves the rarity structure at tractable cost).
+const Fig13aDurationSec = 180
+
+// RunFig13a regenerates Figure 13(a): runtime of CVIP vs vanilla VQPy vs
+// VQPy with intrinsic annotations on the five standardized queries.
+func RunFig13a(cfg Config) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	v := video.CityFlow(cfg.Seed, Fig13aDurationSec*cfg.Scale).Generate()
+	rep := &metrics.Report{
+		Title:  "Figure 13(a): CVIP vs VQPy on CityFlow-NL-style queries (virtual seconds)",
+		Header: []string{"query", "text", "cvip_s", "vqpy_s", "vqpy_speedup", "vqpy_memo_s", "memo_speedup"},
+	}
+	for _, q := range fig13Queries() {
+		cvipMS, err := runFig13CVIP(cfg, v, q)
+		if err != nil {
+			return nil, err
+		}
+		vanillaMS, err := runFig13VQPy(cfg, v, q, false)
+		if err != nil {
+			return nil, err
+		}
+		memoMS, err := runFig13VQPy(cfg, v, q, true)
+		if err != nil {
+			return nil, err
+		}
+		rep.AddRow(q.id, q.text,
+			metrics.Sec(cvipMS), metrics.Sec(vanillaMS), metrics.Ratio(cvipMS, vanillaMS),
+			metrics.Sec(memoMS), metrics.Ratio(cvipMS, memoMS))
+	}
+	rep.AddNote("expected shape: CVIP flat across queries; VQPy ~3x faster (lazy evaluation, bigger for rare colors); +intrinsic ~11-14x")
+	return rep, nil
+}
+
+func runFig13CVIP(cfg Config, v *video.Video, q fig13Query) (float64, error) {
+	s := cfg.session()
+	pipeline, err := cvip.New(s.Env(), s.Registry())
+	if err != nil {
+		return 0, err
+	}
+	res := pipeline.Run(v, cvip.Query{Color: q.color, Kind: q.kind, Dir: q.dir})
+	return res.VirtualMS, nil
+}
+
+func runFig13VQPy(cfg Config, v *video.Video, q fig13Query, memo bool) (float64, error) {
+	s := cfg.session()
+	var query *core.Query
+	if q.kind == video.KindBusKind {
+		query = cvipStyleBusQuery(q.id, q.color, q.dir)
+	} else {
+		query = cvipStyleQuery(q.id, q.color, q.kind, q.dir)
+	}
+	opts := []vqpy.Option{vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized()}
+	if !memo {
+		opts = append(opts, vqpy.WithoutMemo())
+	}
+	before := s.Clock().TotalMS()
+	if _, err := s.Execute(query, v, opts...); err != nil {
+		return 0, err
+	}
+	return s.Clock().TotalMS() - before, nil
+}
+
+// RunFig13b regenerates Figure 13(b): per-frame processing time for Q1
+// under the three configurations.
+func RunFig13b(cfg Config) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	v := video.CityFlow(cfg.Seed, Fig13aDurationSec*cfg.Scale).Generate()
+	q := fig13Queries()[0]
+	rep := &metrics.Report{
+		Title:  "Figure 13(b): per-frame time for Q1 (virtual ms per frame)",
+		Header: []string{"config", "frames", "mean_ms", "p95_ms", "last_quarter_mean_ms"},
+	}
+
+	collect := func(label string, run func(s *vqpy.Session) error) error {
+		s := cfg.session()
+		if err := run(s); err != nil {
+			return err
+		}
+		series := s.Clock().PerFrame()
+		xs := make([]float64, len(series))
+		ys := make([]float64, len(series))
+		var sum float64
+		for i, fc := range series {
+			xs[i], ys[i] = float64(fc.Frame), fc.MS
+			sum += fc.MS
+		}
+		mean := 0.0
+		if len(series) > 0 {
+			mean = sum / float64(len(series))
+		}
+		lastQ := series[len(series)*3/4:]
+		var lqSum float64
+		for _, fc := range lastQ {
+			lqSum += fc.MS
+		}
+		lqMean := 0.0
+		if len(lastQ) > 0 {
+			lqMean = lqSum / float64(len(lastQ))
+		}
+		rep.AddRow(label, fmt.Sprint(len(series)), metrics.Ms(mean), metrics.Ms(p95(ys)), metrics.Ms(lqMean))
+		rep.Curves = append(rep.Curves, metrics.Series{Label: label, X: xs, Y: ys})
+		return nil
+	}
+
+	if err := collect("CVIP", func(s *vqpy.Session) error {
+		p, err := cvip.New(s.Env(), s.Registry())
+		if err != nil {
+			return err
+		}
+		p.Run(v, cvip.Query{Color: q.color, Kind: q.kind, Dir: q.dir})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := collect("VQPy", func(s *vqpy.Session) error {
+		_, err := s.Execute(cvipStyleQuery(q.id, q.color, q.kind, q.dir), v,
+			vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized(), vqpy.WithoutMemo())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := collect("VQPy+annotation", func(s *vqpy.Session) error {
+		_, err := s.Execute(cvipStyleQuery(q.id, q.color, q.kind, q.dir), v,
+			vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	rep.AddNote("expected shape: CVIP flat and high; VQPy lower, tracking object density; +annotation flattens after warm-up (memoized intrinsic labels)")
+	return rep, nil
+}
+
+func p95(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), ys...)
+	// insertion-ish selection is fine at these sizes
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(float64(len(cp)) * 0.95)
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}

@@ -1,0 +1,147 @@
+package core
+
+import "fmt"
+
+// NodeKind classifies query nodes for the composition rules of §3.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeBasic NodeKind = iota
+	NodeSpatial
+	NodeDuration
+	NodeTemporal
+)
+
+var nodeKindNames = [...]string{"basic", "spatial", "duration", "temporal"}
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	if k < 0 || int(k) >= len(nodeKindNames) {
+		return "invalid"
+	}
+	return nodeKindNames[k]
+}
+
+// QueryNode is any query usable in event composition: a basic Query or
+// one of the three higher-order combinators.
+type QueryNode interface {
+	NodeName() string
+	NodeKind() NodeKind
+}
+
+// NodeName implements QueryNode for basic queries.
+func (q *Query) NodeName() string { return q.name }
+
+// NodeKind implements QueryNode for basic queries.
+func (q *Query) NodeKind() NodeKind { return NodeBasic }
+
+// SpatialQuery checks whether objects matched by two basic queries
+// satisfy a spatial relation predicate on the same frame (§3). Per
+// composition Rule 1 it accepts only basic queries.
+type SpatialQuery struct {
+	name     string
+	Left     *Query
+	Right    *Query
+	Relation *RelationType
+	// RelPred constrains the relation's properties; references use the
+	// relation name.
+	RelPred Pred
+}
+
+// NewSpatialQuery composes two basic queries with a spatial relation.
+// The relation's participant types must match the single instance of
+// each side (the paper's examples pass one VObj per side).
+func NewSpatialQuery(name string, left, right *Query, rel *RelationType, relPred Pred) (*SpatialQuery, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("core: SpatialQuery %s requires two base queries", name)
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("core: SpatialQuery %s requires a relation", name)
+	}
+	if rel.Kind() != RelSpatial {
+		return nil, fmt.Errorf("core: SpatialQuery %s requires a spatial relation, got %s", name, rel.Kind())
+	}
+	return &SpatialQuery{name: name, Left: left, Right: right, Relation: rel, RelPred: relPred}, nil
+}
+
+// NodeName implements QueryNode.
+func (s *SpatialQuery) NodeName() string { return s.name }
+
+// NodeKind implements QueryNode.
+func (s *SpatialQuery) NodeKind() NodeKind { return NodeSpatial }
+
+// DurationQuery checks that a base condition holds continuously for at
+// least MinSeconds (§3: loitering, unattended bags). Per composition
+// Rule 2 it accepts basic queries or SpatialQueries.
+type DurationQuery struct {
+	name       string
+	Base       QueryNode
+	MinSeconds float64
+}
+
+// NewDurationQuery wraps a base query with a minimum-duration condition.
+func NewDurationQuery(name string, base QueryNode, minSeconds float64) (*DurationQuery, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: DurationQuery %s requires a base query", name)
+	}
+	switch base.NodeKind() {
+	case NodeBasic, NodeSpatial:
+		// Rule 2.
+	default:
+		return nil, fmt.Errorf("core: DurationQuery %s cannot take a %s query (composition rule 2)", name, base.NodeKind())
+	}
+	if minSeconds <= 0 {
+		return nil, fmt.Errorf("core: DurationQuery %s needs a positive duration", name)
+	}
+	return &DurationQuery{name: name, Base: base, MinSeconds: minSeconds}, nil
+}
+
+// NodeName implements QueryNode.
+func (d *DurationQuery) NodeName() string { return d.name }
+
+// NodeKind implements QueryNode.
+func (d *DurationQuery) NodeKind() NodeKind { return NodeDuration }
+
+// TemporalQuery checks that two events occur in sequence within a time
+// window (§3, Figure 8's hit-and-run). Per composition Rule 3 it accepts
+// basic queries and all three higher-order kinds, including itself.
+type TemporalQuery struct {
+	name          string
+	First, Second QueryNode
+	WindowSeconds float64
+}
+
+// NewTemporalQuery composes two events sequentially: Second must begin
+// within WindowSeconds after First ends.
+func NewTemporalQuery(name string, first, second QueryNode, windowSeconds float64) (*TemporalQuery, error) {
+	if first == nil || second == nil {
+		return nil, fmt.Errorf("core: TemporalQuery %s requires two events", name)
+	}
+	if windowSeconds <= 0 {
+		return nil, fmt.Errorf("core: TemporalQuery %s needs a positive window", name)
+	}
+	return &TemporalQuery{name: name, First: first, Second: second, WindowSeconds: windowSeconds}, nil
+}
+
+// NodeName implements QueryNode.
+func (t *TemporalQuery) NodeName() string { return t.name }
+
+// NodeKind implements QueryNode.
+func (t *TemporalQuery) NodeKind() NodeKind { return NodeTemporal }
+
+// BasicQueriesOf returns every basic query reachable from a node, used
+// by the planner to derive the union pipeline.
+func BasicQueriesOf(n QueryNode) []*Query {
+	switch n := n.(type) {
+	case *Query:
+		return []*Query{n}
+	case *SpatialQuery:
+		return append(BasicQueriesOf(n.Left), BasicQueriesOf(n.Right)...)
+	case *DurationQuery:
+		return BasicQueriesOf(n.Base)
+	case *TemporalQuery:
+		return append(BasicQueriesOf(n.First), BasicQueriesOf(n.Second)...)
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a comparison operator in a predicate leaf.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpGt
+	OpGe
+	OpLt
+	OpLe
+	OpContains // substring match on strings
+)
+
+var opNames = [...]string{"==", "!=", ">", ">=", "<", "<=", "contains"}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return "?"
+	}
+	return opNames[o]
+}
+
+// Pred is a boolean predicate over object/relation properties; predicates
+// form a tree combined with And / Or / Not (§3's &, |, ¬ operators).
+type Pred interface {
+	// String renders the predicate for plans and debugging.
+	String() string
+	pred() // sealed
+}
+
+// PropRef names an instance property inside a query: the instance name
+// bound by Query.Use and a property name.
+type PropRef struct {
+	Instance string
+	Prop     string
+}
+
+// P constructs a property reference for predicate building:
+// core.P("car", "color").Eq("red").
+func P(instance, prop string) PropRef { return PropRef{Instance: instance, Prop: prop} }
+
+// Cmp is a leaf predicate comparing a property to a constant.
+type Cmp struct {
+	Ref   PropRef
+	Op    Op
+	Value any
+}
+
+func (c *Cmp) pred() {}
+
+// String implements Pred.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s.%s %s %v", c.Ref.Instance, c.Ref.Prop, c.Op, c.Value)
+}
+
+// Comparison constructors on PropRef.
+
+// Eq builds ref == v.
+func (r PropRef) Eq(v any) Pred { return &Cmp{Ref: r, Op: OpEq, Value: v} }
+
+// Ne builds ref != v.
+func (r PropRef) Ne(v any) Pred { return &Cmp{Ref: r, Op: OpNe, Value: v} }
+
+// Gt builds ref > v.
+func (r PropRef) Gt(v any) Pred { return &Cmp{Ref: r, Op: OpGt, Value: v} }
+
+// Ge builds ref >= v.
+func (r PropRef) Ge(v any) Pred { return &Cmp{Ref: r, Op: OpGe, Value: v} }
+
+// Lt builds ref < v.
+func (r PropRef) Lt(v any) Pred { return &Cmp{Ref: r, Op: OpLt, Value: v} }
+
+// Le builds ref <= v.
+func (r PropRef) Le(v any) Pred { return &Cmp{Ref: r, Op: OpLe, Value: v} }
+
+// Contains builds a substring predicate (e.g. plate contains "45").
+func (r PropRef) Contains(v string) Pred { return &Cmp{Ref: r, Op: OpContains, Value: v} }
+
+// RelRef names a relation property: the relation instance declared on
+// the query and one of its properties.
+type RelRef struct {
+	Relation string
+	Prop     string
+}
+
+// RP constructs a relation property reference:
+// core.RP("pb", "interaction").Eq("hit").
+func RP(relation, prop string) RelRef { return RelRef{Relation: relation, Prop: prop} }
+
+// RelCmp is a leaf predicate over a relation property.
+type RelCmp struct {
+	Ref   RelRef
+	Op    Op
+	Value any
+}
+
+func (c *RelCmp) pred() {}
+
+// String implements Pred.
+func (c *RelCmp) String() string {
+	return fmt.Sprintf("rel:%s.%s %s %v", c.Ref.Relation, c.Ref.Prop, c.Op, c.Value)
+}
+
+// Eq builds rel.prop == v.
+func (r RelRef) Eq(v any) Pred { return &RelCmp{Ref: r, Op: OpEq, Value: v} }
+
+// Ne builds rel.prop != v.
+func (r RelRef) Ne(v any) Pred { return &RelCmp{Ref: r, Op: OpNe, Value: v} }
+
+// Gt builds rel.prop > v.
+func (r RelRef) Gt(v any) Pred { return &RelCmp{Ref: r, Op: OpGt, Value: v} }
+
+// Lt builds rel.prop < v.
+func (r RelRef) Lt(v any) Pred { return &RelCmp{Ref: r, Op: OpLt, Value: v} }
+
+// AndPred is the conjunction of its children.
+type AndPred struct{ Children []Pred }
+
+func (a *AndPred) pred() {}
+
+// String implements Pred.
+func (a *AndPred) String() string { return joinPreds(a.Children, " & ") }
+
+// OrPred is the disjunction of its children.
+type OrPred struct{ Children []Pred }
+
+func (o *OrPred) pred() {}
+
+// String implements Pred.
+func (o *OrPred) String() string { return joinPreds(o.Children, " | ") }
+
+// NotPred negates its child.
+type NotPred struct{ Child Pred }
+
+func (n *NotPred) pred() {}
+
+// String implements Pred.
+func (n *NotPred) String() string { return "¬(" + n.Child.String() + ")" }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// And combines predicates conjunctively, flattening nested Ands.
+func And(ps ...Pred) Pred {
+	var flat []Pred
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if a, ok := p.(*AndPred); ok {
+			flat = append(flat, a.Children...)
+			continue
+		}
+		flat = append(flat, p)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &AndPred{Children: flat}
+}
+
+// Or combines predicates disjunctively, flattening nested Ors.
+func Or(ps ...Pred) Pred {
+	var flat []Pred
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if o, ok := p.(*OrPred); ok {
+			flat = append(flat, o.Children...)
+			continue
+		}
+		flat = append(flat, p)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &OrPred{Children: flat}
+}
+
+// Not negates a predicate, collapsing double negation.
+func Not(p Pred) Pred {
+	if n, ok := p.(*NotPred); ok {
+		return n.Child
+	}
+	return &NotPred{Child: p}
+}
+
+// Binding resolves property values during predicate evaluation. Missing
+// values (ok == false) make the enclosing comparison undecidable; see
+// EvalPred.
+type Binding interface {
+	// Prop returns the value of an instance property.
+	Prop(instance, prop string) (any, bool)
+	// RelProp returns the value of a relation property.
+	RelProp(relation, prop string) (any, bool)
+}
+
+// EvalPred evaluates p against b using three-valued logic folded to a
+// (value, known) pair: comparisons over missing properties are unknown;
+// And is false if any child is false, unknown if undecided; Or dually;
+// Not propagates unknown. Callers typically treat unknown as false
+// (the object does not provably satisfy the constraint).
+func EvalPred(p Pred, b Binding) (value, known bool) {
+	switch p := p.(type) {
+	case *Cmp:
+		v, ok := b.Prop(p.Ref.Instance, p.Ref.Prop)
+		if !ok {
+			return false, false
+		}
+		return compare(v, p.Op, p.Value), true
+	case *RelCmp:
+		v, ok := b.RelProp(p.Ref.Relation, p.Ref.Prop)
+		if !ok {
+			return false, false
+		}
+		return compare(v, p.Op, p.Value), true
+	case *AndPred:
+		allKnown := true
+		for _, c := range p.Children {
+			v, k := EvalPred(c, b)
+			if k && !v {
+				return false, true
+			}
+			if !k {
+				allKnown = false
+			}
+		}
+		return allKnown, allKnown
+	case *OrPred:
+		anyUnknown := false
+		for _, c := range p.Children {
+			v, k := EvalPred(c, b)
+			if k && v {
+				return true, true
+			}
+			if !k {
+				anyUnknown = true
+			}
+		}
+		return false, !anyUnknown
+	case *NotPred:
+		v, k := EvalPred(p.Child, b)
+		return !v, k
+	case nil:
+		return true, true
+	}
+	return false, false
+}
+
+// compare applies op to a dynamic value and a constant, coercing numbers
+// to float64 and stringers to strings.
+func compare(v any, op Op, c any) bool {
+	if op == OpContains {
+		vs, ok1 := asString(v)
+		cs, ok2 := asString(c)
+		return ok1 && ok2 && strings.Contains(vs, cs)
+	}
+	if vf, ok1 := asFloat(v); ok1 {
+		if cf, ok2 := asFloat(c); ok2 {
+			switch op {
+			case OpEq:
+				return vf == cf
+			case OpNe:
+				return vf != cf
+			case OpGt:
+				return vf > cf
+			case OpGe:
+				return vf >= cf
+			case OpLt:
+				return vf < cf
+			case OpLe:
+				return vf <= cf
+			}
+			return false
+		}
+	}
+	vs, ok1 := asString(v)
+	cs, ok2 := asString(c)
+	if ok1 && ok2 {
+		switch op {
+		case OpEq:
+			return vs == cs
+		case OpNe:
+			return vs != cs
+		case OpGt:
+			return vs > cs
+		case OpGe:
+			return vs >= cs
+		case OpLt:
+			return vs < cs
+		case OpLe:
+			return vs <= cs
+		}
+		return false
+	}
+	if vb, ok1 := v.(bool); ok1 {
+		if cb, ok2 := c.(bool); ok2 {
+			switch op {
+			case OpEq:
+				return vb == cb
+			case OpNe:
+				return vb != cb
+			}
+		}
+	}
+	return false
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+func asString(v any) (string, bool) {
+	switch s := v.(type) {
+	case string:
+		return s, true
+	case fmt.Stringer:
+		return s.String(), true
+	}
+	return "", false
+}
+
+// RefsOf collects every property reference in a predicate tree, used by
+// the planner to derive required projectors.
+func RefsOf(p Pred) (props []PropRef, rels []RelRef) {
+	switch p := p.(type) {
+	case *Cmp:
+		props = append(props, p.Ref)
+	case *RelCmp:
+		rels = append(rels, p.Ref)
+	case *AndPred:
+		for _, c := range p.Children {
+			ps, rs := RefsOf(c)
+			props = append(props, ps...)
+			rels = append(rels, rs...)
+		}
+	case *OrPred:
+		for _, c := range p.Children {
+			ps, rs := RefsOf(c)
+			props = append(props, ps...)
+			rels = append(rels, rs...)
+		}
+	case *NotPred:
+		return RefsOf(p.Child)
+	}
+	return props, rels
+}
+
+// ConjunctsOf splits a top-level conjunction into its members; any other
+// predicate is returned as a single conjunct. The planner uses this for
+// predicate pull-up and per-property lazy filtering.
+func ConjunctsOf(p Pred) []Pred {
+	if p == nil {
+		return nil
+	}
+	if a, ok := p.(*AndPred); ok {
+		return a.Children
+	}
+	return []Pred{p}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/sim"
+)
+
+// mapBinding is a simple Binding over maps for tests.
+type mapBinding struct {
+	props map[string]any // "inst.prop" -> value
+	rels  map[string]any // "rel.prop" -> value
+}
+
+func (m mapBinding) Prop(inst, prop string) (any, bool) {
+	v, ok := m.props[inst+"."+prop]
+	return v, ok
+}
+
+func (m mapBinding) RelProp(rel, prop string) (any, bool) {
+	v, ok := m.rels[rel+"."+prop]
+	return v, ok
+}
+
+func evalKnown(t *testing.T, p Pred, b Binding) bool {
+	t.Helper()
+	v, k := EvalPred(p, b)
+	if !k {
+		t.Fatalf("predicate %s unexpectedly unknown", p)
+	}
+	return v
+}
+
+func TestCmpOperators(t *testing.T) {
+	b := mapBinding{props: map[string]any{
+		"car.speed": 5.0,
+		"car.color": "red",
+		"car.count": 3,
+		"car.ok":    true,
+		"car.plate": "ABC-745",
+	}}
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{P("car", "speed").Gt(4), true},
+		{P("car", "speed").Gt(5), false},
+		{P("car", "speed").Ge(5), true},
+		{P("car", "speed").Lt(6), true},
+		{P("car", "speed").Le(4.9), false},
+		{P("car", "speed").Eq(5), true},
+		{P("car", "speed").Ne(5), false},
+		{P("car", "color").Eq("red"), true},
+		{P("car", "color").Ne("blue"), true},
+		{P("car", "count").Gt(2.5), true}, // int/float coercion
+		{P("car", "ok").Eq(true), true},
+		{P("car", "ok").Ne(false), true},
+		{P("car", "plate").Contains("45"), true},
+		{P("car", "plate").Contains("99"), false},
+	}
+	for _, c := range cases {
+		if got := evalKnown(t, c.p, b); got != c.want {
+			t.Errorf("%s = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	b := mapBinding{props: map[string]any{"x.a": 1.0, "x.b": 2.0}}
+	tr := P("x", "a").Eq(1)
+	fa := P("x", "b").Eq(99)
+	if !evalKnown(t, And(tr, tr), b) || evalKnown(t, And(tr, fa), b) {
+		t.Error("And wrong")
+	}
+	if !evalKnown(t, Or(fa, tr), b) || evalKnown(t, Or(fa, fa), b) {
+		t.Error("Or wrong")
+	}
+	if evalKnown(t, Not(tr), b) || !evalKnown(t, Not(fa), b) {
+		t.Error("Not wrong")
+	}
+	if !evalKnown(t, Not(Not(tr)), b) {
+		t.Error("double negation wrong")
+	}
+}
+
+func TestAndOrFlattening(t *testing.T) {
+	p := And(And(P("x", "a").Eq(1), P("x", "b").Eq(2)), P("x", "c").Eq(3))
+	a, ok := p.(*AndPred)
+	if !ok || len(a.Children) != 3 {
+		t.Errorf("And not flattened: %s", p)
+	}
+	q := Or(Or(P("x", "a").Eq(1)), P("x", "b").Eq(2), nil)
+	o, ok := q.(*OrPred)
+	if !ok || len(o.Children) != 2 {
+		t.Errorf("Or not flattened: %s", q)
+	}
+	// Single-element And collapses to the element.
+	if _, ok := And(P("x", "a").Eq(1)).(*Cmp); !ok {
+		t.Error("singleton And should collapse")
+	}
+}
+
+func TestUnknownPropagation(t *testing.T) {
+	b := mapBinding{props: map[string]any{"x.a": 1.0}}
+	missing := P("x", "zzz").Eq(1)
+	tr := P("x", "a").Eq(1)
+	fa := P("x", "a").Eq(2)
+
+	if _, k := EvalPred(missing, b); k {
+		t.Error("missing prop should be unknown")
+	}
+	// And with a false child is decidedly false even if another child is
+	// unknown (short-circuit semantics).
+	if v, k := EvalPred(And(missing, fa), b); !k || v {
+		t.Errorf("And(unknown,false) = (%v,%v), want (false,true)", v, k)
+	}
+	// And with only true+unknown stays unknown.
+	if _, k := EvalPred(And(missing, tr), b); k {
+		t.Error("And(unknown,true) should be unknown")
+	}
+	// Or with a true child is decidedly true.
+	if v, k := EvalPred(Or(missing, tr), b); !k || !v {
+		t.Errorf("Or(unknown,true) = (%v,%v), want (true,true)", v, k)
+	}
+	// Or with only false+unknown stays unknown.
+	if _, k := EvalPred(Or(missing, fa), b); k {
+		t.Error("Or(unknown,false) should be unknown")
+	}
+	// Not propagates unknown.
+	if _, k := EvalPred(Not(missing), b); k {
+		t.Error("Not(unknown) should be unknown")
+	}
+	// nil predicate is vacuously true.
+	if v, k := EvalPred(nil, b); !k || !v {
+		t.Error("nil predicate should be true")
+	}
+}
+
+func TestRelPredicates(t *testing.T) {
+	b := mapBinding{rels: map[string]any{
+		"pb.distance":    12.5,
+		"pb.interaction": "hit",
+	}}
+	if !evalKnown(t, RP("pb", "distance").Lt(20), b) {
+		t.Error("rel Lt wrong")
+	}
+	if !evalKnown(t, RP("pb", "interaction").Eq("hit"), b) {
+		t.Error("rel Eq wrong")
+	}
+	if evalKnown(t, RP("pb", "distance").Gt(20), b) {
+		t.Error("rel Gt wrong")
+	}
+	if !evalKnown(t, RP("pb", "distance").Ne(1), b) {
+		t.Error("rel Ne wrong")
+	}
+	if _, k := EvalPred(RP("pb", "zzz").Eq(1), b); k {
+		t.Error("missing rel prop should be unknown")
+	}
+}
+
+func TestTypeMismatchComparisons(t *testing.T) {
+	b := mapBinding{props: map[string]any{"x.s": "abc", "x.n": 5.0}}
+	// String vs number comparisons are false, not panics.
+	if evalKnown(t, P("x", "s").Gt(3), b) {
+		t.Error("string > number should be false")
+	}
+	if evalKnown(t, P("x", "n").Eq("abc"), b) {
+		t.Error("number == string should be false")
+	}
+	// Contains on non-strings is false.
+	if evalKnown(t, P("x", "n").Contains("5"), b) {
+		t.Error("contains on number should be false")
+	}
+}
+
+func TestStringerComparison(t *testing.T) {
+	b := mapBinding{props: map[string]any{"x.op": OpEq}} // Op implements Stringer
+	if !evalKnown(t, P("x", "op").Eq("=="), b) {
+		t.Error("Stringer comparison failed")
+	}
+}
+
+func TestRefsOf(t *testing.T) {
+	p := And(
+		P("car", "color").Eq("red"),
+		Or(P("car", "speed").Gt(1), Not(P("person", "score").Gt(0.5))),
+		RP("pc", "distance").Lt(50),
+	)
+	props, rels := RefsOf(p)
+	if len(props) != 3 {
+		t.Errorf("props = %v", props)
+	}
+	if len(rels) != 1 || rels[0] != (RelRef{"pc", "distance"}) {
+		t.Errorf("rels = %v", rels)
+	}
+}
+
+func TestConjunctsOf(t *testing.T) {
+	a := P("x", "a").Eq(1)
+	b := P("x", "b").Eq(2)
+	if got := ConjunctsOf(And(a, b)); len(got) != 2 {
+		t.Errorf("conjuncts = %v", got)
+	}
+	if got := ConjunctsOf(a); len(got) != 1 {
+		t.Errorf("single conjunct = %v", got)
+	}
+	if got := ConjunctsOf(nil); got != nil {
+		t.Errorf("nil conjuncts = %v", got)
+	}
+	// Or is not split.
+	if got := ConjunctsOf(Or(a, b)); len(got) != 1 {
+		t.Errorf("or conjuncts = %v", got)
+	}
+}
+
+func TestPredString(t *testing.T) {
+	p := And(P("car", "color").Eq("red"), Not(P("car", "speed").Gt(1)))
+	s := p.String()
+	for _, want := range []string{"car.color == red", "¬", "car.speed > 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if OpContains.String() != "contains" || Op(99).String() != "?" {
+		t.Error("op strings wrong")
+	}
+}
+
+// randPred builds a random predicate over boolean-ish leaves with a
+// mirrored evaluation in plain Go, then checks De Morgan's laws via the
+// evaluator.
+func TestDeMorganProperty(t *testing.T) {
+	rng := sim.NewRNG(7)
+	b := mapBinding{props: map[string]any{"x.a": 1.0, "x.b": 2.0, "x.c": 3.0}}
+	leaves := []Pred{
+		P("x", "a").Eq(1), P("x", "a").Eq(0),
+		P("x", "b").Gt(1), P("x", "b").Gt(10),
+		P("x", "c").Lt(10), P("x", "c").Lt(0),
+	}
+	f := func() bool {
+		p := leaves[rng.Intn(len(leaves))]
+		q := leaves[rng.Intn(len(leaves))]
+		// ¬(p & q) == ¬p | ¬q
+		l1, k1 := EvalPred(Not(And(p, q)), b)
+		r1, k1b := EvalPred(Or(Not(p), Not(q)), b)
+		if k1 != k1b || l1 != r1 {
+			return false
+		}
+		// ¬(p | q) == ¬p & ¬q
+		l2, k2 := EvalPred(Not(Or(p, q)), b)
+		r2, k2b := EvalPred(And(Not(p), Not(q)), b)
+		return k2 == k2b && l2 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

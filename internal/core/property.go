@@ -1,0 +1,145 @@
+// Package core implements the paper's frontend: the VObj, Relation and
+// Query constructs of §3, including stateless / stateful / intrinsic
+// properties, inheritance, logical predicate composition, and the three
+// higher-order query combinators (DurationQuery, SpatialQuery,
+// TemporalQuery) with their composition rules.
+//
+// The package is purely declarative: it defines query structure and
+// semantics (including predicate evaluation against an abstract property
+// binding) but performs no video processing itself. The planner
+// (internal/plan) compiles these structures into operator DAGs and the
+// engine (internal/exec) executes them.
+package core
+
+import (
+	"fmt"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// Reserved built-in property names every VObj exposes without
+// declaration, mirroring the predefined properties of vqpy.VObj (§3:
+// "bbox, frame rate, vobj image, etc."). The engine computes them.
+// Note that "velocity" is deliberately NOT reserved: the paper's Figure
+// 23 defines velocity as a user property over bbox history, and the
+// library provides a ready-made one.
+const (
+	PropBBox     = "bbox"      // geom.BBox
+	PropCenter   = "center"    // geom.Point
+	PropScore    = "score"     // float64 detector confidence
+	PropTrackID  = "track_id"  // int
+	PropClass    = "class"     // string
+	PropFrameIdx = "frame_idx" // int
+)
+
+// builtinProps enumerates the reserved names.
+var builtinProps = map[string]bool{
+	PropBBox: true, PropCenter: true, PropScore: true, PropTrackID: true,
+	PropClass: true, PropFrameIdx: true,
+}
+
+// IsBuiltinProp reports whether name is a reserved built-in property.
+func IsBuiltinProp(name string) bool { return builtinProps[name] }
+
+// PropInput is the evaluation context handed to a property's compute
+// function.
+type PropInput struct {
+	// Frame and Raster describe the current frame; Raster is rendered
+	// at most once per frame and shared across properties.
+	Frame  *video.Frame
+	Raster *video.Raster
+
+	// Box and TrackID describe the object the property is computed on.
+	Box     geom.BBox
+	TrackID int
+
+	// TruthID links to the synthetic ground-truth track so that
+	// simulated models can derive their (noisy) outputs. A production
+	// deployment would not carry this field; see DESIGN.md §2.
+	TruthID int
+
+	// Deps holds current values of the declared stateless
+	// dependencies, keyed by property name.
+	Deps map[string]any
+
+	// History holds the last HistoryLen+1 values of the stateful
+	// dependency, oldest first, current value last. Its length may be
+	// shorter while the window is still filling.
+	History []any
+
+	// Env and Registry give model-backed properties access to the
+	// model zoo.
+	Env      *models.Env
+	Registry *models.Registry
+}
+
+// ComputeFunc computes a property value. Returning ErrNotReady indicates
+// the property cannot be computed yet (e.g. a stateful window that has
+// not filled); the engine treats the value as absent rather than failing.
+type ComputeFunc func(in PropInput) (any, error)
+
+// ErrNotReady is returned by compute functions whose inputs are not yet
+// available (typically stateful windows still filling).
+var ErrNotReady = fmt.Errorf("core: property not ready")
+
+// Property declares one property of a VObj or Relation, the analog of a
+// @stateless / @stateful annotated method (§3).
+type Property struct {
+	// Name is the property name used in predicates and outputs.
+	Name string
+
+	// Stateful marks a property that needs cross-frame history; its
+	// DependsOn must name exactly one property whose last HistoryLen+1
+	// values are provided (paper: @stateful(input=..., history_len=N)).
+	Stateful   bool
+	HistoryLen int
+
+	// Intrinsic marks a stateless property that is constant for the
+	// lifetime of an object (paper: intrinsic=True); the backend
+	// memoizes it per track (§4.2).
+	Intrinsic bool
+
+	// Model names a zoo model that computes this property (e.g.
+	// "color_detect"); empty for pure-Go compute functions.
+	Model string
+
+	// DependsOn lists property names of the same VObj whose values the
+	// compute function needs (stateless) or whose history it needs
+	// (stateful, single entry).
+	DependsOn []string
+
+	// Compute is the custom computation; ignored when Model is set.
+	Compute ComputeFunc
+
+	// CostHintMS lets pure-Go properties advertise a virtual cost so
+	// the planner can order filters; model properties use the model's
+	// profile instead.
+	CostHintMS float64
+}
+
+// validate checks structural invariants.
+func (p *Property) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: property with empty name")
+	}
+	if IsBuiltinProp(p.Name) {
+		return fmt.Errorf("core: property %q shadows a built-in", p.Name)
+	}
+	if p.Stateful {
+		if len(p.DependsOn) != 1 {
+			return fmt.Errorf("core: stateful property %q must depend on exactly one property", p.Name)
+		}
+		if p.HistoryLen < 1 {
+			return fmt.Errorf("core: stateful property %q needs HistoryLen >= 1", p.Name)
+		}
+		if p.Intrinsic {
+			return fmt.Errorf("core: stateful property %q cannot be intrinsic", p.Name)
+		}
+	}
+	if p.Model == "" && p.Compute == nil {
+		return fmt.Errorf("core: property %q has neither model nor compute function", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Selector names an output column: a property of a bound instance
+// (frame_output / video_output in Figures 5-7).
+type Selector struct {
+	Instance string
+	Prop     string
+}
+
+// Sel constructs a Selector.
+func Sel(instance, prop string) Selector { return Selector{Instance: instance, Prop: prop} }
+
+// String implements fmt.Stringer.
+func (s Selector) String() string { return s.Instance + "." + s.Prop }
+
+// AggKind is the aggregation applied by video_output.
+type AggKind int
+
+// Aggregations. CountDistinct counts distinct tracks of an instance over
+// the whole video ("the same object that appears in different frames will
+// be regarded as one single entity", §3); ListTracks returns their ids.
+const (
+	AggCountDistinct AggKind = iota
+	AggListTracks
+)
+
+// Aggregation is the video-level output specification.
+type Aggregation struct {
+	Kind     AggKind
+	Instance string
+}
+
+// RelBinding binds a relation type to two declared instances of a query.
+type RelBinding struct {
+	Rel                 *RelationType
+	LeftInst, RightInst string
+}
+
+// Query is a basic video query (§3, Figures 5-7): declared VObj
+// instances, optional relation bindings, a frame-level constraint and
+// output, and optionally a video-level constraint and aggregated output.
+//
+// Query supports inheritance: a sub-query conjoins its constraints with
+// all ancestors' ("a sub-Query can reuse the constraints of all its
+// super-Query to construct a stricter constraint").
+type Query struct {
+	name   string
+	parent *Query
+
+	instances map[string]*VObjType
+	relations map[string]*RelBinding
+
+	frameConstraint Pred
+	frameOutput     []Selector
+	videoConstraint Pred
+	videoOutput     *Aggregation
+}
+
+// NewQuery declares a new basic query.
+func NewQuery(name string) *Query {
+	return &Query{
+		name:      name,
+		instances: make(map[string]*VObjType),
+		relations: make(map[string]*RelBinding),
+	}
+}
+
+// Extend declares a sub-query inheriting this query's instances,
+// relations and constraints.
+func (q *Query) Extend(name string) *Query {
+	return &Query{
+		name: name, parent: q,
+		instances: make(map[string]*VObjType),
+		relations: make(map[string]*RelBinding),
+	}
+}
+
+// Name returns the query name.
+func (q *Query) Name() string { return q.name }
+
+// Parent returns the super-query, or nil.
+func (q *Query) Parent() *Query { return q.parent }
+
+// Use binds a VObj type under an instance name, returning q for
+// chaining.
+func (q *Query) Use(instance string, t *VObjType) *Query {
+	q.instances[instance] = t
+	return q
+}
+
+// UseRelation binds a relation between two declared instances.
+func (q *Query) UseRelation(name string, rel *RelationType, leftInst, rightInst string) *Query {
+	q.relations[name] = &RelBinding{Rel: rel, LeftInst: leftInst, RightInst: rightInst}
+	return q
+}
+
+// Where sets the frame constraint (frame_constraint in Figure 5).
+func (q *Query) Where(p Pred) *Query {
+	q.frameConstraint = p
+	return q
+}
+
+// FrameOutput sets the per-frame output selectors.
+func (q *Query) FrameOutput(sels ...Selector) *Query {
+	q.frameOutput = sels
+	return q
+}
+
+// VideoWhere sets the video constraint (video_constraint in Figure 7).
+func (q *Query) VideoWhere(p Pred) *Query {
+	q.videoConstraint = p
+	return q
+}
+
+// CountDistinct sets video_output to count distinct tracks of instance.
+func (q *Query) CountDistinct(instance string) *Query {
+	q.videoOutput = &Aggregation{Kind: AggCountDistinct, Instance: instance}
+	return q
+}
+
+// ListTracks sets video_output to list distinct track ids of instance.
+func (q *Query) ListTracks(instance string) *Query {
+	q.videoOutput = &Aggregation{Kind: AggListTracks, Instance: instance}
+	return q
+}
+
+// Instances returns the effective instance bindings (own shadowing
+// inherited), with names sorted for determinism.
+func (q *Query) Instances() map[string]*VObjType {
+	out := make(map[string]*VObjType)
+	chain := q.chain()
+	for i := len(chain) - 1; i >= 0; i-- { // ancestors first, descendants override
+		for n, t := range chain[i].instances {
+			out[n] = t
+		}
+	}
+	return out
+}
+
+// InstanceNames returns the effective instance names, sorted.
+func (q *Query) InstanceNames() []string {
+	m := q.Instances()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Relations returns the effective relation bindings.
+func (q *Query) Relations() map[string]*RelBinding {
+	out := make(map[string]*RelBinding)
+	chain := q.chain()
+	for i := len(chain) - 1; i >= 0; i-- {
+		for n, r := range chain[i].relations {
+			out[n] = r
+		}
+	}
+	return out
+}
+
+// chain returns the query and its ancestors, youngest first.
+func (q *Query) chain() []*Query {
+	var out []*Query
+	for cur := q; cur != nil; cur = cur.parent {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// FrameConstraint returns the effective frame constraint: the
+// conjunction of all constraints on the inheritance chain.
+func (q *Query) FrameConstraint() Pred {
+	var ps []Pred
+	chain := q.chain()
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].frameConstraint != nil {
+			ps = append(ps, chain[i].frameConstraint)
+		}
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	return And(ps...)
+}
+
+// VideoConstraint returns the effective video constraint.
+func (q *Query) VideoConstraint() Pred {
+	var ps []Pred
+	chain := q.chain()
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].videoConstraint != nil {
+			ps = append(ps, chain[i].videoConstraint)
+		}
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	return And(ps...)
+}
+
+// FrameOutputSelectors returns the effective frame output (own, or the
+// nearest ancestor's).
+func (q *Query) FrameOutputSelectors() []Selector {
+	for _, cur := range q.chain() {
+		if len(cur.frameOutput) > 0 {
+			return cur.frameOutput
+		}
+	}
+	return nil
+}
+
+// VideoOutput returns the effective aggregation, or nil.
+func (q *Query) VideoOutput() *Aggregation {
+	for _, cur := range q.chain() {
+		if cur.videoOutput != nil {
+			return cur.videoOutput
+		}
+	}
+	return nil
+}
+
+// Validate checks referential integrity: every property reference in
+// constraints and outputs must resolve against a bound instance or
+// relation, relation participants must be declared and type-compatible,
+// and every bound VObj type must itself validate.
+func (q *Query) Validate() error {
+	insts := q.Instances()
+	if len(insts) == 0 {
+		return fmt.Errorf("core: query %s binds no VObj instances", q.name)
+	}
+	for name, t := range insts {
+		if t == nil {
+			return fmt.Errorf("core: query %s instance %q has nil type", q.name, name)
+		}
+		if t.Name() == "Scene" {
+			continue // the scene VObj needs no detector
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("core: query %s instance %q: %w", q.name, name, err)
+		}
+	}
+	rels := q.Relations()
+	for name, rb := range rels {
+		lt, ok := insts[rb.LeftInst]
+		if !ok {
+			return fmt.Errorf("core: query %s relation %q references unknown instance %q", q.name, name, rb.LeftInst)
+		}
+		rt, ok := insts[rb.RightInst]
+		if !ok {
+			return fmt.Errorf("core: query %s relation %q references unknown instance %q", q.name, name, rb.RightInst)
+		}
+		if rb.Rel.Left() != nil && !lt.IsA(rb.Rel.Left()) {
+			return fmt.Errorf("core: query %s relation %q left instance %q is not a %s", q.name, name, rb.LeftInst, rb.Rel.Left().Name())
+		}
+		if rb.Rel.Right() != nil && !rt.IsA(rb.Rel.Right()) {
+			return fmt.Errorf("core: query %s relation %q right instance %q is not a %s", q.name, name, rb.RightInst, rb.Rel.Right().Name())
+		}
+	}
+	check := func(p Pred, where string) error {
+		props, relRefs := RefsOf(p)
+		for _, ref := range props {
+			t, ok := insts[ref.Instance]
+			if !ok {
+				return fmt.Errorf("core: query %s %s references unknown instance %q", q.name, where, ref.Instance)
+			}
+			if _, ok := t.Prop(ref.Prop); !ok {
+				return fmt.Errorf("core: query %s %s references unknown property %s.%s", q.name, where, ref.Instance, ref.Prop)
+			}
+		}
+		for _, ref := range relRefs {
+			rb, ok := rels[ref.Relation]
+			if !ok {
+				return fmt.Errorf("core: query %s %s references unknown relation %q", q.name, where, ref.Relation)
+			}
+			if _, ok := rb.Rel.Prop(ref.Prop); !ok {
+				return fmt.Errorf("core: query %s %s references unknown relation property %s.%s", q.name, where, ref.Relation, ref.Prop)
+			}
+		}
+		return nil
+	}
+	if err := check(q.FrameConstraint(), "frame constraint"); err != nil {
+		return err
+	}
+	if err := check(q.VideoConstraint(), "video constraint"); err != nil {
+		return err
+	}
+	for _, sel := range q.FrameOutputSelectors() {
+		t, ok := insts[sel.Instance]
+		if !ok {
+			return fmt.Errorf("core: query %s frame output references unknown instance %q", q.name, sel.Instance)
+		}
+		if _, ok := t.Prop(sel.Prop); !ok {
+			return fmt.Errorf("core: query %s frame output references unknown property %s.%s", q.name, sel.Instance, sel.Prop)
+		}
+	}
+	if agg := q.VideoOutput(); agg != nil {
+		if _, ok := insts[agg.Instance]; !ok {
+			return fmt.Errorf("core: query %s video output references unknown instance %q", q.name, agg.Instance)
+		}
+	}
+	return nil
+}

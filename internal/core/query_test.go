@@ -1,0 +1,275 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+func testPerson() *VObjType {
+	return NewVObj("Person", video.ClassPerson).Detector("person_detector")
+}
+
+func redSpeedingCarQuery() *Query {
+	car := testVehicle().StatefulFunc("velocity", PropBBox, 1, func(in PropInput) (any, error) {
+		return 2.0, nil
+	})
+	return NewQuery("RedSpeedingCar").
+		Use("car", car).
+		Where(And(
+			P("car", PropScore).Gt(0.6),
+			P("car", "color").Eq("red"),
+			P("car", "velocity").Gt(1.0),
+		)).
+		FrameOutput(Sel("car", PropTrackID), Sel("car", PropBBox))
+}
+
+func TestQueryConstruction(t *testing.T) {
+	q := redSpeedingCarQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if q.Name() != "RedSpeedingCar" || q.NodeKind() != NodeBasic {
+		t.Error("metadata wrong")
+	}
+	if got := q.InstanceNames(); len(got) != 1 || got[0] != "car" {
+		t.Errorf("instances = %v", got)
+	}
+	if got := len(q.FrameOutputSelectors()); got != 2 {
+		t.Errorf("outputs = %d", got)
+	}
+	if q.FrameConstraint() == nil {
+		t.Error("no frame constraint")
+	}
+}
+
+func TestQueryInheritance(t *testing.T) {
+	base := redSpeedingCarQuery()
+	strict := base.Extend("VeryFast").Where(P("car", "velocity").Gt(3))
+	if err := strict.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Effective constraint must conjoin parent and child.
+	cons := ConjunctsOf(strict.FrameConstraint())
+	if len(cons) != 4 {
+		t.Errorf("effective conjuncts = %d, want 4 (3 inherited + 1 own): %v", len(cons), strict.FrameConstraint())
+	}
+	// Instances and outputs inherited.
+	if _, ok := strict.Instances()["car"]; !ok {
+		t.Error("instances not inherited")
+	}
+	if len(strict.FrameOutputSelectors()) != 2 {
+		t.Error("outputs not inherited")
+	}
+	if strict.Parent() != base {
+		t.Error("Parent wrong")
+	}
+}
+
+func TestQueryVideoConstraint(t *testing.T) {
+	car := testVehicle()
+	q := NewQuery("RightTurns").
+		Use("car", car).
+		VideoWhere(P("car", "direction").Eq("right")).
+		CountDistinct("car")
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	agg := q.VideoOutput()
+	if agg == nil || agg.Kind != AggCountDistinct || agg.Instance != "car" {
+		t.Errorf("aggregation = %+v", agg)
+	}
+	if q.VideoConstraint() == nil {
+		t.Error("video constraint missing")
+	}
+	q2 := NewQuery("List").Use("car", car).ListTracks("car")
+	if q2.VideoOutput().Kind != AggListTracks {
+		t.Error("ListTracks wrong")
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	car := testVehicle()
+	cases := []struct {
+		name string
+		q    *Query
+		want string
+	}{
+		{"no instances", NewQuery("E"), "no VObj instances"},
+		{"unknown instance in pred", NewQuery("E").Use("car", car).Where(P("ghost", "color").Eq("red")), "unknown instance"},
+		{"unknown property in pred", NewQuery("E").Use("car", car).Where(P("car", "ghost").Eq(1)), "unknown property"},
+		{"unknown instance in output", NewQuery("E").Use("car", car).FrameOutput(Sel("ghost", PropBBox)), "unknown instance"},
+		{"unknown property in output", NewQuery("E").Use("car", car).FrameOutput(Sel("car", "ghost")), "unknown property"},
+		{"unknown agg instance", NewQuery("E").Use("car", car).CountDistinct("ghost"), "unknown instance"},
+		{"nil type", NewQuery("E").Use("car", nil), "nil type"},
+	}
+	for _, c := range cases {
+		err := c.q.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestQueryRelationBinding(t *testing.T) {
+	person := testPerson()
+	car := testVehicle()
+	rel := DistanceRelation("near", person, car)
+	q := NewQuery("PersonNearCar").
+		Use("p", person).Use("c", car).
+		UseRelation("pc", rel, "p", "c").
+		Where(RP("pc", "distance").Lt(100))
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Wrong instance name.
+	bad := NewQuery("Bad").Use("p", person).Use("c", car).
+		UseRelation("pc", rel, "ghost", "c")
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown relation participant accepted")
+	}
+	// Type-incompatible participant.
+	bad2 := NewQuery("Bad2").Use("p", person).Use("c", car).
+		UseRelation("pc", rel, "c", "p") // swapped
+	if err := bad2.Validate(); err == nil {
+		t.Error("type-incompatible relation accepted")
+	}
+	// Unknown relation property in predicate.
+	bad3 := NewQuery("Bad3").Use("p", person).Use("c", car).
+		UseRelation("pc", rel, "p", "c").
+		Where(RP("pc", "ghost").Lt(1))
+	if err := bad3.Validate(); err == nil {
+		t.Error("unknown relation property accepted")
+	}
+	// Predicate over undeclared relation.
+	bad4 := NewQuery("Bad4").Use("p", person).Use("c", car).
+		Where(RP("nope", "distance").Lt(1))
+	if err := bad4.Validate(); err == nil {
+		t.Error("undeclared relation accepted")
+	}
+}
+
+func TestRelationTypeAccessors(t *testing.T) {
+	p, c := testPerson(), testVehicle()
+	r := DistanceRelation("near", p, c)
+	if r.Name() != "near" || r.Kind() != RelSpatial {
+		t.Error("relation metadata wrong")
+	}
+	if r.Left() != p || r.Right() != c {
+		t.Error("participants wrong")
+	}
+	if _, ok := r.Prop("distance"); !ok {
+		t.Error("distance property missing")
+	}
+	if len(r.Properties()) != 1 {
+		t.Error("Properties() wrong")
+	}
+	if RelSpatial.String() != "spatial" || RelTemporal.String() != "temporal" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestRelationPanics(t *testing.T) {
+	r := NewRelation("r", RelSpatial, testPerson(), testVehicle())
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty name", func() { r.AddProperty(&RelProperty{}) })
+	expectPanic("no compute", func() { r.AddProperty(&RelProperty{Name: "x"}) })
+	expectPanic("bad stateful", func() {
+		r.AddProperty(&RelProperty{Name: "x", Stateful: true,
+			Compute: func(in RelInput) (any, error) { return 1, nil }})
+	})
+	expectPanic("duplicate", func() {
+		r.Func("d", 0, func(in RelInput) (any, error) { return 1, nil })
+		r.Func("d", 0, func(in RelInput) (any, error) { return 1, nil })
+	})
+}
+
+func TestHigherOrderCompositionRules(t *testing.T) {
+	person, car := testPerson(), testVehicle()
+	qPerson := NewQuery("P").Use("p", person)
+	qCar := NewQuery("C").Use("c", car)
+	rel := DistanceRelation("near", person, car)
+
+	spatial, err := NewSpatialQuery("Collision", qPerson, qCar, rel, RP("near", "distance").Lt(50))
+	if err != nil {
+		t.Fatalf("spatial: %v", err)
+	}
+	if spatial.NodeKind() != NodeSpatial || spatial.NodeName() != "Collision" {
+		t.Error("spatial metadata wrong")
+	}
+
+	// Rule 2: DurationQuery takes basic or spatial.
+	if _, err := NewDurationQuery("Loiter", qPerson, 10); err != nil {
+		t.Errorf("duration(basic): %v", err)
+	}
+	durSpatial, err := NewDurationQuery("LongCollision", spatial, 5)
+	if err != nil {
+		t.Errorf("duration(spatial): %v", err)
+	}
+	if _, err := NewDurationQuery("Bad", durSpatial, 5); err == nil {
+		t.Error("duration(duration) accepted (rule 2 violation)")
+	}
+
+	// Rule 3: TemporalQuery takes anything, including itself.
+	temporal, err := NewTemporalQuery("HitAndRun", spatial, qCar, 10)
+	if err != nil {
+		t.Errorf("temporal(spatial,basic): %v", err)
+	}
+	if _, err := NewTemporalQuery("Chain", temporal, durSpatial, 20); err != nil {
+		t.Errorf("temporal(temporal,duration): %v", err)
+	}
+
+	// Invalid constructions.
+	if _, err := NewSpatialQuery("Bad", nil, qCar, rel, nil); err == nil {
+		t.Error("nil left accepted")
+	}
+	if _, err := NewSpatialQuery("Bad", qPerson, qCar, nil, nil); err == nil {
+		t.Error("nil relation accepted")
+	}
+	tempRel := NewRelation("after", RelTemporal, nil, nil)
+	if _, err := NewSpatialQuery("Bad", qPerson, qCar, tempRel, nil); err == nil {
+		t.Error("temporal relation in SpatialQuery accepted")
+	}
+	if _, err := NewDurationQuery("Bad", nil, 1); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewDurationQuery("Bad", qPerson, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewTemporalQuery("Bad", nil, qCar, 1); err == nil {
+		t.Error("nil first accepted")
+	}
+	if _, err := NewTemporalQuery("Bad", qPerson, qCar, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestBasicQueriesOf(t *testing.T) {
+	person, car := testPerson(), testVehicle()
+	qPerson := NewQuery("P").Use("p", person)
+	qCar := NewQuery("C").Use("c", car)
+	rel := DistanceRelation("near", person, car)
+	spatial, _ := NewSpatialQuery("S", qPerson, qCar, rel, nil)
+	dur, _ := NewDurationQuery("D", spatial, 5)
+	temp, _ := NewTemporalQuery("T", dur, qCar, 10)
+
+	got := BasicQueriesOf(temp)
+	if len(got) != 3 {
+		t.Fatalf("basic queries = %d, want 3", len(got))
+	}
+	if got[0] != qPerson || got[1] != qCar || got[2] != qCar {
+		t.Errorf("wrong queries: %v %v %v", got[0].Name(), got[1].Name(), got[2].Name())
+	}
+	if NodeBasic.String() != "basic" || NodeTemporal.String() != "temporal" || NodeKind(99).String() != "invalid" {
+		t.Error("node kind strings wrong")
+	}
+}

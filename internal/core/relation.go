@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// RelationKind distinguishes spatial from temporal relations (§3).
+type RelationKind int
+
+// Relation kinds.
+const (
+	RelSpatial RelationKind = iota
+	RelTemporal
+)
+
+// String implements fmt.Stringer.
+func (k RelationKind) String() string {
+	if k == RelSpatial {
+		return "spatial"
+	}
+	return "temporal"
+}
+
+// RelInput is the evaluation context for a relation property: the two
+// participating objects on (for spatial relations) the same frame.
+type RelInput struct {
+	Frame  *video.Frame
+	Raster *video.Raster
+
+	LeftBox, RightBox         geom.BBox
+	LeftTrackID, RightTrackID int
+	LeftTruthID, RightTruthID int
+
+	// LeftHistory / RightHistory hold recent boxes for stateful
+	// relation properties (oldest first).
+	LeftHistory, RightHistory []geom.BBox
+
+	Env      *models.Env
+	Registry *models.Registry
+}
+
+// RelComputeFunc computes a relation property value.
+type RelComputeFunc func(in RelInput) (any, error)
+
+// RelProperty is a property declared on a Relation, stateless or
+// stateful just like VObj properties (§3).
+type RelProperty struct {
+	Name       string
+	Stateful   bool
+	HistoryLen int
+
+	// Model names an interaction model (e.g. "upt") that computes the
+	// property; empty for pure-Go functions.
+	Model string
+
+	Compute    RelComputeFunc
+	CostHintMS float64
+}
+
+// RelationType declares a relation between two VObj types (Figures 3-4).
+type RelationType struct {
+	name  string
+	kind  RelationKind
+	left  *VObjType
+	right *VObjType
+	props map[string]*RelProperty
+}
+
+// NewRelation declares a relation between two VObj types.
+func NewRelation(name string, kind RelationKind, left, right *VObjType) *RelationType {
+	return &RelationType{
+		name: name, kind: kind, left: left, right: right,
+		props: make(map[string]*RelProperty),
+	}
+}
+
+// Name returns the relation name.
+func (r *RelationType) Name() string { return r.name }
+
+// Kind returns whether the relation is spatial or temporal.
+func (r *RelationType) Kind() RelationKind { return r.kind }
+
+// Left returns the left participant type.
+func (r *RelationType) Left() *VObjType { return r.left }
+
+// Right returns the right participant type.
+func (r *RelationType) Right() *VObjType { return r.right }
+
+// AddProperty declares a relation property; it panics on structural
+// errors.
+func (r *RelationType) AddProperty(p *RelProperty) *RelationType {
+	if p.Name == "" {
+		panic("core: relation property with empty name")
+	}
+	if p.Model == "" && p.Compute == nil {
+		panic(fmt.Sprintf("core: relation property %q has neither model nor compute", p.Name))
+	}
+	if p.Stateful && p.HistoryLen < 1 {
+		panic(fmt.Sprintf("core: stateful relation property %q needs HistoryLen >= 1", p.Name))
+	}
+	if _, dup := r.props[p.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate relation property %q", p.Name))
+	}
+	r.props[p.Name] = p
+	return r
+}
+
+// Func declares a pure-Go stateless relation property (Figure 3's
+// distance).
+func (r *RelationType) Func(name string, costHintMS float64, fn RelComputeFunc) *RelationType {
+	return r.AddProperty(&RelProperty{Name: name, Compute: fn, CostHintMS: costHintMS})
+}
+
+// ModelProp declares a model-computed relation property (Figure 4's
+// interaction via "UPT").
+func (r *RelationType) ModelProp(name, model string) *RelationType {
+	return r.AddProperty(&RelProperty{Name: name, Model: model})
+}
+
+// Prop resolves a relation property by name.
+func (r *RelationType) Prop(name string) (*RelProperty, bool) {
+	p, ok := r.props[name]
+	return p, ok
+}
+
+// Properties returns the declared properties in arbitrary order.
+func (r *RelationType) Properties() []*RelProperty {
+	out := make([]*RelProperty, 0, len(r.props))
+	for _, p := range r.props {
+		out = append(out, p)
+	}
+	return out
+}
+
+// DistanceRelation is a ready-made spatial relation exposing the
+// center-to-center pixel distance of two objects (Figure 3).
+func DistanceRelation(name string, left, right *VObjType) *RelationType {
+	r := NewRelation(name, RelSpatial, left, right)
+	r.Func("distance", 0.05, func(in RelInput) (any, error) {
+		return geom.CenterDist(in.LeftBox, in.RightBox), nil
+	})
+	return r
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vqpy/internal/video"
+)
+
+// VObjType declares a type of video object (§3, Figure 2): its detected
+// class, the detector model that finds it, its properties, and optional
+// registered optimizations (specialized NNs, binary classifiers, frame
+// filters — Figures 11-12). VObjType supports single inheritance:
+// properties, the detector, and registered optimizations of ancestors are
+// visible on descendants.
+type VObjType struct {
+	name     string
+	class    video.Class
+	parent   *VObjType
+	detector string
+	props    map[string]*Property
+
+	specializedNNs []string
+	objectFilters  []string // binary classifiers usable as frame filters
+	frameFilters   []FrameFilterReg
+}
+
+// FrameFilterReg registers a differencing-style frame filter (Figure 12)
+// with the number of previous frames it compares against.
+type FrameFilterReg struct {
+	Model      string
+	PrevFrames int
+}
+
+// NewVObj declares a new root VObj type for the given class.
+func NewVObj(name string, class video.Class) *VObjType {
+	return &VObjType{
+		name:  name,
+		class: class,
+		props: make(map[string]*Property),
+	}
+}
+
+// Extend declares a sub-VObj inheriting this type's class, detector,
+// properties and optimizations (§3 "Inheritance").
+func (v *VObjType) Extend(name string) *VObjType {
+	return &VObjType{
+		name:   name,
+		class:  v.class,
+		parent: v,
+		props:  make(map[string]*Property),
+	}
+}
+
+// Name returns the type name.
+func (v *VObjType) Name() string { return v.name }
+
+// Class returns the detected object class.
+func (v *VObjType) Class() video.Class { return v.class }
+
+// Parent returns the super-VObj, or nil for roots.
+func (v *VObjType) Parent() *VObjType { return v.parent }
+
+// Detector sets the detection model name (e.g. "yolox") and returns v
+// for chaining.
+func (v *VObjType) Detector(model string) *VObjType {
+	v.detector = model
+	return v
+}
+
+// DetectorName resolves the detector, walking up the inheritance chain.
+func (v *VObjType) DetectorName() string {
+	for t := v; t != nil; t = t.parent {
+		if t.detector != "" {
+			return t.detector
+		}
+	}
+	return ""
+}
+
+// AddProperty declares a property; it panics on structural errors, which
+// are programming mistakes (mirroring how the Python DSL fails at class
+// definition time).
+func (v *VObjType) AddProperty(p *Property) *VObjType {
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := v.props[p.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate property %q on %s", p.Name, v.name))
+	}
+	v.props[p.Name] = p
+	return v
+}
+
+// StatelessModel declares a model-computed stateless property, e.g.
+// color via "color_detect" (Figure 2). intrinsic marks it constant per
+// object for memoization (§4.2).
+func (v *VObjType) StatelessModel(name, model string, intrinsic bool) *VObjType {
+	return v.AddProperty(&Property{Name: name, Model: model, Intrinsic: intrinsic})
+}
+
+// StatelessFunc declares a pure-Go stateless property with dependencies.
+func (v *VObjType) StatelessFunc(name string, deps []string, costHintMS float64, fn ComputeFunc) *VObjType {
+	return v.AddProperty(&Property{Name: name, DependsOn: deps, Compute: fn, CostHintMS: costHintMS})
+}
+
+// StatefulFunc declares a stateful property computed from the history of
+// one dependency (Figure 2's direction, Figure 23's velocity).
+func (v *VObjType) StatefulFunc(name, input string, historyLen int, fn ComputeFunc) *VObjType {
+	return v.AddProperty(&Property{
+		Name: name, Stateful: true, DependsOn: []string{input},
+		HistoryLen: historyLen, Compute: fn,
+	})
+}
+
+// RegisterSpecializedNN registers a specialized detector for this VObj
+// (Figure 11); the planner may choose it over the general detector.
+func (v *VObjType) RegisterSpecializedNN(model string) *VObjType {
+	v.specializedNNs = append(v.specializedNNs, model)
+	return v
+}
+
+// RegisterFilter registers a binary classifier usable as an early frame
+// filter for this VObj (Figure 11's no_red_on_road).
+func (v *VObjType) RegisterFilter(model string) *VObjType {
+	v.objectFilters = append(v.objectFilters, model)
+	return v
+}
+
+// RegisterFrameFilter registers a differencing-based frame filter
+// (Figure 12) comparing against prevFrames previous frames.
+func (v *VObjType) RegisterFrameFilter(model string, prevFrames int) *VObjType {
+	v.frameFilters = append(v.frameFilters, FrameFilterReg{Model: model, PrevFrames: prevFrames})
+	return v
+}
+
+// Prop resolves a declared property by name, walking the inheritance
+// chain. Built-in properties return (nil, true).
+func (v *VObjType) Prop(name string) (*Property, bool) {
+	if IsBuiltinProp(name) {
+		return nil, true
+	}
+	for t := v; t != nil; t = t.parent {
+		if p, ok := t.props[name]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Properties returns all declared properties visible on this type
+// (own + inherited, shadowed by name), sorted by name.
+func (v *VObjType) Properties() []*Property {
+	seen := make(map[string]*Property)
+	for t := v; t != nil; t = t.parent {
+		for name, p := range t.props {
+			if _, ok := seen[name]; !ok {
+				seen[name] = p
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Property, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// SpecializedNNs returns registered specialized detectors, own before
+// inherited.
+func (v *VObjType) SpecializedNNs() []string {
+	var out []string
+	for t := v; t != nil; t = t.parent {
+		out = append(out, t.specializedNNs...)
+	}
+	return out
+}
+
+// Filters returns registered binary-classifier filters, own before
+// inherited.
+func (v *VObjType) Filters() []string {
+	var out []string
+	for t := v; t != nil; t = t.parent {
+		out = append(out, t.objectFilters...)
+	}
+	return out
+}
+
+// FrameFilters returns registered differencing frame filters.
+func (v *VObjType) FrameFilters() []FrameFilterReg {
+	var out []FrameFilterReg
+	for t := v; t != nil; t = t.parent {
+		out = append(out, t.frameFilters...)
+	}
+	return out
+}
+
+// IsA reports whether v is t or a descendant of t.
+func (v *VObjType) IsA(t *VObjType) bool {
+	for cur := v; cur != nil; cur = cur.parent {
+		if cur == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the type is executable: it must resolve a detector and
+// all property dependencies must exist.
+func (v *VObjType) Validate() error {
+	if v.DetectorName() == "" {
+		return fmt.Errorf("core: VObj %s has no detector", v.name)
+	}
+	for _, p := range v.Properties() {
+		for _, dep := range p.DependsOn {
+			if _, ok := v.Prop(dep); !ok {
+				return fmt.Errorf("core: property %s.%s depends on unknown property %q", v.name, p.Name, dep)
+			}
+		}
+	}
+	// Reject dependency cycles among declared properties.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(name string) error
+	visit = func(name string) error {
+		if IsBuiltinProp(name) {
+			return nil
+		}
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("core: property dependency cycle through %s.%s", v.name, name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		if p, ok := v.Prop(name); ok && p != nil {
+			for _, dep := range p.DependsOn {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for _, p := range v.Properties() {
+		if err := visit(p.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scene is the special scene VObj (§3): it represents the whole frame and
+// hosts background properties (day/night, weather) and frame filters.
+func Scene() *VObjType {
+	v := NewVObj("Scene", video.ClassUnknown)
+	v.detector = "-" // the scene needs no detector
+	return v
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/video"
+)
+
+func testVehicle() *VObjType {
+	return NewVObj("Vehicle", video.ClassCar).
+		Detector("yolox").
+		StatelessModel("color", "color_detect", true).
+		StatefulFunc("direction", PropCenter, 5, func(in PropInput) (any, error) {
+			pts := make([]geom.Point, 0, len(in.History))
+			for _, h := range in.History {
+				pts = append(pts, h.(geom.Point))
+			}
+			return geom.ClassifyDirection(pts).String(), nil
+		})
+}
+
+func TestVObjBasics(t *testing.T) {
+	v := testVehicle()
+	if v.Name() != "Vehicle" || v.Class() != video.ClassCar {
+		t.Error("metadata wrong")
+	}
+	if v.DetectorName() != "yolox" {
+		t.Errorf("detector = %q", v.DetectorName())
+	}
+	if err := v.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	p, ok := v.Prop("color")
+	if !ok || p == nil || !p.Intrinsic || p.Model != "color_detect" {
+		t.Errorf("color property wrong: %+v", p)
+	}
+	d, ok := v.Prop("direction")
+	if !ok || !d.Stateful || d.HistoryLen != 5 || d.DependsOn[0] != PropCenter {
+		t.Errorf("direction property wrong: %+v", d)
+	}
+	// Built-ins resolve with nil Property.
+	if bp, ok := v.Prop(PropBBox); !ok || bp != nil {
+		t.Error("builtin lookup wrong")
+	}
+	if _, ok := v.Prop("nope"); ok {
+		t.Error("unknown property resolved")
+	}
+}
+
+func TestVObjInheritance(t *testing.T) {
+	v := testVehicle()
+	red := v.Extend("RedCar").
+		RegisterSpecializedNN("red_car_specialized").
+		RegisterFilter("no_red_on_road")
+	if red.DetectorName() != "yolox" {
+		t.Error("detector not inherited")
+	}
+	if _, ok := red.Prop("color"); !ok {
+		t.Error("property not inherited")
+	}
+	if !red.IsA(v) || v.IsA(red) {
+		t.Error("IsA wrong")
+	}
+	if red.Parent() != v {
+		t.Error("Parent wrong")
+	}
+	if got := red.SpecializedNNs(); len(got) != 1 || got[0] != "red_car_specialized" {
+		t.Errorf("specialized NNs = %v", got)
+	}
+	if got := red.Filters(); len(got) != 1 || got[0] != "no_red_on_road" {
+		t.Errorf("filters = %v", got)
+	}
+	// Shadowing: child property overrides parent's.
+	child := v.Extend("Custom").StatelessFunc("color", nil, 0.1, func(in PropInput) (any, error) {
+		return "always-red", nil
+	})
+	p, _ := child.Prop("color")
+	if p.Model != "" || p.Compute == nil {
+		t.Error("child property did not shadow parent")
+	}
+	props := child.Properties()
+	names := map[string]bool{}
+	for _, pr := range props {
+		if names[pr.Name] {
+			t.Errorf("duplicate property %q in Properties()", pr.Name)
+		}
+		names[pr.Name] = true
+	}
+}
+
+func TestVObjFrameFilters(t *testing.T) {
+	scene := Scene().RegisterFrameFilter("motion_diff", 1)
+	ffs := scene.FrameFilters()
+	if len(ffs) != 1 || ffs[0].Model != "motion_diff" || ffs[0].PrevFrames != 1 {
+		t.Errorf("frame filters = %v", ffs)
+	}
+}
+
+func TestVObjValidationErrors(t *testing.T) {
+	noDetector := NewVObj("X", video.ClassCar)
+	if err := noDetector.Validate(); err == nil {
+		t.Error("missing detector accepted")
+	}
+	badDep := NewVObj("Y", video.ClassCar).Detector("yolox").
+		StatelessFunc("a", []string{"missing"}, 0, func(in PropInput) (any, error) { return 1, nil })
+	if err := badDep.Validate(); err == nil || !strings.Contains(err.Error(), "unknown property") {
+		t.Errorf("bad dep error = %v", err)
+	}
+	cyc := NewVObj("Z", video.ClassCar).Detector("yolox").
+		StatelessFunc("a", []string{"b"}, 0, func(in PropInput) (any, error) { return 1, nil }).
+		StatelessFunc("b", []string{"a"}, 0, func(in PropInput) (any, error) { return 1, nil })
+	if err := cyc.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle error = %v", err)
+	}
+}
+
+func TestPropertyValidationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	v := NewVObj("V", video.ClassCar).Detector("yolox")
+	expectPanic("empty name", func() {
+		v.AddProperty(&Property{Compute: func(in PropInput) (any, error) { return 1, nil }})
+	})
+	expectPanic("builtin shadow", func() {
+		v.AddProperty(&Property{Name: PropBBox, Compute: func(in PropInput) (any, error) { return 1, nil }})
+	})
+	expectPanic("stateful without history", func() {
+		v.AddProperty(&Property{Name: "s", Stateful: true, DependsOn: []string{"x"},
+			Compute: func(in PropInput) (any, error) { return 1, nil }})
+	})
+	expectPanic("stateful intrinsic", func() {
+		v.AddProperty(&Property{Name: "s", Stateful: true, Intrinsic: true, HistoryLen: 2,
+			DependsOn: []string{"x"}, Compute: func(in PropInput) (any, error) { return 1, nil }})
+	})
+	expectPanic("no model no compute", func() {
+		v.AddProperty(&Property{Name: "empty"})
+	})
+	expectPanic("duplicate", func() {
+		v.StatelessModel("dup", "m", false)
+		v.StatelessModel("dup", "m", false)
+	})
+}
+
+func TestSceneVObj(t *testing.T) {
+	s := Scene()
+	if s.Name() != "Scene" {
+		t.Error("scene name wrong")
+	}
+	if s.DetectorName() == "" {
+		t.Error("scene should have placeholder detector")
+	}
+}

@@ -1,0 +1,119 @@
+package cvip
+
+import (
+	"math"
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func testEnv() *models.Env {
+	e := models.NewEnv(42)
+	e.NoBurn = true
+	return e
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("green sedan go straight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Color != video.ColorGreen || q.Kind != video.KindSedan || q.Dir != geom.DirStraight {
+		t.Errorf("parsed = %+v", q)
+	}
+	q2, err := ParseQuery("black suv turn right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Dir != geom.DirRight {
+		t.Errorf("direction = %v", q2.Dir)
+	}
+	for _, bad := range []string{"", "red", "purple sedan go straight", "red spaceship go straight", "red sedan moonwalk"} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) accepted", bad)
+		}
+	}
+	if q.String() != "green sedan straight" {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestPipelineFindsMatches(t *testing.T) {
+	env := testEnv()
+	p, err := New(env, models.BuiltinRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := video.CityFlow(7, 120).Generate()
+	q := Query{Color: video.ColorBlack, Kind: video.KindSedan, Dir: geom.DirStraight}
+	res := p.Run(v, q)
+	truth := v.FramesMatching(func(o video.Object) bool {
+		return o.IsVehicle() && o.Color == q.Color && o.Kind == q.Kind && o.Dir == q.Dir
+	})
+	if len(truth) == 0 {
+		t.Skip("no ground-truth matches")
+	}
+	if len(res.MatchedFrames) == 0 {
+		t.Fatal("CVIP found nothing")
+	}
+	tp := 0
+	for f := range res.MatchedFrames {
+		if truth[f] {
+			tp++
+		}
+	}
+	rec := float64(tp) / float64(len(truth))
+	if rec < 0.7 {
+		t.Errorf("recall = %.2f", rec)
+	}
+}
+
+func TestFlatRuntimeAcrossQueries(t *testing.T) {
+	// CVIP's runtime must be (nearly) identical regardless of the
+	// query, because it always runs all models on all crops.
+	v := video.CityFlow(8, 60).Generate()
+	var costs []float64
+	for _, qs := range []string{"green sedan go straight", "black sedan go straight", "red sedan go straight"} {
+		env := testEnv()
+		p, err := New(env, models.BuiltinRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ParseQuery(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Run(v, q)
+		costs = append(costs, res.VirtualMS)
+	}
+	for i := 1; i < len(costs); i++ {
+		if math.Abs(costs[i]-costs[0]) > 1e-6 {
+			t.Errorf("CVIP cost varies across queries: %v", costs)
+		}
+	}
+}
+
+func TestAllModelsCharged(t *testing.T) {
+	env := testEnv()
+	p, _ := New(env, models.BuiltinRegistry())
+	v := video.CityFlow(9, 30).Generate()
+	p.Run(v, Query{Color: video.ColorRed, Kind: video.KindSedan, Dir: geom.DirStraight})
+	for _, account := range []string{"yolox", "color_detect", "type_detect", "direction_model"} {
+		if env.Clock.Account(account) == 0 {
+			t.Errorf("model %s never charged", account)
+		}
+	}
+	// Per-crop models must be charged equally (all crops, all models).
+	if env.Clock.Account("color_detect") != env.Clock.Account("type_detect") {
+		t.Error("color and type charged differently (early exit leaked in)")
+	}
+}
+
+func TestMissingModels(t *testing.T) {
+	reg := models.NewRegistry()
+	if _, err := New(testEnv(), reg); err == nil {
+		t.Error("empty registry accepted")
+	}
+}

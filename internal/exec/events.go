@@ -1,0 +1,80 @@
+package exec
+
+// Event is a contiguous span of matched frames, expressed in processed
+// frame positions (inclusive bounds).
+type Event struct {
+	Start, End int
+}
+
+// Frames returns the span length in frames.
+func (e Event) Frames() int { return e.End - e.Start + 1 }
+
+// EventsOf extracts maximal runs of true values from a matched vector —
+// the event view used by the higher-order query combinators.
+func EventsOf(matched []bool) []Event {
+	var out []Event
+	start := -1
+	for i, m := range matched {
+		switch {
+		case m && start < 0:
+			start = i
+		case !m && start >= 0:
+			out = append(out, Event{Start: start, End: i - 1})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Event{Start: start, End: len(matched) - 1})
+	}
+	return out
+}
+
+// Duration implements the DurationQuery semantics (§3): it keeps only
+// frames belonging to runs of at least minFrames consecutive matched
+// frames. It returns the filtered matched vector and the qualifying
+// events.
+func Duration(matched []bool, minFrames int) ([]bool, []Event) {
+	if minFrames < 1 {
+		minFrames = 1
+	}
+	out := make([]bool, len(matched))
+	var events []Event
+	for _, ev := range EventsOf(matched) {
+		if ev.Frames() < minFrames {
+			continue
+		}
+		events = append(events, ev)
+		for i := ev.Start; i <= ev.End; i++ {
+			out[i] = true
+		}
+	}
+	return out, events
+}
+
+// Sequence implements the TemporalQuery semantics (§3, Figure 8): an
+// occurrence is a pair of events (a from first, b from second) where b
+// starts after a ends, within windowFrames. The returned matched vector
+// marks the union span of each matched pair (from a.Start to b.End); the
+// returned events are the maximal coalesced spans, so overlapping pair
+// combinations report as one occurrence.
+func Sequence(first, second []bool, windowFrames int) ([]bool, []Event) {
+	n := len(first)
+	if len(second) > n {
+		n = len(second)
+	}
+	out := make([]bool, n)
+	for _, a := range EventsOf(first) {
+		for _, b := range EventsOf(second) {
+			if b.Start <= a.End {
+				continue // not strictly after
+			}
+			if b.Start-a.End > windowFrames {
+				continue
+			}
+			for i := a.Start; i <= b.End && i < n; i++ {
+				out[i] = true
+			}
+		}
+	}
+	return out, EventsOf(out)
+}

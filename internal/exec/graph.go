@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// Node is one VObj occurrence on one frame — a node of the §4.1 graph
+// data model. Motion edges are represented implicitly by shared TrackID
+// across frames; spatial-relation edges are RelEdge values.
+type Node struct {
+	Instance string
+	TrackID  int
+	TruthID  int
+	Class    video.Class
+	Box      geom.BBox
+	Score    float64
+
+	// Props holds computed property values (built-ins seeded at
+	// creation, declared properties filled by projectors).
+	Props map[string]any
+
+	// Alive is cleared by object filters; dead nodes are skipped by
+	// later operators but remain in the graph for diagnostics.
+	Alive bool
+}
+
+// RelEdge is a spatial-relation edge between two nodes on a frame.
+type RelEdge struct {
+	Relation    string
+	Left, Right *Node
+	Props       map[string]any
+	Alive       bool
+}
+
+// FrameCtx is the per-frame slice of the graph flowing between
+// operators.
+type FrameCtx struct {
+	Frame   *video.Frame
+	Dropped bool
+
+	// Nodes maps instance name → occurrences on this frame.
+	Nodes map[string][]*Node
+
+	// Edges lists spatial-relation edges computed so far.
+	Edges []*RelEdge
+
+	raster *video.Raster
+	hoi    map[string][]models.HOIPair // model name → cached per-frame HOI output
+}
+
+// Raster renders the frame once and caches it for the lifetime of the
+// context.
+func (fc *FrameCtx) Raster() *video.Raster {
+	if fc.raster == nil {
+		fc.raster = fc.Frame.Render()
+	}
+	return fc.raster
+}
+
+// AliveNodes returns the alive nodes of an instance.
+func (fc *FrameCtx) AliveNodes(instance string) []*Node {
+	nodes := fc.Nodes[instance]
+	out := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Edge returns the alive edge of the given relation connecting l and r,
+// or nil.
+func (fc *FrameCtx) Edge(relation string, l, r *Node) *RelEdge {
+	for _, e := range fc.Edges {
+		if e.Alive && e.Relation == relation && e.Left == l && e.Right == r {
+			return e
+		}
+	}
+	return nil
+}
+
+// Batch is the unit flowing through the operator pipeline: a window of
+// consecutive frames (§4.1: "the executor generates frame batches ...
+// and executes the pipeline on a per-batch basis").
+type Batch struct {
+	Frames []*FrameCtx
+}
+
+// assignment binds query instances to concrete nodes for predicate
+// evaluation. It implements core.Binding: instance properties resolve
+// through the assigned node, relation properties through the frame's
+// spatial-relation edges.
+type assignment struct {
+	nodes map[string]*Node
+	fc    *FrameCtx
+	// relBinds maps relation name → participant instance names, needed
+	// to locate the edge for a relation property lookup.
+	relBinds map[string]relParticipants
+}
+
+type relParticipants struct{ left, right string }
+
+// Prop implements core.Binding.
+func (a *assignment) Prop(instance, prop string) (any, bool) {
+	n, ok := a.nodes[instance]
+	if !ok || n == nil {
+		return nil, false
+	}
+	v, ok := n.Props[prop]
+	return v, ok
+}
+
+// RelProp implements core.Binding.
+func (a *assignment) RelProp(relation, prop string) (any, bool) {
+	parts, ok := a.relBinds[relation]
+	if !ok {
+		return nil, false
+	}
+	l, r := a.nodes[parts.left], a.nodes[parts.right]
+	if l == nil || r == nil {
+		return nil, false
+	}
+	e := a.fc.Edge(relation, l, r)
+	if e == nil {
+		return nil, false
+	}
+	v, ok := e.Props[prop]
+	return v, ok
+}

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+func twoNodeFrame() (*FrameCtx, *Node, *Node) {
+	fc := &FrameCtx{
+		Frame: &video.Frame{Index: 0, W: 100, H: 100},
+		Nodes: make(map[string][]*Node),
+	}
+	a := &Node{Instance: "p", TrackID: 1, Box: boxAt(0, 0), Alive: true, Props: map[string]any{"x": 1.0}}
+	b := &Node{Instance: "c", TrackID: 2, Box: boxAt(50, 50), Alive: true, Props: map[string]any{"y": "red"}}
+	fc.Nodes["p"] = []*Node{a}
+	fc.Nodes["c"] = []*Node{b}
+	return fc, a, b
+}
+
+func TestAliveNodesFiltersDead(t *testing.T) {
+	fc, a, _ := twoNodeFrame()
+	dead := &Node{Instance: "p", TrackID: 3, Alive: false}
+	fc.Nodes["p"] = append(fc.Nodes["p"], dead)
+	alive := fc.AliveNodes("p")
+	if len(alive) != 1 || alive[0] != a {
+		t.Errorf("AliveNodes = %v", alive)
+	}
+	if got := fc.AliveNodes("missing"); len(got) != 0 {
+		t.Errorf("missing instance nodes = %v", got)
+	}
+}
+
+func TestEdgeLookup(t *testing.T) {
+	fc, a, b := twoNodeFrame()
+	if fc.Edge("near", a, b) != nil {
+		t.Error("edge found before creation")
+	}
+	e := &RelEdge{Relation: "near", Left: a, Right: b, Props: map[string]any{"distance": 70.0}, Alive: true}
+	fc.Edges = append(fc.Edges, e)
+	if fc.Edge("near", a, b) != e {
+		t.Error("edge not found")
+	}
+	if fc.Edge("near", b, a) != nil {
+		t.Error("edge direction ignored")
+	}
+	if fc.Edge("other", a, b) != nil {
+		t.Error("relation name ignored")
+	}
+	e.Alive = false
+	if fc.Edge("near", a, b) != nil {
+		t.Error("dead edge returned")
+	}
+}
+
+func TestRasterCachedPerFrame(t *testing.T) {
+	fc, _, _ := twoNodeFrame()
+	r1 := fc.Raster()
+	r2 := fc.Raster()
+	if r1 != r2 {
+		t.Error("raster not cached per frame context")
+	}
+}
+
+func TestAssignmentBinding(t *testing.T) {
+	fc, a, b := twoNodeFrame()
+	fc.Edges = append(fc.Edges, &RelEdge{
+		Relation: "near", Left: a, Right: b,
+		Props: map[string]any{"distance": 70.7}, Alive: true,
+	})
+	bind := &assignment{
+		nodes:    map[string]*Node{"p": a, "c": b},
+		fc:       fc,
+		relBinds: map[string]relParticipants{"near": {left: "p", right: "c"}},
+	}
+	if v, ok := bind.Prop("p", "x"); !ok || v != 1.0 {
+		t.Errorf("Prop = %v, %v", v, ok)
+	}
+	if _, ok := bind.Prop("p", "missing"); ok {
+		t.Error("missing prop resolved")
+	}
+	if _, ok := bind.Prop("ghost", "x"); ok {
+		t.Error("missing instance resolved")
+	}
+	if v, ok := bind.RelProp("near", "distance"); !ok || v != 70.7 {
+		t.Errorf("RelProp = %v, %v", v, ok)
+	}
+	if _, ok := bind.RelProp("near", "missing"); ok {
+		t.Error("missing rel prop resolved")
+	}
+	if _, ok := bind.RelProp("ghost", "distance"); ok {
+		t.Error("missing relation resolved")
+	}
+	// Unassigned participant → unknown.
+	bind2 := &assignment{
+		nodes:    map[string]*Node{"p": a},
+		fc:       fc,
+		relBinds: map[string]relParticipants{"near": {left: "p", right: "c"}},
+	}
+	if _, ok := bind2.RelProp("near", "distance"); ok {
+		t.Error("partial assignment resolved a relation prop")
+	}
+}

@@ -1,0 +1,253 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/track"
+)
+
+// historyWindow is the sliding window a stateful projector maintains for
+// one (instance, track, dependency) triple (§4.1: "the stateful projector
+// maintains a local sliding window of historical data of all of its
+// dependencies").
+type historyWindow struct {
+	cap    int
+	values []any
+	frames []int
+}
+
+func newHistoryWindow(capacity int) *historyWindow {
+	return &historyWindow{cap: capacity}
+}
+
+// push appends a value observed on a frame, evicting the oldest entry
+// beyond capacity. Re-pushing the same frame overwrites the last entry.
+func (w *historyWindow) push(frame int, v any) {
+	if n := len(w.frames); n > 0 && w.frames[n-1] == frame {
+		w.values[n-1] = v
+		return
+	}
+	w.values = append(w.values, v)
+	w.frames = append(w.frames, frame)
+	if len(w.values) > w.cap {
+		w.values = w.values[1:]
+		w.frames = w.frames[1:]
+	}
+}
+
+// last returns up to n most recent values, oldest first.
+func (w *historyWindow) last(n int) []any {
+	if n > len(w.values) {
+		n = len(w.values)
+	}
+	return w.values[len(w.values)-n:]
+}
+
+// MemoStore is the object-level computation reuse table of §4.2: values
+// of intrinsic properties keyed by (instance, property, track). Once
+// computed, an intrinsic value is reused for every later frame in which
+// the tracker re-identifies the object.
+type MemoStore struct {
+	mu   sync.Mutex
+	vals map[memoKey]any
+	hits int
+	miss int
+}
+
+type memoKey struct {
+	instance, prop string
+	trackID        int
+}
+
+// NewMemoStore returns an empty memo store.
+func NewMemoStore() *MemoStore {
+	return &MemoStore{vals: make(map[memoKey]any)}
+}
+
+// Get returns the memoized value for a track's intrinsic property.
+func (m *MemoStore) Get(instance, prop string, trackID int) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.vals[memoKey{instance, prop, trackID}]
+	if ok {
+		m.hits++
+	} else {
+		m.miss++
+	}
+	return v, ok
+}
+
+// Put memoizes a value.
+func (m *MemoStore) Put(instance, prop string, trackID int, v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vals[memoKey{instance, prop, trackID}] = v
+}
+
+// Stats returns (hits, misses) for reuse diagnostics.
+func (m *MemoStore) Stats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.miss
+}
+
+// SharedCache implements query-level computation reuse (§4.2 end, §5.3
+// "VQPy-Opt"): detector outputs keyed by (model, frame) and
+// classification outputs keyed by (model, frame, quantized box) are
+// shared across queries executed on the same video.
+type SharedCache struct {
+	mu      sync.Mutex
+	detects map[string][]cachedDetection
+	labels  map[string]any
+	hits    int
+	miss    int
+}
+
+type cachedDetection struct {
+	node Node // template: instance unset
+}
+
+// NewSharedCache returns an empty cross-query cache.
+func NewSharedCache() *SharedCache {
+	return &SharedCache{
+		detects: make(map[string][]cachedDetection),
+		labels:  make(map[string]any),
+	}
+}
+
+func detKey(model string, frame int) string {
+	return fmt.Sprintf("%s@%d", model, frame)
+}
+
+func labelKey(model string, frame int, box geom.BBox) string {
+	return fmt.Sprintf("%s@%d[%d,%d,%d,%d]", model, frame,
+		int(box.X1), int(box.Y1), int(box.X2), int(box.Y2))
+}
+
+// GetDetections returns cached detector output for a frame.
+func (c *SharedCache) GetDetections(model string, frame int) ([]track.Detection, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cached, ok := c.detects[detKey(model, frame)]
+	if !ok {
+		c.miss++
+		return nil, false
+	}
+	c.hits++
+	out := make([]track.Detection, len(cached))
+	for i, cd := range cached {
+		n := cd.node
+		out[i] = track.Detection{Box: n.Box, Class: int(n.Class), Score: n.Score, Ref: n.TruthID}
+	}
+	return out, true
+}
+
+// PutDetections caches detector output for a frame.
+func (c *SharedCache) PutDetections(model string, frame int, dets []track.Detection) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cached := make([]cachedDetection, len(dets))
+	for i, d := range dets {
+		truthID, _ := d.Ref.(int)
+		cached[i] = cachedDetection{node: Node{
+			Box: d.Box, Class: classOf(d.Class), Score: d.Score, TruthID: truthID,
+		}}
+	}
+	c.detects[detKey(model, frame)] = cached
+}
+
+// GetLabel returns a cached classification for (model, frame, box).
+func (c *SharedCache) GetLabel(model string, frame int, box geom.BBox) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.labels[labelKey(model, frame, box)]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return v, ok
+}
+
+// PutLabel caches a classification.
+func (c *SharedCache) PutLabel(model string, frame int, box geom.BBox, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.labels[labelKey(model, frame, box)] = v
+}
+
+// Stats returns (hits, misses).
+func (c *SharedCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}
+
+// runState is the mutable per-execution state: one tracker per instance,
+// history windows, the memo store, and bookkeeping for video-level
+// aggregation.
+type runState struct {
+	trackers map[string]*track.Tracker
+	windows  map[windowKey]*historyWindow
+	memo     *MemoStore
+
+	// matchedTracks notes tracks that satisfied the constraint at least
+	// once, per instance (video-level aggregation input).
+	matchedTracks map[string]map[int]bool
+}
+
+type windowKey struct {
+	instance, prop string
+	trackID        int
+}
+
+func newRunState() *runState {
+	return &runState{
+		trackers:      make(map[string]*track.Tracker),
+		windows:       make(map[windowKey]*historyWindow),
+		memo:          NewMemoStore(),
+		matchedTracks: make(map[string]map[int]bool),
+	}
+}
+
+func (rs *runState) tracker(instance string) *track.Tracker {
+	tk, ok := rs.trackers[instance]
+	if !ok {
+		tk = track.NewTracker(track.DefaultConfig())
+		rs.trackers[instance] = tk
+	}
+	return tk
+}
+
+func (rs *runState) window(instance, prop string, trackID, capacity int) *historyWindow {
+	k := windowKey{instance, prop, trackID}
+	w, ok := rs.windows[k]
+	if !ok {
+		w = newHistoryWindow(capacity)
+		rs.windows[k] = w
+	}
+	return w
+}
+
+func (rs *runState) markMatched(instance string, trackID int) {
+	m, ok := rs.matchedTracks[instance]
+	if !ok {
+		m = make(map[int]bool)
+		rs.matchedTracks[instance] = m
+	}
+	m[trackID] = true
+}

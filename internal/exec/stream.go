@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"vqpy/internal/core"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// Stream executes a plan over frames that arrive incrementally — the
+// real-time mode of §4.1 ("This design can easily support both offline
+// batch and real-time streaming analytics"). Offline Run is implemented
+// on top of it.
+//
+// A Stream is single-goroutine: Feed frames in capture order, read the
+// per-frame verdict, and Close to obtain the aggregate Result.
+type Stream struct {
+	e *Executor
+	p *Plan
+
+	rs      *runState
+	filters map[string]models.BinaryFilter
+	specs   []windowSpec
+
+	insts      []string
+	relBinds   map[string]relParticipants
+	frameCons  core.Pred
+	videoCons  core.Pred
+	outputSels []core.Selector
+
+	res     *Result
+	startMS float64
+	closed  bool
+}
+
+// Verdict is the streaming per-frame outcome.
+type Verdict struct {
+	FrameIdx int
+	Matched  bool
+	// Hit carries output objects when the frame matched and hit
+	// collection is enabled; nil otherwise.
+	Hit *FrameHit
+}
+
+// OpenStream validates the plan and prepares streaming state. fps is
+// used only to annotate the final Result (higher-order combinators need
+// it); pass the capture rate or 0.
+func (e *Executor) OpenStream(p *Plan, fps int) (*Stream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Query.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Stream{
+		e: e, p: p,
+		rs:      newRunState(),
+		filters: make(map[string]models.BinaryFilter),
+		specs:   windowSpecs(p),
+		insts:   p.Query.InstanceNames(),
+		relBinds: func() map[string]relParticipants {
+			out := make(map[string]relParticipants)
+			for name, rb := range p.Query.Relations() {
+				out[name] = relParticipants{left: rb.LeftInst, right: rb.RightInst}
+			}
+			return out
+		}(),
+		frameCons:  p.Query.FrameConstraint(),
+		videoCons:  p.Query.VideoConstraint(),
+		outputSels: p.Query.FrameOutputSelectors(),
+		res:        &Result{Query: p.Query.Name(), FPS: fps},
+		startMS:    e.opts.Env.Clock.TotalMS(),
+	}
+	return st, nil
+}
+
+// Feed processes one frame and returns its verdict. Frames must arrive
+// in order; feeding after Close is an error.
+func (st *Stream) Feed(f *video.Frame) (Verdict, error) {
+	if st.closed {
+		return Verdict{}, fmt.Errorf("exec: Feed on closed stream")
+	}
+	fc := &FrameCtx{Frame: f, Nodes: make(map[string][]*Node)}
+	st.e.opts.Env.Clock.StartFrame(f.Index)
+	if err := st.e.runFrame(st.p, fc, st.rs, st.filters, st.specs); err != nil {
+		return Verdict{}, err
+	}
+	hitsBefore := len(st.res.Hits)
+	matched := st.e.finalize(fc, st.rs, st.insts, st.relBinds,
+		st.frameCons, st.videoCons, st.outputSels, st.res)
+	st.res.Matched = append(st.res.Matched, matched)
+	st.res.FramesProcessed++
+	v := Verdict{FrameIdx: f.Index, Matched: matched}
+	if len(st.res.Hits) > hitsBefore {
+		v.Hit = &st.res.Hits[len(st.res.Hits)-1]
+	}
+	return v, nil
+}
+
+// Close finalizes aggregation and returns the accumulated result. It is
+// idempotent.
+func (st *Stream) Close() *Result {
+	if st.closed {
+		return st.res
+	}
+	st.closed = true
+	st.e.opts.Env.Clock.FlushFrames()
+	if agg := st.p.Query.VideoOutput(); agg != nil {
+		tracksOf := st.rs.matchedTracks[agg.Instance]
+		ids := make([]int, 0, len(tracksOf))
+		for id := range tracksOf {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		st.res.Count = len(ids)
+		if agg.Kind == core.AggListTracks {
+			st.res.TrackIDs = ids
+		}
+	}
+	st.res.VirtualMS = st.e.opts.Env.Clock.TotalMS() - st.startMS
+	st.res.MemoHits, st.res.MemoMisses = st.rs.memo.Stats()
+	return st.res
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"testing"
+
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func TestStreamMatchesBatchRun(t *testing.T) {
+	v := video.CityFlow(70, 30).Generate()
+	ct := carType()
+	q := redCarQuery(ct)
+
+	exBatch, _ := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	batchRes, err := exBatch.Run(manualPlan(q, "car", ct), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ct2 := carType()
+	q2 := redCarQuery(ct2)
+	exStream, _ := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	st, err := exStream.OpenStream(manualPlan(q2, "car", ct2), v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Frames {
+		verdict, err := st.Feed(&v.Frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verdict.FrameIdx != i {
+			t.Fatalf("verdict frame = %d, want %d", verdict.FrameIdx, i)
+		}
+		if verdict.Matched != batchRes.Matched[i] {
+			t.Fatalf("stream diverged from batch at frame %d", i)
+		}
+		if verdict.Matched && verdict.Hit == nil {
+			t.Fatalf("matched frame %d without hit", i)
+		}
+		if !verdict.Matched && verdict.Hit != nil {
+			t.Fatalf("unmatched frame %d with hit", i)
+		}
+	}
+	streamRes := st.Close()
+	if streamRes.MatchedCount() != batchRes.MatchedCount() {
+		t.Errorf("matched counts differ: %d vs %d", streamRes.MatchedCount(), batchRes.MatchedCount())
+	}
+	if streamRes.VirtualMS != batchRes.VirtualMS {
+		t.Errorf("costs differ: %.1f vs %.1f", streamRes.VirtualMS, batchRes.VirtualMS)
+	}
+}
+
+func TestStreamCloseIdempotentAndFeedAfterClose(t *testing.T) {
+	v := video.CityFlow(71, 5).Generate()
+	ct := carType()
+	q := redCarQuery(ct)
+	ex, _ := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	st, err := ex.OpenStream(manualPlan(q, "car", ct), v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Feed(&v.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	r1 := st.Close()
+	r2 := st.Close()
+	if r1 != r2 {
+		t.Error("Close not idempotent")
+	}
+	if _, err := st.Feed(&v.Frames[1]); err == nil {
+		t.Error("Feed after Close accepted")
+	}
+}
+
+func TestStreamInvalidPlanRejected(t *testing.T) {
+	ct := carType()
+	q := redCarQuery(ct)
+	ex, _ := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	bad := &Plan{Query: q, Steps: nil, BatchSize: 0}
+	if _, err := ex.OpenStream(bad, 10); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestStreamVideoAggregation(t *testing.T) {
+	v := video.CityFlow(72, 60).Generate()
+	ct := carType()
+	colorProp, _ := ct.Prop("color")
+	q := redCarQuery(ct).CountDistinct("car")
+	p := &Plan{Query: q, Steps: []Step{
+		{Kind: StepDetect, DetectModel: "yolox", Binds: []InstanceBind{{Instance: "car", Class: video.ClassCar}}},
+		{Kind: StepTrack, Instance: "car"},
+		{Kind: StepProject, Instance: "car", Prop: colorProp},
+	}, BatchSize: 4}
+	ex, _ := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	st, err := ex.OpenStream(p, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Frames {
+		if _, err := st.Feed(&v.Frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := st.Close()
+	if res.Count == 0 {
+		t.Error("streaming aggregation counted nothing")
+	}
+}

@@ -1,0 +1,256 @@
+// Package geom provides the 2-D geometry primitives used throughout the
+// video-analytics pipeline: points, axis-aligned bounding boxes, overlap
+// metrics (IoU), distances, and coarse direction classification.
+//
+// All coordinates are in frame pixels with the origin at the top-left
+// corner, x growing rightward and y growing downward, matching the
+// convention of common detection models.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point in frame coordinates.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// BBox is an axis-aligned bounding box. X1,Y1 is the top-left corner and
+// X2,Y2 the bottom-right corner; a valid box has X1 <= X2 and Y1 <= Y2.
+type BBox struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// Rect constructs a BBox from a top-left corner and a width and height.
+func Rect(x, y, w, h float64) BBox { return BBox{x, y, x + w, y + h} }
+
+// Valid reports whether b has non-negative extent on both axes.
+func (b BBox) Valid() bool { return b.X2 >= b.X1 && b.Y2 >= b.Y1 }
+
+// Empty reports whether b has zero area.
+func (b BBox) Empty() bool { return b.X2 <= b.X1 || b.Y2 <= b.Y1 }
+
+// W returns the width of b.
+func (b BBox) W() float64 { return b.X2 - b.X1 }
+
+// H returns the height of b.
+func (b BBox) H() float64 { return b.Y2 - b.Y1 }
+
+// Area returns the area of b; invalid boxes have zero area.
+func (b BBox) Area() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return b.W() * b.H()
+}
+
+// Center returns the centroid of b.
+func (b BBox) Center() Point { return Point{(b.X1 + b.X2) / 2, (b.Y1 + b.Y2) / 2} }
+
+// Translate returns b moved by the vector d.
+func (b BBox) Translate(d Point) BBox {
+	return BBox{b.X1 + d.X, b.Y1 + d.Y, b.X2 + d.X, b.Y2 + d.Y}
+}
+
+// Inflate returns b grown by m pixels on every side. A negative m shrinks
+// the box; the result may be empty but is clamped to remain valid.
+func (b BBox) Inflate(m float64) BBox {
+	r := BBox{b.X1 - m, b.Y1 - m, b.X2 + m, b.Y2 + m}
+	if r.X2 < r.X1 {
+		c := (r.X1 + r.X2) / 2
+		r.X1, r.X2 = c, c
+	}
+	if r.Y2 < r.Y1 {
+		c := (r.Y1 + r.Y2) / 2
+		r.Y1, r.Y2 = c, c
+	}
+	return r
+}
+
+// Intersect returns the overlapping region of a and b. If they do not
+// overlap the result is an empty (but valid) box.
+func (a BBox) Intersect(b BBox) BBox {
+	r := BBox{
+		math.Max(a.X1, b.X1), math.Max(a.Y1, b.Y1),
+		math.Min(a.X2, b.X2), math.Min(a.Y2, b.Y2),
+	}
+	if r.X2 < r.X1 {
+		r.X2 = r.X1
+	}
+	if r.Y2 < r.Y1 {
+		r.Y2 = r.Y1
+	}
+	return r
+}
+
+// Union returns the smallest box containing both a and b.
+func (a BBox) Union(b BBox) BBox {
+	return BBox{
+		math.Min(a.X1, b.X1), math.Min(a.Y1, b.Y1),
+		math.Max(a.X2, b.X2), math.Max(a.Y2, b.Y2),
+	}
+}
+
+// Contains reports whether p lies inside b (inclusive of edges).
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.X1 && p.X <= b.X2 && p.Y >= b.Y1 && p.Y <= b.Y2
+}
+
+// ContainsBox reports whether inner lies entirely inside b.
+func (b BBox) ContainsBox(inner BBox) bool {
+	return inner.X1 >= b.X1 && inner.Y1 >= b.Y1 && inner.X2 <= b.X2 && inner.Y2 <= b.Y2
+}
+
+// IoU returns the intersection-over-union overlap of a and b in [0,1].
+// Two empty boxes have IoU 0.
+func IoU(a, b BBox) float64 {
+	inter := a.Intersect(b).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// CenterDist returns the distance between the centroids of a and b.
+func CenterDist(a, b BBox) float64 { return a.Center().Dist(b.Center()) }
+
+// NormCenterDist returns the centroid distance normalized by the diagonal
+// of the union box, a scale-invariant proximity measure in [0, 1].
+func NormCenterDist(a, b BBox) float64 {
+	u := a.Union(b)
+	diag := math.Hypot(u.W(), u.H())
+	if diag == 0 {
+		return 0
+	}
+	return CenterDist(a, b) / diag
+}
+
+// Clamp returns b clipped to the frame of the given width and height.
+func (b BBox) Clamp(w, h float64) BBox {
+	r := BBox{
+		math.Max(0, math.Min(b.X1, w)), math.Max(0, math.Min(b.Y1, h)),
+		math.Max(0, math.Min(b.X2, w)), math.Max(0, math.Min(b.Y2, h)),
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (b BBox) String() string {
+	return fmt.Sprintf("[%.1f,%.1f %.1fx%.1f]", b.X1, b.Y1, b.W(), b.H())
+}
+
+// Direction is a coarse motion direction class, the vocabulary used by
+// CityFlow-style "turn right / go straight" queries.
+type Direction int
+
+// Direction values. Unknown is returned when displacement is too small to
+// classify reliably.
+const (
+	DirUnknown Direction = iota
+	DirStraight
+	DirLeft
+	DirRight
+	DirStopped
+)
+
+var directionNames = [...]string{"unknown", "straight", "left", "right", "stopped"}
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d < 0 || int(d) >= len(directionNames) {
+		return "invalid"
+	}
+	return directionNames[d]
+}
+
+// ParseDirection maps a textual direction ("go straight", "turn right",
+// ...) onto a Direction. Unrecognized text yields DirUnknown.
+func ParseDirection(s string) Direction {
+	switch s {
+	case "straight", "go straight", "forward", "keep straight":
+		return DirStraight
+	case "left", "turn left":
+		return DirLeft
+	case "right", "turn right":
+		return DirRight
+	case "stopped", "stop", "stationary":
+		return DirStopped
+	}
+	return DirUnknown
+}
+
+// ClassifyDirection classifies the motion of a trajectory of centroids
+// observed over consecutive frames. It compares initial and final heading:
+// a small total displacement is DirStopped, a small heading change is
+// DirStraight, and larger signed changes are DirLeft / DirRight (screen
+// coordinates: y grows downward, so a positive cross product is a
+// right turn).
+//
+// The trajectory needs at least three points; otherwise DirUnknown.
+func ClassifyDirection(track []Point) Direction {
+	if len(track) < 3 {
+		return DirUnknown
+	}
+	first, last := track[0], track[len(track)-1]
+	if first.Dist(last) < 2.0 {
+		return DirStopped
+	}
+	mid := track[len(track)/2]
+	v1 := mid.Sub(first)
+	v2 := last.Sub(mid)
+	if v1.Norm() < 1e-9 || v2.Norm() < 1e-9 {
+		return DirStraight
+	}
+	cross := v1.X*v2.Y - v1.Y*v2.X
+	dot := v1.Dot(v2)
+	angle := math.Atan2(cross, dot) // signed heading change in radians
+	const turnThreshold = math.Pi / 7
+	switch {
+	case angle > turnThreshold:
+		return DirRight
+	case angle < -turnThreshold:
+		return DirLeft
+	default:
+		return DirStraight
+	}
+}
+
+// Velocity returns the average per-step displacement magnitude of the
+// trajectory (pixels per frame). Fewer than two points yields 0.
+func Velocity(track []Point) float64 {
+	if len(track) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 1; i < len(track); i++ {
+		total += track[i].Dist(track[i-1])
+	}
+	return total / float64(len(track)-1)
+}

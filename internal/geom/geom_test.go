@@ -1,0 +1,300 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointOps(t *testing.T) {
+	p, q := Point{3, 4}, Point{1, 2}
+	if got := p.Add(q); got != (Point{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if !approx(p.Norm(), 5) {
+		t.Errorf("Norm = %v", p.Norm())
+	}
+	if !approx(p.Dot(q), 11) {
+		t.Errorf("Dot = %v", p.Dot(q))
+	}
+	if !approx(p.Dist(q), math.Hypot(2, 2)) {
+		t.Errorf("Dist = %v", p.Dist(q))
+	}
+}
+
+func TestRectAndAccessors(t *testing.T) {
+	b := Rect(10, 20, 30, 40)
+	if b.X1 != 10 || b.Y1 != 20 || b.X2 != 40 || b.Y2 != 60 {
+		t.Fatalf("Rect = %v", b)
+	}
+	if !approx(b.W(), 30) || !approx(b.H(), 40) || !approx(b.Area(), 1200) {
+		t.Errorf("W/H/Area = %v %v %v", b.W(), b.H(), b.Area())
+	}
+	if c := b.Center(); c != (Point{25, 40}) {
+		t.Errorf("Center = %v", c)
+	}
+	if !b.Valid() || b.Empty() {
+		t.Errorf("Valid/Empty wrong")
+	}
+}
+
+func TestEmptyAndInvalid(t *testing.T) {
+	zero := BBox{5, 5, 5, 5}
+	if !zero.Empty() || zero.Area() != 0 {
+		t.Errorf("zero-extent box should be empty with area 0")
+	}
+	inv := BBox{10, 10, 5, 5}
+	if inv.Valid() {
+		t.Errorf("inverted box should be invalid")
+	}
+	if inv.Area() != 0 {
+		t.Errorf("invalid box area should be 0, got %v", inv.Area())
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect(0, 0, 10, 10)
+	b := Rect(5, 5, 10, 10)
+	i := a.Intersect(b)
+	if !approx(i.Area(), 25) {
+		t.Errorf("Intersect area = %v, want 25", i.Area())
+	}
+	u := a.Union(b)
+	if u != (BBox{0, 0, 15, 15}) {
+		t.Errorf("Union = %v", u)
+	}
+	// Disjoint boxes intersect to an empty, valid box.
+	c := Rect(100, 100, 5, 5)
+	d := a.Intersect(c)
+	if !d.Valid() || !d.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty valid", d)
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Rect(0, 0, 10, 10)
+	if got := IoU(a, a); !approx(got, 1) {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := Rect(5, 0, 10, 10)
+	// inter = 50, union = 150
+	if got := IoU(a, b); !approx(got, 50.0/150.0) {
+		t.Errorf("IoU = %v", got)
+	}
+	c := Rect(50, 50, 10, 10)
+	if got := IoU(a, c); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+	if got := IoU(BBox{}, BBox{}); got != 0 {
+		t.Errorf("empty IoU = %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	b := Rect(0, 0, 10, 10)
+	if !b.Contains(Point{5, 5}) || !b.Contains(Point{0, 0}) || !b.Contains(Point{10, 10}) {
+		t.Errorf("Contains edges/interior failed")
+	}
+	if b.Contains(Point{11, 5}) {
+		t.Errorf("Contains outside point")
+	}
+	if !b.ContainsBox(Rect(1, 1, 2, 2)) {
+		t.Errorf("ContainsBox inner failed")
+	}
+	if b.ContainsBox(Rect(5, 5, 10, 10)) {
+		t.Errorf("ContainsBox overflow accepted")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	b := Rect(10, 10, 10, 10)
+	g := b.Inflate(5)
+	if g != (BBox{5, 5, 25, 25}) {
+		t.Errorf("Inflate = %v", g)
+	}
+	// Shrinking past zero collapses to the center, remaining valid.
+	s := b.Inflate(-50)
+	if !s.Valid() {
+		t.Errorf("over-shrunk box invalid: %v", s)
+	}
+	if c := s.Center(); !approx(c.X, 15) || !approx(c.Y, 15) {
+		t.Errorf("collapsed center = %v", c)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	b := BBox{-5, -5, 120, 80}
+	c := b.Clamp(100, 60)
+	if c != (BBox{0, 0, 100, 60}) {
+		t.Errorf("Clamp = %v", c)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	b := Rect(0, 0, 10, 10).Translate(Point{3, 4})
+	if b != (BBox{3, 4, 13, 14}) {
+		t.Errorf("Translate = %v", b)
+	}
+}
+
+func TestNormCenterDist(t *testing.T) {
+	a := Rect(0, 0, 10, 10)
+	if got := NormCenterDist(a, a); got != 0 {
+		t.Errorf("self NormCenterDist = %v", got)
+	}
+	b := Rect(90, 0, 10, 10)
+	got := NormCenterDist(a, b)
+	if got <= 0 || got > 1 {
+		t.Errorf("NormCenterDist out of range: %v", got)
+	}
+}
+
+func TestClassifyDirection(t *testing.T) {
+	straight := []Point{{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}}
+	if d := ClassifyDirection(straight); d != DirStraight {
+		t.Errorf("straight = %v", d)
+	}
+	// Right turn in screen coordinates: heading east then south.
+	right := []Point{{0, 0}, {10, 0}, {20, 0}, {20, 10}, {20, 20}}
+	if d := ClassifyDirection(right); d != DirRight {
+		t.Errorf("right = %v", d)
+	}
+	left := []Point{{0, 20}, {10, 20}, {20, 20}, {20, 10}, {20, 0}}
+	if d := ClassifyDirection(left); d != DirLeft {
+		t.Errorf("left = %v", d)
+	}
+	stopped := []Point{{5, 5}, {5.1, 5}, {5, 5.1}, {5.05, 5}}
+	if d := ClassifyDirection(stopped); d != DirStopped {
+		t.Errorf("stopped = %v", d)
+	}
+	if d := ClassifyDirection([]Point{{0, 0}, {1, 1}}); d != DirUnknown {
+		t.Errorf("short = %v", d)
+	}
+}
+
+func TestVelocity(t *testing.T) {
+	tr := []Point{{0, 0}, {3, 4}, {6, 8}}
+	if v := Velocity(tr); !approx(v, 5) {
+		t.Errorf("Velocity = %v, want 5", v)
+	}
+	if v := Velocity(nil); v != 0 {
+		t.Errorf("empty Velocity = %v", v)
+	}
+	if v := Velocity([]Point{{1, 1}}); v != 0 {
+		t.Errorf("single-point Velocity = %v", v)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{
+		DirUnknown: "unknown", DirStraight: "straight", DirLeft: "left",
+		DirRight: "right", DirStopped: "stopped", Direction(99): "invalid",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	cases := map[string]Direction{
+		"go straight": DirStraight, "straight": DirStraight, "keep straight": DirStraight,
+		"turn right": DirRight, "right": DirRight,
+		"turn left": DirLeft, "left": DirLeft,
+		"stopped": DirStopped, "banana": DirUnknown,
+	}
+	for s, want := range cases {
+		if got := ParseDirection(s); got != want {
+			t.Errorf("ParseDirection(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// normBox maps arbitrary float inputs into a well-formed box so property
+// tests exercise the full metric space without NaN noise.
+func normBox(x1, y1, w, h float64) BBox {
+	abs := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 1
+		}
+		return math.Mod(math.Abs(v), 1000)
+	}
+	return Rect(abs(x1), abs(y1), abs(w)+0.1, abs(h)+0.1)
+}
+
+func TestIoUSymmetricProperty(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		a, b := normBox(x1, y1, w1, h1), normBox(x2, y2, w2, h2)
+		return approx(IoU(a, b), IoU(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIoUBoundsProperty(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		a, b := normBox(x1, y1, w1, h1), normBox(x2, y2, w2, h2)
+		v := IoU(a, b)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIoUIdentityProperty(t *testing.T) {
+	f := func(x1, y1, w, h float64) bool {
+		a := normBox(x1, y1, w, h)
+		return approx(IoU(a, a), 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionContainsBothProperty(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		a, b := normBox(x1, y1, w1, h1), normBox(x2, y2, w2, h2)
+		u := a.Union(b)
+		return u.ContainsBox(a) && u.ContainsBox(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionInsideBothProperty(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		a, b := normBox(x1, y1, w1, h1), normBox(x2, y2, w2, h2)
+		i := a.Intersect(b)
+		if i.Empty() {
+			return true
+		}
+		return a.ContainsBox(i) && b.ContainsBox(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectionAreaProperty(t *testing.T) {
+	// area(a ∩ b) <= min(area(a), area(b))
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		a, b := normBox(x1, y1, w1, h1), normBox(x2, y2, w2, h2)
+		i := a.Intersect(b).Area()
+		return i <= a.Area()+1e-9 && i <= b.Area()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/sim"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("P/R/F1 = %v %v %v", c.Precision(), c.Recall(), c.F1())
+	}
+	if c.PositiveRate() != 0.5 {
+		t.Errorf("positive rate = %v", c.PositiveRate())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.PositiveRate() != 0 {
+		t.Error("empty confusion should be all zeros")
+	}
+	perfect := Confusion{TP: 10}
+	if perfect.F1() != 1 {
+		t.Errorf("perfect F1 = %v", perfect.F1())
+	}
+	allWrong := Confusion{FP: 5, FN: 5}
+	if allWrong.F1() != 0 {
+		t.Errorf("all-wrong F1 = %v", allWrong.F1())
+	}
+}
+
+func TestCompareFrameSets(t *testing.T) {
+	pred := map[int]bool{0: true, 2: true}
+	truth := map[int]bool{0: true, 1: true}
+	c := CompareFrameSets(pred, truth, 4)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestCompareMatched(t *testing.T) {
+	c := CompareMatched([]bool{true, false, true}, map[int]bool{0: true, 1: true})
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestF1BoundsProperty(t *testing.T) {
+	rng := sim.NewRNG(3)
+	f := func() bool {
+		c := Confusion{TP: rng.Intn(100), FP: rng.Intn(100), FN: rng.Intn(100), TN: rng.Intn(100)}
+		f1 := c.F1()
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		// F1 is between min and max of P and R.
+		p, r := c.Precision(), c.Recall()
+		lo, hi := math.Min(p, r), math.Max(p, r)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{
+		Title:  "Test Table",
+		Header: []string{"name", "value"},
+	}
+	r.AddRow("alpha", "1.0")
+	r.AddRow("beta-long-name", "2.0")
+	r.AddNote("a note with %d args", 2)
+	s := r.String()
+	for _, want := range []string{"Test Table", "alpha", "beta-long-name", "note: a note with 2 args", "-----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	// Alignment: both value cells start at the same column.
+	lines := strings.Split(s, "\n")
+	var col []int
+	for _, l := range lines {
+		if idx := strings.Index(l, "1.0"); idx >= 0 {
+			col = append(col, idx)
+		}
+		if idx := strings.Index(l, "2.0"); idx >= 0 {
+			col = append(col, idx)
+		}
+	}
+	if len(col) == 2 && col[0] != col[1] {
+		t.Errorf("columns misaligned: %v", col)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r := &Report{Header: []string{"a", "b"}}
+	r.AddRow("1", "2")
+	r.AddRow("3", "4")
+	want := "a,b\n1,2\n3,4\n"
+	if got := r.CSV(); got != want {
+		t.Errorf("CSV = %q", got)
+	}
+}
+
+func TestReportCurves(t *testing.T) {
+	r := &Report{Title: "t", Header: []string{"x"}}
+	r.Curves = append(r.Curves, Series{Label: "s1", X: []float64{1, 2}, Y: []float64{3, 4}})
+	if !strings.Contains(r.String(), "series s1: 2 points") {
+		t.Error("curves not summarized")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(100, 25) != "4.0x" {
+		t.Errorf("Ratio = %q", Ratio(100, 25))
+	}
+	if Ratio(100, 0) != "inf" {
+		t.Errorf("Ratio/0 = %q", Ratio(100, 0))
+	}
+	if Ms(12.34) != "12.3" {
+		t.Errorf("Ms = %q", Ms(12.34))
+	}
+	if Sec(2500) != "2.5" {
+		t.Errorf("Sec = %q", Sec(2500))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[int]bool{3: true, 1: true, 2: true})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+package mllm
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func testEnv() *models.Env {
+	e := models.NewEnv(42)
+	e.NoBurn = true
+	return e
+}
+
+func clips(v *video.Video, clipFrames int) []*video.Video {
+	var out []*video.Video
+	for i := 0; i < len(v.Frames); i += clipFrames {
+		out = append(out, v.Clip(i, i+clipFrames))
+	}
+	return out
+}
+
+func TestMemoryModel(t *testing.T) {
+	m7 := New(VideoChat7B(), 1)
+	// ~540 frames of 1080p should need ≈40 GB (the paper's number).
+	mem := m7.MemoryGB(540)
+	if mem < 38 || mem > 43 {
+		t.Errorf("7B memory for 540 frames = %.1f GB, want ≈40", mem)
+	}
+	maxFrames := m7.MaxClipFrames(40)
+	if maxFrames < 400 || maxFrames > 600 {
+		t.Errorf("7B max frames at 40GB = %d", maxFrames)
+	}
+	m13 := New(VideoChat13B(), 1)
+	if m13.MaxClipFrames(40) >= maxFrames {
+		t.Error("13B should fit fewer frames than 7B")
+	}
+	if m13.MaxClipFrames(1) != 1 {
+		t.Error("tiny GPU should clamp to 1 frame")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	v := video.Auburn(1, 10).Generate()
+	clip := v.Clip(0, 15)
+	env7, env13 := testEnv(), testEnv()
+	m7 := New(VideoChat7B(), 1)
+	m13 := New(VideoChat13B(), 1)
+	m7.AnswerBool(env7, clip, "q1", true)
+	m13.AnswerBool(env13, clip, "q1", true)
+	if env13.Clock.TotalMS() <= env7.Clock.TotalMS() {
+		t.Errorf("13B (%.0f ms) not slower than 7B (%.0f ms)", env13.Clock.TotalMS(), env7.Clock.TotalMS())
+	}
+	// Per-frame cost should be in the ballpark of Table 5 (72 ms/frame
+	// for 7B booleans, 563-656 for 13B low-resource).
+	perFrame7 := env7.Clock.TotalMS() / float64(len(clip.Frames))
+	if perFrame7 < 40 || perFrame7 > 150 {
+		t.Errorf("7B per-frame = %.1f ms, want ≈72", perFrame7)
+	}
+	perFrame13 := env13.Clock.TotalMS() / float64(len(clip.Frames))
+	if perFrame13 < 400 || perFrame13 > 1000 {
+		t.Errorf("13B per-frame = %.1f ms, want ≈600", perFrame13)
+	}
+}
+
+func TestPrecomputeCharged(t *testing.T) {
+	v := video.Auburn(2, 10).Generate()
+	env := testEnv()
+	m := New(VideoChat7B(), 1)
+	m.Precompute(env, v)
+	if env.Clock.TotalMS() == 0 {
+		t.Error("precompute free")
+	}
+}
+
+func TestBooleanAnswerCalibration(t *testing.T) {
+	v := video.Auburn(3, 60).Generate()
+	env := testEnv()
+	m := New(VideoChat7B(), 7)
+	cs := clips(v, 15)
+	yesOnTrue, trueN := 0, 0
+	yesOnFalse, falseN := 0, 0
+	dropped := 0
+	for i, c := range cs {
+		truth := i%2 == 0
+		resp := m.AnswerBool(env, c, "are there people?", truth)
+		val, ok := ParseBoolResponse(resp)
+		if !ok {
+			dropped++
+			continue
+		}
+		if truth {
+			trueN++
+			if val {
+				yesOnTrue++
+			}
+		} else {
+			falseN++
+			if val {
+				yesOnFalse++
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Error("no unclear responses generated")
+	}
+	if trueN == 0 || falseN == 0 {
+		t.Skip("not enough clips")
+	}
+	sens := float64(yesOnTrue) / float64(trueN)
+	if sens > 0.8 {
+		t.Errorf("sensitivity %.2f too good for a near-chance baseline", sens)
+	}
+}
+
+func TestAnswersDeterministic(t *testing.T) {
+	v := video.Auburn(4, 10).Generate()
+	clip := v.Clip(0, 15)
+	m1 := New(VideoChat7B(), 9)
+	m2 := New(VideoChat7B(), 9)
+	a := m1.AnswerBool(testEnv(), clip, "q", true)
+	b := m2.AnswerBool(testEnv(), clip, "q", true)
+	if a != b {
+		t.Errorf("same-seed answers differ: %q vs %q", a, b)
+	}
+	c := New(VideoChat7B(), 10).AnswerBool(testEnv(), clip, "q", true)
+	_ = c // different seeds may coincide; no assertion
+}
+
+func TestCountAnswersOvercount(t *testing.T) {
+	v := video.Auburn(5, 120).Generate()
+	env := testEnv()
+	m := New(VideoChat7B(), 11)
+	cs := clips(v, 15)
+	sum, n := 0.0, 0
+	maxV := 0.0
+	truth := 2.0
+	for _, c := range cs {
+		resp := m.AnswerCount(env, c, "how many cars?", truth)
+		if v, ok := ParseCountResponse(resp); ok {
+			sum += v
+			n++
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("all answers unparseable")
+	}
+	avg := sum / float64(n)
+	if avg <= truth {
+		t.Errorf("average %.2f does not over-count truth %.1f", avg, truth)
+	}
+	if maxV <= truth*3 {
+		t.Logf("no hallucinated outlier observed (max %.1f)", maxV)
+	}
+}
+
+func TestParseBoolResponse(t *testing.T) {
+	cases := []struct {
+		in      string
+		val, ok bool
+	}{
+		{"Yes, there are people.", true, true},
+		{"No. Nothing there.", false, true},
+		{"I think yes. maybe", true, true},
+		{"The video depicts a busy street.", false, false},
+		{"YES", true, true},
+	}
+	for _, c := range cases {
+		v, ok := ParseBoolResponse(c.in)
+		if ok != c.ok || (ok && v != c.val) {
+			t.Errorf("ParseBoolResponse(%q) = %v,%v", c.in, v, ok)
+		}
+	}
+}
+
+func TestParseCountResponse(t *testing.T) {
+	v, ok := ParseCountResponse("I count about 6.5 on average.")
+	if !ok || v != 6.5 {
+		t.Errorf("parse = %v, %v", v, ok)
+	}
+	if _, ok := ParseCountResponse("no numbers here"); ok {
+		t.Error("parsed a number from chatter")
+	}
+	v, ok = ParseCountResponse("There are approximately 250 of them.")
+	if !ok || v != 250 {
+		t.Errorf("parse = %v, %v", v, ok)
+	}
+}
+
+func TestUnclearResponsesUnparseable(t *testing.T) {
+	// Every canned unclear response must defeat both parsers (they
+	// contain no leading yes/no and no digits).
+	rngSeeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, s := range rngSeeds {
+		m := New(VideoChat7B(), s)
+		_ = m
+	}
+	responses := []string{
+		"The video depicts a busy street scene with various elements of urban life.",
+		"As an AI assistant I can describe the scene: it shows a road with buildings.",
+		"I notice the video has multiple scenes; the lighting changes over time.",
+	}
+	for _, r := range responses {
+		if _, ok := ParseBoolResponse(r); ok {
+			t.Errorf("unclear response parsed as bool: %q", r)
+		}
+		if _, ok := ParseCountResponse(r); ok && !strings.ContainsAny(r, "0123456789") {
+			t.Errorf("unclear response parsed as count: %q", r)
+		}
+	}
+}

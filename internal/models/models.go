@@ -1,0 +1,327 @@
+// Package models provides the simulated model zoo that stands in for the
+// paper's pretrained vision models (YOLOX, YOLOv5/v8, color and type
+// classifiers, ReID embedders, the UPT human-object-interaction model,
+// license-plate OCR, and cheap binary classifiers).
+//
+// Each model has a Profile with a calibrated virtual cost (charged to a
+// sim.Clock and mirrored by proportional real CPU work, so wall-clock
+// benchmarks preserve the paper's relative shape) and a noise model
+// (misses, false positives, box jitter, misclassification) that converts
+// ground truth into realistic imperfect outputs. All noise is drawn from
+// generators seeded by (experiment seed, model name, frame index, object
+// id), so outputs are deterministic and idempotent: calling a model twice
+// on the same frame yields identical results, which mirrors how a real
+// model is a pure function of its input.
+package models
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/sim"
+	"vqpy/internal/video"
+)
+
+// Task classifies what a model does; the planner uses it to slot models
+// into the right operator kind.
+type Task int
+
+// Task values.
+const (
+	TaskDetect Task = iota
+	TaskClassify
+	TaskEmbed
+	TaskHOI
+	TaskOCR
+	TaskBinary
+)
+
+var taskNames = [...]string{"detect", "classify", "embed", "hoi", "ocr", "binary"}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if t < 0 || int(t) >= len(taskNames) {
+		return "invalid"
+	}
+	return taskNames[t]
+}
+
+// Profile describes a model's cost and error characteristics. Costs are
+// virtual milliseconds calibrated loosely to the paper's NVIDIA T4
+// testbed; see DESIGN.md §2.
+type Profile struct {
+	Name string
+	Task Task
+
+	// CostMS is charged once per invocation (per frame for detectors
+	// and frame-level filters); CostPerObjMS is charged per input
+	// object (per crop for classifiers).
+	CostMS       float64
+	CostPerObjMS float64
+
+	// Classes restricts a detector to the listed classes; empty means
+	// all classes.
+	Classes []video.Class
+
+	// Detection noise.
+	MissRate float64 // probability a true object is not detected
+	FPRate   float64 // expected false positives per frame
+	JitterPx float64 // bbox corner noise stddev
+
+	// Classification noise.
+	MisclassRate float64
+
+	// ColorFilter restricts a specialized detector to objects of one
+	// color (e.g. the "my_red_car" specialized NN of Figure 11).
+	ColorFilter video.Color
+}
+
+// Env carries the per-experiment context every model shares: the virtual
+// clock to charge, the seed from which all noise derives, and whether to
+// burn proportional real CPU.
+type Env struct {
+	Clock *sim.Clock
+	Seed  uint64
+	// NoBurn disables the proportional CPU work; unit tests set it to
+	// keep suites fast. Benchmarks leave it false.
+	NoBurn bool
+}
+
+// NewEnv returns an Env with a fresh clock.
+func NewEnv(seed uint64) *Env {
+	return &Env{Clock: sim.NewClock(), Seed: seed}
+}
+
+// charge books virtual time and performs proportional real work.
+func (e *Env) charge(account string, ms float64) {
+	if e.Clock != nil {
+		e.Clock.Charge(account, ms)
+	}
+	if !e.NoBurn {
+		sim.Burn(ms)
+	}
+}
+
+// hash combines identifying integers into an RNG seed (FNV-1a over the
+// words).
+func hash(parts ...uint64) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xFF
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}
+
+func strHash(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Detection is a detector output: a box, class label and confidence.
+// TruthID links back to the generating ground-truth track; it exists so
+// that evaluation code can score queries against ground truth and MUST
+// NOT be used by query logic (the engine's tracker assigns its own IDs).
+type Detection struct {
+	Box     geom.BBox
+	Class   video.Class
+	Score   float64
+	TruthID int
+}
+
+// Detector is the frame-level object detection interface.
+type Detector interface {
+	Name() string
+	Detect(env *Env, f *video.Frame) []Detection
+}
+
+// Classifier predicts a categorical property for one object crop.
+type Classifier interface {
+	Name() string
+	// Classify returns a label for the crop of f at box. raster may be
+	// nil, in which case the frame is rendered on demand; callers
+	// processing many crops should render once and pass it in.
+	Classify(env *Env, f *video.Frame, raster *video.Raster, box geom.BBox, truthID int) string
+}
+
+// Embedder produces a feature vector for one object crop (ReID).
+type Embedder interface {
+	Name() string
+	Embed(env *Env, f *video.Frame, box geom.BBox, truthID int) []float64
+}
+
+// HOIPair is one detected human-object interaction.
+type HOIPair struct {
+	PersonBox geom.BBox
+	ObjectBox geom.BBox
+	Verb      string
+	Score     float64
+	// TruthIDs of the participants, for evaluation only.
+	PersonTruthID, ObjectTruthID int
+}
+
+// HOIModel detects human-object interactions on a frame (the paper's
+// UPT).
+type HOIModel interface {
+	Name() string
+	DetectInteractions(env *Env, f *video.Frame) []HOIPair
+}
+
+// BinaryFilter is a cheap frame-level yes/no model used as a frame
+// filter (the paper's binary classifiers and differencing filters).
+type BinaryFilter interface {
+	Name() string
+	// Keep reports whether the frame may be relevant and should be
+	// processed further.
+	Keep(env *Env, f *video.Frame) bool
+}
+
+// OCRModel reads a license plate from a crop.
+type OCRModel interface {
+	Name() string
+	ReadPlate(env *Env, f *video.Frame, box geom.BBox, truthID int) string
+}
+
+// Registry maps model names to instances, mirroring the paper's library
+// model zoo plus user registrations (Figure 11's register call).
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]any)}
+}
+
+// Register adds or replaces a model under the given name.
+func (r *Registry) Register(name string, model any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = model
+}
+
+// Get returns the model registered under name.
+func (r *Registry) Get(name string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Detector returns the named model if it is a Detector.
+func (r *Registry) Detector(name string) (Detector, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("models: no model %q", name)
+	}
+	d, ok := m.(Detector)
+	if !ok {
+		return nil, fmt.Errorf("models: %q is not a detector", name)
+	}
+	return d, nil
+}
+
+// Classifier returns the named model if it is a Classifier.
+func (r *Registry) Classifier(name string) (Classifier, error) {
+	m, ok := r.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("models: no model %q", name)
+	}
+	c, ok := m.(Classifier)
+	if !ok {
+		return nil, fmt.Errorf("models: %q is not a classifier", name)
+	}
+	return c, nil
+}
+
+// Names returns all registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.models))
+	for k := range r.models {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clampScore keeps detector confidences in (0, 1].
+func clampScore(s float64) float64 {
+	if s > 1 {
+		return 1
+	}
+	if s < 0.05 {
+		return 0.05
+	}
+	return s
+}
+
+// jitterBox perturbs box corners with gaussian noise of the given
+// stddev, clamped to the frame.
+func jitterBox(rng *sim.RNG, b geom.BBox, std float64, w, h int) geom.BBox {
+	if std <= 0 {
+		return b
+	}
+	j := geom.BBox{
+		X1: b.X1 + rng.Norm(0, std), Y1: b.Y1 + rng.Norm(0, std),
+		X2: b.X2 + rng.Norm(0, std), Y2: b.Y2 + rng.Norm(0, std),
+	}
+	if j.X2 < j.X1 {
+		j.X1, j.X2 = j.X2, j.X1
+	}
+	if j.Y2 < j.Y1 {
+		j.Y1, j.Y2 = j.Y2, j.Y1
+	}
+	return j.Clamp(float64(w), float64(h))
+}
+
+// featureVec derives a deterministic unit vector from a feature id; two
+// crops of the same ground-truth person yield nearby vectors, distinct
+// persons yield near-orthogonal ones.
+func featureVec(featureID int, rng *sim.RNG, noise float64) []float64 {
+	const dim = 16
+	base := sim.NewRNG(hash(uint64(featureID), 0x5EED))
+	v := make([]float64, dim)
+	norm := 0.0
+	for i := range v {
+		v[i] = base.Norm(0, 1) + rng.Norm(0, noise)
+		norm += v[i] * v[i]
+	}
+	norm = math.Sqrt(norm)
+	if norm == 0 {
+		v[0] = 1
+		return v
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors.
+func Cosine(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

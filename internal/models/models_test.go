@@ -1,0 +1,476 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/video"
+)
+
+func testEnv() *Env {
+	e := NewEnv(42)
+	e.NoBurn = true
+	return e
+}
+
+func genVideo() *video.Video {
+	return video.CityFlow(42, 30).Generate()
+}
+
+func firstBusyFrame(v *video.Video, min int) *video.Frame {
+	for i := range v.Frames {
+		if len(v.Frames[i].Objects) >= min {
+			return &v.Frames[i]
+		}
+	}
+	return &v.Frames[len(v.Frames)-1]
+}
+
+func TestRegistry(t *testing.T) {
+	r := BuiltinRegistry()
+	names := r.Names()
+	if len(names) < 15 {
+		t.Fatalf("builtin registry has only %d models", len(names))
+	}
+	if _, err := r.Detector("yolox"); err != nil {
+		t.Errorf("yolox: %v", err)
+	}
+	if _, err := r.Detector("color_detect"); err == nil {
+		t.Error("color_detect should not be a detector")
+	}
+	if _, err := r.Classifier("color_detect"); err != nil {
+		t.Errorf("color_detect classifier: %v", err)
+	}
+	if _, err := r.Detector("missing_model"); err == nil {
+		t.Error("missing model lookup should fail")
+	}
+	r.Register("custom", &SimDetector{P: Profile{Name: "custom", Task: TaskDetect}})
+	if _, err := r.Detector("custom"); err != nil {
+		t.Errorf("custom registration: %v", err)
+	}
+}
+
+func TestDetectorDeterministicAndIdempotent(t *testing.T) {
+	v := genVideo()
+	f := firstBusyFrame(v, 3)
+	env := testEnv()
+	d := &SimDetector{P: mustProfile(t, "yolox")}
+	a := d.Detect(env, f)
+	b := d.Detect(env, f)
+	if len(a) != len(b) {
+		t.Fatalf("non-idempotent: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-idempotent detection %d", i)
+		}
+	}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, ok := ProfileOf(name)
+	if !ok {
+		t.Fatalf("no profile %q", name)
+	}
+	return p
+}
+
+func TestDetectorRecall(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	d := &SimDetector{P: mustProfile(t, "yolox")}
+	gt, found := 0, 0
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		dets := d.Detect(env, f)
+		byTruth := map[int]bool{}
+		for _, det := range dets {
+			if det.TruthID >= 0 {
+				byTruth[det.TruthID] = true
+			}
+		}
+		for _, o := range f.Objects {
+			if o.Class == video.ClassUnknown {
+				continue
+			}
+			gt++
+			if byTruth[o.TrackID] {
+				found++
+			}
+		}
+	}
+	if gt == 0 {
+		t.Skip("no objects")
+	}
+	recall := float64(found) / float64(gt)
+	if recall < 0.9 {
+		t.Errorf("yolox recall = %.3f, want >= 0.9", recall)
+	}
+}
+
+func TestDetectorClassRestriction(t *testing.T) {
+	v := video.Auburn(3, 60).Generate()
+	env := testEnv()
+	d := &SimDetector{P: mustProfile(t, "person_detector")}
+	for i := range v.Frames {
+		for _, det := range d.Detect(env, &v.Frames[i]) {
+			if det.Class != video.ClassPerson {
+				t.Fatalf("person_detector emitted class %v", det.Class)
+			}
+		}
+	}
+}
+
+func TestSpecializedDetectorColorGate(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	d := &SimDetector{P: mustProfile(t, "red_car_specialized")}
+	wrongColor := 0
+	total := 0
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		truthColor := map[int]video.Color{}
+		for _, o := range f.Objects {
+			truthColor[o.TrackID] = o.Color
+		}
+		for _, det := range d.Detect(env, f) {
+			if det.TruthID < 0 {
+				continue
+			}
+			total++
+			if truthColor[det.TruthID] != video.ColorRed {
+				wrongColor++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no detections")
+	}
+	if frac := float64(wrongColor) / float64(total); frac > 0.05 {
+		t.Errorf("specialized detector fired on wrong colors %.2f of the time", frac)
+	}
+}
+
+func TestDetectorChargesClock(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	d := &SimDetector{P: mustProfile(t, "yolox")}
+	d.Detect(env, &v.Frames[0])
+	if env.Clock.Account("yolox") < 28 {
+		t.Errorf("yolox charge = %v", env.Clock.Account("yolox"))
+	}
+}
+
+func TestColorClassifierHonestCompute(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	c := &ColorClassifier{P: mustProfile(t, "color_detect")}
+	correct, total := 0, 0
+	for i := 0; i < len(v.Frames) && total < 300; i++ {
+		f := &v.Frames[i]
+		raster := f.Render()
+		for _, o := range f.Objects {
+			if !o.IsVehicle() {
+				continue
+			}
+			got := c.Classify(env, f, raster, o.Box, o.TrackID)
+			total++
+			if got == o.Color.String() {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no vehicles")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Errorf("color accuracy = %.3f", acc)
+	}
+}
+
+func TestColorClassifierNilRaster(t *testing.T) {
+	v := genVideo()
+	f := firstBusyFrame(v, 1)
+	env := testEnv()
+	c := &ColorClassifier{P: mustProfile(t, "color_detect")}
+	o := f.Objects[0]
+	if got := c.Classify(env, f, nil, o.Box, o.TrackID); got == "" {
+		t.Error("nil-raster Classify returned empty label")
+	}
+}
+
+func TestKindAndDirectionClassifiers(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	kc := &KindClassifier{P: mustProfile(t, "type_detect")}
+	dc := &DirectionClassifier{P: mustProfile(t, "direction_model")}
+	kOK, dOK, total := 0, 0, 0
+	for i := 0; i < len(v.Frames) && total < 300; i++ {
+		f := &v.Frames[i]
+		for _, o := range f.Objects {
+			if !o.IsVehicle() {
+				continue
+			}
+			total++
+			if kc.Classify(env, f, nil, o.Box, o.TrackID) == o.Kind.String() {
+				kOK++
+			}
+			if dc.Classify(env, f, nil, o.Box, o.TrackID) == o.Dir.String() {
+				dOK++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no vehicles")
+	}
+	if acc := float64(kOK) / float64(total); acc < 0.85 {
+		t.Errorf("kind accuracy = %.3f", acc)
+	}
+	if acc := float64(dOK) / float64(total); acc < 0.85 {
+		t.Errorf("direction accuracy = %.3f", acc)
+	}
+}
+
+func TestReIDSeparation(t *testing.T) {
+	v := video.Pickup(4, 60).Generate()
+	env := testEnv()
+	e := &ReIDEmbedder{P: mustProfile(t, "reid")}
+	// Collect two embeddings of the same person on different frames and
+	// one of a different person.
+	type obs struct {
+		vec []float64
+		id  int
+	}
+	var suspect []obs
+	var others []obs
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		for _, o := range f.Objects {
+			if o.Class != video.ClassPerson {
+				continue
+			}
+			vec := e.Embed(env, f, o.Box, o.TrackID)
+			if o.Suspect && len(suspect) < 5 {
+				suspect = append(suspect, obs{vec, o.TrackID})
+			} else if !o.Suspect && len(others) < 5 {
+				others = append(others, obs{vec, o.TrackID})
+			}
+		}
+	}
+	if len(suspect) < 2 || len(others) < 1 {
+		t.Skip("not enough persons")
+	}
+	same := Cosine(suspect[0].vec, suspect[1].vec)
+	diff := Cosine(suspect[0].vec, others[0].vec)
+	if same < 0.8 {
+		t.Errorf("same-person similarity = %.3f", same)
+	}
+	if diff > 0.5 {
+		t.Errorf("cross-person similarity = %.3f", diff)
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	if Cosine(nil, nil) != 0 {
+		t.Error("nil cosine != 0")
+	}
+	if Cosine([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("length-mismatch cosine != 0")
+	}
+	if Cosine([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Error("zero-vector cosine != 0")
+	}
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("unit cosine = %v", got)
+	}
+}
+
+func TestUPTFindsHits(t *testing.T) {
+	v := video.VCOCO(5, 300).Generate()
+	env := testEnv()
+	m := &UPTModel{P: mustProfile(t, "upt")}
+	tp, fp, fn := 0, 0, 0
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		pairs := m.DetectInteractions(env, f)
+		truth := false
+		for _, o := range f.Objects {
+			if o.HittingBall {
+				truth = true
+			}
+		}
+		got := len(pairs) > 0
+		switch {
+		case got && truth:
+			tp++
+		case got && !truth:
+			fp++
+		case !got && truth:
+			fn++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("UPT found no true interactions")
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	f1 := 2 * prec * rec / (prec + rec)
+	if f1 < 0.6 {
+		t.Errorf("UPT F1 = %.3f (p=%.2f r=%.2f)", f1, prec, rec)
+	}
+}
+
+func TestPlateOCR(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	m := &PlateOCR{P: mustProfile(t, "plate_ocr")}
+	checked, exact := 0, 0
+	for i := 0; i < len(v.Frames) && checked < 100; i++ {
+		f := &v.Frames[i]
+		for _, o := range f.Objects {
+			if !o.IsVehicle() || o.Plate == "" {
+				continue
+			}
+			got := m.ReadPlate(env, f, o.Box, o.TrackID)
+			if len(got) != len(o.Plate) {
+				t.Fatalf("plate length changed: %q -> %q", o.Plate, got)
+			}
+			checked++
+			if got == o.Plate {
+				exact++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no plates")
+	}
+	if acc := float64(exact) / float64(checked); acc < 0.75 {
+		t.Errorf("plate exact-match rate = %.3f", acc)
+	}
+	// Unknown truth id reads empty.
+	if got := m.ReadPlate(env, &v.Frames[0], geom.Rect(0, 0, 10, 10), -99); got != "" {
+		t.Errorf("ghost plate = %q", got)
+	}
+}
+
+func TestPresenceFilter(t *testing.T) {
+	v := genVideo()
+	env := testEnv()
+	b := &PresenceFilter{P: mustProfile(t, "no_red_on_road")}
+	keptTrue, totalTrue := 0, 0
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		truth := false
+		for _, o := range f.Objects {
+			if o.Class == video.ClassCar && o.Color == video.ColorRed {
+				truth = true
+				break
+			}
+		}
+		kept := b.Keep(env, f)
+		if truth {
+			totalTrue++
+			if kept {
+				keptTrue++
+			}
+		}
+	}
+	if totalTrue == 0 {
+		t.Skip("no red cars")
+	}
+	if recall := float64(keptTrue) / float64(totalTrue); recall < 0.9 {
+		t.Errorf("presence filter recall = %.3f", recall)
+	}
+}
+
+func TestDiffFilterSkipsStaticFrames(t *testing.T) {
+	// A scenario with almost no activity: most frames should be
+	// filtered out after the first.
+	sc := video.Scenario{Name: "empty", Seed: 6, FPS: 10, Duration: 10, VehiclesPerSec: 0.001}
+	v := sc.Generate()
+	env := testEnv()
+	d := &DiffFilter{P: mustProfile(t, "motion_diff"), Threshold: 0.2}
+	kept := 0
+	for i := range v.Frames {
+		if d.Keep(env, &v.Frames[i]) {
+			kept++
+		}
+	}
+	if kept > len(v.Frames)/2 {
+		t.Errorf("diff filter kept %d/%d static frames", kept, len(v.Frames))
+	}
+	d.Reset()
+	if !d.Keep(env, &v.Frames[0]) {
+		t.Error("first frame after Reset should be kept")
+	}
+}
+
+func TestActionProposalRecall(t *testing.T) {
+	v := video.VCOCO(7, 400).Generate()
+	env := testEnv()
+	a := &ActionProposalFilter{P: mustProfile(t, "action_proposal")}
+	keptPos, totalPos, keptAll := 0, 0, 0
+	for i := range v.Frames {
+		f := &v.Frames[i]
+		pos := false
+		for _, o := range f.Objects {
+			if o.HittingBall {
+				pos = true
+			}
+		}
+		kept := a.Keep(env, f)
+		if kept {
+			keptAll++
+		}
+		if pos {
+			totalPos++
+			if kept {
+				keptPos++
+			}
+		}
+	}
+	if totalPos == 0 {
+		t.Skip("no positives")
+	}
+	if rec := float64(keptPos) / float64(totalPos); rec < 0.8 {
+		t.Errorf("action proposal recall = %.3f", rec)
+	}
+	if keptAll >= len(v.Frames) {
+		t.Error("action proposal filtered nothing")
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// The calibrated cost table must preserve the orderings the paper's
+	// results depend on.
+	get := func(name string) Profile { return mustProfile(t, name) }
+	if !(get("yolov5s").CostMS < get("yolox").CostMS) {
+		t.Error("cheap detector should cost less than yolox")
+	}
+	if !(get("red_car_specialized").CostMS < get("car_detector").CostMS) {
+		t.Error("specialized NN should cost less than the general car detector")
+	}
+	if !(get("no_red_on_road").CostMS < get("red_car_specialized").CostMS) {
+		t.Error("binary filter should cost less than any detector")
+	}
+	if !(get("upt").CostMS > get("yolox").CostMS) {
+		t.Error("HOI model should dominate detector cost")
+	}
+}
+
+func TestNewFromProfilePanicsOnUnknownTask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewFromProfile(unknown task) did not panic")
+		}
+	}()
+	NewFromProfile(Profile{Name: "x", Task: Task(99)})
+}
+
+func TestTaskString(t *testing.T) {
+	if TaskDetect.String() != "detect" || TaskBinary.String() != "binary" || Task(99).String() != "invalid" {
+		t.Error("task strings wrong")
+	}
+}

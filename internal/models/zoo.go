@@ -1,0 +1,447 @@
+package models
+
+import (
+	"fmt"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/sim"
+	"vqpy/internal/video"
+)
+
+// SimDetector is a general or specialized object detector driven by a
+// Profile.
+type SimDetector struct {
+	P Profile
+}
+
+// Name implements Detector.
+func (d *SimDetector) Name() string { return d.P.Name }
+
+// classAllowed reports whether the detector emits the given class.
+func (d *SimDetector) classAllowed(c video.Class) bool {
+	if len(d.P.Classes) == 0 {
+		return c != video.ClassUnknown
+	}
+	for _, allowed := range d.P.Classes {
+		if c == allowed {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect implements Detector: it charges the profile cost and converts
+// ground truth to noisy detections.
+func (d *SimDetector) Detect(env *Env, f *video.Frame) []Detection {
+	env.charge(d.P.Name, d.P.CostMS+d.P.CostPerObjMS*float64(len(f.Objects)))
+	rng := sim.NewRNG(hash(env.Seed, strHash(d.P.Name), uint64(f.Index)))
+	var out []Detection
+	for _, o := range f.Objects {
+		if !d.classAllowed(o.Class) {
+			continue
+		}
+		if d.P.ColorFilter != video.ColorNone && o.Color != d.P.ColorFilter {
+			// A specialized (e.g. red-car) NN simply does not fire on
+			// other colors, except for rare confusion.
+			if !rng.Bool(d.P.MisclassRate) {
+				continue
+			}
+		}
+		if rng.Bool(d.P.MissRate) {
+			continue
+		}
+		out = append(out, Detection{
+			Box:     jitterBox(rng, o.Box, d.P.JitterPx, f.W, f.H),
+			Class:   o.Class,
+			Score:   clampScore(rng.Norm(0.86, 0.06)),
+			TruthID: o.TrackID,
+		})
+	}
+	// Poisson-ish false positives: at most a few per frame.
+	fp := d.P.FPRate
+	for fp > 0 {
+		if rng.Bool(minF(fp, 1)) {
+			cls := video.ClassCar
+			if len(d.P.Classes) > 0 {
+				cls = d.P.Classes[rng.Intn(len(d.P.Classes))]
+			}
+			w := rng.Range(30, 120)
+			h := rng.Range(25, 80)
+			x := rng.Range(0, float64(f.W)-w)
+			y := rng.Range(0, float64(f.H)-h)
+			out = append(out, Detection{
+				Box:     geom.Rect(x, y, w, h),
+				Class:   cls,
+				Score:   clampScore(rng.Norm(0.55, 0.1)),
+				TruthID: -1,
+			})
+		}
+		fp -= 1
+	}
+	return out
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ColorClassifier predicts a vehicle's color. It genuinely computes the
+// dominant palette color of the raster crop, then passes the answer
+// through the misclassification channel.
+type ColorClassifier struct {
+	P Profile
+}
+
+// Name implements Classifier.
+func (c *ColorClassifier) Name() string { return c.P.Name }
+
+// Classify implements Classifier.
+func (c *ColorClassifier) Classify(env *Env, f *video.Frame, raster *video.Raster, box geom.BBox, truthID int) string {
+	env.charge(c.P.Name, c.P.CostMS)
+	if raster == nil {
+		raster = f.Render()
+	}
+	got := raster.Crop(box, f.W, f.H).DominantColor()
+	rng := sim.NewRNG(hash(env.Seed, strHash(c.P.Name), uint64(f.Index), uint64(truthID)))
+	if rng.Bool(c.P.MisclassRate) {
+		got = sim.Pick(rng, video.AllColors)
+	}
+	return got.String()
+}
+
+// KindClassifier predicts a vehicle's fine-grained type from ground
+// truth through the noise channel (the raster is too coarse to carry
+// body-shape information, so unlike color this classifier reads labels).
+type KindClassifier struct {
+	P Profile
+}
+
+// Name implements Classifier.
+func (c *KindClassifier) Name() string { return c.P.Name }
+
+// Classify implements Classifier.
+func (c *KindClassifier) Classify(env *Env, f *video.Frame, raster *video.Raster, box geom.BBox, truthID int) string {
+	env.charge(c.P.Name, c.P.CostMS)
+	truth := video.KindNone
+	for _, o := range f.Objects {
+		if o.TrackID == truthID {
+			truth = o.Kind
+			break
+		}
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(c.P.Name), uint64(f.Index), uint64(truthID)))
+	if rng.Bool(c.P.MisclassRate) {
+		kinds := []video.VehicleKind{
+			video.KindSedan, video.KindSUV, video.KindHatchback,
+			video.KindVan, video.KindBusKind, video.KindTruckKind,
+		}
+		truth = sim.Pick(rng, kinds)
+	}
+	return truth.String()
+}
+
+// DirectionClassifier predicts a vehicle's motion direction. The paper's
+// CVIP uses a dedicated (expensive) direction model per crop; VQPy can
+// either use the same model or derive direction from tracked centroids.
+type DirectionClassifier struct {
+	P Profile
+}
+
+// Name implements Classifier.
+func (c *DirectionClassifier) Name() string { return c.P.Name }
+
+// Classify implements Classifier.
+func (c *DirectionClassifier) Classify(env *Env, f *video.Frame, raster *video.Raster, box geom.BBox, truthID int) string {
+	env.charge(c.P.Name, c.P.CostMS)
+	truth := geom.DirUnknown
+	for _, o := range f.Objects {
+		if o.TrackID == truthID {
+			truth = o.Dir
+			break
+		}
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(c.P.Name), uint64(f.Index), uint64(truthID)))
+	if rng.Bool(c.P.MisclassRate) {
+		dirs := []geom.Direction{geom.DirStraight, geom.DirLeft, geom.DirRight}
+		truth = sim.Pick(rng, dirs)
+	}
+	return truth.String()
+}
+
+// ReIDEmbedder produces person feature vectors: crops of the same
+// ground-truth person land near each other in embedding space.
+type ReIDEmbedder struct {
+	P Profile
+}
+
+// Name implements Embedder.
+func (e *ReIDEmbedder) Name() string { return e.P.Name }
+
+// Embed implements Embedder.
+func (e *ReIDEmbedder) Embed(env *Env, f *video.Frame, box geom.BBox, truthID int) []float64 {
+	env.charge(e.P.Name, e.P.CostMS)
+	featureID := 0
+	for _, o := range f.Objects {
+		if o.TrackID == truthID {
+			featureID = o.FeatureID
+			break
+		}
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(e.P.Name), uint64(f.Index), uint64(truthID)))
+	return featureVec(featureID, rng, 0.08)
+}
+
+// UPTModel detects person-object interactions (the paper's UPT
+// two-stage HOI model).
+type UPTModel struct {
+	P Profile
+}
+
+// Name implements HOIModel.
+func (m *UPTModel) Name() string { return m.P.Name }
+
+// DetectInteractions implements HOIModel.
+func (m *UPTModel) DetectInteractions(env *Env, f *video.Frame) []HOIPair {
+	env.charge(m.P.Name, m.P.CostMS)
+	rng := sim.NewRNG(hash(env.Seed, strHash(m.P.Name), uint64(f.Index)))
+	var out []HOIPair
+	for _, o := range f.Objects {
+		if o.Class != video.ClassPerson || !o.HasBall {
+			continue
+		}
+		// Locate the companion ball by proximity.
+		var ball *video.Object
+		bestD := 1e18
+		for i := range f.Objects {
+			b := &f.Objects[i]
+			if b.Class == video.ClassBall {
+				if d := geom.CenterDist(o.Box, b.Box); d < bestD {
+					bestD, ball = d, b
+				}
+			}
+		}
+		if ball == nil {
+			continue
+		}
+		hitting := o.HittingBall
+		if rng.Bool(m.P.MisclassRate) {
+			hitting = !hitting
+		}
+		if !hitting {
+			continue
+		}
+		out = append(out, HOIPair{
+			PersonBox: o.Box, ObjectBox: ball.Box, Verb: "hit",
+			Score:         clampScore(rng.Norm(0.8, 0.08)),
+			PersonTruthID: o.TrackID, ObjectTruthID: ball.TrackID,
+		})
+	}
+	return out
+}
+
+// PlateOCR reads license plates; each character has an independent error
+// probability.
+type PlateOCR struct {
+	P Profile
+}
+
+// Name implements OCRModel.
+func (m *PlateOCR) Name() string { return m.P.Name }
+
+// ReadPlate implements OCRModel.
+func (m *PlateOCR) ReadPlate(env *Env, f *video.Frame, box geom.BBox, truthID int) string {
+	env.charge(m.P.Name, m.P.CostMS)
+	truth := ""
+	for _, o := range f.Objects {
+		if o.TrackID == truthID {
+			truth = o.Plate
+			break
+		}
+	}
+	if truth == "" {
+		return ""
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(m.P.Name), uint64(f.Index), uint64(truthID)))
+	out := []byte(truth)
+	const alphabet = "ABCDEFGHJKLMNPRSTUVWXYZ0123456789"
+	for i := range out {
+		if out[i] != '-' && rng.Bool(m.P.MisclassRate) {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	return string(out)
+}
+
+// PresenceFilter is a cheap binary classifier that predicts whether any
+// object matching its class (and optional color) is present on the frame
+// — the paper's "no_red_on_road" style filter. Quality is controlled by
+// MissRate (false drop) and FPRate (false keep).
+type PresenceFilter struct {
+	P Profile
+}
+
+// Name implements BinaryFilter.
+func (b *PresenceFilter) Name() string { return b.P.Name }
+
+// Keep implements BinaryFilter.
+func (b *PresenceFilter) Keep(env *Env, f *video.Frame) bool {
+	env.charge(b.P.Name, b.P.CostMS)
+	present := false
+	for _, o := range f.Objects {
+		classOK := len(b.P.Classes) == 0
+		for _, c := range b.P.Classes {
+			if o.Class == c {
+				classOK = true
+				break
+			}
+		}
+		if classOK && (b.P.ColorFilter == video.ColorNone || o.Color == b.P.ColorFilter) {
+			present = true
+			break
+		}
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(b.P.Name), uint64(f.Index)))
+	if present {
+		// A false drop loses a true frame.
+		return !rng.Bool(b.P.MissRate)
+	}
+	// A false keep wastes downstream work but costs no accuracy.
+	return rng.Bool(b.P.FPRate)
+}
+
+// DiffFilter is the differencing-based frame filter of Figure 12: it
+// renders consecutive rasters and keeps frames whose pixel difference
+// from the last kept frame exceeds a threshold.
+type DiffFilter struct {
+	P         Profile
+	Threshold float64
+
+	last *video.Raster
+}
+
+// Name implements BinaryFilter.
+func (d *DiffFilter) Name() string { return d.P.Name }
+
+// Keep implements BinaryFilter.
+func (d *DiffFilter) Keep(env *Env, f *video.Frame) bool {
+	env.charge(d.P.Name, d.P.CostMS)
+	cur := f.Render()
+	if d.last == nil {
+		d.last = cur
+		return true
+	}
+	if video.Diff(d.last, cur) >= d.Threshold {
+		d.last = cur
+		return true
+	}
+	return false
+}
+
+// Reset clears the filter's reference frame.
+func (d *DiffFilter) Reset() { d.last = nil }
+
+// ActionProposalFilter is the cheap trained filter from §5.3's Q6
+// optimization (following Xarchakos & Koudas): it drops frames unlikely
+// to contain the target interaction, with a small false-drop rate that
+// costs a little recall.
+type ActionProposalFilter struct {
+	P Profile
+}
+
+// Name implements BinaryFilter.
+func (a *ActionProposalFilter) Name() string { return a.P.Name }
+
+// Keep implements BinaryFilter.
+func (a *ActionProposalFilter) Keep(env *Env, f *video.Frame) bool {
+	env.charge(a.P.Name, a.P.CostMS)
+	rng := sim.NewRNG(hash(env.Seed, strHash(a.P.Name), uint64(f.Index)))
+	for _, o := range f.Objects {
+		if o.Class == video.ClassPerson && o.HasBall {
+			// Plausible frame: ball near a person. Keep unless the
+			// proposal network misfires.
+			near := o.HittingBall || rng.Bool(0.5)
+			if near && !rng.Bool(a.P.MissRate) {
+				return true
+			}
+		}
+	}
+	return rng.Bool(a.P.FPRate)
+}
+
+// Calibrated cost table (virtual ms, T4-scale). See DESIGN.md §2.
+var builtinProfiles = []Profile{
+	{Name: "yolox", Task: TaskDetect, CostMS: 28, MissRate: 0.03, FPRate: 0.05, JitterPx: 2.5},
+	{Name: "yolov8m", Task: TaskDetect, CostMS: 22, MissRate: 0.04, FPRate: 0.05, JitterPx: 2.5},
+	{Name: "yolov5s", Task: TaskDetect, CostMS: 7, MissRate: 0.10, FPRate: 0.10, JitterPx: 4},
+	{Name: "car_detector", Task: TaskDetect, CostMS: 18, Classes: []video.Class{video.ClassCar, video.ClassBus, video.ClassTruck}, MissRate: 0.03, FPRate: 0.04, JitterPx: 2.5},
+	{Name: "person_detector", Task: TaskDetect, CostMS: 18, Classes: []video.Class{video.ClassPerson}, MissRate: 0.04, FPRate: 0.04, JitterPx: 2},
+	{Name: "red_car_specialized", Task: TaskDetect, CostMS: 6, Classes: []video.Class{video.ClassCar}, ColorFilter: video.ColorRed, MissRate: 0.07, FPRate: 0.02, JitterPx: 3, MisclassRate: 0.003},
+	{Name: "color_detect", Task: TaskClassify, CostMS: 5, MisclassRate: 0.04},
+	{Name: "type_detect", Task: TaskClassify, CostMS: 5, MisclassRate: 0.05},
+	{Name: "direction_model", Task: TaskClassify, CostMS: 20, MisclassRate: 0.06},
+	{Name: "reid", Task: TaskEmbed, CostMS: 9},
+	{Name: "upt", Task: TaskHOI, CostMS: 95, MisclassRate: 0.06},
+	{Name: "plate_ocr", Task: TaskOCR, CostMS: 12, MisclassRate: 0.02},
+	{Name: "car_texture_filter", Task: TaskBinary, CostMS: 1.2, Classes: []video.Class{video.ClassCar, video.ClassBus, video.ClassTruck}, MissRate: 0.03, FPRate: 0.15},
+	{Name: "person_texture_filter", Task: TaskBinary, CostMS: 1.2, Classes: []video.Class{video.ClassPerson}, MissRate: 0.03, FPRate: 0.15},
+	{Name: "no_red_on_road", Task: TaskBinary, CostMS: 1.5, Classes: []video.Class{video.ClassCar}, ColorFilter: video.ColorRed, MissRate: 0.04, FPRate: 0.2},
+	{Name: "motion_diff", Task: TaskBinary, CostMS: 0.6},
+	{Name: "action_proposal", Task: TaskBinary, CostMS: 2.5, MissRate: 0.06, FPRate: 0.1},
+	{Name: "ball_person_cheap", Task: TaskDetect, CostMS: 5, Classes: []video.Class{video.ClassPerson, video.ClassBall}, MissRate: 0.08, FPRate: 0.05, JitterPx: 4},
+}
+
+// BuiltinRegistry returns a registry populated with the library model
+// zoo described in §2 of the paper.
+func BuiltinRegistry() *Registry {
+	r := NewRegistry()
+	for _, p := range builtinProfiles {
+		r.Register(p.Name, NewFromProfile(p))
+	}
+	return r
+}
+
+// NewFromProfile constructs the appropriate model type for a profile.
+func NewFromProfile(p Profile) any {
+	switch p.Task {
+	case TaskDetect:
+		return &SimDetector{P: p}
+	case TaskClassify:
+		switch p.Name {
+		case "color_detect":
+			return &ColorClassifier{P: p}
+		case "direction_model":
+			return &DirectionClassifier{P: p}
+		default:
+			return &KindClassifier{P: p}
+		}
+	case TaskEmbed:
+		return &ReIDEmbedder{P: p}
+	case TaskHOI:
+		return &UPTModel{P: p}
+	case TaskOCR:
+		return &PlateOCR{P: p}
+	case TaskBinary:
+		switch p.Name {
+		case "motion_diff":
+			return &DiffFilter{P: p, Threshold: 0.2}
+		case "action_proposal":
+			return &ActionProposalFilter{P: p}
+		default:
+			return &PresenceFilter{P: p}
+		}
+	}
+	panic(fmt.Sprintf("models: unknown task %v", p.Task))
+}
+
+// ProfileOf returns the builtin profile for a name.
+func ProfileOf(name string) (Profile, bool) {
+	for _, p := range builtinProfiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"sync"
+
+	"vqpy/internal/exec"
+)
+
+// PlanCache stores selected plans keyed by (query, dataset), the §4.3
+// "plan can be saved for future queries on similar datasets" mechanism.
+type PlanCache struct {
+	mu    sync.Mutex
+	plans map[planKey]*exec.Plan
+	hits  int
+	miss  int
+}
+
+type planKey struct{ query, dataset string }
+
+// NewPlanCache returns an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[planKey]*exec.Plan)}
+}
+
+// Get returns the cached plan for a query/dataset pair.
+func (c *PlanCache) Get(query, dataset string) (*exec.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.plans[planKey{query, dataset}]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return p, ok
+}
+
+// Put stores a plan.
+func (c *PlanCache) Put(query, dataset string, p *exec.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[planKey{query, dataset}] = p
+}
+
+// Stats returns (hits, misses).
+func (c *PlanCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}

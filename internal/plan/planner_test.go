@@ -1,0 +1,498 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/exec"
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func testEnv() *models.Env {
+	e := models.NewEnv(42)
+	e.NoBurn = true
+	return e
+}
+
+func testPlanner(t *testing.T, mod func(*Options)) *Planner {
+	t.Helper()
+	opts := Options{Env: testEnv(), Registry: models.BuiltinRegistry()}
+	if mod != nil {
+		mod(&opts)
+	}
+	pl, err := NewPlanner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func carType() *core.VObjType {
+	return core.NewVObj("Car", video.ClassCar).
+		Detector("yolox").
+		StatelessModel("color", "color_detect", true).
+		StatelessModel("plate", "plate_ocr", true)
+}
+
+func redCarType() *core.VObjType {
+	return carType().Extend("RedCar").
+		RegisterSpecializedNN("red_car_specialized").
+		RegisterFilter("no_red_on_road")
+}
+
+func redCarQuery(t *core.VObjType) *core.Query {
+	return core.NewQuery("RedCar").
+		Use("car", t).
+		Where(core.And(
+			core.P("car", core.PropScore).Gt(0.5),
+			core.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(core.Sel("car", core.PropTrackID))
+}
+
+func stepKinds(steps []exec.Step) []exec.StepKind {
+	var out []exec.StepKind
+	var walk func([]exec.Step)
+	walk = func(ss []exec.Step) {
+		for _, s := range ss {
+			if s.Kind == exec.StepFused {
+				walk(s.Fused)
+				continue
+			}
+			out = append(out, s.Kind)
+		}
+	}
+	walk(steps)
+	return out
+}
+
+func TestPlanBasicStructure(t *testing.T) {
+	pl := testPlanner(t, nil)
+	p, _, err := pl.PlanBasic(redCarQuery(carType()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("plan invalid: %v\n%s", err, p)
+	}
+	kinds := stepKinds(p.Steps)
+	// detect, track, (builtin score filter), project color, filter, require
+	wantOrder := []exec.StepKind{exec.StepDetect, exec.StepTrack}
+	for i, k := range wantOrder {
+		if kinds[i] != k {
+			t.Fatalf("step %d = %v, want %v\n%s", i, kinds[i], k, p)
+		}
+	}
+	// The score conjunct (zero cost) must be filtered before the color
+	// projection (cost 5): find positions.
+	s := p.String()
+	scorePos := strings.Index(s, "car.score > 0.5")
+	colorPos := strings.Index(s, "project(car.color)")
+	if scorePos < 0 || colorPos < 0 || scorePos > colorPos {
+		t.Errorf("predicate pull-up failed:\n%s", s)
+	}
+}
+
+func TestLazyOrderingCheapestFirst(t *testing.T) {
+	// Query constraining both color (5ms) and plate (12ms): the color
+	// group must be projected and filtered before plate.
+	pl := testPlanner(t, nil)
+	q := core.NewQuery("RedPlate45").
+		Use("car", carType()).
+		Where(core.And(
+			core.P("car", "plate").Contains("45"),
+			core.P("car", "color").Eq("red"),
+		))
+	p, _, err := pl.PlanBasic(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	colorProj := strings.Index(s, "project(car.color)")
+	plateProj := strings.Index(s, "project(car.plate)")
+	colorFilt := strings.Index(s, "car.color == red")
+	if colorProj < 0 || plateProj < 0 || colorFilt < 0 {
+		t.Fatalf("missing steps:\n%s", s)
+	}
+	if !(colorProj < colorFilt && colorFilt < plateProj) {
+		t.Errorf("lazy ordering wrong:\n%s", s)
+	}
+}
+
+func TestDisableLazyProjectsBeforeFilters(t *testing.T) {
+	pl := testPlanner(t, func(o *Options) { o.DisableLazy = true })
+	q := core.NewQuery("RedPlate45").
+		Use("car", carType()).
+		Where(core.And(
+			core.P("car", "plate").Contains("45"),
+			core.P("car", "color").Eq("red"),
+		))
+	p, _, err := pl.PlanBasic(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	plateProj := strings.Index(s, "project(car.plate)")
+	colorFilt := strings.Index(s, "car.color == red")
+	if plateProj < 0 || colorFilt < 0 || plateProj > colorFilt {
+		t.Errorf("DisableLazy should project everything first:\n%s", s)
+	}
+}
+
+func TestCandidateEnumeration(t *testing.T) {
+	pl := testPlanner(t, nil)
+	_, all, err := pl.PlanBasic(redCarQuery(redCarType()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect at least: general, general+filter, specialized,
+	// specialized+filter.
+	if len(all) < 4 {
+		t.Fatalf("only %d candidates", len(all))
+	}
+	var hasSpec, hasFilt bool
+	for _, p := range all {
+		s := p.String()
+		if strings.Contains(s, "red_car_specialized") {
+			hasSpec = true
+		}
+		if strings.Contains(s, "frame_filter(no_red_on_road)") {
+			hasFilt = true
+		}
+	}
+	if !hasSpec {
+		t.Error("no specialized-NN candidate")
+	}
+	if !hasFilt {
+		t.Error("no frame-filter candidate")
+	}
+}
+
+func TestDisableFlagsPruneCandidates(t *testing.T) {
+	pl := testPlanner(t, func(o *Options) {
+		o.DisableSpecialized = true
+		o.DisableFrameFilters = true
+	})
+	_, all, err := pl.PlanBasic(redCarQuery(redCarType()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("%d candidates with optimizations disabled, want 1", len(all))
+	}
+	s := all[0].String()
+	if strings.Contains(s, "red_car_specialized") || strings.Contains(s, "frame_filter") {
+		t.Errorf("disabled optimization leaked:\n%s", s)
+	}
+}
+
+func TestProfilingSelectsCheaperPlan(t *testing.T) {
+	v := video.CityFlow(42, 60).Generate()
+	pl := testPlanner(t, func(o *Options) {
+		o.AccuracyTarget = 0.7
+		o.CanaryFrames = 40
+	})
+	best, all, err := pl.PlanBasic(redCarQuery(redCarType()), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatal("profiling needs multiple candidates")
+	}
+	// The reference plan is all[0]; the chosen plan must cost no more.
+	if best.EstCostMS > all[0].EstCostMS {
+		t.Errorf("selected plan (%.0f ms) costs more than reference (%.0f ms)", best.EstCostMS, all[0].EstCostMS)
+	}
+	if best.EstF1 < 0.7 {
+		t.Errorf("selected plan below accuracy target: F1=%.2f", best.EstF1)
+	}
+	// With a red-car query, the specialized detector or filter variant
+	// should win on cost.
+	if !strings.Contains(best.String(), "red_car_specialized") &&
+		!strings.Contains(best.String(), "frame_filter") {
+		t.Logf("note: general plan selected:\n%s", best)
+	}
+}
+
+func TestStrictAccuracyFallsBackToReference(t *testing.T) {
+	v := video.CityFlow(43, 60).Generate()
+	pl := testPlanner(t, func(o *Options) {
+		o.AccuracyTarget = 1.1 // unreachable: forces the reference fallback
+		o.CanaryFrames = 40
+	})
+	best, all, err := pl.PlanBasic(redCarQuery(redCarType()), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != all[0] {
+		t.Errorf("strict target should select the reference plan; got %s (F1 %.3f)", best.Label, best.EstF1)
+	}
+}
+
+func TestPlanCacheReuse(t *testing.T) {
+	v := video.CityFlow(44, 40).Generate()
+	pc := NewPlanCache()
+	pl := testPlanner(t, func(o *Options) {
+		o.PlanCache = pc
+		o.CanaryFrames = 20
+	})
+	q := redCarQuery(redCarType())
+	p1, _, err := pl.PlanBasic(q, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := pl.PlanBasic(q, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("plan cache did not reuse the plan")
+	}
+	hits, _ := pc.Stats()
+	if hits == 0 {
+		t.Error("cache never hit")
+	}
+}
+
+func TestFuse(t *testing.T) {
+	ct := carType()
+	colorProp, _ := ct.Prop("color")
+	steps := []exec.Step{
+		{Kind: exec.StepDetect, DetectModel: "yolox", Binds: []exec.InstanceBind{{Instance: "car", Class: video.ClassCar}}},
+		{Kind: exec.StepTrack, Instance: "car"},
+		{Kind: exec.StepProject, Instance: "car", Prop: colorProp},
+		{Kind: exec.StepVObjFilter, FilterPred: core.P("car", "color").Eq("red")},
+		{Kind: exec.StepRequire, RequireInstance: "car"},
+	}
+	fused := Fuse(steps)
+	if len(fused) != 4 {
+		t.Fatalf("fused to %d steps, want 4: %v", len(fused), fused)
+	}
+	if fused[2].Kind != exec.StepFused || len(fused[2].Fused) != 2 {
+		t.Errorf("fusion shape wrong: %v", fused[2])
+	}
+	// Single project is not wrapped.
+	single := Fuse(steps[:3])
+	if single[2].Kind != exec.StepProject {
+		t.Errorf("singleton fused: %v", single[2])
+	}
+}
+
+func TestMergeSpatial(t *testing.T) {
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	car := carType()
+	rel := core.DistanceRelation("near", person, car)
+	lq := core.NewQuery("L").Use("p", person).Where(core.P("p", core.PropScore).Gt(0.5))
+	rq := core.NewQuery("R").Use("c", car).Where(core.P("c", "color").Eq("red"))
+	sq, err := core.NewSpatialQuery("PNearRedCar", lq, rq, rel, core.RP("near", "distance").Lt(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeSpatial(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged query invalid: %v", err)
+	}
+	if got := merged.InstanceNames(); len(got) != 2 {
+		t.Errorf("instances = %v", got)
+	}
+	cons := core.ConjunctsOf(merged.FrameConstraint())
+	if len(cons) != 3 {
+		t.Errorf("merged conjuncts = %d, want 3", len(cons))
+	}
+	// Name collision is rejected.
+	rq2 := core.NewQuery("R2").Use("p", car)
+	sq2, _ := core.NewSpatialQuery("Bad", lq, rq2, rel, nil)
+	if _, err := MergeSpatial(sq2); err == nil {
+		t.Error("instance collision accepted")
+	}
+	// Multi-instance side rejected.
+	multi := core.NewQuery("M").Use("a", person).Use("b", car)
+	sq3, _ := core.NewSpatialQuery("Bad2", multi, rq, rel, nil)
+	if _, err := MergeSpatial(sq3); err == nil {
+		t.Error("multi-instance side accepted")
+	}
+}
+
+func TestRunBasicEndToEnd(t *testing.T) {
+	v := video.CityFlow(45, 60).Generate()
+	pl := testPlanner(t, nil)
+	rr, err := pl.Run(redCarQuery(carType()), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.MatchedCount() == 0 {
+		t.Error("no matches")
+	}
+	if rr.Basic == nil || len(rr.Plans) != 1 {
+		t.Error("basic result/plans missing")
+	}
+	if rr.VirtualMS <= 0 {
+		t.Error("no cost accounted")
+	}
+	if len(rr.Events) == 0 {
+		t.Error("no events derived")
+	}
+}
+
+func TestRunDurationQuery(t *testing.T) {
+	// Loitering: person present continuously for >= 20s in retail
+	// scenario.
+	v := video.Retail(46, 120).Generate()
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	base := core.NewQuery("PersonPresent").
+		Use("p", person).
+		Where(core.P("p", core.PropScore).Gt(0.5))
+	dur, err := core.NewDurationQuery("Loitering", base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := testPlanner(t, nil)
+	rr, err := pl.Run(dur, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rr.Events {
+		if ev.Frames() < 20*v.FPS {
+			t.Errorf("event %v shorter than 20s", ev)
+		}
+	}
+	baseRR, err := pl.Run(base, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.MatchedCount() > baseRR.MatchedCount() {
+		t.Error("duration result exceeds base result")
+	}
+}
+
+func TestRunTemporalQuery(t *testing.T) {
+	v := video.Pickup(47, 60).Generate()
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	car := carType()
+	first := core.NewQuery("PersonSeen").
+		Use("p", person).Where(core.P("p", core.PropScore).Gt(0.5))
+	second := core.NewQuery("RedCarSeen").
+		Use("c", car).Where(core.P("c", "color").Eq("red"))
+	// Events must be strictly sequential; this scenario has both, so a
+	// generous window should find the sequence only if persons vanish
+	// before red cars appear somewhere. The test asserts execution
+	// mechanics, not scenario semantics.
+	temp, err := core.NewTemporalQuery("Seq", first, second, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := testPlanner(t, nil)
+	rr, err := pl.Run(temp, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.FPS != v.FPS {
+		t.Error("FPS not propagated")
+	}
+	if len(rr.Plans) < 2 {
+		t.Error("temporal run should carry both sub-plans")
+	}
+}
+
+func TestRunSpatialQuery(t *testing.T) {
+	v := video.Auburn(48, 40).Generate()
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	car := core.NewVObj("Car", video.ClassCar).Detector("car_detector")
+	rel := core.DistanceRelation("near", person, car)
+	lq := core.NewQuery("P").Use("p", person).Where(core.P("p", core.PropScore).Gt(0.5))
+	rq := core.NewQuery("C").Use("c", car).Where(core.P("c", core.PropScore).Gt(0.5))
+	sq, err := core.NewSpatialQuery("PersonNearCar", lq, rq, rel, core.RP("near", "distance").Lt(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := testPlanner(t, nil)
+	rr, err := pl.Run(sq, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "PersonNearCar" {
+		t.Errorf("name = %q", rr.Name)
+	}
+	if rr.MatchedCount() == 0 {
+		t.Error("no spatial matches")
+	}
+}
+
+func TestHitAndRunComposition(t *testing.T) {
+	// The full Figure 8 pipeline: collision (spatial) then speeding car
+	// (basic) within a window.
+	v := video.Pickup(49, 60).Generate()
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	car := carType().AddProperty(&core.Property{
+		Name: "velocity", Stateful: true, DependsOn: []string{core.PropBBox},
+		HistoryLen: 1, CostHintMS: 0.05,
+		Compute: func(in core.PropInput) (any, error) {
+			if len(in.History) < 2 {
+				return nil, core.ErrNotReady
+			}
+			a := in.History[0].(geom.BBox)
+			b := in.History[len(in.History)-1].(geom.BBox)
+			return geom.CenterDist(a, b), nil
+		},
+	})
+	rel := core.DistanceRelation("near", person, car)
+	lq := core.NewQuery("P").Use("p", person)
+	rq := core.NewQuery("C").Use("c", car)
+	collision, err := core.NewSpatialQuery("CarHitPerson", lq, rq, rel, core.RP("near", "distance").Lt(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAway := core.NewQuery("CarRunAway").
+		Use("c2", car).
+		Where(core.P("c2", "velocity").Gt(5))
+	hitAndRun, err := core.NewTemporalQuery("HitAndRun", collision, runAway, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := testPlanner(t, nil)
+	rr, err := pl.Run(hitAndRun, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pickup scenario stages exactly this pattern (person near
+	// parked red car, then the car drives off), so events should fire.
+	if len(rr.Events) == 0 {
+		t.Log("no hit-and-run events found (scenario timing dependent)")
+	}
+}
+
+func TestPlannerOptionValidation(t *testing.T) {
+	if _, err := NewPlanner(Options{}); err == nil {
+		t.Error("missing env/registry accepted")
+	}
+}
+
+func TestMatchedF1(t *testing.T) {
+	if got := matchedF1(bools("1100"), bools("1100")); got != 1 {
+		t.Errorf("identical F1 = %v", got)
+	}
+	if got := matchedF1(bools("0000"), bools("0000")); got != 1 {
+		t.Errorf("all-negative F1 = %v", got)
+	}
+	if got := matchedF1(bools("1111"), bools("0000")); got != 0 {
+		t.Errorf("disjoint F1 = %v", got)
+	}
+	// tp=1 fp=1 fn=1 → precision=0.5 recall=0.5 → F1=0.5
+	if got := matchedF1(bools("110"), bools("101")); got != 0.5 {
+		t.Errorf("mixed F1 = %v", got)
+	}
+}
+
+func bools(s string) []bool {
+	out := make([]bool, len(s))
+	for i, c := range s {
+		out[i] = c == '1'
+	}
+	return out
+}

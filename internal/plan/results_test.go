@@ -1,0 +1,100 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/video"
+)
+
+func TestResultCacheRoundTrip(t *testing.T) {
+	rc := NewResultCache()
+	if _, ok := rc.Get("k"); ok {
+		t.Error("empty cache hit")
+	}
+	r := &RunResult{Name: "q"}
+	rc.Put("k", r)
+	got, ok := rc.Get("k")
+	if !ok || got != r {
+		t.Error("round trip failed")
+	}
+	hits, misses := rc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d,%d", hits, misses)
+	}
+	// nil cache is a no-op.
+	var nilCache *ResultCache
+	if _, ok := nilCache.Get("k"); ok {
+		t.Error("nil cache hit")
+	}
+	nilCache.Put("k", r) // must not panic
+}
+
+func TestFingerprintDistinguishesQueries(t *testing.T) {
+	v := video.CityFlow(1, 5).Generate()
+	qRed := redCarQuery(carType())
+	qBlue := core.NewQuery("BlueCar").
+		Use("car", carType()).
+		Where(core.P("car", "color").Eq("blue"))
+	if Fingerprint(qRed, v) == Fingerprint(qBlue, v) {
+		t.Error("different constraints share a fingerprint")
+	}
+	// Same structure → same fingerprint.
+	if Fingerprint(redCarQuery(carType()), v) != Fingerprint(redCarQuery(carType()), v) {
+		t.Error("identical queries fingerprint differently")
+	}
+	// Different video → different fingerprint.
+	v2 := video.CityFlow(1, 10).Generate()
+	if Fingerprint(qRed, v) == Fingerprint(qRed, v2) {
+		t.Error("different videos share a fingerprint")
+	}
+}
+
+func TestFingerprintCoversHigherOrder(t *testing.T) {
+	v := video.CityFlow(2, 5).Generate()
+	person := core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	car := carType()
+	rel := core.DistanceRelation("near", person, car)
+	lq := core.NewQuery("L").Use("p", person)
+	rq := core.NewQuery("R").Use("c", car)
+	sq, _ := core.NewSpatialQuery("S", lq, rq, rel, core.RP("near", "distance").Lt(50))
+	dur5, _ := core.NewDurationQuery("D", sq, 5)
+	dur9, _ := core.NewDurationQuery("D", sq, 9)
+	if Fingerprint(dur5, v) == Fingerprint(dur9, v) {
+		t.Error("different durations share a fingerprint")
+	}
+	temp, _ := core.NewTemporalQuery("T", dur5, rq, 10)
+	fp := Fingerprint(temp, v)
+	for _, want := range []string{"temporal{", "duration{", "spatial{", "basic{"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint missing %q: %s", want, fp)
+		}
+	}
+}
+
+func TestRunUsesResultCache(t *testing.T) {
+	v := video.CityFlow(3, 30).Generate()
+	rc := NewResultCache()
+	pl := testPlanner(t, func(o *Options) { o.ResultCache = rc })
+	q := redCarQuery(carType())
+	r1, err := pl.Run(q, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costAfterFirst := pl.opts.Env.Clock.TotalMS()
+	r2, err := pl.Run(q, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.opts.Env.Clock.TotalMS() != costAfterFirst {
+		t.Error("second run recomputed despite result cache")
+	}
+	if r2 != r1 {
+		t.Error("cached result not returned")
+	}
+	hits, _ := rc.Stats()
+	if hits != 1 {
+		t.Errorf("cache hits = %d", hits)
+	}
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Clock is a virtual-time ledger. Simulated components charge virtual
+// milliseconds for each piece of work (a model inference, an embedding
+// pass); experiments report totals from the ledger so that results are
+// deterministic and comparable to the paper's measured wall-clock shape
+// regardless of the machine running the reproduction.
+//
+// Besides the running total, the ledger keeps per-account subtotals so
+// benchmarks can break time down by operator or model, mirroring the
+// paper's per-stage analysis (e.g., Figure 13(b)).
+//
+// Clock is safe for concurrent use.
+type Clock struct {
+	mu       sync.Mutex
+	totalMS  float64
+	accounts map[string]float64
+	history  []FrameCost
+	curFrame int
+	curCost  float64
+}
+
+// FrameCost records the virtual cost charged while a given frame was
+// current; used to reproduce per-frame time series (Figure 13(b)).
+type FrameCost struct {
+	Frame int
+	MS    float64
+}
+
+// NewClock returns an empty ledger.
+func NewClock() *Clock {
+	return &Clock{accounts: make(map[string]float64), curFrame: -1}
+}
+
+// Charge adds ms virtual milliseconds against the named account.
+func (c *Clock) Charge(account string, ms float64) {
+	if ms < 0 {
+		ms = 0
+	}
+	c.mu.Lock()
+	c.totalMS += ms
+	c.accounts[account] += ms
+	c.curCost += ms
+	c.mu.Unlock()
+}
+
+// ChargeShadow records ms against an account without affecting the
+// total or the per-frame series. It provides attribution-only views
+// that re-slice already-charged time (e.g. per-device placement
+// accounting), which must not double-count against TotalMS.
+func (c *Clock) ChargeShadow(account string, ms float64) {
+	if ms <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.accounts[account] += ms
+	c.mu.Unlock()
+}
+
+// StartFrame marks the beginning of work on a frame. Charges made until
+// the next StartFrame (or FlushFrames) accrue to this frame's FrameCost.
+func (c *Clock) StartFrame(frame int) {
+	c.mu.Lock()
+	c.flushLocked()
+	c.curFrame = frame
+	c.mu.Unlock()
+}
+
+// FlushFrames finalizes the in-progress frame record, if any.
+func (c *Clock) FlushFrames() {
+	c.mu.Lock()
+	c.flushLocked()
+	c.curFrame = -1
+	c.mu.Unlock()
+}
+
+func (c *Clock) flushLocked() {
+	if c.curFrame >= 0 {
+		c.history = append(c.history, FrameCost{Frame: c.curFrame, MS: c.curCost})
+	}
+	c.curCost = 0
+}
+
+// TotalMS returns the total charged virtual milliseconds.
+func (c *Clock) TotalMS() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalMS
+}
+
+// Account returns the subtotal for one account.
+func (c *Clock) Account(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.accounts[name]
+}
+
+// Accounts returns a copy of all account subtotals.
+func (c *Clock) Accounts() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.accounts))
+	for k, v := range c.accounts {
+		out[k] = v
+	}
+	return out
+}
+
+// PerFrame returns the recorded per-frame cost series, flushing any
+// in-progress frame first.
+func (c *Clock) PerFrame() []FrameCost {
+	c.FlushFrames()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FrameCost, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Reset clears the ledger.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.totalMS = 0
+	c.accounts = make(map[string]float64)
+	c.history = nil
+	c.curFrame = -1
+	c.curCost = 0
+	c.mu.Unlock()
+}
+
+// String renders the ledger as a small report, accounts sorted by cost.
+func (c *Clock) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type kv struct {
+		k string
+		v float64
+	}
+	rows := make([]kv, 0, len(c.accounts))
+	for k, v := range c.accounts {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time: %.2f ms\n", c.totalMS)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-28s %12.2f ms\n", r.k, r.v)
+	}
+	return b.String()
+}
+
+// Burn performs real CPU work roughly proportional to ms so that Go
+// benchmarks measuring wall-clock time preserve the relative shape of the
+// virtual costs. The work is a short integer-mixing loop whose iteration
+// count scales linearly with ms; the result is returned to defeat dead
+// code elimination.
+//
+// The scale factor is deliberately small: one virtual millisecond maps to
+// ~2µs of real work, keeping full experiment sweeps fast while preserving
+// ratios.
+const burnIterationsPerMS = 400
+
+// Burn consumes CPU proportional to ms virtual milliseconds.
+func Burn(ms float64) uint64 {
+	n := int(ms * burnIterationsPerMS)
+	var acc uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+		acc += uint64(i)
+	}
+	return acc
+}

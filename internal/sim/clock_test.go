@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClockCharge(t *testing.T) {
+	c := NewClock()
+	c.Charge("detector", 10)
+	c.Charge("detector", 5)
+	c.Charge("tracker", 2)
+	if got := c.TotalMS(); got != 17 {
+		t.Errorf("TotalMS = %v", got)
+	}
+	if got := c.Account("detector"); got != 15 {
+		t.Errorf("detector account = %v", got)
+	}
+	if got := c.Account("missing"); got != 0 {
+		t.Errorf("missing account = %v", got)
+	}
+	accs := c.Accounts()
+	if len(accs) != 2 || accs["tracker"] != 2 {
+		t.Errorf("Accounts = %v", accs)
+	}
+}
+
+func TestClockNegativeClamped(t *testing.T) {
+	c := NewClock()
+	c.Charge("x", -5)
+	if c.TotalMS() != 0 {
+		t.Errorf("negative charge leaked: %v", c.TotalMS())
+	}
+}
+
+func TestClockPerFrame(t *testing.T) {
+	c := NewClock()
+	c.StartFrame(0)
+	c.Charge("m", 3)
+	c.StartFrame(1)
+	c.Charge("m", 7)
+	series := c.PerFrame()
+	if len(series) != 2 {
+		t.Fatalf("PerFrame len = %d", len(series))
+	}
+	if series[0] != (FrameCost{0, 3}) || series[1] != (FrameCost{1, 7}) {
+		t.Errorf("PerFrame = %v", series)
+	}
+	// Charges outside any frame do not create records.
+	c.Charge("m", 1)
+	if got := len(c.PerFrame()); got != 2 {
+		t.Errorf("frameless charge created record; len = %d", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.StartFrame(0)
+	c.Charge("m", 3)
+	c.Reset()
+	if c.TotalMS() != 0 || len(c.Accounts()) != 0 || len(c.PerFrame()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestClockString(t *testing.T) {
+	c := NewClock()
+	c.Charge("b-model", 1)
+	c.Charge("a-model", 1)
+	s := c.String()
+	if !strings.Contains(s, "a-model") || !strings.Contains(s, "virtual time") {
+		t.Errorf("String = %q", s)
+	}
+	// Equal costs break ties by name: a-model should precede b-model.
+	if strings.Index(s, "a-model") > strings.Index(s, "b-model") {
+		t.Errorf("tie-break ordering wrong: %q", s)
+	}
+}
+
+func TestClockConcurrency(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge("p", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.TotalMS(); got != 8000 {
+		t.Errorf("concurrent TotalMS = %v", got)
+	}
+}
+
+func TestBurnScales(t *testing.T) {
+	if Burn(0) == 0 {
+		t.Error("Burn returned 0 accumulator")
+	}
+	// Just verify it runs for larger values without panicking and returns
+	// a value (anti-DCE contract).
+	if Burn(10) == Burn(0) {
+		// Not an error: values may theoretically coincide, but the
+		// accumulator depends on iteration count so they should differ.
+		t.Log("Burn(10) == Burn(0); suspicious but not fatal")
+	}
+}
+
+func TestChargeShadow(t *testing.T) {
+	c := NewClock()
+	c.Charge("model", 10)
+	c.StartFrame(0)
+	c.ChargeShadow("device:edge", 7)
+	if c.TotalMS() != 10 {
+		t.Errorf("shadow charge leaked into total: %v", c.TotalMS())
+	}
+	if c.Account("device:edge") != 7 {
+		t.Errorf("shadow account = %v", c.Account("device:edge"))
+	}
+	// Shadow charges must not appear in per-frame series either.
+	series := c.PerFrame()
+	for _, fc := range series {
+		if fc.MS != 0 {
+			t.Errorf("shadow charge leaked into frame series: %+v", fc)
+		}
+	}
+	c.ChargeShadow("x", -1) // non-positive is a no-op
+	if c.Account("x") != 0 {
+		t.Error("negative shadow charge recorded")
+	}
+}

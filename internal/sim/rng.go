@@ -1,0 +1,130 @@
+// Package sim provides the determinism substrate shared by every simulated
+// component: a small, fast, seedable random number generator; sampling
+// helpers; and a virtual-time ledger that stands in for the GPU wall clock
+// of the paper's testbed.
+//
+// Every stochastic decision in the repository (scenario generation, model
+// noise, MLLM answers) draws from a sim.RNG so that experiments are exactly
+// reproducible given a seed, while the ledger makes reported latencies
+// machine-independent.
+package sim
+
+import "math"
+
+// RNG is a splitmix64-based pseudo random number generator. It is cheap,
+// has a single word of state, and is deterministic across platforms. It is
+// not safe for concurrent use; derive per-goroutine generators with Split.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Any seed, including zero,
+// is valid.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next value in the splitmix64 sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent generator whose stream does not overlap the
+// parent's for practical purposes. Use it to hand each subsystem its own
+// stream while keeping a single experiment seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xA5A5A5A5A5A5A5A5)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Pick returns a uniformly chosen element of choices. It panics on an
+// empty slice.
+func Pick[T any](r *RNG, choices []T) T {
+	return choices[r.Intn(len(choices))]
+}
+
+// Weighted returns an index into weights chosen with probability
+// proportional to the weight. Non-positive weights are treated as zero;
+// if all weights are zero the first index is returned.
+func (r *RNG) Weighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes s in place using Fisher-Yates.
+func Shuffle[T any](r *RNG, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(2)
+	seen := make([]bool, 10)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Errorf("Intn never produced %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBool(t *testing.T) {
+	r := NewRNG(3)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			n++
+		}
+	}
+	if n < 2700 || n > 3300 {
+		t.Errorf("Bool(0.3) frequency = %d/10000", n)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	r := NewRNG(4)
+	sum, sumSq := 0.0, 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Errorf("Norm stddev = %v", math.Sqrt(variance))
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp(4)
+		if v < 0 {
+			t.Fatalf("Exp negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.2 {
+		t.Errorf("Exp mean = %v", mean)
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	r := NewRNG(6)
+	counts := make([]int, 3)
+	w := []float64{1, 0, 3}
+	for i := 0; i < 10000; i++ {
+		counts[r.Weighted(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+	if got := r.Weighted([]float64{0, 0}); got != 0 {
+		t.Errorf("all-zero Weighted = %d", got)
+	}
+}
+
+func TestPickAndShuffle(t *testing.T) {
+	r := NewRNG(7)
+	s := []string{"a", "b", "c"}
+	for i := 0; i < 50; i++ {
+		v := Pick(r, s)
+		if v != "a" && v != "b" && v != "c" {
+			t.Fatalf("Pick returned %q", v)
+		}
+	}
+	orig := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	sh := append([]int(nil), orig...)
+	Shuffle(r, sh)
+	sum := 0
+	for _, v := range sh {
+		sum += v
+	}
+	if sum != 45 {
+		t.Errorf("Shuffle lost elements: %v", sh)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	r := NewRNG(8)
+	f := func(a, b float64) bool {
+		lo := math.Mod(math.Abs(a), 100)
+		hi := lo + math.Mod(math.Abs(b), 100) + 0.001
+		v := r.Range(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Split()
+	// Child stream should not equal the parent's continued stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split stream mirrors parent (%d collisions)", same)
+	}
+}

@@ -1,0 +1,144 @@
+package sqlbase
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// LoadVideo binds a registered video to a frame table.
+type LoadVideo struct {
+	Path  string
+	Table string
+}
+
+func (*LoadVideo) stmt() {}
+
+// CreateFunction binds a registered UDF name (the IMPL path is recorded
+// but unused, matching how the benchmarks port the paper's scripts).
+type CreateFunction struct {
+	Name string
+	Impl string
+}
+
+func (*CreateFunction) stmt() {}
+
+// CreateTableAs materializes a SELECT result.
+type CreateTableAs struct {
+	Table  string
+	Select *Select
+}
+
+func (*CreateTableAs) stmt() {}
+
+// Drop removes a table or function; IfExists suppresses missing-object
+// errors.
+type Drop struct {
+	Function bool
+	IfExists bool
+	Name     string
+}
+
+func (*Drop) stmt() {}
+
+// Select is the query core.
+type Select struct {
+	Items []SelectItem
+	From  TableRef
+
+	// Lateral is the JOIN LATERAL UNNEST(...) AS alias(cols) clause.
+	Lateral *LateralClause
+
+	// Join is an optional inner join.
+	Join *JoinClause
+
+	Where Expr
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one output column: an expression with an optional alias,
+// or * (Star).
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// LateralClause unnests a table-valued function per input row.
+type LateralClause struct {
+	Call  *CallExpr
+	Alias string
+	Cols  []string
+}
+
+// JoinClause is an inner join with an ON expression.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// ColRef references a column, optionally qualified.
+type ColRef struct {
+	Table  string // empty if unqualified
+	Column string
+}
+
+func (*ColRef) expr() {}
+
+// Lit is a literal value (float64 or string).
+type Lit struct{ Value any }
+
+func (*Lit) expr() {}
+
+// CallExpr is a function invocation.
+type CallExpr struct {
+	Name string
+	Args []Expr
+}
+
+func (*CallExpr) expr() {}
+
+// BinExpr is a binary operation: comparison, AND/OR, or arithmetic.
+type BinExpr struct {
+	Op          string // "=", "!=", ">", ">=", "<", "<=", "and", "or", "+", "-"
+	Left, Right Expr
+}
+
+func (*BinExpr) expr() {}
+
+// String renders expressions for diagnostics.
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *ColRef:
+		if e.Table != "" {
+			return e.Table + "." + e.Column
+		}
+		return e.Column
+	case *Lit:
+		if s, ok := e.Value.(string); ok {
+			return "'" + s + "'"
+		}
+		return fmt.Sprint(e.Value)
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	case *BinExpr:
+		return "(" + exprString(e.Left) + " " + e.Op + " " + exprString(e.Right) + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,419 @@
+package sqlbase
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the lexed tokens.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a single SQL statement (a trailing semicolon is
+// optional).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlbase: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(tokIdent, "load"):
+		if _, err := p.expect(tokIdent, "video"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokString {
+			return nil, p.errf("expected video path string")
+		}
+		path := p.cur().text
+		p.pos++
+		if _, err := p.expect(tokIdent, "into"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &LoadVideo{Path: path, Table: table}, nil
+
+	case p.accept(tokIdent, "create"):
+		switch {
+		case p.accept(tokIdent, "function"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "impl"); err != nil {
+				return nil, err
+			}
+			if p.cur().kind != tokString {
+				return nil, p.errf("expected IMPL path string")
+			}
+			impl := p.cur().text
+			p.pos++
+			return &CreateFunction{Name: name, Impl: impl}, nil
+		case p.accept(tokIdent, "table"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "as"); err != nil {
+				return nil, err
+			}
+			sel, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &CreateTableAs{Table: name, Select: sel}, nil
+		}
+		return nil, p.errf("expected FUNCTION or TABLE after CREATE")
+
+	case p.accept(tokIdent, "drop"):
+		isFunc := false
+		switch {
+		case p.accept(tokIdent, "table"):
+		case p.accept(tokIdent, "function"):
+			isFunc = true
+		default:
+			return nil, p.errf("expected TABLE or FUNCTION after DROP")
+		}
+		ifExists := false
+		if p.accept(tokIdent, "if") {
+			if _, err := p.expect(tokIdent, "exists"); err != nil {
+				return nil, err
+			}
+			ifExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Drop{Function: isFunc, IfExists: ifExists, Name: name}, nil
+
+	case p.at(tokIdent, "select"):
+		return p.selectStmt()
+	}
+	return nil, p.errf("unknown statement %q", p.cur().text)
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	if _, err := p.expect(tokIdent, "select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		if p.accept(tokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokIdent, "as") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokIdent, "from"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	for p.at(tokIdent, "join") {
+		p.pos++
+		if p.accept(tokIdent, "lateral") {
+			if sel.Lateral != nil {
+				return nil, p.errf("multiple LATERAL clauses")
+			}
+			if _, err := p.expect(tokIdent, "unnest"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			call, err := p.callExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokIdent, "as"); err != nil {
+				return nil, err
+			}
+			alias, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			var cols []string
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, c)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			sel.Lateral = &LateralClause{Call: call, Alias: alias, Cols: cols}
+			continue
+		}
+		if sel.Join != nil {
+			return nil, p.errf("multiple JOIN clauses")
+		}
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "on"); err != nil {
+			return nil, err
+		}
+		on, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Join = &JoinClause{Table: tr, On: on}
+	}
+
+	if p.accept(tokIdent, "where") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	return sel, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	// Optional alias: a bare identifier that is not a clause keyword.
+	if p.cur().kind == tokIdent {
+		switch p.cur().text {
+		case "join", "where", "on", "lateral", "as", "group", "order":
+		default:
+			tr.Alias = p.cur().text
+			p.pos++
+		}
+	}
+	return tr, nil
+}
+
+// expression parses OR-separated AND chains of comparisons.
+func (p *parser) expression() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "or", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.comparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		right, err := p.comparison()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "and", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol {
+		op := p.cur().text
+		switch op {
+		case "=", "==", "!=", "<>", ">", ">=", "<", "<=":
+			p.pos++
+			right, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "==" {
+				op = "="
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.pos++
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &Lit{Value: f}, nil
+	case tokString:
+		p.pos++
+		return &Lit{Value: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		// Function call or column reference.
+		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			return p.callExpr()
+		}
+		p.pos++
+		if p.accept(tokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.text, Column: col}, nil
+		}
+		return &ColRef{Column: t.text}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *parser) callExpr() (*CallExpr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Name: name}
+	if !p.at(tokSymbol, ")") {
+		for {
+			a, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

@@ -1,0 +1,138 @@
+package sqlbase
+
+// The paper's Appendix A EVA programs, ported verbatim in structure.
+// Each script is a statement list executed in order; the final SELECT is
+// the query result.
+
+// RedCarScript is Figure 20: detect+track every object, classify color
+// on every row, then filter.
+func RedCarScript(videoPath string) []string {
+	return []string{
+		`LOAD VIDEO '` + videoPath + `' INTO MyVideo;`,
+		`CREATE FUNCTION Color IMPL './color.py';`,
+		`CREATE TABLE TrackResult AS
+		   SELECT id, Color(Crop(data, bbox)) AS color, T.iid, T.bbox, T.score, T.label
+		   FROM MyVideo
+		   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		   AS T(iid, label, bbox, score);`,
+		`SELECT id, iid, bbox
+		   FROM TrackResult
+		   WHERE color = 'red' AND label = 'car' AND score > 0.5;`,
+		`DROP TABLE IF EXISTS MyVideo;`,
+		`DROP TABLE IF EXISTS TrackResult;`,
+		`DROP FUNCTION IF EXISTS Color;`,
+	}
+}
+
+// SpeedingCarScript is Figure 22: a lag self-join computes per-object
+// velocity.
+func SpeedingCarScript(videoPath string) []string {
+	return []string{
+		`LOAD VIDEO '` + videoPath + `' INTO MyVideo;`,
+		`CREATE FUNCTION Add1 IMPL './add1.py';`,
+		`CREATE FUNCTION Velocity IMPL './velocity.py';`,
+		`CREATE TABLE TrackResult AS
+		   SELECT id, data, T.iid, T.bbox, T.score, T.label
+		   FROM MyVideo
+		   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		   AS T(iid, label, bbox, score);`,
+		`CREATE TABLE TrackResultAdd1 AS
+		   SELECT Add1(id, iid, bbox)
+		   FROM TrackResult;`,
+		`SELECT trackresult.id, trackresult.iid, trackresult.bbox
+		   FROM TrackResult
+		   JOIN TrackResultAdd1
+		   ON trackresult.id = trackresultadd1.added_id
+		   AND trackresult.iid = trackresultadd1.cur_iid
+		   WHERE trackresult.label = 'car'
+		   AND Velocity(trackresult.bbox, trackresultadd1.last_bbox) > 12;`,
+		`DROP TABLE IF EXISTS MyVideo;`,
+		`DROP TABLE IF EXISTS TrackResult;`,
+		`DROP TABLE IF EXISTS TrackResultAdd1;`,
+		`DROP FUNCTION IF EXISTS Add1;`,
+		`DROP FUNCTION IF EXISTS Velocity;`,
+	}
+}
+
+// RedSpeedingCarScript is Figure 24 (naive): color is classified for
+// every detected object during table creation, the lag join materializes
+// a third table, and the final WHERE runs the expensive Velocity UDF
+// before the color filter — EVA evaluates conjuncts as written and
+// supports no pushdown across the materialized tables.
+func RedSpeedingCarScript(videoPath string) []string {
+	return []string{
+		`LOAD VIDEO '` + videoPath + `' INTO MyVideo;`,
+		`CREATE FUNCTION Add1 IMPL './add1.py';`,
+		`CREATE FUNCTION Velocity IMPL './velocity.py';`,
+		`CREATE FUNCTION Color IMPL './color.py';`,
+		`CREATE TABLE TrackResult AS
+		   SELECT id, data, Color(Crop(data, bbox)) AS color, T.iid, T.bbox, T.score, T.label
+		   FROM MyVideo
+		   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		   AS T(iid, label, bbox, score);`,
+		`CREATE TABLE TrackResultAdd1 AS
+		   SELECT Add1(id, iid, bbox)
+		   FROM TrackResult;`,
+		`CREATE TABLE TrackResultJoin AS
+		   SELECT trackresult.id, trackresult.iid, trackresult.color,
+		          trackresult.bbox, trackresult.label, trackresult.score,
+		          trackresultadd1.last_bbox
+		   FROM TrackResult
+		   JOIN TrackResultAdd1
+		   ON trackresult.id = trackresultadd1.added_id
+		   AND trackresult.iid = trackresultadd1.cur_iid;`,
+		`SELECT id, iid, bbox
+		   FROM TrackResultJoin
+		   WHERE Velocity(bbox, last_bbox) > 12
+		   AND color = 'red' AND label = 'car';`,
+		`DROP TABLE IF EXISTS MyVideo;`,
+		`DROP TABLE IF EXISTS TrackResult;`,
+		`DROP TABLE IF EXISTS TrackResultAdd1;`,
+		`DROP TABLE IF EXISTS TrackResultJoin;`,
+		`DROP FUNCTION IF EXISTS Add1;`,
+		`DROP FUNCTION IF EXISTS Velocity;`,
+		`DROP FUNCTION IF EXISTS Color;`,
+	}
+}
+
+// RedSpeedingCarRefinedScript is the paper's manually optimized variant
+// (§5.2: "We manually optimized EVA's SQL queries by pushing down the
+// filters"): color and label filter during the first materialization so
+// later stages touch far fewer rows, and the cheap conjuncts run before
+// the Velocity UDF.
+func RedSpeedingCarRefinedScript(videoPath string) []string {
+	return []string{
+		`LOAD VIDEO '` + videoPath + `' INTO MyVideo;`,
+		`CREATE FUNCTION Add1 IMPL './add1.py';`,
+		`CREATE FUNCTION Velocity IMPL './velocity.py';`,
+		`CREATE FUNCTION Color IMPL './color.py';`,
+		`CREATE TABLE RedCars AS
+		   SELECT id, data, T.iid, T.bbox, T.score, T.label
+		   FROM MyVideo
+		   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		   AS T(iid, label, bbox, score)
+		   WHERE T.label = 'car' AND Color(Crop(data, T.bbox)) = 'red';`,
+		`CREATE TABLE RedCarsAdd1 AS
+		   SELECT Add1(id, iid, bbox)
+		   FROM RedCars;`,
+		`SELECT redcars.id, redcars.iid, redcars.bbox
+		   FROM RedCars
+		   JOIN RedCarsAdd1
+		   ON redcars.id = redcarsadd1.added_id
+		   AND redcars.iid = redcarsadd1.cur_iid
+		   WHERE Velocity(redcars.bbox, redcarsadd1.last_bbox) > 12;`,
+		`DROP TABLE IF EXISTS MyVideo;`,
+		`DROP TABLE IF EXISTS RedCars;`,
+		`DROP TABLE IF EXISTS RedCarsAdd1;`,
+		`DROP FUNCTION IF EXISTS Add1;`,
+		`DROP FUNCTION IF EXISTS Velocity;`,
+		`DROP FUNCTION IF EXISTS Color;`,
+	}
+}
+
+// RegisterStandardUDFs installs the scalar UDFs the scripts declare.
+func RegisterStandardUDFs(e *Engine) {
+	e.RegisterUDF("Color", ColorUDF(e.registry))
+	e.RegisterUDF("Velocity", VelocityUDF())
+	e.RegisterUDF("Add1", Add1UDF())
+}

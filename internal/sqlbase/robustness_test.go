@@ -1,0 +1,72 @@
+package sqlbase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/sim"
+)
+
+// TestLexerNeverPanics feeds random byte soup to the lexer.
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = lex(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics feeds random token soup assembled from SQL
+// vocabulary to the parser; it must error or succeed, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	vocab := []string{
+		"SELECT", "FROM", "WHERE", "JOIN", "LATERAL", "UNNEST", "AS",
+		"CREATE", "TABLE", "FUNCTION", "DROP", "LOAD", "VIDEO", "INTO",
+		"AND", "OR", "ON", "IF", "EXISTS", "IMPL",
+		"t", "a", "b", "id", "bbox", "Color", "Velocity",
+		"(", ")", ",", ";", ".", "=", ">", "<", ">=", "*", "+",
+		"'str'", "1", "2.5",
+	}
+	rng := sim.NewRNG(77)
+	f := func() (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		n := 1 + rng.Intn(20)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += vocab[rng.Intn(len(vocab))] + " "
+		}
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScriptsParse parses all four Appendix A scripts end to end.
+func TestScriptsParse(t *testing.T) {
+	scripts := [][]string{
+		RedCarScript("v.mp4"),
+		SpeedingCarScript("v.mp4"),
+		RedSpeedingCarScript("v.mp4"),
+		RedSpeedingCarRefinedScript("v.mp4"),
+	}
+	for si, script := range scripts {
+		for li, stmt := range script {
+			if _, err := Parse(stmt); err != nil {
+				t.Errorf("script %d statement %d: %v", si, li, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package sqlbase
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func testEngine() (*Engine, *models.Env) {
+	env := models.NewEnv(42)
+	env.NoBurn = true
+	e := NewEngine(env, models.BuiltinRegistry())
+	RegisterStandardUDFs(e)
+	return e, env
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'str' , 12.5 >= x -- comment\nFROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{tokIdent, tokIdent, tokSymbol, tokIdent, tokSymbol, tokString, tokSymbol, tokNumber, tokSymbol, tokIdent, tokIdent, tokIdent, tokSymbol, tokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %v, want %v (%q)", i, toks[i].kind, k, toks[i].text)
+		}
+	}
+	if toks[0].text != "select" {
+		t.Error("idents should be lowercased")
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("a ~ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParserStatements(t *testing.T) {
+	cases := []string{
+		`LOAD VIDEO 'v.mp4' INTO MyVideo;`,
+		`CREATE FUNCTION Color IMPL './color.py';`,
+		`DROP TABLE IF EXISTS T;`,
+		`DROP FUNCTION IF EXISTS F;`,
+		`SELECT a, b FROM t WHERE a > 1 AND b = 'x';`,
+		`SELECT * FROM t;`,
+		`CREATE TABLE T2 AS SELECT id FROM t;`,
+		`SELECT t.a FROM t JOIN u ON t.a = u.b WHERE t.a != 2;`,
+		`SELECT id, T.iid FROM MyVideo
+		 JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		 AS T(iid, label, bbox, score) WHERE T.score > 0.5;`,
+		`SELECT Add1(id, iid, bbox) FROM t;`,
+		`SELECT a + 1 AS b FROM t;`,
+		`SELECT a FROM t WHERE a > 1 OR a < 0;`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT a FROM`,
+		`LOAD VIDEO INTO x;`,
+		`CREATE TABLE t;`,
+		`DROP x;`,
+		`SELECT a FROM t WHERE;`,
+		`SELECT a FROM t extra garbage here (;`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestLoadVideoAndScan(t *testing.T) {
+	e, env := testEngine()
+	v := video.CityFlow(1, 10).Generate()
+	e.RegisterVideo("v.mp4", v)
+	if _, err := e.Exec(`LOAD VIDEO 'v.mp4' INTO MyVideo;`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`SELECT id FROM MyVideo WHERE id < 5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.Rows))
+	}
+	if env.Clock.Account("eva:decode") == 0 {
+		t.Error("no decode cost charged")
+	}
+	// Unregistered path fails.
+	if _, err := e.Exec(`LOAD VIDEO 'missing.mp4' INTO X;`); err == nil {
+		t.Error("missing video accepted")
+	}
+}
+
+func TestExtractObjectLateral(t *testing.T) {
+	e, _ := testEngine()
+	v := video.CityFlow(2, 20).Generate()
+	e.RegisterVideo("v.mp4", v)
+	_, err := e.ExecScript([]string{
+		`LOAD VIDEO 'v.mp4' INTO MyVideo;`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Exec(`SELECT id, T.iid, T.label, T.score FROM MyVideo
+		JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		AS T(iid, label, bbox, score);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no objects extracted")
+	}
+	// Track ids must persist across frames: distinct iids << rows.
+	distinct := res.DistinctCount("iid")
+	if distinct >= len(res.Rows) {
+		t.Errorf("tracker assigned unique id per row (%d ids over %d rows)", distinct, len(res.Rows))
+	}
+	labels := map[string]bool{}
+	for _, r := range res.Rows {
+		labels[r["label"].(string)] = true
+	}
+	if !labels["car"] {
+		t.Errorf("no cars labeled: %v", labels)
+	}
+}
+
+func TestRedCarScriptEndToEnd(t *testing.T) {
+	e, env := testEngine()
+	v := video.CityFlow(3, 30).Generate()
+	e.RegisterVideo("v.mp4", v)
+	res, err := e.ExecScript(RedCarScript("v.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatal("red car query returned nothing")
+	}
+	// Frames found must correlate with ground truth.
+	truth := v.FramesMatching(func(o video.Object) bool {
+		return o.Class == video.ClassCar && o.Color == video.ColorRed
+	})
+	got := res.FrameSet("id")
+	tp := 0
+	for f := range got {
+		if truth[f] {
+			tp++
+		}
+	}
+	if tp == 0 {
+		t.Error("no true-positive frames")
+	}
+	prec := float64(tp) / float64(len(got))
+	if prec < 0.6 {
+		t.Errorf("precision = %.2f", prec)
+	}
+	// Every script model cost must be charged: yolox on every frame,
+	// color on every object row.
+	if env.Clock.Account("yolox") < float64(len(v.Frames))*28 {
+		t.Error("detector not charged per frame")
+	}
+	if env.Clock.Account("color_detect") == 0 || env.Clock.Account("eva:udf_wrap") == 0 {
+		t.Error("UDF costs not charged")
+	}
+	// Tables dropped at the end.
+	if _, ok := e.Table("trackresult"); ok {
+		t.Error("TrackResult not dropped")
+	}
+}
+
+func TestSpeedingCarScriptEndToEnd(t *testing.T) {
+	e, env := testEngine()
+	sc := video.Southampton(4, 20)
+	sc.SpeederFrac = 0.4
+	v := sc.Generate()
+	e.RegisterVideo("v.mp4", v)
+	res, err := e.ExecScript(SpeedingCarScript("v.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	truthSpeeders := v.GroundTruthCount(func(o video.Object) bool {
+		return o.IsVehicle() && o.Speed > video.SpeedingThreshold
+	})
+	if truthSpeeders > 0 && len(res.Rows) == 0 {
+		t.Error("speeding query found nothing despite speeders present")
+	}
+	if env.Clock.Account("eva:join") == 0 {
+		t.Error("join cost not charged")
+	}
+	if env.Clock.Account("eva:materialize") == 0 {
+		t.Error("materialization cost not charged")
+	}
+}
+
+func TestRedSpeedingNaiveVsRefined(t *testing.T) {
+	runScript := func(script func(string) []string) (float64, int) {
+		e, env := testEngine()
+		sc := video.Jackson(5, 20)
+		sc.SpeederFrac = 0.3
+		v := sc.Generate()
+		e.RegisterVideo("v.mp4", v)
+		res, err := e.ExecScript(script("v.mp4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		if res != nil {
+			rows = len(res.Rows)
+		}
+		return env.Clock.TotalMS(), rows
+	}
+	naiveCost, naiveRows := runScript(RedSpeedingCarScript)
+	refinedCost, refinedRows := runScript(RedSpeedingCarRefinedScript)
+	if refinedCost >= naiveCost {
+		t.Errorf("refined script (%.0f ms) not cheaper than naive (%.0f ms)", refinedCost, naiveCost)
+	}
+	// Both should find a similar result set (same predicates).
+	if naiveRows == 0 && refinedRows > 0 {
+		t.Logf("naive found 0 rows, refined %d (noise-dependent)", refinedRows)
+	}
+}
+
+func TestWhereShortCircuitOrder(t *testing.T) {
+	// Velocity-first WHERE must charge more Velocity calls than a
+	// color-first WHERE on identical data.
+	mkEngine := func() (*Engine, *models.Env, *video.Video) {
+		e, env := testEngine()
+		v := video.CityFlow(6, 10).Generate()
+		e.RegisterVideo("v.mp4", v)
+		_, err := e.ExecScript([]string{
+			`LOAD VIDEO 'v.mp4' INTO MyVideo;`,
+			`CREATE FUNCTION Color IMPL './c.py';`,
+			`CREATE FUNCTION Velocity IMPL './v.py';`,
+			`CREATE TABLE T AS
+			   SELECT id, data, Color(Crop(data, bbox)) AS color, T.iid, T.bbox, T.label
+			   FROM MyVideo
+			   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+			   AS T(iid, label, bbox, score);`,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, env, v
+	}
+	e1, env1, _ := mkEngine()
+	before1 := env1.Clock.Account("eva:velocity")
+	if _, err := e1.Exec(`SELECT id FROM T WHERE Velocity(bbox, bbox) >= 0 AND color = 'red';`); err != nil {
+		t.Fatal(err)
+	}
+	velFirst := env1.Clock.Account("eva:velocity") - before1
+
+	e2, env2, _ := mkEngine()
+	before2 := env2.Clock.Account("eva:velocity")
+	if _, err := e2.Exec(`SELECT id FROM T WHERE color = 'red' AND Velocity(bbox, bbox) >= 0;`); err != nil {
+		t.Fatal(err)
+	}
+	velLast := env2.Clock.Account("eva:velocity") - before2
+	if velLast >= velFirst {
+		t.Errorf("WHERE short-circuit not order-sensitive: first=%.2f last=%.2f", velFirst, velLast)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	e, _ := testEngine()
+	e.tables["a"] = &Table{Name: "a", Rows: []Row{
+		{"id": 1.0, "x": "p"}, {"id": 2.0, "x": "q"}, {"id": 3.0, "x": "r"},
+	}}
+	e.tables["b"] = &Table{Name: "b", Rows: []Row{
+		{"id": 2.0, "y": "Y2"}, {"id": 3.0, "y": "Y3"}, {"id": 9.0, "y": "Y9"},
+	}}
+	res, err := e.Exec(`SELECT a.x, b.y FROM a JOIN b ON a.id = b.id;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("join rows = %d, want 2: %v", len(res.Rows), res.Rows)
+	}
+	// Join with residual condition.
+	res, err = e.Exec(`SELECT a.x FROM a JOIN b ON a.id = b.id AND b.y != 'Y2';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("residual join rows = %d, want 1", len(res.Rows))
+	}
+	// Non-equi join falls back to nested loop.
+	res, err = e.Exec(`SELECT a.x FROM a JOIN b ON a.id < b.id;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // (1,2)(1,3)(1,9)(2,3)(2,9)(3,9)
+		t.Errorf("non-equi join rows = %d, want 6", len(res.Rows))
+	}
+}
+
+func TestMultiColumnUDFSplat(t *testing.T) {
+	e, _ := testEngine()
+	e.tables["t"] = &Table{Name: "t", Rows: []Row{
+		{"id": 1.0, "iid": 5.0, "bbox": geom.Rect(0, 0, 10, 10)},
+	}}
+	res, err := e.Exec(`SELECT Add1(id, iid, bbox) FROM t;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatal("no rows")
+	}
+	r := res.Rows[0]
+	if r["added_id"] != 2.0 || r["cur_iid"] != 5.0 {
+		t.Errorf("Add1 splat wrong: %v", r)
+	}
+	if _, ok := r["last_bbox"].(geom.BBox); !ok {
+		t.Errorf("last_bbox missing: %v", r)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	e, _ := testEngine()
+	cases := []string{
+		`SELECT a FROM missing;`,
+		`SELECT missingcol FROM t2;`,
+		`SELECT MissingFn(1) FROM t2;`,
+		`DROP TABLE missing;`,
+		`DROP FUNCTION missing;`,
+		`CREATE FUNCTION NoImpl IMPL './x.py';`,
+	}
+	e.tables["t2"] = &Table{Name: "t2", Rows: []Row{{"a": 1.0}}}
+	for _, src := range cases {
+		if _, err := e.Exec(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+	// IF EXISTS suppresses.
+	if _, err := e.Exec(`DROP TABLE IF EXISTS missing;`); err != nil {
+		t.Errorf("IF EXISTS failed: %v", err)
+	}
+}
+
+func TestApplyBinOp(t *testing.T) {
+	cases := []struct {
+		op   string
+		l, r any
+		want any
+	}{
+		{"+", 1.0, 2.0, 3.0},
+		{"-", 5.0, 2.0, 3.0},
+		{"=", 1.0, 1.0, true},
+		{"!=", 1.0, 2.0, true},
+		{">", 2.0, 1.0, true},
+		{"<=", 2.0, 2.0, true},
+		{"=", "a", "a", true},
+		{"!=", "a", "b", true},
+	}
+	for _, c := range cases {
+		got, err := applyBinOp(c.op, c.l, c.r)
+		if err != nil || got != c.want {
+			t.Errorf("applyBinOp(%q, %v, %v) = %v, %v", c.op, c.l, c.r, got, err)
+		}
+	}
+	if _, err := applyBinOp(">", "a", 1.0); err == nil {
+		t.Error("mixed-type > accepted")
+	}
+	// Cross-type equality falls back to string form.
+	got, err := applyBinOp("=", 1.0, "1")
+	if err != nil || got != true {
+		t.Errorf("fallback equality = %v, %v", got, err)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if truthy(false) || truthy(0.0) || truthy("") || truthy(nil) {
+		t.Error("falsy values wrong")
+	}
+	if !truthy(true) || !truthy(1.0) || !truthy("x") || !truthy(geom.BBox{}) {
+		t.Error("truthy values wrong")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	st, err := Parse(`SELECT a FROM t WHERE Color(Crop(data, bbox)) = 'red' AND t.x > 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	s := exprString(sel.Where)
+	for _, want := range []string{"color(crop(data, bbox))", "'red'", "t.x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("exprString = %q missing %q", s, want)
+		}
+	}
+}

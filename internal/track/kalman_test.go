@@ -1,0 +1,158 @@
+package track
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/geom"
+)
+
+func TestKalmanInitialBox(t *testing.T) {
+	b := geom.Rect(100, 50, 40, 30)
+	kf := NewKalmanFilter(b)
+	got := kf.Box()
+	if math.Abs(got.X1-b.X1) > 1e-9 || math.Abs(got.Y2-b.Y2) > 1e-9 {
+		t.Errorf("initial box = %v, want %v", got, b)
+	}
+	v := kf.Velocity()
+	if v.X != 0 || v.Y != 0 {
+		t.Errorf("initial velocity = %v", v)
+	}
+}
+
+func TestKalmanLearnsConstantVelocity(t *testing.T) {
+	kf := NewKalmanFilter(geom.Rect(0, 0, 40, 30))
+	// Object moves +5 px/frame in x.
+	for i := 1; i <= 30; i++ {
+		kf.Predict()
+		kf.Update(geom.Rect(float64(i)*5, 0, 40, 30))
+	}
+	v := kf.Velocity()
+	if math.Abs(v.X-5) > 0.5 {
+		t.Errorf("learned vx = %v, want ≈5", v.X)
+	}
+	if math.Abs(v.Y) > 0.5 {
+		t.Errorf("learned vy = %v, want ≈0", v.Y)
+	}
+	// Prediction should land near the next true position.
+	pred := kf.Predict()
+	want := geom.Rect(31*5, 0, 40, 30)
+	if d := geom.CenterDist(pred, want); d > 5 {
+		t.Errorf("prediction off by %.1f px", d)
+	}
+}
+
+func TestKalmanCoastsThroughMisses(t *testing.T) {
+	kf := NewKalmanFilter(geom.Rect(0, 100, 40, 30))
+	for i := 1; i <= 20; i++ {
+		kf.Predict()
+		kf.Update(geom.Rect(float64(i)*4, 100, 40, 30))
+	}
+	// Three frames without measurements: box should keep moving.
+	before := kf.Box().Center()
+	for i := 0; i < 3; i++ {
+		kf.Predict()
+	}
+	after := kf.Box().Center()
+	if after.X <= before.X+6 {
+		t.Errorf("coasting failed: %.1f -> %.1f", before.X, after.X)
+	}
+}
+
+func TestKalmanBoxSizePositive(t *testing.T) {
+	kf := NewKalmanFilter(geom.Rect(10, 10, 2, 2))
+	// Feed degenerate boxes; estimated size must remain >= 1.
+	for i := 0; i < 10; i++ {
+		kf.Predict()
+		kf.Update(geom.BBox{X1: 10, Y1: 10, X2: 10, Y2: 10})
+	}
+	b := kf.Box()
+	if b.W() < 1 || b.H() < 1 {
+		t.Errorf("degenerate size: %v", b)
+	}
+}
+
+func TestKalmanConvergesToStationary(t *testing.T) {
+	kf := NewKalmanFilter(geom.Rect(200, 200, 50, 50))
+	for i := 0; i < 50; i++ {
+		kf.Predict()
+		kf.Update(geom.Rect(200, 200, 50, 50))
+	}
+	if v := kf.Velocity().Norm(); v > 0.2 {
+		t.Errorf("stationary velocity = %v", v)
+	}
+	if d := geom.CenterDist(kf.Box(), geom.Rect(200, 200, 50, 50)); d > 1 {
+		t.Errorf("stationary drift = %v", d)
+	}
+}
+
+func TestInvert4Identity(t *testing.T) {
+	var id [4][4]float64
+	for i := 0; i < 4; i++ {
+		id[i][i] = 1
+	}
+	inv, ok := invert4(id)
+	if !ok {
+		t.Fatal("identity not invertible?")
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(inv[i][j]-want) > 1e-12 {
+				t.Fatalf("inv(I) != I at %d,%d: %v", i, j, inv[i][j])
+			}
+		}
+	}
+}
+
+func TestInvert4Singular(t *testing.T) {
+	var m [4][4]float64 // all zeros
+	if _, ok := invert4(m); ok {
+		t.Error("singular matrix inverted")
+	}
+}
+
+func TestInvert4Property(t *testing.T) {
+	// For random diagonally dominant matrices, m * inv(m) ≈ I.
+	f := func(a, b, c, d, e, f0, g, h float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0.5
+			}
+			return math.Mod(v, 3)
+		}
+		m := [4][4]float64{
+			{10 + clamp(a), clamp(b), clamp(c), clamp(d)},
+			{clamp(e), 10 + clamp(f0), clamp(g), clamp(h)},
+			{clamp(b), clamp(c), 10 + clamp(d), clamp(a)},
+			{clamp(g), clamp(h), clamp(e), 10 + clamp(f0)},
+		}
+		inv, ok := invert4(m)
+		if !ok {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				sum := 0.0
+				for k := 0; k < 4; k++ {
+					sum += m[i][k] * inv[k][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(sum-want) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package track
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/sim"
+)
+
+// TestTrackerUniqueIDsProperty: after any update sequence, live tracks
+// carry unique IDs and non-negative hit/age counters.
+func TestTrackerUniqueIDsProperty(t *testing.T) {
+	rng := sim.NewRNG(55)
+	f := func() bool {
+		tk := NewTracker(Config{ConfirmHits: 1 + rng.Intn(3), MaxMisses: 1 + rng.Intn(5)})
+		frames := 5 + rng.Intn(20)
+		for fi := 0; fi < frames; fi++ {
+			n := rng.Intn(6)
+			dets := make([]Detection, n)
+			for i := range dets {
+				dets[i] = Detection{
+					Box:   geom.Rect(rng.Range(0, 500), rng.Range(0, 300), 20+rng.Range(0, 40), 20+rng.Range(0, 30)),
+					Class: rng.Intn(3),
+					Score: rng.Range(0.3, 1),
+				}
+			}
+			tracks := tk.Update(dets)
+			seen := map[int]bool{}
+			for _, tr := range tracks {
+				if seen[tr.ID] {
+					return false
+				}
+				seen[tr.ID] = true
+				if tr.Hits < 1 || tr.Age < 0 || tr.Misses < 0 {
+					return false
+				}
+				if tr.State == Lost {
+					return false // lost tracks must be reaped
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrackerMatchedThisFrameProperty: tracks with Misses == 0 after an
+// update must reference one of this frame's detections.
+func TestTrackerMatchedThisFrameProperty(t *testing.T) {
+	rng := sim.NewRNG(56)
+	f := func() bool {
+		tk := NewTracker(Config{ConfirmHits: 1})
+		for fi := 0; fi < 10; fi++ {
+			n := rng.Intn(4)
+			dets := make([]Detection, n)
+			refs := map[any]bool{}
+			for i := range dets {
+				ref := fi*100 + i
+				dets[i] = Detection{
+					Box:   geom.Rect(rng.Range(0, 400), rng.Range(0, 300), 30, 25),
+					Class: 1, Score: 0.9, Ref: ref,
+				}
+				refs[ref] = true
+			}
+			for _, tr := range tk.Update(dets) {
+				if tr.Misses == 0 && tr.Hits > 0 && n > 0 {
+					if tr.Ref != nil && !refs[tr.Ref] {
+						// Ref from an earlier frame on a track matched
+						// this frame would be a bookkeeping bug.
+						if tr.Age == 0 || tr.Hits > 1 {
+							continue // matched earlier frames allowed when unmatched now
+						}
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package track
+
+import (
+	"vqpy/internal/geom"
+)
+
+// Detection is the tracker's input: one detected box on the current
+// frame with its class label and confidence.
+type Detection struct {
+	Box   geom.BBox
+	Class int
+	Score float64
+
+	// Ref carries arbitrary caller data (e.g. the originating model
+	// output) through the association step.
+	Ref any
+}
+
+// TrackState is the lifecycle state of a track.
+type TrackState int
+
+// Lifecycle states. Tentative tracks have not yet accumulated enough
+// consecutive hits to be trusted; Confirmed tracks are reported;
+// Lost tracks have exceeded the miss budget and are about to be removed.
+const (
+	Tentative TrackState = iota
+	Confirmed
+	Lost
+)
+
+// String implements fmt.Stringer.
+func (s TrackState) String() string {
+	switch s {
+	case Tentative:
+		return "tentative"
+	case Confirmed:
+		return "confirmed"
+	case Lost:
+		return "lost"
+	}
+	return "invalid"
+}
+
+// Track is one tracked object.
+type Track struct {
+	ID    int
+	Class int
+	State TrackState
+
+	// Box is the current (filtered) box estimate.
+	Box geom.BBox
+
+	// Hits counts total matched detections; Age counts frames since
+	// creation; Misses counts consecutive unmatched frames.
+	Hits, Age, Misses int
+
+	// Ref is the Ref of the most recent matched detection.
+	Ref any
+
+	kf *KalmanFilter
+}
+
+// Velocity returns the Kalman-estimated centroid velocity.
+func (t *Track) Velocity() geom.Point { return t.kf.Velocity() }
+
+// Config tunes the tracker.
+type Config struct {
+	// IoUGate rejects associations with IoU below this value.
+	IoUGate float64
+	// MaxMisses removes a track after this many consecutive misses.
+	MaxMisses int
+	// ConfirmHits promotes a tentative track after this many hits.
+	ConfirmHits int
+	// Greedy selects the greedy assigner instead of Hungarian.
+	Greedy bool
+	// ClassStrict forbids matching detections to tracks of another
+	// class.
+	ClassStrict bool
+}
+
+// DefaultConfig returns the configuration used by the engine's
+// lightweight reuse tracker.
+func DefaultConfig() Config {
+	return Config{IoUGate: 0.15, MaxMisses: 8, ConfirmHits: 2, ClassStrict: true}
+}
+
+// Tracker associates per-frame detections into tracks.
+type Tracker struct {
+	cfg    Config
+	tracks []*Track
+	nextID int
+}
+
+// NewTracker returns a tracker with the given configuration; zero-value
+// fields fall back to DefaultConfig values.
+func NewTracker(cfg Config) *Tracker {
+	def := DefaultConfig()
+	if cfg.IoUGate == 0 {
+		cfg.IoUGate = def.IoUGate
+	}
+	if cfg.MaxMisses == 0 {
+		cfg.MaxMisses = def.MaxMisses
+	}
+	if cfg.ConfirmHits == 0 {
+		cfg.ConfirmHits = def.ConfirmHits
+	}
+	return &Tracker{cfg: cfg, nextID: 1}
+}
+
+// Tracks returns the live tracks (all states except removed ones).
+func (tk *Tracker) Tracks() []*Track { return tk.tracks }
+
+// Confirmed returns only confirmed tracks.
+func (tk *Tracker) Confirmed() []*Track {
+	out := make([]*Track, 0, len(tk.tracks))
+	for _, t := range tk.tracks {
+		if t.State == Confirmed {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Update advances all tracks one frame, associates the detections, and
+// returns the updated live tracks. The returned slice is shared with the
+// tracker; callers must not mutate it.
+func (tk *Tracker) Update(dets []Detection) []*Track {
+	// 1. Predict.
+	for _, t := range tk.tracks {
+		t.Box = t.kf.Predict()
+		t.Age++
+	}
+
+	// 2. Build the association cost matrix (1 - IoU, gated).
+	n, m := len(tk.tracks), len(dets)
+	var assign []int
+	if n > 0 && m > 0 {
+		cost := make([][]float64, n)
+		for i, t := range tk.tracks {
+			row := make([]float64, m)
+			for j, d := range dets {
+				iou := geom.IoU(t.Box, d.Box)
+				if iou < tk.cfg.IoUGate || (tk.cfg.ClassStrict && t.Class != d.Class) {
+					row[j] = 1e9 // effectively forbidden
+				} else {
+					row[j] = 1 - iou
+				}
+			}
+			cost[i] = row
+		}
+		if tk.cfg.Greedy {
+			assign = GreedyAssign(cost, 1.0)
+		} else {
+			assign = Hungarian(cost)
+			// Reject matches the gate forbade; Hungarian may be forced
+			// into them when everything is expensive.
+			for i, j := range assign {
+				if j >= 0 && cost[i][j] >= 1e8 {
+					assign[i] = -1
+				}
+			}
+		}
+	} else {
+		assign = make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+	}
+
+	// 3. Update matched tracks.
+	matchedDet := make([]bool, m)
+	for i, t := range tk.tracks {
+		j := assign[i]
+		if j < 0 {
+			t.Misses++
+			if t.Misses > tk.cfg.MaxMisses {
+				t.State = Lost
+			}
+			continue
+		}
+		matchedDet[j] = true
+		t.kf.Update(dets[j].Box)
+		t.Box = t.kf.Box()
+		t.Hits++
+		t.Misses = 0
+		t.Ref = dets[j].Ref
+		if t.State == Tentative && t.Hits >= tk.cfg.ConfirmHits {
+			t.State = Confirmed
+		}
+	}
+
+	// 4. Spawn tracks for unmatched detections.
+	for j, d := range dets {
+		if matchedDet[j] {
+			continue
+		}
+		t := &Track{
+			ID: tk.nextID, Class: d.Class, State: Tentative,
+			Box: d.Box, Hits: 1, Ref: d.Ref,
+			kf: NewKalmanFilter(d.Box),
+		}
+		if tk.cfg.ConfirmHits <= 1 {
+			t.State = Confirmed
+		}
+		tk.nextID++
+		tk.tracks = append(tk.tracks, t)
+	}
+
+	// 5. Reap lost tracks.
+	live := tk.tracks[:0]
+	for _, t := range tk.tracks {
+		if t.State != Lost {
+			live = append(live, t)
+		}
+	}
+	tk.tracks = live
+	return tk.tracks
+}
+
+// Reset clears all tracks but preserves the ID counter so identities
+// never repeat within a session.
+func (tk *Tracker) Reset() { tk.tracks = nil }

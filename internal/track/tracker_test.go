@@ -1,0 +1,200 @@
+package track
+
+import (
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/video"
+)
+
+func det(x, y, w, h float64, class int) Detection {
+	return Detection{Box: geom.Rect(x, y, w, h), Class: class, Score: 0.9}
+}
+
+func TestTrackerSpawnsAndConfirms(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 2})
+	tracks := tk.Update([]Detection{det(0, 0, 40, 30, 1)})
+	if len(tracks) != 1 || tracks[0].State != Tentative {
+		t.Fatalf("after 1 frame: %+v", tracks)
+	}
+	tracks = tk.Update([]Detection{det(2, 0, 40, 30, 1)})
+	if len(tracks) != 1 || tracks[0].State != Confirmed {
+		t.Fatalf("after 2 frames: state=%v", tracks[0].State)
+	}
+	if tracks[0].ID != 1 {
+		t.Errorf("ID = %d", tracks[0].ID)
+	}
+}
+
+func TestTrackerIdentityStability(t *testing.T) {
+	tk := NewTracker(DefaultConfig())
+	var id int
+	for i := 0; i < 30; i++ {
+		tracks := tk.Update([]Detection{det(float64(i)*5, 100, 40, 30, 1)})
+		if len(tracks) != 1 {
+			t.Fatalf("frame %d: %d tracks", i, len(tracks))
+		}
+		if i == 0 {
+			id = tracks[0].ID
+		} else if tracks[0].ID != id {
+			t.Fatalf("identity switched at frame %d: %d -> %d", i, id, tracks[0].ID)
+		}
+	}
+}
+
+func TestTrackerSurvivesShortOcclusion(t *testing.T) {
+	tk := NewTracker(Config{MaxMisses: 5, ConfirmHits: 1})
+	var id int
+	for i := 0; i < 10; i++ {
+		tracks := tk.Update([]Detection{det(float64(i)*4, 50, 40, 30, 1)})
+		id = tracks[0].ID
+	}
+	// 3 frames of occlusion (no detections).
+	for i := 0; i < 3; i++ {
+		tk.Update(nil)
+	}
+	// Reappears where the motion model predicts.
+	tracks := tk.Update([]Detection{det(13*4, 50, 40, 30, 1)})
+	found := false
+	for _, tr := range tracks {
+		if tr.ID == id && tr.State == Confirmed {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("track identity lost over 3-frame occlusion")
+	}
+}
+
+func TestTrackerDropsAfterMaxMisses(t *testing.T) {
+	tk := NewTracker(Config{MaxMisses: 2, ConfirmHits: 1})
+	tk.Update([]Detection{det(0, 0, 40, 30, 1)})
+	for i := 0; i < 3; i++ {
+		tk.Update(nil)
+	}
+	if n := len(tk.Tracks()); n != 0 {
+		t.Errorf("%d tracks survive past miss budget", n)
+	}
+}
+
+func TestTrackerTwoObjectsNoSwap(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 1})
+	// Two objects crossing paths horizontally, vertically separated
+	// enough for IoU gating to keep them distinct.
+	idAt := map[string]int{}
+	for i := 0; i <= 20; i++ {
+		a := det(float64(i)*10, 50, 40, 30, 1)      // moving right
+		b := det(200-float64(i)*10, 150, 40, 30, 1) // moving left
+		tracks := tk.Update([]Detection{a, b})
+		if len(tracks) != 2 {
+			t.Fatalf("frame %d: %d tracks", i, len(tracks))
+		}
+		for _, tr := range tracks {
+			key := "top"
+			if tr.Box.Center().Y > 100 {
+				key = "bottom"
+			}
+			if prev, ok := idAt[key]; ok && prev != tr.ID {
+				t.Fatalf("identity swap on %s lane at frame %d", key, i)
+			}
+			idAt[key] = tr.ID
+		}
+	}
+}
+
+func TestTrackerClassStrict(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 1, ClassStrict: true})
+	tk.Update([]Detection{det(0, 0, 40, 30, 1)})
+	// Same place, different class: must spawn a new track, not match.
+	tracks := tk.Update([]Detection{det(0, 0, 40, 30, 2)})
+	classes := map[int]bool{}
+	for _, tr := range tracks {
+		classes[tr.Class] = true
+	}
+	if !classes[1] || !classes[2] {
+		t.Errorf("class-strict matching failed: %+v", tracks)
+	}
+}
+
+func TestTrackerGreedyMode(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 1, Greedy: true})
+	for i := 0; i < 10; i++ {
+		tracks := tk.Update([]Detection{det(float64(i)*3, 0, 40, 30, 1)})
+		if len(tracks) != 1 {
+			t.Fatalf("greedy frame %d: %d tracks", i, len(tracks))
+		}
+	}
+}
+
+func TestTrackerRefPropagation(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 1})
+	d := det(0, 0, 40, 30, 1)
+	d.Ref = "payload"
+	tracks := tk.Update([]Detection{d})
+	if tracks[0].Ref != "payload" {
+		t.Errorf("Ref = %v", tracks[0].Ref)
+	}
+}
+
+func TestTrackerResetKeepsIDs(t *testing.T) {
+	tk := NewTracker(Config{ConfirmHits: 1})
+	tk.Update([]Detection{det(0, 0, 40, 30, 1)})
+	tk.Reset()
+	tracks := tk.Update([]Detection{det(0, 0, 40, 30, 1)})
+	if tracks[0].ID == 1 {
+		t.Error("IDs reused after Reset")
+	}
+}
+
+func TestTrackStateString(t *testing.T) {
+	if Tentative.String() != "tentative" || Confirmed.String() != "confirmed" ||
+		Lost.String() != "lost" || TrackState(9).String() != "invalid" {
+		t.Error("TrackState strings wrong")
+	}
+}
+
+// TestTrackerOnSyntheticVideo runs the tracker over ground-truth boxes of
+// a generated scenario and checks identity purity: each emitted track
+// should predominantly cover a single ground-truth track.
+func TestTrackerOnSyntheticVideo(t *testing.T) {
+	v := video.Banff(21, 30).Generate()
+	tk := NewTracker(DefaultConfig())
+	// trackGT[trackerID][gtID] = association counts.
+	trackGT := make(map[int]map[int]int)
+	for i := range v.Frames {
+		dets := make([]Detection, 0, len(v.Frames[i].Objects))
+		for _, o := range v.Frames[i].Objects {
+			dets = append(dets, Detection{Box: o.Box, Class: int(o.Class), Score: 1, Ref: o.TrackID})
+		}
+		for _, tr := range tk.Update(dets) {
+			if tr.State != Confirmed || tr.Ref == nil {
+				continue
+			}
+			gt := tr.Ref.(int)
+			if trackGT[tr.ID] == nil {
+				trackGT[tr.ID] = make(map[int]int)
+			}
+			trackGT[tr.ID][gt]++
+		}
+	}
+	if len(trackGT) == 0 {
+		t.Skip("no confirmed tracks in scenario")
+	}
+	pure, total := 0, 0
+	for _, gts := range trackGT {
+		best, sum := 0, 0
+		for _, n := range gts {
+			sum += n
+			if n > best {
+				best = n
+			}
+		}
+		total++
+		if float64(best)/float64(sum) > 0.9 {
+			pure++
+		}
+	}
+	if frac := float64(pure) / float64(total); frac < 0.8 {
+		t.Errorf("track purity %.2f (%d/%d) too low", frac, pure, total)
+	}
+}

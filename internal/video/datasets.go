@@ -1,0 +1,124 @@
+package video
+
+import "vqpy/internal/geom"
+
+// Dataset presets mirror the video sources used in the paper's
+// evaluation. Each returns a Scenario that can be generated directly or
+// tweaked (duration, seed) first.
+
+// CityFlow approximates the CityFlow-NL traffic footage used in §5.1:
+// 10 fps, 960p-class resolution, an intersection with a moderate vehicle
+// flow where green vehicles are rare and black ones common — the rarity
+// structure that makes per-query speedups differ across Q1-Q5.
+func CityFlow(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "cityflow", Seed: seed, FPS: 10, W: 1280, H: 960,
+		Duration:       durationSec,
+		VehiclesPerSec: 1.2,
+		PersonsPerSec:  0.05,
+		ColorWeights: map[Color]float64{
+			ColorBlack: 0.28, ColorWhite: 0.22, ColorSilver: 0.16,
+			ColorBlue: 0.12, ColorRed: 0.12, ColorGreen: 0.05, ColorYellow: 0.05,
+		},
+		SpeederFrac: 0.08,
+	}
+}
+
+// Banff approximates the Banff live cam (15 fps, 1280x720): a quiet
+// mountain-town street with light traffic and pedestrians.
+func Banff(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "banff", Seed: seed, FPS: 15, W: 1280, H: 720,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.35,
+		PersonsPerSec:  0.25,
+		SpeederFrac:    0.06,
+	}
+}
+
+// Jackson approximates the Jackson Hole town square cam (15 fps,
+// 1920x1080): moderate traffic, frequent pedestrians.
+func Jackson(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "jackson", Seed: seed, FPS: 15, W: 1920, H: 1080,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.6,
+		PersonsPerSec:  0.4,
+		SpeederFrac:    0.1,
+	}
+}
+
+// Southampton approximates the Southampton traffic cam (30 fps,
+// 1920x1080): a busier road at double the frame rate.
+func Southampton(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "southampton", Seed: seed, FPS: 30, W: 1920, H: 1080,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.9,
+		PersonsPerSec:  0.2,
+		SpeederFrac:    0.12,
+	}
+}
+
+// Auburn approximates the Auburn Toomer's Corner webcam used for the
+// MLLM comparison (§5.3): a crossing with occasional pedestrians and
+// cars. Densities are deliberately sparse so that one-second clips have
+// positive rates comparable to the paper's Table 6 (22-46% per query).
+func Auburn(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "auburn", Seed: seed, FPS: 15, W: 1920, H: 1080,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.22,
+		PersonsPerSec:  0.10,
+		TurnWeights: map[geom.Direction]float64{
+			geom.DirStraight: 0.60, geom.DirLeft: 0.22, geom.DirRight: 0.18,
+		},
+		ColorWeights: map[Color]float64{
+			ColorBlack: 0.26, ColorWhite: 0.22, ColorSilver: 0.18,
+			ColorBlue: 0.12, ColorRed: 0.12, ColorGreen: 0.05, ColorYellow: 0.05,
+		},
+		SpeederFrac: 0.05,
+	}
+}
+
+// VCOCO approximates the V-COCO human-object-interaction image set used
+// for Q6: independent still frames, most containing a person with a
+// ball, a small fraction (the paper reports 4.9% positives) with an
+// active hit interaction.
+func VCOCO(seed uint64, images int) Scenario {
+	return Scenario{
+		Name: "vcoco", Seed: seed, FPS: 1, W: 640, H: 480,
+		Duration: float64(images),
+		Stills:   true,
+		BallFrac: 0.6,
+		HitFrac:  0.082, // 0.6*0.082 ≈ 4.9% positive frames
+	}
+}
+
+// Pickup stages the §4.1 example scenario (Figures 9-10): a suspect
+// person entering a parked red car which then drives away, against
+// background traffic.
+func Pickup(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "pickup", Seed: seed, FPS: 15, W: 1280, H: 720,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.4,
+		PersonsPerSec:  0.3,
+		PlantSuspect:   true,
+		PlantPickup:    true,
+	}
+}
+
+// Retail approximates the Cisco DeepVision use cases (§5.4): an indoor
+// scene with loiterers and a queue region, used by the loitering and
+// queue-analysis examples.
+func Retail(seed uint64, durationSec float64) Scenario {
+	return Scenario{
+		Name: "retail", Seed: seed, FPS: 10, W: 1280, H: 720,
+		Duration:       durationSec,
+		VehiclesPerSec: 0.01,
+		PersonsPerSec:  0.8,
+		WalkFrac:       0.5,
+		LoiterFrac:     0.25,
+	}
+}

@@ -1,0 +1,190 @@
+package video
+
+import "vqpy/internal/geom"
+
+// RasterW and RasterH fix the pixel-grid dimensions used for all frames.
+// The grid is deliberately small: simulated model cost is governed by the
+// virtual-time ledger, and the raster exists so that property models
+// (color classification, frame differencing) operate on genuine pixel
+// data rather than reading labels.
+const (
+	RasterW = 128
+	RasterH = 72
+)
+
+// Raster is a small RGB pixel grid rendered from a frame's ground truth.
+// Pixels are packed 0xRRGGBB values, row-major.
+type Raster struct {
+	W, H int
+	Pix  []uint32
+}
+
+// At returns the pixel at (x, y); out-of-range coordinates return 0.
+func (r *Raster) At(x, y int) uint32 {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return 0
+	}
+	return r.Pix[y*r.W+x]
+}
+
+// set writes the pixel at (x, y), ignoring out-of-range coordinates.
+func (r *Raster) set(x, y int, v uint32) {
+	if x < 0 || y < 0 || x >= r.W || y >= r.H {
+		return
+	}
+	r.Pix[y*r.W+x] = v
+}
+
+// backgroundAt produces a deterministic textured background pixel. The
+// texture varies spatially but not temporally, so frame differencing sees
+// static background, and it darkens at night.
+func backgroundAt(x, y int, night bool) uint32 {
+	// Cheap spatial hash for mild texture.
+	h := uint32(x*7919+y*104729) ^ uint32(x*y+13)
+	base := uint32(0x60 + (h&0x0F)*2) // 0x60..0x7E gray
+	if night {
+		base /= 3
+	}
+	return base<<16 | base<<8 | base
+}
+
+// Render rasterizes the frame: textured background plus one solid block
+// per object, painted in the object's color (or a class-typical tone for
+// colorless objects). Objects are painted in slice order, so later
+// objects occlude earlier ones, loosely approximating depth.
+func (f *Frame) Render() *Raster {
+	r := &Raster{W: RasterW, H: RasterH, Pix: make([]uint32, RasterW*RasterH)}
+	night := f.Scene().Night
+	for y := 0; y < RasterH; y++ {
+		for x := 0; x < RasterW; x++ {
+			r.Pix[y*RasterW+x] = backgroundAt(x, y, night)
+		}
+	}
+	sx := float64(RasterW) / float64(f.W)
+	sy := float64(RasterH) / float64(f.H)
+	for _, o := range f.Objects {
+		rgb := o.Color.RGB()
+		if o.Color == ColorNone {
+			switch o.Class {
+			case ClassPerson:
+				// A gray-brown clothing tone whose nearest palette
+				// entry is silver, not red — person pixels bleeding
+				// into a vehicle crop must not flip its color class.
+				rgb = 0x8A8270
+			case ClassBall:
+				rgb = 0xE07820
+			default:
+				rgb = 0x707880
+			}
+		}
+		if night {
+			rgb = (rgb >> 1) & 0x7F7F7F
+		}
+		b := o.Box
+		x1, y1 := int(b.X1*sx), int(b.Y1*sy)
+		x2, y2 := int(b.X2*sx), int(b.Y2*sy)
+		if x2 <= x1 {
+			x2 = x1 + 1
+		}
+		if y2 <= y1 {
+			y2 = y1 + 1
+		}
+		for y := y1; y < y2; y++ {
+			for x := x1; x < x2; x++ {
+				r.set(x, y, rgb)
+			}
+		}
+	}
+	return r
+}
+
+// CropStats summarizes the pixels inside a crop region.
+type CropStats struct {
+	MeanR, MeanG, MeanB float64
+	N                   int
+}
+
+// Crop computes pixel statistics for the raster region corresponding to
+// box (given in frame coordinates for a frame of size fw x fh).
+func (r *Raster) Crop(box geom.BBox, fw, fh int) CropStats {
+	sx := float64(r.W) / float64(fw)
+	sy := float64(r.H) / float64(fh)
+	x1, y1 := int(box.X1*sx), int(box.Y1*sy)
+	x2, y2 := int(box.X2*sx), int(box.Y2*sy)
+	if x1 < 0 {
+		x1 = 0
+	}
+	if y1 < 0 {
+		y1 = 0
+	}
+	if x2 > r.W {
+		x2 = r.W
+	}
+	if y2 > r.H {
+		y2 = r.H
+	}
+	var s CropStats
+	for y := y1; y < y2; y++ {
+		for x := x1; x < x2; x++ {
+			p := r.Pix[y*r.W+x]
+			s.MeanR += float64(p >> 16 & 0xFF)
+			s.MeanG += float64(p >> 8 & 0xFF)
+			s.MeanB += float64(p & 0xFF)
+			s.N++
+		}
+	}
+	if s.N > 0 {
+		s.MeanR /= float64(s.N)
+		s.MeanG /= float64(s.N)
+		s.MeanB /= float64(s.N)
+	}
+	return s
+}
+
+// DominantColor matches the crop's mean color against the palette and
+// returns the nearest Color. Crops with no pixels return ColorNone.
+func (s CropStats) DominantColor() Color {
+	if s.N == 0 {
+		return ColorNone
+	}
+	best, bestD := ColorNone, 1e18
+	for _, c := range AllColors {
+		rgb := c.RGB()
+		dr := s.MeanR - float64(rgb>>16&0xFF)
+		dg := s.MeanG - float64(rgb>>8&0xFF)
+		db := s.MeanB - float64(rgb&0xFF)
+		d := dr*dr + dg*dg + db*db
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Diff returns the mean absolute per-channel difference between two
+// rasters of identical dimensions, the signal consumed by
+// differencing-based frame filters. Mismatched dimensions return the
+// maximum difference.
+func Diff(a, b *Raster) float64 {
+	if a == nil || b == nil || a.W != b.W || a.H != b.H || len(a.Pix) != len(b.Pix) {
+		return 255
+	}
+	var total float64
+	for i := range a.Pix {
+		pa, pb := a.Pix[i], b.Pix[i]
+		dr := int(pa>>16&0xFF) - int(pb>>16&0xFF)
+		dg := int(pa>>8&0xFF) - int(pb>>8&0xFF)
+		db := int(pa&0xFF) - int(pb&0xFF)
+		if dr < 0 {
+			dr = -dr
+		}
+		if dg < 0 {
+			dg = -dg
+		}
+		if db < 0 {
+			db = -db
+		}
+		total += float64(dr+dg+db) / 3
+	}
+	return total / float64(len(a.Pix))
+}

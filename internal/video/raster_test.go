@@ -1,0 +1,130 @@
+package video
+
+import (
+	"testing"
+
+	"vqpy/internal/geom"
+)
+
+func oneObjectFrame(c Color, box geom.BBox) *Frame {
+	return &Frame{
+		Index: 0, W: 1280, H: 720,
+		Objects: []Object{{TrackID: 1, Class: ClassCar, Color: c, Kind: KindSedan, Box: box}},
+		scene:   &Scene{},
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	f := oneObjectFrame(ColorRed, geom.Rect(100, 100, 200, 150))
+	r := f.Render()
+	if r.W != RasterW || r.H != RasterH || len(r.Pix) != RasterW*RasterH {
+		t.Fatalf("raster dims wrong: %dx%d len=%d", r.W, r.H, len(r.Pix))
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	f := oneObjectFrame(ColorBlue, geom.Rect(300, 200, 150, 100))
+	a, b := f.Render(), f.Render()
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("render is not deterministic")
+		}
+	}
+}
+
+func TestDominantColorRecovery(t *testing.T) {
+	// The dominant color of a crop over a painted object should match
+	// the object color for every palette entry.
+	for _, c := range AllColors {
+		box := geom.Rect(400, 300, 300, 220)
+		f := oneObjectFrame(c, box)
+		r := f.Render()
+		got := r.Crop(box, f.W, f.H).DominantColor()
+		if got != c {
+			t.Errorf("color %v recovered as %v", c, got)
+		}
+	}
+}
+
+func TestCropEmpty(t *testing.T) {
+	f := oneObjectFrame(ColorRed, geom.Rect(100, 100, 100, 100))
+	r := f.Render()
+	s := r.Crop(geom.Rect(-500, -500, 1, 1), f.W, f.H)
+	if s.N != 0 {
+		t.Errorf("out-of-frame crop has %d pixels", s.N)
+	}
+	if s.DominantColor() != ColorNone {
+		t.Error("empty crop should have no dominant color")
+	}
+}
+
+func TestAtBounds(t *testing.T) {
+	f := oneObjectFrame(ColorRed, geom.Rect(0, 0, 100, 100))
+	r := f.Render()
+	if r.At(-1, 0) != 0 || r.At(0, -1) != 0 || r.At(RasterW, 0) != 0 || r.At(0, RasterH) != 0 {
+		t.Error("out-of-range At should return 0")
+	}
+}
+
+func TestDiffStaticVsMoving(t *testing.T) {
+	bg := &Frame{Index: 0, W: 1280, H: 720, scene: &Scene{}}
+	same := &Frame{Index: 1, W: 1280, H: 720, scene: &Scene{}}
+	moved := oneObjectFrame(ColorWhite, geom.Rect(500, 300, 200, 150))
+
+	d0 := Diff(bg.Render(), same.Render())
+	if d0 != 0 {
+		t.Errorf("static background diff = %v, want 0", d0)
+	}
+	d1 := Diff(bg.Render(), moved.Render())
+	if d1 <= d0 {
+		t.Errorf("object appearance diff %v not above static %v", d1, d0)
+	}
+}
+
+func TestDiffMismatched(t *testing.T) {
+	a := &Raster{W: 2, H: 2, Pix: make([]uint32, 4)}
+	b := &Raster{W: 3, H: 2, Pix: make([]uint32, 6)}
+	if Diff(a, b) != 255 {
+		t.Error("mismatched rasters should diff to 255")
+	}
+	if Diff(nil, a) != 255 {
+		t.Error("nil raster should diff to 255")
+	}
+}
+
+func TestNightDarkens(t *testing.T) {
+	day := oneObjectFrame(ColorWhite, geom.Rect(500, 300, 200, 150))
+	night := oneObjectFrame(ColorWhite, geom.Rect(500, 300, 200, 150))
+	night.scene = &Scene{Night: true}
+	sd := day.Render().Crop(geom.Rect(500, 300, 200, 150), 1280, 720)
+	sn := night.Render().Crop(geom.Rect(500, 300, 200, 150), 1280, 720)
+	if sn.MeanR >= sd.MeanR {
+		t.Errorf("night not darker: day %v night %v", sd.MeanR, sn.MeanR)
+	}
+}
+
+func TestOcclusionOrder(t *testing.T) {
+	// Later objects paint over earlier ones.
+	box := geom.Rect(400, 300, 200, 150)
+	f := &Frame{
+		Index: 0, W: 1280, H: 720, scene: &Scene{},
+		Objects: []Object{
+			{TrackID: 1, Class: ClassCar, Color: ColorRed, Box: box},
+			{TrackID: 2, Class: ClassCar, Color: ColorBlue, Box: box},
+		},
+	}
+	got := f.Render().Crop(box, f.W, f.H).DominantColor()
+	if got != ColorBlue {
+		t.Errorf("occluding object color = %v, want blue", got)
+	}
+}
+
+func TestSceneDefault(t *testing.T) {
+	f := &Frame{Index: 0, W: 100, H: 100}
+	if f.Scene() == nil {
+		t.Fatal("Scene() returned nil")
+	}
+	if f.Scene().Night {
+		t.Error("default scene should be day")
+	}
+}

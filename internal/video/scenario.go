@@ -1,0 +1,556 @@
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/sim"
+)
+
+// Scenario configures the deterministic generator. Zero values are filled
+// with sensible defaults by Generate; the same Scenario and seed always
+// produce the same Video.
+type Scenario struct {
+	Name     string
+	Seed     uint64
+	FPS      int
+	W, H     int
+	Duration float64 // seconds
+
+	// VehiclesPerSec and PersonsPerSec are mean spawn rates.
+	VehiclesPerSec float64
+	PersonsPerSec  float64
+
+	// ColorWeights and KindWeights bias intrinsic vehicle attributes;
+	// empty maps use a default urban mix where green is rare and black
+	// common, matching the rarity structure CityFlow queries rely on.
+	ColorWeights map[Color]float64
+	KindWeights  map[VehicleKind]float64
+
+	// TurnWeights biases vehicle motion (straight / left / right).
+	TurnWeights map[geom.Direction]float64
+
+	// SpeedRange is the vehicle cruise speed in pixels/frame;
+	// SpeederFrac is the fraction of vehicles exceeding the speeding
+	// threshold used by speed queries.
+	SpeedRange  [2]float64
+	SpeederFrac float64
+
+	// WalkFrac is the fraction of persons who walk (vs stand);
+	// LoiterFrac the fraction who loiter in place for a long dwell.
+	WalkFrac   float64
+	LoiterFrac float64
+
+	// BallFrac is the fraction of persons accompanied by a ball, and
+	// HitFrac the fraction of those that hit it during the clip.
+	BallFrac float64
+	HitFrac  float64
+
+	// PlantSuspect plants one person track flagged as the ReID target,
+	// and PlantPickup additionally stages that person entering a red
+	// car (the Figure 9/10 query scenario).
+	PlantSuspect bool
+	PlantPickup  bool
+
+	// Stills generates independent single-object-set frames (V-COCO
+	// style images) instead of continuous motion.
+	Stills bool
+
+	// Night renders a darker scene.
+	Night bool
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.FPS == 0 {
+		s.FPS = 15
+	}
+	if s.W == 0 {
+		s.W = 1280
+	}
+	if s.H == 0 {
+		s.H = 720
+	}
+	if s.Duration == 0 {
+		s.Duration = 60
+	}
+	if s.VehiclesPerSec == 0 {
+		s.VehiclesPerSec = 0.5
+	}
+	if s.ColorWeights == nil {
+		s.ColorWeights = map[Color]float64{
+			ColorBlack: 0.26, ColorWhite: 0.22, ColorSilver: 0.18,
+			ColorBlue: 0.12, ColorRed: 0.12, ColorGreen: 0.05, ColorYellow: 0.05,
+		}
+	}
+	if s.KindWeights == nil {
+		s.KindWeights = map[VehicleKind]float64{
+			KindSedan: 0.45, KindSUV: 0.28, KindHatchback: 0.12,
+			KindVan: 0.08, KindBusKind: 0.04, KindTruckKind: 0.03,
+		}
+	}
+	if s.TurnWeights == nil {
+		s.TurnWeights = map[geom.Direction]float64{
+			geom.DirStraight: 0.7, geom.DirLeft: 0.15, geom.DirRight: 0.15,
+		}
+	}
+	if s.SpeedRange == [2]float64{} {
+		s.SpeedRange = [2]float64{4, 9}
+	}
+	if s.WalkFrac == 0 {
+		s.WalkFrac = 0.8
+	}
+}
+
+// SpeedingThreshold is the ground-truth speed (pixels/frame) above which
+// a vehicle counts as speeding; speeder tracks are generated above it and
+// normal tracks below it.
+const SpeedingThreshold = 12.0
+
+// track is a fully precomputed object trajectory.
+type track struct {
+	id        int
+	class     Class
+	color     Color
+	kind      VehicleKind
+	plate     string
+	featureID int
+	suspect   bool
+
+	spawnFrame int
+	life       int // frames
+	path       []geom.Point
+	w, h       float64
+	dir        geom.Direction
+	walking    bool
+	loiter     bool
+
+	hasBall             bool
+	hitStart, hitEnd    int // frame offsets with ball-hit active
+	enterStart, enterTo int // frame offsets while entering a car
+	pairTrack           int // companion track id (ball or car), -1 if none
+}
+
+// posAt returns the track centroid at frame offset t in [0, life).
+func (tr *track) posAt(t int) geom.Point {
+	if len(tr.path) == 0 {
+		return geom.Point{}
+	}
+	if len(tr.path) == 1 || tr.life <= 1 {
+		return tr.path[0]
+	}
+	// The path is sampled uniformly over the lifetime.
+	f := float64(t) / float64(tr.life-1)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	scaled := f * float64(len(tr.path)-1)
+	i := int(scaled)
+	if i >= len(tr.path)-1 {
+		return tr.path[len(tr.path)-1]
+	}
+	frac := scaled - float64(i)
+	a, b := tr.path[i], tr.path[i+1]
+	return geom.Point{X: a.X + (b.X-a.X)*frac, Y: a.Y + (b.Y-a.Y)*frac}
+}
+
+// Generate materializes the scenario into a Video. Generation is pure:
+// all randomness flows from the scenario seed.
+func (s Scenario) Generate() *Video {
+	s.applyDefaults()
+	rng := sim.NewRNG(s.Seed ^ 0xC0FFEE123456789)
+	n := int(s.Duration * float64(s.FPS))
+	if n < 1 {
+		n = 1
+	}
+	scene := &Scene{
+		Night:     s.Night,
+		Crosswalk: geom.Rect(float64(s.W)*0.3, float64(s.H)*0.55, float64(s.W)*0.4, float64(s.H)*0.12),
+	}
+	v := &Video{
+		Name: s.Name, FPS: s.FPS, W: s.W, H: s.H,
+		Tracks: make(map[int][]TrackPoint),
+		scene:  scene,
+	}
+
+	var tracks []*track
+	if s.Stills {
+		tracks = s.genStills(rng, n)
+	} else {
+		tracks = s.genMotion(rng, n)
+	}
+
+	// Materialize frames.
+	v.Frames = make([]Frame, n)
+	for i := 0; i < n; i++ {
+		v.Frames[i] = Frame{
+			Index: i, TimeSec: float64(i) / float64(s.FPS),
+			W: s.W, H: s.H, scene: scene,
+		}
+	}
+	for _, tr := range tracks {
+		s.materialize(v, tr)
+	}
+	return v
+}
+
+// genMotion creates continuous-motion tracks: vehicles through an
+// intersection, pedestrians, optional planted events.
+func (s *Scenario) genMotion(rng *sim.RNG, frames int) []*track {
+	var tracks []*track
+	nextID := 1
+
+	// Vehicles: spawn times form a thinned Bernoulli process per frame.
+	pVehicle := s.VehiclesPerSec / float64(s.FPS)
+	pPerson := s.PersonsPerSec / float64(s.FPS)
+	for f := 0; f < frames; f++ {
+		if rng.Bool(pVehicle) {
+			tr := s.newVehicle(rng, nextID, f, frames)
+			tracks = append(tracks, tr)
+			nextID++
+		}
+		if rng.Bool(pPerson) {
+			trs := s.newPerson(rng, nextID, f, frames)
+			tracks = append(tracks, trs...)
+			nextID += len(trs)
+		}
+	}
+
+	if s.PlantSuspect || s.PlantPickup {
+		trs := s.plantPickup(rng, nextID, frames)
+		tracks = append(tracks, trs...)
+	}
+	return tracks
+}
+
+// newVehicle synthesizes one vehicle track.
+func (s *Scenario) newVehicle(rng *sim.RNG, id, spawn, frames int) *track {
+	color := weightedColor(rng, s.ColorWeights)
+	kind := weightedKind(rng, s.KindWeights)
+	turn := weightedTurn(rng, s.TurnWeights)
+	speed := rng.Range(s.SpeedRange[0], s.SpeedRange[1])
+	if rng.Bool(s.SpeederFrac) {
+		speed = SpeedingThreshold + rng.Range(2, 8)
+	}
+	w, h := 90.0, 58.0
+	switch kind {
+	case KindBusKind:
+		w, h = 170, 75
+	case KindTruckKind:
+		w, h = 150, 80
+	case KindSUV:
+		w, h = 100, 66
+	case KindVan:
+		w, h = 110, 70
+	}
+	path := intersectionPath(rng, float64(s.W), float64(s.H), turn)
+	length := pathLength(path)
+	life := int(length / speed)
+	if life < 8 {
+		life = 8
+	}
+	if life > frames*2 {
+		life = frames * 2
+	}
+	return &track{
+		id: id, class: vehicleClass(kind), color: color, kind: kind,
+		plate: synthPlate(rng), spawnFrame: spawn, life: life,
+		path: path, w: w, h: h, dir: turn, pairTrack: -1,
+	}
+}
+
+func vehicleClass(k VehicleKind) Class {
+	switch k {
+	case KindBusKind:
+		return ClassBus
+	case KindTruckKind:
+		return ClassTruck
+	}
+	return ClassCar
+}
+
+// newPerson synthesizes a pedestrian track, possibly with an attached
+// ball track.
+func (s *Scenario) newPerson(rng *sim.RNG, id, spawn, frames int) []*track {
+	W, H := float64(s.W), float64(s.H)
+	walking := rng.Bool(s.WalkFrac)
+	loiter := rng.Bool(s.LoiterFrac)
+	var path []geom.Point
+	var life int
+	switch {
+	case loiter:
+		// Small random walk inside a corner zone, long dwell.
+		cx, cy := W*rng.Range(0.05, 0.2), H*rng.Range(0.1, 0.4)
+		for i := 0; i < 12; i++ {
+			path = append(path, geom.Point{X: cx + rng.Range(-15, 15), Y: cy + rng.Range(-10, 10)})
+		}
+		life = int(rng.Range(0.5, 0.9) * float64(frames))
+		walking = false
+	case walking:
+		// Cross the crosswalk left-to-right or right-to-left.
+		y := H * rng.Range(0.58, 0.64)
+		if rng.Bool(0.5) {
+			path = []geom.Point{{X: W * 0.25, Y: y}, {X: W * 0.75, Y: y}}
+		} else {
+			path = []geom.Point{{X: W * 0.75, Y: y}, {X: W * 0.25, Y: y}}
+		}
+		speed := rng.Range(1.5, 3)
+		life = int(pathLength(path) / speed)
+	default:
+		// Standing near the curb.
+		p := geom.Point{X: W * rng.Range(0.1, 0.9), Y: H * rng.Range(0.45, 0.52)}
+		path = []geom.Point{p, p}
+		life = int(rng.Range(0.2, 0.5) * float64(frames))
+	}
+	if life < 10 {
+		life = 10
+	}
+	person := &track{
+		id: id, class: ClassPerson, spawnFrame: spawn, life: life,
+		path: path, w: 26, h: 64, walking: walking, loiter: loiter,
+		featureID: rng.Intn(1 << 16), pairTrack: -1,
+	}
+	out := []*track{person}
+	if rng.Bool(s.BallFrac) {
+		ball := &track{
+			id: id + 1, class: ClassBall, spawnFrame: spawn, life: life,
+			path: offsetPath(path, 20, 28), w: 12, h: 12, pairTrack: id,
+		}
+		person.hasBall = true
+		person.pairTrack = ball.id
+		if rng.Bool(s.HitFrac) {
+			start := rng.Intn(life/2 + 1)
+			person.hitStart, person.hitEnd = start, start+life/4+1
+		}
+		out = append(out, ball)
+	}
+	return out
+}
+
+// plantPickup stages the Figure 9/10 scenario: a suspect person walks to
+// a parked red car and enters it; the car then drives away.
+func (s *Scenario) plantPickup(rng *sim.RNG, nextID, frames int) []*track {
+	W, H := float64(s.W), float64(s.H)
+	spawn := frames / 4
+	carX, carY := W*0.55, H*0.6
+	walkLife := frames / 6
+	if walkLife < 20 {
+		walkLife = 20
+	}
+	suspect := &track{
+		id: nextID, class: ClassPerson, spawnFrame: spawn, life: walkLife + 12,
+		path: []geom.Point{{X: W * 0.2, Y: H * 0.62}, {X: carX - 40, Y: carY}},
+		w:    26, h: 64, walking: true, suspect: true,
+		featureID:  7777,
+		enterStart: walkLife, enterTo: walkLife + 12,
+		pairTrack: nextID + 1,
+	}
+	if !s.PlantPickup {
+		suspect.enterStart, suspect.enterTo = 0, 0
+		suspect.pairTrack = -1
+		return []*track{suspect}
+	}
+	// Parked red car that departs after the pickup.
+	carLife := walkLife + 12 + frames/6
+	var carPath []geom.Point
+	for i := 0; i < 8; i++ { // parked segment
+		carPath = append(carPath, geom.Point{X: carX, Y: carY})
+	}
+	carPath = append(carPath, geom.Point{X: W * 0.95, Y: carY}) // departure
+	car := &track{
+		id: nextID + 1, class: ClassCar, color: ColorRed, kind: KindSedan,
+		plate: "SUS-745", spawnFrame: spawn, life: carLife,
+		path: carPath, w: 95, h: 60, dir: geom.DirStraight,
+		pairTrack: nextID,
+	}
+	_ = rng
+	return []*track{suspect, car}
+}
+
+// genStills creates V-COCO-style independent frames: each frame has a
+// person, usually a ball, and sometimes an active hit interaction.
+func (s *Scenario) genStills(rng *sim.RNG, frames int) []*track {
+	var tracks []*track
+	id := 1
+	W, H := float64(s.W), float64(s.H)
+	for f := 0; f < frames; f++ {
+		px, py := W*rng.Range(0.2, 0.8), H*rng.Range(0.4, 0.7)
+		person := &track{
+			id: id, class: ClassPerson, spawnFrame: f, life: 1,
+			path: []geom.Point{{X: px, Y: py}}, w: 28, h: 66,
+			featureID: rng.Intn(1 << 16), pairTrack: -1,
+		}
+		id++
+		tracks = append(tracks, person)
+		if rng.Bool(s.BallFrac) {
+			hit := rng.Bool(s.HitFrac)
+			dx := rng.Range(18, 40)
+			if hit {
+				dx = rng.Range(8, 16) // hitting: ball close to the person
+			}
+			ball := &track{
+				id: id, class: ClassBall, spawnFrame: f, life: 1,
+				path: []geom.Point{{X: px + dx, Y: py - rng.Range(0, 30)}}, w: 12, h: 12,
+				pairTrack: person.id,
+			}
+			id++
+			person.hasBall = true
+			person.pairTrack = ball.id
+			if hit {
+				person.hitStart, person.hitEnd = 0, 1
+			}
+			tracks = append(tracks, ball)
+		}
+	}
+	return tracks
+}
+
+// materialize writes a track's per-frame objects into the video.
+func (s *Scenario) materialize(v *Video, tr *track) {
+	for t := 0; t < tr.life; t++ {
+		fi := tr.spawnFrame + t
+		if fi < 0 || fi >= len(v.Frames) {
+			continue
+		}
+		c := tr.posAt(t)
+		box := geom.BBox{
+			X1: c.X - tr.w/2, Y1: c.Y - tr.h/2,
+			X2: c.X + tr.w/2, Y2: c.Y + tr.h/2,
+		}.Clamp(float64(v.W), float64(v.H))
+		if box.Empty() {
+			continue
+		}
+		speed := 0.0
+		if t > 0 {
+			speed = c.Dist(tr.posAt(t - 1))
+		} else if tr.life > 1 {
+			speed = c.Dist(tr.posAt(1))
+		}
+		obj := Object{
+			TrackID: tr.id, Class: tr.class, Color: tr.color, Kind: tr.kind,
+			Box: box, Plate: tr.plate, FeatureID: tr.featureID,
+			Speed: speed, Dir: tr.dir,
+			Walking:     tr.class == ClassPerson && tr.walking && speed > 0.5,
+			HasBall:     tr.hasBall,
+			HittingBall: tr.hasBall && t >= tr.hitStart && t < tr.hitEnd && tr.hitEnd > 0,
+			OnCrosswalk: !box.Intersect(v.scene.Crosswalk).Empty(),
+			Suspect:     tr.suspect,
+			EnteringCar: tr.enterTo > 0 && t >= tr.enterStart && t < tr.enterTo,
+		}
+		v.Frames[fi].Objects = append(v.Frames[fi].Objects, obj)
+		v.Tracks[tr.id] = append(v.Tracks[tr.id], TrackPoint{Frame: fi, Box: box})
+	}
+}
+
+// intersectionPath builds a vehicle path through a central intersection:
+// enter from a random edge, proceed to the center, then exit straight or
+// after a turn.
+func intersectionPath(rng *sim.RNG, W, H float64, turn geom.Direction) []geom.Point {
+	cx, cy := W/2, H/2
+	// Entry edges: 0=west 1=east 2=north 3=south.
+	edge := rng.Intn(4)
+	var entry, heading geom.Point
+	switch edge {
+	case 0:
+		entry, heading = geom.Point{X: 0, Y: cy + rng.Range(-40, 40)}, geom.Point{X: 1}
+	case 1:
+		entry, heading = geom.Point{X: W, Y: cy + rng.Range(-40, 40)}, geom.Point{X: -1}
+	case 2:
+		entry, heading = geom.Point{X: cx + rng.Range(-60, 60), Y: 0}, geom.Point{Y: 1}
+	default:
+		entry, heading = geom.Point{X: cx + rng.Range(-60, 60), Y: H}, geom.Point{Y: -1}
+	}
+	center := geom.Point{X: cx, Y: entry.Y}
+	if heading.X == 0 {
+		center = geom.Point{X: entry.X, Y: cy}
+	}
+	var exitHeading geom.Point
+	switch turn {
+	case geom.DirLeft:
+		exitHeading = geom.Point{X: heading.Y, Y: -heading.X}
+	case geom.DirRight:
+		exitHeading = geom.Point{X: -heading.Y, Y: heading.X}
+	default:
+		exitHeading = heading
+	}
+	reach := math.Max(W, H)
+	exit := center.Add(exitHeading.Scale(reach))
+	exit.X = math.Max(-50, math.Min(W+50, exit.X))
+	exit.Y = math.Max(-50, math.Min(H+50, exit.Y))
+	return []geom.Point{entry, center, exit}
+}
+
+func pathLength(p []geom.Point) float64 {
+	total := 0.0
+	for i := 1; i < len(p); i++ {
+		total += p[i].Dist(p[i-1])
+	}
+	return total
+}
+
+func offsetPath(p []geom.Point, dx, dy float64) []geom.Point {
+	out := make([]geom.Point, len(p))
+	for i, pt := range p {
+		out[i] = geom.Point{X: pt.X + dx, Y: pt.Y + dy}
+	}
+	return out
+}
+
+func weightedColor(rng *sim.RNG, w map[Color]float64) Color {
+	colors := make([]Color, 0, len(w))
+	weights := make([]float64, 0, len(w))
+	for _, c := range AllColors { // stable iteration order
+		if wt, ok := w[c]; ok {
+			colors = append(colors, c)
+			weights = append(weights, wt)
+		}
+	}
+	if len(colors) == 0 {
+		return ColorSilver
+	}
+	return colors[rng.Weighted(weights)]
+}
+
+func weightedKind(rng *sim.RNG, w map[VehicleKind]float64) VehicleKind {
+	all := []VehicleKind{KindSedan, KindSUV, KindHatchback, KindVan, KindBusKind, KindTruckKind}
+	kinds := make([]VehicleKind, 0, len(w))
+	weights := make([]float64, 0, len(w))
+	for _, k := range all {
+		if wt, ok := w[k]; ok {
+			kinds = append(kinds, k)
+			weights = append(weights, wt)
+		}
+	}
+	if len(kinds) == 0 {
+		return KindSedan
+	}
+	return kinds[rng.Weighted(weights)]
+}
+
+func weightedTurn(rng *sim.RNG, w map[geom.Direction]float64) geom.Direction {
+	all := []geom.Direction{geom.DirStraight, geom.DirLeft, geom.DirRight}
+	dirs := make([]geom.Direction, 0, len(w))
+	weights := make([]float64, 0, len(w))
+	for _, d := range all {
+		if wt, ok := w[d]; ok {
+			dirs = append(dirs, d)
+			weights = append(weights, wt)
+		}
+	}
+	if len(dirs) == 0 {
+		return geom.DirStraight
+	}
+	return dirs[rng.Weighted(weights)]
+}
+
+func synthPlate(rng *sim.RNG) string {
+	letters := "ABCDEFGHJKLMNPRSTUVWXYZ"
+	return fmt.Sprintf("%c%c%c-%03d",
+		letters[rng.Intn(len(letters))],
+		letters[rng.Intn(len(letters))],
+		letters[rng.Intn(len(letters))],
+		rng.Intn(1000))
+}

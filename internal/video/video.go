@@ -1,0 +1,311 @@
+// Package video provides the synthetic video substrate that stands in for
+// the paper's real surveillance footage (CityFlow-NL, public live cams,
+// Auburn, V-COCO).
+//
+// A Scenario deterministically generates a Video: a sequence of Frames,
+// each carrying ground-truth Objects (tracked entities with stable
+// intrinsic attributes such as color, vehicle kind and license plate, plus
+// per-frame state such as position and speed). Frames can be rasterized
+// into a small pixel grid so that simulated models perform genuine
+// computation over pixel data.
+//
+// Ground truth plays the role of the paper's hand labels: it is the
+// reference against which query F1 scores are computed, and the hidden
+// source from which simulated detectors derive their (noisy) outputs.
+package video
+
+import (
+	"fmt"
+
+	"vqpy/internal/geom"
+)
+
+// Class is the coarse object class vocabulary shared by scenarios,
+// detectors and queries.
+type Class int
+
+// Object classes.
+const (
+	ClassUnknown Class = iota
+	ClassPerson
+	ClassCar
+	ClassBus
+	ClassTruck
+	ClassBall
+)
+
+var classNames = [...]string{"unknown", "person", "car", "bus", "truck", "ball"}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c < 0 || int(c) >= len(classNames) {
+		return "invalid"
+	}
+	return classNames[c]
+}
+
+// ParseClass maps a class name to a Class; unknown names yield
+// ClassUnknown.
+func ParseClass(s string) Class {
+	for i, n := range classNames {
+		if n == s {
+			return Class(i)
+		}
+	}
+	return ClassUnknown
+}
+
+// Color is the color vocabulary used by vehicle attribute queries.
+type Color int
+
+// Colors. ColorNone marks objects without a meaningful color attribute.
+const (
+	ColorNone Color = iota
+	ColorRed
+	ColorGreen
+	ColorBlue
+	ColorBlack
+	ColorWhite
+	ColorSilver
+	ColorYellow
+)
+
+var colorNames = [...]string{"none", "red", "green", "blue", "black", "white", "silver", "yellow"}
+
+// String implements fmt.Stringer.
+func (c Color) String() string {
+	if c < 0 || int(c) >= len(colorNames) {
+		return "invalid"
+	}
+	return colorNames[c]
+}
+
+// ParseColor maps a color name to a Color; unknown names yield ColorNone.
+func ParseColor(s string) Color {
+	for i, n := range colorNames {
+		if n == s {
+			return Color(i)
+		}
+	}
+	return ColorNone
+}
+
+// RGB returns a representative packed 0xRRGGBB value for the color, used
+// when rasterizing frames.
+func (c Color) RGB() uint32 {
+	switch c {
+	case ColorRed:
+		return 0xC03030
+	case ColorGreen:
+		return 0x30A040
+	case ColorBlue:
+		return 0x3050C0
+	case ColorBlack:
+		return 0x181818
+	case ColorWhite:
+		return 0xE8E8E8
+	case ColorSilver:
+		return 0xA8A8B0
+	case ColorYellow:
+		return 0xD0C030
+	}
+	return 0x808080
+}
+
+// AllColors lists the real colors (excluding ColorNone), in a stable
+// order, for palette matching.
+var AllColors = []Color{ColorRed, ColorGreen, ColorBlue, ColorBlack, ColorWhite, ColorSilver, ColorYellow}
+
+// VehicleKind is the fine-grained vehicle type vocabulary of
+// CityFlow-style queries.
+type VehicleKind int
+
+// Vehicle kinds. KindNone marks non-vehicles.
+const (
+	KindNone VehicleKind = iota
+	KindSedan
+	KindSUV
+	KindHatchback
+	KindVan
+	KindBusKind
+	KindTruckKind
+)
+
+var kindNames = [...]string{"none", "sedan", "suv", "hatchback", "van", "bus", "truck"}
+
+// String implements fmt.Stringer.
+func (k VehicleKind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "invalid"
+	}
+	return kindNames[k]
+}
+
+// ParseKind maps a kind name to a VehicleKind; unknown names yield
+// KindNone.
+func ParseKind(s string) VehicleKind {
+	for i, n := range kindNames {
+		if n == s {
+			return VehicleKind(i)
+		}
+	}
+	return KindNone
+}
+
+// Object is the ground-truth state of one tracked entity on one frame.
+//
+// TrackID is stable across frames for the same physical entity; intrinsic
+// attributes (Color, Kind, Plate, FeatureID) never change within a track,
+// matching the paper's definition of intrinsic properties.
+type Object struct {
+	TrackID int
+	Class   Class
+	Color   Color
+	Kind    VehicleKind
+	Box     geom.BBox
+
+	// Plate is the license plate string (vehicles only).
+	Plate string
+
+	// FeatureID keys the synthetic ReID embedding space (persons only).
+	FeatureID int
+
+	// Speed is the ground-truth displacement magnitude in pixels per
+	// frame at this frame.
+	Speed float64
+
+	// Dir is the ground-truth overall motion class of the track.
+	Dir geom.Direction
+
+	// Walking reports whether a person is in motion this frame.
+	Walking bool
+
+	// HasBall and HittingBall describe person-ball interaction state.
+	HasBall     bool
+	HittingBall bool
+
+	// OnCrosswalk reports whether the object overlaps the scene's
+	// crosswalk region this frame.
+	OnCrosswalk bool
+
+	// Suspect marks the planted ReID target track.
+	Suspect bool
+
+	// EnteringCar is set on a person during frames where it is entering
+	// a vehicle (the Figure 9/10 scenario).
+	EnteringCar bool
+}
+
+// IsVehicle reports whether the object class is one of the vehicle
+// classes.
+func (o Object) IsVehicle() bool {
+	return o.Class == ClassCar || o.Class == ClassBus || o.Class == ClassTruck
+}
+
+// Frame is one video frame: its index, wall time offset, and the
+// ground-truth objects visible on it.
+type Frame struct {
+	Index   int
+	TimeSec float64
+	W, H    int
+	Objects []Object
+
+	scene *Scene
+}
+
+// Scene carries static per-video context referenced by frames (crosswalk
+// region, day/night flag).
+type Scene struct {
+	Crosswalk geom.BBox
+	Night     bool
+}
+
+// Scene returns the static scene context. It is never nil for frames
+// produced by a Scenario.
+func (f *Frame) Scene() *Scene {
+	if f.scene == nil {
+		return &Scene{}
+	}
+	return f.scene
+}
+
+// Video is an ordered sequence of frames with capture metadata.
+type Video struct {
+	Name   string
+	FPS    int
+	W, H   int
+	Frames []Frame
+
+	// Tracks indexes ground-truth objects by TrackID → per-frame
+	// appearances, in frame order. Built by the generator.
+	Tracks map[int][]TrackPoint
+
+	scene *Scene
+}
+
+// TrackPoint is one appearance of a track on a frame.
+type TrackPoint struct {
+	Frame int
+	Box   geom.BBox
+}
+
+// Duration returns the video length in seconds.
+func (v *Video) Duration() float64 {
+	if v.FPS == 0 {
+		return 0
+	}
+	return float64(len(v.Frames)) / float64(v.FPS)
+}
+
+// Clip returns a shallow sub-video covering frames [from, to). Indices
+// are clamped to the valid range.
+func (v *Video) Clip(from, to int) *Video {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(v.Frames) {
+		to = len(v.Frames)
+	}
+	if from > to {
+		from = to
+	}
+	out := &Video{
+		Name: fmt.Sprintf("%s[%d:%d)", v.Name, from, to),
+		FPS:  v.FPS, W: v.W, H: v.H,
+		Frames: v.Frames[from:to],
+		Tracks: v.Tracks,
+		scene:  v.scene,
+	}
+	return out
+}
+
+// GroundTruthCount returns the number of distinct tracks matching the
+// given predicate over ground-truth objects, the reference value for
+// video-level counting queries.
+func (v *Video) GroundTruthCount(pred func(Object) bool) int {
+	seen := make(map[int]bool)
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			if !seen[o.TrackID] && pred(o) {
+				seen[o.TrackID] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// FramesMatching returns the set of frame indices on which at least one
+// ground-truth object satisfies pred, the reference for frame-level
+// boolean queries.
+func (v *Video) FramesMatching(pred func(Object) bool) map[int]bool {
+	out := make(map[int]bool)
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			if pred(o) {
+				out[v.Frames[i].Index] = true
+				break
+			}
+		}
+	}
+	return out
+}

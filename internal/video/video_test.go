@@ -1,0 +1,337 @@
+package video
+
+import (
+	"testing"
+
+	"vqpy/internal/geom"
+)
+
+func TestEnumStrings(t *testing.T) {
+	if ClassCar.String() != "car" || ClassPerson.String() != "person" {
+		t.Error("class names wrong")
+	}
+	if Class(99).String() != "invalid" {
+		t.Error("invalid class name")
+	}
+	if ParseClass("bus") != ClassBus || ParseClass("nope") != ClassUnknown {
+		t.Error("ParseClass wrong")
+	}
+	if ColorRed.String() != "red" || ParseColor("green") != ColorGreen {
+		t.Error("color names wrong")
+	}
+	if ParseColor("nope") != ColorNone || Color(99).String() != "invalid" {
+		t.Error("color edge cases wrong")
+	}
+	if KindSUV.String() != "suv" || ParseKind("sedan") != KindSedan {
+		t.Error("kind names wrong")
+	}
+	if ParseKind("nope") != KindNone || VehicleKind(99).String() != "invalid" {
+		t.Error("kind edge cases wrong")
+	}
+}
+
+func TestColorRGBDistinct(t *testing.T) {
+	seen := make(map[uint32]Color)
+	for _, c := range AllColors {
+		rgb := c.RGB()
+		if prev, dup := seen[rgb]; dup {
+			t.Errorf("colors %v and %v share RGB %06x", prev, c, rgb)
+		}
+		seen[rgb] = c
+	}
+}
+
+func TestIsVehicle(t *testing.T) {
+	if !(Object{Class: ClassCar}).IsVehicle() || !(Object{Class: ClassBus}).IsVehicle() {
+		t.Error("car/bus should be vehicles")
+	}
+	if (Object{Class: ClassPerson}).IsVehicle() || (Object{Class: ClassBall}).IsVehicle() {
+		t.Error("person/ball should not be vehicles")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := CityFlow(7, 20).Generate()
+	b := CityFlow(7, 20).Generate()
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if len(a.Frames[i].Objects) != len(b.Frames[i].Objects) {
+			t.Fatalf("frame %d object counts differ", i)
+		}
+		for j := range a.Frames[i].Objects {
+			if a.Frames[i].Objects[j] != b.Frames[i].Objects[j] {
+				t.Fatalf("frame %d object %d differs", i, j)
+			}
+		}
+	}
+	c := CityFlow(8, 20).Generate()
+	diff := false
+	for i := range a.Frames {
+		if len(a.Frames[i].Objects) != len(c.Frames[i].Objects) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical structure (suspicious)")
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	v := CityFlow(1, 60).Generate()
+	if v.FPS != 10 || v.W != 1280 || v.H != 960 {
+		t.Errorf("metadata wrong: fps=%d %dx%d", v.FPS, v.W, v.H)
+	}
+	if len(v.Frames) != 600 {
+		t.Errorf("frames = %d, want 600", len(v.Frames))
+	}
+	if v.Duration() != 60 {
+		t.Errorf("Duration = %v", v.Duration())
+	}
+	total := 0
+	for i := range v.Frames {
+		if v.Frames[i].Index != i {
+			t.Fatalf("frame %d has Index %d", i, v.Frames[i].Index)
+		}
+		total += len(v.Frames[i].Objects)
+	}
+	if total == 0 {
+		t.Fatal("no objects generated")
+	}
+	if len(v.Tracks) == 0 {
+		t.Fatal("no tracks indexed")
+	}
+}
+
+func TestIntrinsicAttributesStable(t *testing.T) {
+	v := CityFlow(2, 60).Generate()
+	type intrinsics struct {
+		color Color
+		kind  VehicleKind
+		plate string
+		class Class
+	}
+	seen := make(map[int]intrinsics)
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			in := intrinsics{o.Color, o.Kind, o.Plate, o.Class}
+			if prev, ok := seen[o.TrackID]; ok && prev != in {
+				t.Fatalf("track %d intrinsics changed: %v -> %v", o.TrackID, prev, in)
+			}
+			seen[o.TrackID] = in
+		}
+	}
+}
+
+func TestBoxesInsideFrame(t *testing.T) {
+	v := Jackson(3, 30).Generate()
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			if o.Box.X1 < 0 || o.Box.Y1 < 0 || o.Box.X2 > float64(v.W) || o.Box.Y2 > float64(v.H) {
+				t.Fatalf("frame %d track %d box out of frame: %v", i, o.TrackID, o.Box)
+			}
+			if o.Box.Empty() {
+				t.Fatalf("frame %d track %d empty box", i, o.TrackID)
+			}
+		}
+	}
+}
+
+func TestTrackContinuity(t *testing.T) {
+	// Consecutive appearances of a track should move less than a
+	// plausible per-frame bound, so trackers can follow them.
+	v := Southampton(4, 20).Generate()
+	for id, pts := range v.Tracks {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Frame != pts[i-1].Frame+1 {
+				continue // clipped at frame edge
+			}
+			d := geom.CenterDist(pts[i].Box, pts[i-1].Box)
+			if d > 60 {
+				t.Fatalf("track %d jumped %.1f px between frames %d-%d", id, d, pts[i-1].Frame, pts[i].Frame)
+			}
+		}
+	}
+}
+
+func TestColorRarityRespected(t *testing.T) {
+	v := CityFlow(5, 600).Generate()
+	counts := make(map[Color]int)
+	for id := range v.Tracks {
+		// Find the first object of this track to read intrinsics.
+		var obj *Object
+		for i := range v.Frames {
+			for j := range v.Frames[i].Objects {
+				if v.Frames[i].Objects[j].TrackID == id {
+					obj = &v.Frames[i].Objects[j]
+					break
+				}
+			}
+			if obj != nil {
+				break
+			}
+		}
+		if obj != nil && obj.IsVehicle() {
+			counts[obj.Color]++
+		}
+	}
+	if counts[ColorGreen] >= counts[ColorBlack] {
+		t.Errorf("green (%d) should be rarer than black (%d)", counts[ColorGreen], counts[ColorBlack])
+	}
+}
+
+func TestSpeedersExist(t *testing.T) {
+	sc := Southampton(6, 120)
+	sc.SpeederFrac = 0.3
+	v := sc.Generate()
+	speeders := v.GroundTruthCount(func(o Object) bool {
+		return o.IsVehicle() && o.Speed > SpeedingThreshold
+	})
+	if speeders == 0 {
+		t.Error("no speeding vehicles generated at SpeederFrac=0.3")
+	}
+}
+
+func TestStillsIndependence(t *testing.T) {
+	v := VCOCO(7, 200).Generate()
+	if len(v.Frames) != 200 {
+		t.Fatalf("frames = %d", len(v.Frames))
+	}
+	// Track IDs must not repeat across still frames.
+	seen := make(map[int]int)
+	hits, balls := 0, 0
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			if f, ok := seen[o.TrackID]; ok && f != i {
+				t.Fatalf("track %d appears on frames %d and %d in stills mode", o.TrackID, f, i)
+			}
+			seen[o.TrackID] = i
+			if o.Class == ClassBall {
+				balls++
+			}
+			if o.HittingBall {
+				hits++
+			}
+		}
+	}
+	if balls == 0 {
+		t.Error("no balls in V-COCO stills")
+	}
+	if hits == 0 {
+		t.Error("no hit interactions in V-COCO stills")
+	}
+	// Positive rate should be low, near the paper's 4.9%.
+	posFrames := v.FramesMatching(func(o Object) bool { return o.HittingBall })
+	rate := float64(len(posFrames)) / float64(len(v.Frames))
+	if rate > 0.20 {
+		t.Errorf("hit positive rate %.2f too high", rate)
+	}
+}
+
+func TestPickupScenario(t *testing.T) {
+	v := Pickup(8, 60).Generate()
+	suspectFrames := v.FramesMatching(func(o Object) bool { return o.Suspect })
+	if len(suspectFrames) == 0 {
+		t.Fatal("no suspect planted")
+	}
+	entering := v.FramesMatching(func(o Object) bool { return o.EnteringCar })
+	if len(entering) == 0 {
+		t.Fatal("no entering-car event")
+	}
+	redCars := v.GroundTruthCount(func(o Object) bool { return o.Class == ClassCar && o.Color == ColorRed })
+	if redCars == 0 {
+		t.Fatal("no red car planted")
+	}
+}
+
+func TestClip(t *testing.T) {
+	v := Banff(9, 30).Generate()
+	c := v.Clip(10, 20)
+	if len(c.Frames) != 10 {
+		t.Errorf("clip frames = %d", len(c.Frames))
+	}
+	if c.Frames[0].Index != 10 {
+		t.Errorf("clip preserves original indices; got %d", c.Frames[0].Index)
+	}
+	// Degenerate ranges clamp.
+	if got := len(v.Clip(-5, 1e6).Frames); got != len(v.Frames) {
+		t.Errorf("clamped clip frames = %d", got)
+	}
+	if got := len(v.Clip(50, 10).Frames); got != 0 {
+		t.Errorf("inverted clip frames = %d", got)
+	}
+}
+
+func TestLoiterersDwell(t *testing.T) {
+	sc := Retail(10, 120)
+	v := sc.Generate()
+	longDwell := 0
+	for _, pts := range v.Tracks {
+		if len(pts) > 40*v.FPS { // > 40 seconds
+			longDwell++
+		}
+	}
+	if longDwell == 0 {
+		t.Error("retail scenario produced no long-dwelling tracks")
+	}
+}
+
+func TestCrosswalkFlag(t *testing.T) {
+	v := Auburn(11, 120).Generate()
+	onCw := 0
+	for i := range v.Frames {
+		for _, o := range v.Frames[i].Objects {
+			if o.Class == ClassPerson && o.OnCrosswalk {
+				onCw++
+			}
+		}
+	}
+	if onCw == 0 {
+		t.Error("no persons on crosswalk in Auburn scenario")
+	}
+}
+
+func TestDirectionGroundTruthMatchesGeometry(t *testing.T) {
+	// For long vehicle tracks, ClassifyDirection over the ground-truth
+	// centroids should frequently agree with the generated label.
+	v := CityFlow(12, 300).Generate()
+	agree, total := 0, 0
+	for id, pts := range v.Tracks {
+		if len(pts) < 15 {
+			continue
+		}
+		var label geom.Direction
+		var found bool
+		for i := range v.Frames {
+			for _, o := range v.Frames[i].Objects {
+				if o.TrackID == id && o.IsVehicle() {
+					label, found = o.Dir, true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		centers := make([]geom.Point, len(pts))
+		for i, p := range pts {
+			centers[i] = p.Box.Center()
+		}
+		got := geom.ClassifyDirection(centers)
+		total++
+		if got == label {
+			agree++
+		}
+	}
+	if total == 0 {
+		t.Skip("no long vehicle tracks")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.6 {
+		t.Errorf("direction agreement %.2f (%d/%d) too low", frac, agree, total)
+	}
+}

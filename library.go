@@ -1,0 +1,231 @@
+package vqpy
+
+import (
+	"fmt"
+
+	"vqpy/internal/core"
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// This file is the §2 "Library": ready-made VObjs, Relations and Queries
+// that serve as building blocks, mirroring vqpy's built-ins.
+
+// VelocityProp returns the stateful velocity property of Figure 23:
+// centroid displacement (pixels/frame) averaged over the last
+// historyLen+1 bounding boxes.
+func VelocityProp(historyLen int) *Property {
+	return &core.Property{
+		Name: "velocity", Stateful: true, DependsOn: []string{core.PropBBox},
+		HistoryLen: historyLen, CostHintMS: 0.05,
+		Compute: func(in PropInput) (any, error) {
+			pts := make([]geom.Point, 0, len(in.History))
+			for _, h := range in.History {
+				if b, ok := h.(geom.BBox); ok {
+					pts = append(pts, b.Center())
+				}
+			}
+			if len(pts) < 2 {
+				return nil, core.ErrNotReady
+			}
+			return geom.Velocity(pts), nil
+		},
+	}
+}
+
+// DirectionProp returns the stateful direction property of Figure 2:
+// coarse motion class over the last historyLen+1 centers.
+func DirectionProp(historyLen int) *Property {
+	return &core.Property{
+		Name: "direction", Stateful: true, DependsOn: []string{core.PropCenter},
+		HistoryLen: historyLen, CostHintMS: 0.05,
+		Compute: func(in PropInput) (any, error) {
+			pts := make([]geom.Point, 0, len(in.History))
+			for _, h := range in.History {
+				if p, ok := h.(geom.Point); ok {
+					pts = append(pts, p)
+				}
+			}
+			if len(pts) < 3 {
+				return nil, core.ErrNotReady
+			}
+			return geom.ClassifyDirection(pts).String(), nil
+		},
+	}
+}
+
+// Car is the library vehicle VObj (Figure 2): yolox detection, intrinsic
+// color / type / plate via zoo models, and stateful direction and
+// velocity.
+func Car() *VObjType {
+	return core.NewVObj("Car", video.ClassCar).
+		Detector("yolox").
+		StatelessModel("color", "color_detect", true).
+		StatelessModel("kind", "type_detect", true).
+		StatelessModel("plate", "plate_ocr", true).
+		AddProperty(DirectionProp(5)).
+		AddProperty(VelocityProp(1))
+}
+
+// Bus is the library bus VObj.
+func Bus() *VObjType {
+	return core.NewVObj("Bus", video.ClassBus).
+		Detector("yolox").
+		StatelessModel("color", "color_detect", true).
+		AddProperty(DirectionProp(5)).
+		AddProperty(VelocityProp(1))
+}
+
+// RedCar extends Car with the registered specialized NN and binary
+// classifier of Figure 11.
+func RedCar() *VObjType {
+	return Car().Extend("RedCar").
+		RegisterSpecializedNN("red_car_specialized").
+		RegisterFilter("no_red_on_road")
+}
+
+// Person is the library person VObj, with a ReID feature property.
+func Person() *VObjType {
+	return core.NewVObj("Person", video.ClassPerson).
+		Detector("person_detector").
+		StatelessModel("feature", "reid", false)
+}
+
+// SuspectPerson extends Person with the stateless feature / stateful
+// similarity pair of the Figure 10 example: similarity compares recent
+// feature vectors against a target embedding.
+func SuspectPerson(target []float64, window int) *VObjType {
+	return Person().Extend("SuspectPerson").
+		AddProperty(&core.Property{
+			Name: "similarity", Stateful: true, DependsOn: []string{"feature"},
+			HistoryLen: window, CostHintMS: 0.2,
+			Compute: func(in PropInput) (any, error) {
+				if len(in.History) == 0 {
+					return nil, core.ErrNotReady
+				}
+				best := 0.0
+				for _, h := range in.History {
+					v, ok := h.([]float64)
+					if !ok {
+						continue
+					}
+					if s := models.Cosine(v, target); s > best {
+						best = s
+					}
+				}
+				return best, nil
+			},
+		})
+}
+
+// Ball is the library ball VObj.
+func Ball() *VObjType {
+	return core.NewVObj("Ball", video.ClassBall).Detector("yolox")
+}
+
+// NightScene is the special scene VObj (§3) with a "night" background
+// property computed honestly from frame pixels (mean brightness below a
+// threshold). Scene properties are per-frame and therefore never
+// intrinsic. Constraints on the scene act as frame filters: the planner
+// schedules the scene path before any detector.
+func NightScene() *VObjType {
+	return core.Scene().AddProperty(&core.Property{
+		Name: "night", CostHintMS: 0.3,
+		Compute: func(in PropInput) (any, error) {
+			r := in.Raster
+			if r == nil {
+				r = in.Frame.Render()
+			}
+			stats := r.Crop(in.Box, in.Frame.W, in.Frame.H)
+			brightness := (stats.MeanR + stats.MeanG + stats.MeanB) / 3
+			return brightness < 48, nil
+		},
+	})
+}
+
+// PersonBallInteraction is the Figure 4 relation: the "interaction"
+// property is computed by the UPT human-object-interaction model.
+func PersonBallInteraction(person, ball *VObjType) *RelationType {
+	return core.NewRelation("person_ball", core.RelSpatial, person, ball).
+		ModelProp("interaction", "upt")
+}
+
+// SpeedQuery is the library query used in Figure 8: objects of the given
+// type moving faster than threshold (pixels/frame).
+func SpeedQuery(name, instance string, t *VObjType, threshold float64) *Query {
+	if _, ok := t.Prop("velocity"); !ok {
+		t = t.Extend(t.Name() + "WithVelocity").AddProperty(VelocityProp(1))
+	}
+	return core.NewQuery(name).
+		Use(instance, t).
+		Where(And(
+			P(instance, core.PropScore).Gt(0.6),
+			P(instance, "velocity").Gt(threshold),
+		)).
+		FrameOutput(Sel(instance, core.PropTrackID), Sel(instance, core.PropBBox))
+}
+
+// CollisionQuery is the library sub-query of SpatialQuery used in Figure
+// 8: two objects closer than threshold pixels.
+func CollisionQuery(name string, left, right *VObjType, threshold float64) (*SpatialQuery, error) {
+	li, ri := instanceNameFor(left, "a"), instanceNameFor(right, "b")
+	if li == ri {
+		ri += "2"
+	}
+	rel := core.DistanceRelation(name+"_near", left, right)
+	lq := core.NewQuery(name+"_left").Use(li, left).
+		Where(P(li, core.PropScore).Gt(0.5))
+	rq := core.NewQuery(name+"_right").Use(ri, right).
+		Where(P(ri, core.PropScore).Gt(0.5))
+	return core.NewSpatialQuery(name, lq, rq, rel,
+		RP(name+"_near", "distance").Lt(threshold))
+}
+
+func instanceNameFor(t *VObjType, fallback string) string {
+	if t == nil {
+		return fallback
+	}
+	name := t.Name()
+	if name == "" {
+		return fallback
+	}
+	// Lowercase first rune, ASCII names only in the library.
+	b := []byte(name)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	return string(b)
+}
+
+// GenerateVideo materializes a scenario; a convenience re-export so
+// examples only import vqpy.
+func GenerateVideo(s Scenario) *Video { return s.Generate() }
+
+// Datasets: the scenario presets used across the paper's evaluation.
+var (
+	DatasetCityFlow    = video.CityFlow
+	DatasetBanff       = video.Banff
+	DatasetJackson     = video.Jackson
+	DatasetSouthampton = video.Southampton
+	DatasetAuburn      = video.Auburn
+	DatasetVCOCO       = video.VCOCO
+	DatasetPickup      = video.Pickup
+	DatasetRetail      = video.Retail
+)
+
+// RegisterModel registers a user model (Figure 11's register call) under
+// the given profile. It returns an error for unknown task kinds.
+func (s *Session) RegisterModel(p models.Profile) error {
+	if p.Name == "" {
+		return fmt.Errorf("vqpy: model profile needs a name")
+	}
+	switch p.Task {
+	case models.TaskDetect, models.TaskClassify, models.TaskEmbed,
+		models.TaskHOI, models.TaskOCR, models.TaskBinary:
+	default:
+		return fmt.Errorf("vqpy: unknown model task %v", p.Task)
+	}
+	s.registry.Register(p.Name, models.NewFromProfile(p))
+	return nil
+}

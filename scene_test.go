@@ -1,0 +1,92 @@
+package vqpy_test
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy"
+)
+
+// TestSceneVObjAsFrameFilter exercises the special scene VObj (§3): a
+// night constraint on the scene must act as a frame filter, dropping day
+// frames before any detector runs.
+func TestSceneVObjAsFrameFilter(t *testing.T) {
+	// Note the constraint deliberately avoids color: the renderer
+	// darkens object colors at night, so color classification degrades
+	// there (realistic, but not what this test is about).
+	q := func() *vqpy.Query {
+		return vqpy.NewQuery("CarAtNight").
+			Use("scene", vqpy.NightScene()).
+			Use("car", vqpy.Car()).
+			Where(vqpy.And(
+				vqpy.P("scene", "night").Eq(true),
+				vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropTrackID))
+	}
+
+	// Day video: the scene filter must reject everything cheaply.
+	day := vqpy.DatasetCityFlow(60, 30)
+	dayVideo := vqpy.GenerateVideo(day)
+	sDay := vqpy.NewSession(60)
+	sDay.SetNoBurn(true)
+	resDay, err := sDay.Execute(q(), dayVideo, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDay.MatchedCount() != 0 {
+		t.Errorf("day video matched %d night frames", resDay.MatchedCount())
+	}
+	// The detector must not have run on (almost) any frame: scene
+	// filtering drops frames first.
+	if det := sDay.Clock().Account("yolox"); det > 0 {
+		// Canary profiling runs on an isolated clock, so any charge
+		// here means the main run detected despite the scene filter.
+		t.Errorf("detector ran on day video despite scene filter (%.0f ms)", det)
+	}
+
+	// Night video: matches should appear.
+	night := vqpy.DatasetCityFlow(60, 30)
+	night.Night = true
+	nightVideo := vqpy.GenerateVideo(night)
+	sNight := vqpy.NewSession(60)
+	sNight.SetNoBurn(true)
+	resNight, err := sNight.Execute(q(), nightVideo, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNight.MatchedCount() == 0 {
+		t.Error("night video matched nothing")
+	}
+}
+
+// TestScenePlanShape verifies the planner schedules the scene path
+// before detectors.
+func TestScenePlanShape(t *testing.T) {
+	s := vqpy.NewSession(61)
+	s.SetNoBurn(true)
+	q := vqpy.NewQuery("NightCars").
+		Use("scene", vqpy.NightScene()).
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("scene", "night").Eq(true),
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+		))
+	p, _, err := s.Explain(q, nil, vqpy.WithoutFrameFilters(), vqpy.WithoutSpecialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := p.String()
+	scenePos := strings.Index(plan, "scene(scene)")
+	detectPos := strings.Index(plan, "detect(")
+	if scenePos < 0 || detectPos < 0 {
+		t.Fatalf("plan missing steps:\n%s", plan)
+	}
+	if scenePos > detectPos {
+		t.Errorf("scene path not scheduled before detection:\n%s", plan)
+	}
+	requirePos := strings.Index(plan, "require(scene)")
+	if requirePos < 0 || requirePos > detectPos {
+		t.Errorf("scene constraint does not gate the detector:\n%s", plan)
+	}
+}

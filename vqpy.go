@@ -1,0 +1,299 @@
+// Package vqpy is a Go implementation of VQPy, the video-object-oriented
+// query system of "VQPy: An Object-Oriented Approach to Modern Video
+// Analytics" (MLSys 2024).
+//
+// The public API mirrors the paper's three frontend constructs:
+//
+//   - VObj types declare the video objects of interest, their detection
+//     models and their stateless / stateful / intrinsic properties
+//     (NewVObj, the builders on VObjType, and the ready-made library
+//     types Car, Bus, Person, Ball).
+//   - Relations declare spatial or temporal relationships between VObjs
+//     (NewRelation, DistanceRelation, PersonBallInteraction).
+//   - Queries combine VObjs and Relations with frame- and video-level
+//     constraints (NewQuery, predicates built from P/RP with And/Or/Not),
+//     and compose into higher-order events (NewSpatialQuery,
+//     NewDurationQuery, NewTemporalQuery; library shortcuts SpeedQuery,
+//     CollisionQuery).
+//
+// A Session owns the model registry and virtual clock and executes query
+// nodes over videos through the backend planner and engine:
+//
+//	s := vqpy.NewSession(42)
+//	car := vqpy.Car()
+//	q := vqpy.NewQuery("RedCar").Use("car", car).
+//		Where(vqpy.And(
+//			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+//			vqpy.P("car", "color").Eq("red"),
+//		)).
+//		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", vqpy.PropBBox))
+//	res, err := s.Execute(q, videoClip)
+//
+// Because this repository is an offline reproduction, videos come from
+// the synthetic scenario generator (internal/video re-exported through
+// the Scenario helpers here) and models from a simulated zoo; see
+// DESIGN.md for the substitution map.
+package vqpy
+
+import (
+	"vqpy/internal/core"
+	"vqpy/internal/exec"
+	"vqpy/internal/models"
+	"vqpy/internal/plan"
+	"vqpy/internal/sim"
+	"vqpy/internal/video"
+)
+
+// Re-exported frontend types. These are aliases, so values flow freely
+// between the facade and the internal packages.
+type (
+	// VObjType declares a type of video object (§3).
+	VObjType = core.VObjType
+	// Property declares a VObj property.
+	Property = core.Property
+	// PropInput is the context handed to property compute functions.
+	PropInput = core.PropInput
+	// RelationType declares a relation between VObj types.
+	RelationType = core.RelationType
+	// RelInput is the context handed to relation compute functions.
+	RelInput = core.RelInput
+	// Query is a basic query.
+	Query = core.Query
+	// QueryNode is any executable query (basic or higher-order).
+	QueryNode = core.QueryNode
+	// SpatialQuery / DurationQuery / TemporalQuery are the higher-order
+	// combinators of §3.
+	SpatialQuery = core.SpatialQuery
+	// DurationQuery checks a condition holds for a minimum duration.
+	DurationQuery = core.DurationQuery
+	// TemporalQuery sequences two events within a window.
+	TemporalQuery = core.TemporalQuery
+	// Pred is a predicate tree.
+	Pred = core.Pred
+	// Selector names an output column.
+	Selector = core.Selector
+	// RunResult is the outcome of executing a query node.
+	RunResult = plan.RunResult
+	// Plan is a physical execution plan.
+	Plan = exec.Plan
+	// Event is a matched frame span.
+	Event = exec.Event
+	// Video is a frame sequence (synthetic in this reproduction).
+	Video = video.Video
+	// Scenario configures the synthetic video generator.
+	Scenario = video.Scenario
+)
+
+// Re-exported constructors and predicate builders.
+var (
+	// NewVObj declares a new VObj type.
+	NewVObj = core.NewVObj
+	// NewRelation declares a relation type.
+	NewRelation = core.NewRelation
+	// DistanceRelation is a ready-made centroid-distance relation.
+	DistanceRelation = core.DistanceRelation
+	// NewQuery declares a basic query.
+	NewQuery = core.NewQuery
+	// NewSpatialQuery / NewDurationQuery / NewTemporalQuery build
+	// higher-order queries, enforcing composition rules 1-3.
+	NewSpatialQuery  = core.NewSpatialQuery
+	NewDurationQuery = core.NewDurationQuery
+	NewTemporalQuery = core.NewTemporalQuery
+	// P references an instance property; RP a relation property.
+	P  = core.P
+	RP = core.RP
+	// And / Or / Not combine predicates (the paper's & | ¬).
+	And = core.And
+	Or  = core.Or
+	Not = core.Not
+	// Sel builds an output selector.
+	Sel = core.Sel
+	// SceneVObj returns the special scene VObj.
+	SceneVObj = core.Scene
+)
+
+// Built-in property names (see core documentation).
+const (
+	PropBBox     = core.PropBBox
+	PropCenter   = core.PropCenter
+	PropScore    = core.PropScore
+	PropTrackID  = core.PropTrackID
+	PropClass    = core.PropClass
+	PropFrameIdx = core.PropFrameIdx
+)
+
+// Session owns the execution context: the model registry (the paper's
+// library model zoo plus user registrations) and the virtual clock that
+// accounts all simulated model work.
+type Session struct {
+	env      *models.Env
+	registry *models.Registry
+}
+
+// NewSession creates a session with the built-in model zoo and a fresh
+// virtual clock. The seed drives every stochastic component, making
+// executions reproducible.
+func NewSession(seed uint64) *Session {
+	return &Session{
+		env:      models.NewEnv(seed),
+		registry: models.BuiltinRegistry(),
+	}
+}
+
+// Registry exposes the model registry for custom registrations
+// (Figure 11's register call).
+func (s *Session) Registry() *models.Registry { return s.registry }
+
+// Clock exposes the session's virtual-time ledger.
+func (s *Session) Clock() *sim.Clock { return s.env.Clock }
+
+// Env exposes the model environment (needed when driving models
+// directly, e.g. in baselines).
+func (s *Session) Env() *models.Env { return s.env }
+
+// SetNoBurn disables proportional real CPU work (useful in unit tests;
+// benchmarks should leave burning on so wall time mirrors virtual time).
+func (s *Session) SetNoBurn(noBurn bool) { s.env.NoBurn = noBurn }
+
+// config collects per-execution options.
+type config struct {
+	planOpts plan.Options
+}
+
+// Option customizes one Execute call.
+type Option func(*config)
+
+// WithBatchSize sets the executor batch width.
+func WithBatchSize(n int) Option {
+	return func(c *config) { c.planOpts.BatchSize = n }
+}
+
+// WithAccuracyTarget sets the minimum canary F1 for optimized plans.
+func WithAccuracyTarget(f float64) Option {
+	return func(c *config) { c.planOpts.AccuracyTarget = f }
+}
+
+// WithCanaryFrames sets the profiling prefix length.
+func WithCanaryFrames(n int) Option {
+	return func(c *config) { c.planOpts.CanaryFrames = n }
+}
+
+// WithoutMemo disables intrinsic-property memoization (the vanilla VQPy
+// configuration of §5.1).
+func WithoutMemo() Option {
+	return func(c *config) { c.planOpts.DisableMemo = true }
+}
+
+// WithoutFrameFilters disables registered frame filters (the EVA-fair
+// configuration of §5.2).
+func WithoutFrameFilters() Option {
+	return func(c *config) { c.planOpts.DisableFrameFilters = true }
+}
+
+// WithoutSpecialized disables registered specialized NNs.
+func WithoutSpecialized() Option {
+	return func(c *config) { c.planOpts.DisableSpecialized = true }
+}
+
+// WithoutFusion disables operator fusion.
+func WithoutFusion() Option {
+	return func(c *config) { c.planOpts.DisableFusion = true }
+}
+
+// WithoutLazy disables lazy property evaluation (ablation: all
+// properties are computed before any filtering).
+func WithoutLazy() Option {
+	return func(c *config) { c.planOpts.DisableLazy = true }
+}
+
+// WithSharedCache enables query-level computation reuse across Execute
+// calls sharing the cache (§4.2, §5.3's VQPy-Opt).
+func WithSharedCache(cache *exec.SharedCache) Option {
+	return func(c *config) { c.planOpts.Cache = cache }
+}
+
+// WithPlanCache reuses previously profiled plan selections.
+func WithPlanCache(pc *plan.PlanCache) Option {
+	return func(c *config) { c.planOpts.PlanCache = pc }
+}
+
+// WithEdgePlacement enables §4.1 operator placement: pre-detector
+// operators (frame filters, the scene path) run on the edge device and
+// every frame surviving them is charged uplinkMS of transfer cost. Per-
+// device subtotals appear in the clock ledger as device:edge /
+// device:server / net:uplink.
+func WithEdgePlacement(uplinkMS float64) Option {
+	return func(c *config) { c.planOpts.EdgeUplinkMS = uplinkMS }
+}
+
+// WithResultCache materializes whole query results keyed by query
+// structure and video identity (§4.2): a repeated Execute of the same
+// query on the same video returns the stored result without touching a
+// single frame.
+func WithResultCache(rc *plan.ResultCache) Option {
+	return func(c *config) { c.planOpts.ResultCache = rc }
+}
+
+// NewSharedCache creates a cache for WithSharedCache.
+func NewSharedCache() *exec.SharedCache { return exec.NewSharedCache() }
+
+// NewPlanCache creates a cache for WithPlanCache.
+func NewPlanCache() *plan.PlanCache { return plan.NewPlanCache() }
+
+// NewResultCache creates a cache for WithResultCache.
+func NewResultCache() *plan.ResultCache { return plan.NewResultCache() }
+
+func (s *Session) planner(opts ...Option) (*plan.Planner, error) {
+	cfg := &config{planOpts: plan.Options{Env: s.env, Registry: s.registry}}
+	for _, o := range opts {
+		o(cfg)
+	}
+	cfg.planOpts.Env = s.env
+	cfg.planOpts.Registry = s.registry
+	return plan.NewPlanner(cfg.planOpts)
+}
+
+// Execute plans and runs a query node over a video.
+func (s *Session) Execute(node QueryNode, v *Video, opts ...Option) (*RunResult, error) {
+	pl, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Run(node, v)
+}
+
+// Stream is an incremental execution over frames arriving in real time
+// (§4.1's streaming mode); Verdict is its per-frame outcome.
+type (
+	Stream  = exec.Stream
+	Verdict = exec.Verdict
+)
+
+// OpenStream plans a basic query (profiling on the optional canary
+// video) and returns a Stream to Feed frames into. fps annotates the
+// final result for duration/window conversion.
+func (s *Session) OpenStream(q *Query, canary *Video, fps int, opts ...Option) (*Stream, error) {
+	pl, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := pl.PlanBasic(q, canary)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry})
+	if err != nil {
+		return nil, err
+	}
+	return ex.OpenStream(p, fps)
+}
+
+// Explain returns the selected plan and all profiled candidates for a
+// basic query without executing it in full.
+func (s *Session) Explain(q *Query, v *Video, opts ...Option) (*Plan, []*Plan, error) {
+	pl, err := s.planner(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pl.PlanBasic(q, v)
+}
