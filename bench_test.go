@@ -210,6 +210,32 @@ func BenchmarkQ6Specialized(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiQuery measures the parallel multi-query scheduler: the
+// 8-query serving workload executed sequentially vs. on a 4-worker
+// pool, both in accelerator-offload latency mode against one shared
+// cache. Compare ns/op between the two sub-benchmarks for the
+// wall-clock speedup (expected ≥2x at 4 workers; the scheduler's
+// results are asserted identical to sequential execution in
+// TestExecuteAllParallelMatchesSequential).
+func BenchmarkMultiQuery(b *testing.B) {
+	cfg := bench.Config{Seed: 99, Scale: 0.5, Burn: true}
+	nQueries := len(bench.MultiQueryWorkload())
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel4", 4}} {
+		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bench.RunMultiQueryWith(cfg, arm.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nQueries*b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
 // BenchmarkEngineRedCarPerFrame measures raw engine throughput on the
 // canonical red-car query (engine overhead per frame, excluding report
 // assembly).

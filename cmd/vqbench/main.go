@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag]
-//	        [-seed N] [-scale F] [-burn] [-csv]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi]
+//	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
+//
+// The multi experiment exercises the parallel multi-query scheduler
+// (sequential vs. -parallel workers over the 8-query serving workload).
+// -json writes every selected report as a JSON array to FILE in
+// addition to the normal output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,14 +25,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
+	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
 	burn := flag.Bool("burn", false, "do real CPU work proportional to virtual cost")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	jsonPath := flag.String("json", "", "also write selected reports as a JSON array to this file")
 	flag.Parse()
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn}
+	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn, Workers: *parallel}
 	runners := map[string]func(bench.Config) (*metrics.Report, error){
 		"fig13a":  bench.RunFig13a,
 		"fig13b":  bench.RunFig13b,
@@ -41,13 +49,15 @@ func main() {
 		"batch":   bench.RunBatchAblation,
 		"lazy":    bench.RunLazyAblation,
 		"edge":    bench.RunEdgeAblation,
+		"multi":   bench.RunMultiQuery,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {
 		selected = order
 	}
+	var reports []*metrics.Report
 	for _, name := range selected {
 		if name == "dag" {
 			out, err := bench.ExplainSuspectDAG(cfg)
@@ -69,11 +79,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		reports = append(reports, rep)
 		if *csv {
 			fmt.Printf("# %s\n%s\n", rep.Title, rep.CSV())
 		} else {
 			fmt.Println(rep.String())
 		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonPath)
 	}
 }

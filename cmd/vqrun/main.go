@@ -6,13 +6,20 @@
 //
 //	vqrun [-query redcar|speeding|redspeeding|loitering|hitandrun]
 //	      [-dataset cityflow|banff|jackson|southampton|auburn|pickup|retail]
-//	      [-seconds N] [-seed N] [-v]
+//	      [-seconds N] [-seed N] [-parallel N] [-v]
+//
+// -query accepts a comma-separated list; with -parallel N > 1 the
+// queries run on the parallel multi-query scheduler sharing one
+// cross-query cache (one worker per N; results are identical to
+// sequential execution).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"vqpy"
 )
@@ -59,10 +66,11 @@ func buildQuery(name string) (vqpy.QueryNode, error) {
 }
 
 func main() {
-	query := flag.String("query", "redcar", "query to run (redcar, speeding, redspeeding, loitering, hitandrun)")
+	query := flag.String("query", "redcar", "comma-separated queries to run (redcar, speeding, redspeeding, loitering, hitandrun)")
 	dataset := flag.String("dataset", "cityflow", "scenario (cityflow, banff, jackson, southampton, auburn, pickup, retail)")
 	seconds := flag.Float64("seconds", 60, "video length in seconds")
 	seed := flag.Uint64("seed", 42, "scenario and model seed")
+	parallel := flag.Int("parallel", 1, "worker pool size for multi-query execution (<=1 sequential)")
 	verbose := flag.Bool("v", false, "print per-hit detail")
 	flag.Parse()
 
@@ -77,39 +85,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vqrun: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
-	node, err := buildQuery(*query)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
-		os.Exit(2)
+	var nodes []vqpy.QueryNode
+	for _, name := range strings.Split(*query, ",") {
+		node, err := buildQuery(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
+			os.Exit(2)
+		}
+		nodes = append(nodes, node)
 	}
 
 	v := vqpy.GenerateVideo(gen(*seed, *seconds))
 	s := vqpy.NewSession(*seed)
 	s.SetNoBurn(true)
-	rr, err := s.Execute(node, v)
+	results, err := s.ExecuteAll(nodes, v, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("query %s on %s (%d frames @ %d fps)\n", rr.Name, v.Name, len(v.Frames), v.FPS)
-	fmt.Printf("matched %d/%d frames, %d events\n", rr.MatchedCount(), len(rr.Matched), len(rr.Events))
-	for _, ev := range rr.Events {
-		fmt.Printf("  event: frames %d-%d (%.1fs)\n", ev.Start, ev.End, float64(ev.Frames())/float64(v.FPS))
+	// Mirror the scheduler's effective pool size (plan.RunAll clamps).
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if rr.Basic != nil {
-		if rr.Basic.Count > 0 {
-			fmt.Printf("video aggregation count: %d\n", rr.Basic.Count)
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	fmt.Printf("%d quer%s on %s (%d frames @ %d fps, %d worker%s)\n",
+		len(results), pluralIes(len(results)), v.Name, len(v.Frames), v.FPS,
+		workers, plural(workers))
+	for _, rr := range results {
+		fmt.Printf("\nquery %s: matched %d/%d frames, %d events\n",
+			rr.Name, rr.MatchedCount(), len(rr.Matched), len(rr.Events))
+		for _, ev := range rr.Events {
+			fmt.Printf("  event: frames %d-%d (%.1fs)\n", ev.Start, ev.End, float64(ev.Frames())/float64(v.FPS))
 		}
-		if *verbose {
-			for _, hit := range rr.Basic.Hits {
-				fmt.Printf("  frame %5d t=%6.1fs:", hit.FrameIdx, hit.TimeSec)
-				for _, o := range hit.Objects {
-					fmt.Printf("  %s#%d %v", o.Instance, o.TrackID, o.Values)
+		if rr.Basic != nil {
+			if rr.Basic.Count > 0 {
+				fmt.Printf("video aggregation count: %d\n", rr.Basic.Count)
+			}
+			if *verbose {
+				for _, hit := range rr.Basic.Hits {
+					fmt.Printf("  frame %5d t=%6.1fs:", hit.FrameIdx, hit.TimeSec)
+					for _, o := range hit.Objects {
+						fmt.Printf("  %s#%d %v", o.Instance, o.TrackID, o.Values)
+					}
+					fmt.Println()
 				}
-				fmt.Println()
 			}
 		}
 	}
 	fmt.Printf("\n%s", s.Clock())
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+func pluralIes(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }

@@ -1,0 +1,3 @@
+module vqpy
+
+go 1.24

@@ -23,6 +23,9 @@ type Config struct {
 	// Burn enables proportional real CPU work so wall-clock time
 	// mirrors virtual time (benchmarks set it; tests leave it off).
 	Burn bool
+	// Workers sets the parallel scheduler's pool size for multi-query
+	// experiments (0 picks the experiment default).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -216,21 +216,24 @@ func TestMemoStore(t *testing.T) {
 func TestSharedCacheLabels(t *testing.T) {
 	c := NewSharedCache()
 	box := boxAt(10, 20)
-	if _, ok := c.GetLabel("m", 5, box); ok {
+	if _, ok := c.GetLabel("m", 5, box, 1); ok {
 		t.Error("empty cache hit")
 	}
-	c.PutLabel("m", 5, box, "red")
-	v, ok := c.GetLabel("m", 5, box)
+	c.PutLabel("m", 5, box, 1, "red")
+	v, ok := c.GetLabel("m", 5, box, 1)
 	if !ok || v != "red" {
 		t.Errorf("GetLabel = %v %v", v, ok)
 	}
-	if _, ok := c.GetLabel("m", 6, box); ok {
+	if _, ok := c.GetLabel("m", 6, box, 1); ok {
 		t.Error("wrong frame hit")
+	}
+	if _, ok := c.GetLabel("m", 5, box, 2); ok {
+		t.Error("wrong object hit: labels must be per-object")
 	}
 	// nil cache is a no-op.
 	var nilCache *SharedCache
-	if _, ok := nilCache.GetLabel("m", 5, box); ok {
+	if _, ok := nilCache.GetLabel("m", 5, box, 1); ok {
 		t.Error("nil cache hit")
 	}
-	nilCache.PutLabel("m", 5, box, "x") // must not panic
+	nilCache.PutLabel("m", 5, box, 1, "x") // must not panic
 }

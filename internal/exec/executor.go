@@ -18,7 +18,8 @@ type Options struct {
 	// Registry supplies models; required.
 	Registry *models.Registry
 	// Cache enables query-level computation reuse across executions
-	// (§4.2); optional.
+	// (§4.2); optional. The cache is safe to share between concurrent
+	// executors (see RunAll).
 	Cache *SharedCache
 	// MaxFrames truncates processing (canary profiling); 0 means all.
 	MaxFrames int
@@ -215,10 +216,15 @@ func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]mode
 		if !ok {
 			return fmt.Errorf("exec: model %q is not a binary filter", s.FilterModel)
 		}
-		// Stateful filters (frame differencing) get a fresh instance
-		// per run.
-		if df, isDiff := bf.(*models.DiffFilter); isDiff {
-			bf = &models.DiffFilter{P: df.P, Threshold: df.Threshold}
+		// Stateful filters (e.g. frame differencing) carry per-stream
+		// state and must not be shared: registry instances that declare
+		// themselves cloneable get a fresh instance per stream.
+		if cl, isCloner := bf.(models.Cloner); isCloner {
+			fresh, okClone := cl.CloneModel().(models.BinaryFilter)
+			if !okClone {
+				return fmt.Errorf("exec: model %q cloned to a non-filter", s.FilterModel)
+			}
+			bf = fresh
 		}
 		filters[s.FilterModel] = bf
 	}
@@ -229,43 +235,36 @@ func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]mode
 }
 
 func (e *Executor) stepDetect(s Step, fc *FrameCtx) error {
-	dets, cached := e.opts.Cache.GetDetections(s.DetectModel, fc.Frame.Index)
-	if !cached {
+	dets, err := e.opts.Cache.DoDetections(s.DetectModel, fc.Frame.Index, func() ([]track.Detection, error) {
 		det, err := e.opts.Registry.Detector(s.DetectModel)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		raw := det.Detect(e.opts.Env, fc.Frame)
-		dets = make([]track.Detection, len(raw))
+		out := make([]track.Detection, len(raw))
 		for i, d := range raw {
-			dets[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d.TruthID}
+			out[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d.TruthID}
 		}
-		e.opts.Cache.PutDetections(s.DetectModel, fc.Frame.Index, dets)
+		return out, nil
+	})
+	if err != nil {
+		return err
 	}
 	for _, bind := range s.Binds {
-		for _, d := range dets {
-			if classOf(d.Class) != bind.Class {
+		for i := range dets {
+			d := &dets[i]
+			cls := classOf(d.Class)
+			if cls != bind.Class {
 				continue
 			}
+			node := fc.NewNode(bind.Instance)
 			truthID, _ := d.Ref.(int)
-			node := &Node{
-				Instance: bind.Instance,
-				TrackID:  -1,
-				TruthID:  truthID,
-				Class:    classOf(d.Class),
-				Box:      d.Box,
-				Score:    d.Score,
-				Alive:    true,
-			}
-			node.Props = map[string]any{
-				core.PropBBox:     node.Box,
-				core.PropCenter:   node.Box.Center(),
-				core.PropScore:    node.Score,
-				core.PropTrackID:  node.TrackID,
-				core.PropClass:    node.Class.String(),
-				core.PropFrameIdx: fc.Frame.Index,
-			}
-			fc.Nodes[bind.Instance] = append(fc.Nodes[bind.Instance], node)
+			node.TrackID = -1
+			node.TruthID = truthID
+			node.Class = cls
+			node.ClassName = cls.String()
+			node.Box = d.Box
+			node.Score = d.Score
 		}
 	}
 	return nil
@@ -278,25 +277,13 @@ func (e *Executor) stepDetect(s Step, fc *FrameCtx) error {
 // be intrinsic — they vary per frame — which VObj validation enforces
 // by convention (the library declares them non-intrinsic).
 func (e *Executor) stepScene(s Step, fc *FrameCtx) {
-	box := geom.BBox{X2: float64(fc.Frame.W), Y2: float64(fc.Frame.H)}
-	node := &Node{
-		Instance: s.Instance,
-		TrackID:  0,
-		TruthID:  -1,
-		Class:    video.ClassUnknown,
-		Box:      box,
-		Score:    1,
-		Alive:    true,
-	}
-	node.Props = map[string]any{
-		core.PropBBox:     box,
-		core.PropCenter:   box.Center(),
-		core.PropScore:    1.0,
-		core.PropTrackID:  0,
-		core.PropClass:    "scene",
-		core.PropFrameIdx: fc.Frame.Index,
-	}
-	fc.Nodes[s.Instance] = append(fc.Nodes[s.Instance], node)
+	node := fc.NewNode(s.Instance)
+	node.TrackID = 0
+	node.TruthID = -1
+	node.Class = video.ClassUnknown
+	node.ClassName = "scene"
+	node.Box = geom.BBox{X2: float64(fc.Frame.W), Y2: float64(fc.Frame.H)}
+	node.Score = 1
 }
 
 // stepTrack runs the tracker for one instance over this frame's nodes,
@@ -322,7 +309,6 @@ func (e *Executor) stepTrack(s Step, fc *FrameCtx, rs *runState, specs []windowS
 			continue
 		}
 		n.TrackID = tr.ID
-		n.Props[core.PropTrackID] = tr.ID
 	}
 	// Seed windows with built-in values now that TrackIDs exist.
 	for _, spec := range specs {
@@ -333,7 +319,7 @@ func (e *Executor) stepTrack(s Step, fc *FrameCtx, rs *runState, specs []windowS
 			if n.TrackID < 0 {
 				continue
 			}
-			if v, ok := n.Props[spec.prop]; ok {
+			if v, ok := n.Prop(spec.prop); ok {
 				rs.window(instance, spec.prop, n.TrackID, spec.capacity).push(fc.Frame.Index, v)
 			}
 		}
@@ -346,14 +332,14 @@ func (e *Executor) stepProject(p *Plan, s Step, fc *FrameCtx, rs *runState, spec
 	}
 	prop := s.Prop
 	for _, n := range fc.AliveNodes(s.Instance) {
-		if _, done := n.Props[prop.Name]; done {
+		if n.hasExtra(prop.Name) {
 			continue
 		}
 		// Object-level reuse (§4.2): intrinsic values are memoized per
 		// track.
 		if prop.Intrinsic && !p.DisableMemo && n.TrackID >= 0 {
 			if v, ok := rs.memo.Get(s.Instance, prop.Name, n.TrackID); ok {
-				n.Props[prop.Name] = v
+				n.SetProp(prop.Name, v)
 				e.pushWindow(fc, rs, specs, s.Instance, prop.Name, n)
 				continue
 			}
@@ -365,7 +351,7 @@ func (e *Executor) stepProject(p *Plan, s Step, fc *FrameCtx, rs *runState, spec
 		if !ok {
 			continue // not ready (stateful warm-up)
 		}
-		n.Props[prop.Name] = v
+		n.SetProp(prop.Name, v)
 		if prop.Intrinsic && !p.DisableMemo && n.TrackID >= 0 {
 			rs.memo.Put(s.Instance, prop.Name, n.TrackID, v)
 		}
@@ -382,7 +368,9 @@ func (e *Executor) pushWindow(fc *FrameCtx, rs *runState, specs []windowSpec, in
 	}
 	for _, spec := range specs {
 		if spec.instance == instance && spec.prop == prop {
-			rs.window(instance, prop, n.TrackID, spec.capacity).push(fc.Frame.Index, n.Props[prop])
+			if v, ok := n.Prop(prop); ok {
+				rs.window(instance, prop, n.TrackID, spec.capacity).push(fc.Frame.Index, v)
+			}
 		}
 	}
 }
@@ -391,25 +379,25 @@ func (e *Executor) pushWindow(fc *FrameCtx, rs *runState, specs []windowSpec, in
 // property is not yet computable (missing deps or history).
 func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc *FrameCtx, rs *runState) (any, bool, error) {
 	if prop.Model != "" {
-		if v, hit := e.opts.Cache.GetLabel(prop.Model, fc.Frame.Index, n.Box); hit {
-			return v, true, nil
+		v, err := e.opts.Cache.DoLabel(prop.Model, fc.Frame.Index, n.Box, n.TruthID, func() (any, error) {
+			m, found := e.opts.Registry.Get(prop.Model)
+			if !found {
+				return nil, fmt.Errorf("exec: no model %q for property %s.%s", prop.Model, instance, prop.Name)
+			}
+			switch mm := m.(type) {
+			case models.Classifier:
+				return mm.Classify(e.opts.Env, fc.Frame, fc.Raster(), n.Box, n.TruthID), nil
+			case models.Embedder:
+				return mm.Embed(e.opts.Env, fc.Frame, n.Box, n.TruthID), nil
+			case models.OCRModel:
+				return mm.ReadPlate(e.opts.Env, fc.Frame, n.Box, n.TruthID), nil
+			default:
+				return nil, fmt.Errorf("exec: model %q cannot compute a VObj property", prop.Model)
+			}
+		})
+		if err != nil {
+			return nil, false, err
 		}
-		m, found := e.opts.Registry.Get(prop.Model)
-		if !found {
-			return nil, false, fmt.Errorf("exec: no model %q for property %s.%s", prop.Model, instance, prop.Name)
-		}
-		var v any
-		switch mm := m.(type) {
-		case models.Classifier:
-			v = mm.Classify(e.opts.Env, fc.Frame, fc.Raster(), n.Box, n.TruthID)
-		case models.Embedder:
-			v = mm.Embed(e.opts.Env, fc.Frame, n.Box, n.TruthID)
-		case models.OCRModel:
-			v = mm.ReadPlate(e.opts.Env, fc.Frame, n.Box, n.TruthID)
-		default:
-			return nil, false, fmt.Errorf("exec: model %q cannot compute a VObj property", prop.Model)
-		}
-		e.opts.Cache.PutLabel(prop.Model, fc.Frame.Index, n.Box, v)
 		return v, true, nil
 	}
 
@@ -431,7 +419,7 @@ func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc
 	} else if len(prop.DependsOn) > 0 {
 		in.Deps = make(map[string]any, len(prop.DependsOn))
 		for _, dep := range prop.DependsOn {
-			v, ok := n.Props[dep]
+			v, ok := n.Prop(dep)
 			if !ok {
 				return nil, false, nil
 			}
@@ -459,8 +447,9 @@ func (e *Executor) stepVObjFilter(s Step, fc *FrameCtx) {
 		return
 	}
 	instance := props[0].Instance
+	b := &assignment{nodes: map[string]*Node{}, fc: fc}
 	for _, n := range fc.AliveNodes(instance) {
-		b := &assignment{nodes: map[string]*Node{instance: n}, fc: fc}
+		b.nodes[instance] = n
 		if v, known := core.EvalPred(s.FilterPred, b); known && !v {
 			n.Alive = false
 		}
@@ -660,7 +649,7 @@ func (e *Executor) finalize(fc *FrameCtx, rs *runState, insts []string, relBinds
 				if sel.Instance != n.Instance {
 					continue
 				}
-				if v, ok := n.Props[sel.Prop]; ok {
+				if v, ok := n.Prop(sel.Prop); ok {
 					if out.Values == nil {
 						out.Values = make(map[string]any)
 					}

@@ -11,8 +11,10 @@ func twoNodeFrame() (*FrameCtx, *Node, *Node) {
 		Frame: &video.Frame{Index: 0, W: 100, H: 100},
 		Nodes: make(map[string][]*Node),
 	}
-	a := &Node{Instance: "p", TrackID: 1, Box: boxAt(0, 0), Alive: true, Props: map[string]any{"x": 1.0}}
-	b := &Node{Instance: "c", TrackID: 2, Box: boxAt(50, 50), Alive: true, Props: map[string]any{"y": "red"}}
+	a := &Node{Instance: "p", TrackID: 1, Box: boxAt(0, 0), Alive: true}
+	a.SetProp("x", 1.0)
+	b := &Node{Instance: "c", TrackID: 2, Box: boxAt(50, 50), Alive: true}
+	b.SetProp("y", "red")
 	fc.Nodes["p"] = []*Node{a}
 	fc.Nodes["c"] = []*Node{b}
 	return fc, a, b

@@ -1,0 +1,112 @@
+package exec
+
+// This file is the worker-pool scheduler for multi-query serving. The
+// paper's §4.2 cross-query computation reuse only pays off at the wall
+// clock when queries actually run concurrently against the shared
+// cache; RunAll is that serving loop. Each worker executes whole
+// queries against a forked virtual clock (merged back afterwards) and
+// one shared, single-flighted SharedCache, so N queries over the same
+// video pay each (model, frame) inference exactly once while their
+// per-query work overlaps.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vqpy/internal/video"
+)
+
+// RunAll executes every plan over the video on a pool of `workers`
+// goroutines sharing the executor's cache (one is created for the call
+// when the executor has none, so cross-query reuse always applies).
+//
+// Results are positionally aligned with plans and bit-identical to
+// sequential execution: model outputs are pure functions of (seed,
+// model, frame, object), tracker and memo state are per-query, and the
+// single-flight cache guard only changes who pays a model's virtual
+// cost, never its output. Per-worker virtual-clock ledgers are merged
+// into the executor's session clock before returning, so the ledger
+// totals are worker-count independent too.
+//
+// workers <= 0 uses GOMAXPROCS; workers == 1 degenerates to a
+// sequential loop on the caller's goroutine.
+func (e *Executor) RunAll(plans []*Plan, v *video.Video, workers int) ([]*Result, error) {
+	if len(plans) == 0 {
+		return nil, nil
+	}
+	opts := e.opts
+	if opts.Cache == nil {
+		opts.Cache = NewSharedCache()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+
+	results := make([]*Result, len(plans))
+	if workers == 1 {
+		ex, err := NewExecutor(opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range plans {
+			r, err := ex.Run(p, v)
+			if err != nil {
+				return nil, fmt.Errorf("exec: query %s: %w", p.Query.Name(), err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	errs := make([]error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wopts := opts
+			wopts.Env = opts.Env.Fork()
+			defer e.opts.Env.Clock.Merge(wopts.Env.Clock)
+			ex, err := NewExecutor(wopts)
+			if err != nil {
+				errs[w] = err
+				failed.Store(true)
+				for range jobs {
+					// Keep draining so the feeder never blocks on a
+					// channel nobody reads.
+				}
+				return
+			}
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain remaining jobs after a failure
+				}
+				r, err := ex.Run(plans[i], v)
+				if err != nil {
+					errs[w] = fmt.Errorf("exec: query %s: %w", plans[i].Query.Name(), err)
+					failed.Store(true)
+					continue
+				}
+				results[i] = r
+			}
+		}(w)
+	}
+	for i := range plans {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// poolPlans builds several distinct red/blue/black-car plans over the
+// shared manual-plan scaffolding.
+func poolPlans(t *testing.T, n int) []*Plan {
+	t.Helper()
+	colors := []string{"red", "blue", "black", "white", "silver", "green", "red", "blue"}
+	plans := make([]*Plan, 0, n)
+	for i := 0; i < n; i++ {
+		ct := carType()
+		q := core.NewQuery(fmt.Sprintf("Q%d", i)).
+			Use("car", ct).
+			Where(core.And(
+				core.P("car", core.PropScore).Gt(0.5),
+				core.P("car", "color").Eq(colors[i%len(colors)]),
+			)).
+			FrameOutput(core.Sel("car", core.PropTrackID), core.Sel("car", "color"))
+		plans = append(plans, manualPlan(q, "car", ct))
+	}
+	return plans
+}
+
+// runAllWith executes the plans with the given worker count on a fresh
+// environment and shared cache.
+func runAllWith(t *testing.T, plans []*Plan, v *video.Video, workers int) ([]*Result, *models.Env) {
+	t.Helper()
+	env := testEnv()
+	ex, err := NewExecutor(Options{Env: env, Registry: models.BuiltinRegistry(), Cache: NewSharedCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ex.RunAll(plans, v, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, env
+}
+
+// TestRunAllParallelMatchesSequential is the core correctness claim of
+// the scheduler: worker count must not change any query's observable
+// result.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	v := video.CityFlow(42, 40).Generate()
+	for _, workers := range []int{2, 4, 8} {
+		seqPlans := poolPlans(t, 8)
+		parPlans := poolPlans(t, 8)
+		seq, seqEnv := runAllWith(t, seqPlans, v, 1)
+		par, parEnv := runAllWith(t, parPlans, v, workers)
+		if len(seq) != len(par) {
+			t.Fatalf("workers=%d: %d vs %d results", workers, len(seq), len(par))
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i].Matched, par[i].Matched) {
+				t.Errorf("workers=%d query %d: matched vectors differ", workers, i)
+			}
+			if !reflect.DeepEqual(seq[i].Hits, par[i].Hits) {
+				t.Errorf("workers=%d query %d: hits differ", workers, i)
+			}
+			if seq[i].Count != par[i].Count || !reflect.DeepEqual(seq[i].TrackIDs, par[i].TrackIDs) {
+				t.Errorf("workers=%d query %d: aggregation differs", workers, i)
+			}
+		}
+		// Ledger totals must be worker-count independent: the same
+		// model work is charged somewhere regardless of who runs it.
+		seqMS, parMS := seqEnv.Clock.TotalMS(), parEnv.Clock.TotalMS()
+		if diff := seqMS - parMS; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("workers=%d: ledger totals differ: %.3f vs %.3f", workers, seqMS, parMS)
+		}
+	}
+}
+
+// TestRunAllSharesDetectorWork asserts cross-query reuse survives the
+// pool: 8 queries over one video must pay each (model, frame) detection
+// once.
+func TestRunAllSharesDetectorWork(t *testing.T) {
+	v := video.CityFlow(42, 30).Generate()
+	plans := poolPlans(t, 8)
+	env := testEnv()
+	cache := NewSharedCache()
+	ex, err := NewExecutor(Options{Env: env, Registry: models.BuiltinRegistry(), Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.RunAll(plans, v, 4); err != nil {
+		t.Fatal(err)
+	}
+	yolox := env.Clock.Account("yolox")
+	perFrame := 28.0 // yolox CostMS; per-object surcharge is 0
+	maxOnce := float64(len(v.Frames)) * perFrame * 1.01
+	if yolox > maxOnce {
+		t.Errorf("yolox charged %.1f ms; want at most one detection per frame (~%.1f ms)", yolox, maxOnce)
+	}
+}
+
+func TestRunAllEmptyAndError(t *testing.T) {
+	v := video.CityFlow(42, 10).Generate()
+	env := testEnv()
+	ex, err := NewExecutor(Options{Env: env, Registry: models.BuiltinRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := ex.RunAll(nil, v, 4); err != nil || res != nil {
+		t.Fatalf("empty RunAll = %v, %v", res, err)
+	}
+	// A plan with a missing detector must fail the whole call.
+	ct := carType()
+	q := core.NewQuery("Bad").Use("car", ct).Where(core.P("car", core.PropScore).Gt(0.5))
+	bad := &Plan{Query: q, Steps: []Step{
+		{Kind: StepDetect, DetectModel: "no_such_model", Binds: []InstanceBind{{Instance: "car", Class: video.ClassCar}}},
+		{Kind: StepTrack, Instance: "car"},
+	}, BatchSize: 4, Label: "bad"}
+	good := poolPlans(t, 3)
+	if _, err := ex.RunAll(append(good, bad), v, 4); err == nil {
+		t.Fatal("RunAll with a broken plan did not fail")
+	}
+}

@@ -1,8 +1,8 @@
 package exec
 
 import (
-	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vqpy/internal/geom"
 	"vqpy/internal/track"
@@ -45,15 +45,52 @@ func (w *historyWindow) last(n int) []any {
 	return w.values[len(w.values)-n:]
 }
 
+// fnvSeed / fnvPrime are the FNV-1a constants used to spread cache keys
+// across shards.
+const (
+	fnvSeed  = 0xcbf29ce484222325
+	fnvPrime = 0x100000001b3
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvInt(h uint64, v int) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h ^= (u >> (8 * i)) & 0xFF
+		h *= fnvPrime
+	}
+	return h
+}
+
+// memoShards is the shard count for MemoStore. Memo lookups happen on
+// every projected intrinsic property of every node, so even per-query
+// stores benefit from spreading lock traffic.
+const memoShards = 8
+
 // MemoStore is the object-level computation reuse table of §4.2: values
 // of intrinsic properties keyed by (instance, property, track). Once
 // computed, an intrinsic value is reused for every later frame in which
 // the tracker re-identifies the object.
+//
+// The store is sharded by key hash and safe for concurrent use; hit and
+// miss counters are kept with atomics so Stats never contends with the
+// data path.
 type MemoStore struct {
-	mu   sync.Mutex
+	shards [memoShards]memoShard
+	hits   atomic.Int64
+	miss   atomic.Int64
+}
+
+type memoShard struct {
+	mu   sync.RWMutex
 	vals map[memoKey]any
-	hits int
-	miss int
 }
 
 type memoKey struct {
@@ -61,145 +98,305 @@ type memoKey struct {
 	trackID        int
 }
 
+func (k memoKey) shard() int {
+	h := fnvString(fnvSeed, k.instance)
+	h = fnvString(h, k.prop)
+	h = fnvInt(h, k.trackID)
+	return int(h % memoShards)
+}
+
 // NewMemoStore returns an empty memo store.
 func NewMemoStore() *MemoStore {
-	return &MemoStore{vals: make(map[memoKey]any)}
+	m := &MemoStore{}
+	for i := range m.shards {
+		m.shards[i].vals = make(map[memoKey]any)
+	}
+	return m
 }
 
 // Get returns the memoized value for a track's intrinsic property.
 func (m *MemoStore) Get(instance, prop string, trackID int) (any, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v, ok := m.vals[memoKey{instance, prop, trackID}]
+	k := memoKey{instance, prop, trackID}
+	sh := &m.shards[k.shard()]
+	sh.mu.RLock()
+	v, ok := sh.vals[k]
+	sh.mu.RUnlock()
 	if ok {
-		m.hits++
+		m.hits.Add(1)
 	} else {
-		m.miss++
+		m.miss.Add(1)
 	}
 	return v, ok
 }
 
 // Put memoizes a value.
 func (m *MemoStore) Put(instance, prop string, trackID int, v any) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.vals[memoKey{instance, prop, trackID}] = v
+	k := memoKey{instance, prop, trackID}
+	sh := &m.shards[k.shard()]
+	sh.mu.Lock()
+	sh.vals[k] = v
+	sh.mu.Unlock()
 }
 
 // Stats returns (hits, misses) for reuse diagnostics.
 func (m *MemoStore) Stats() (hits, misses int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.miss
+	return int(m.hits.Load()), int(m.miss.Load())
+}
+
+// cacheShards is the shard count for SharedCache. The cache is the one
+// structure every concurrent query touches on every frame, so shards are
+// sized generously to keep lock hold times from serializing workers.
+const cacheShards = 16
+
+// detKey identifies one detector invocation: (model, frame). A
+// comparable struct key replaces the seed's fmt.Sprintf string keys,
+// removing a per-lookup allocation and the formatting cost.
+type detKey struct {
+	model string
+	frame int
+}
+
+func (k detKey) shard() int {
+	h := fnvString(fnvSeed, k.model)
+	h = fnvInt(h, k.frame)
+	return int(h % cacheShards)
+}
+
+// labelKey identifies one per-crop model invocation: (model, frame,
+// quantized box, object identity). The truth id participates because
+// the simulated classifiers derive their noise from it — without it,
+// two overlapping objects whose boxes quantize identically would share
+// one cached label, and which object computed it first would depend on
+// scheduling, breaking RunAll's identical-to-sequential contract.
+type labelKey struct {
+	model          string
+	frame          int
+	x1, y1, x2, y2 int
+	truthID        int
+}
+
+func makeLabelKey(model string, frame int, box geom.BBox, truthID int) labelKey {
+	return labelKey{
+		model: model, frame: frame,
+		x1: int(box.X1), y1: int(box.Y1), x2: int(box.X2), y2: int(box.Y2),
+		truthID: truthID,
+	}
+}
+
+func (k labelKey) shard() int {
+	h := fnvString(fnvSeed, k.model)
+	h = fnvInt(h, k.frame)
+	h = fnvInt(h, k.x1)
+	h = fnvInt(h, k.y1)
+	return int(h % cacheShards)
+}
+
+// flight is one in-progress computation other goroutines can wait on
+// (the single-flight guard: when two queries need the same detector
+// output concurrently, exactly one pays the model cost).
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
 }
 
 // SharedCache implements query-level computation reuse (§4.2 end, §5.3
 // "VQPy-Opt"): detector outputs keyed by (model, frame) and
 // classification outputs keyed by (model, frame, quantized box) are
 // shared across queries executed on the same video.
+//
+// The cache is sharded and safe for concurrent use by many query
+// streams. DoDetections and DoLabel add a single-flight guard so
+// concurrent misses on the same key run the model exactly once.
 type SharedCache struct {
-	mu      sync.Mutex
-	detects map[string][]cachedDetection
-	labels  map[string]any
-	hits    int
-	miss    int
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	miss   atomic.Int64
 }
 
-type cachedDetection struct {
-	node Node // template: instance unset
+type cacheShard struct {
+	mu          sync.Mutex
+	detects     map[detKey][]track.Detection
+	labels      map[labelKey]any
+	detFlight   map[detKey]*flight
+	labelFlight map[labelKey]*flight
 }
 
 // NewSharedCache returns an empty cross-query cache.
 func NewSharedCache() *SharedCache {
-	return &SharedCache{
-		detects: make(map[string][]cachedDetection),
-		labels:  make(map[string]any),
+	c := &SharedCache{}
+	for i := range c.shards {
+		c.shards[i].detects = make(map[detKey][]track.Detection)
+		c.shards[i].labels = make(map[labelKey]any)
 	}
+	return c
 }
 
-func detKey(model string, frame int) string {
-	return fmt.Sprintf("%s@%d", model, frame)
-}
-
-func labelKey(model string, frame int, box geom.BBox) string {
-	return fmt.Sprintf("%s@%d[%d,%d,%d,%d]", model, frame,
-		int(box.X1), int(box.Y1), int(box.X2), int(box.Y2))
-}
-
-// GetDetections returns cached detector output for a frame.
+// GetDetections returns cached detector output for a frame. The returned
+// slice is shared across callers and must not be mutated.
 func (c *SharedCache) GetDetections(model string, frame int) ([]track.Detection, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cached, ok := c.detects[detKey(model, frame)]
-	if !ok {
-		c.miss++
-		return nil, false
+	k := detKey{model, frame}
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	dets, ok := sh.detects[k]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.miss.Add(1)
 	}
-	c.hits++
-	out := make([]track.Detection, len(cached))
-	for i, cd := range cached {
-		n := cd.node
-		out[i] = track.Detection{Box: n.Box, Class: int(n.Class), Score: n.Score, Ref: n.TruthID}
-	}
-	return out, true
+	return dets, ok
 }
 
-// PutDetections caches detector output for a frame.
+// PutDetections caches detector output for a frame. The slice is copied,
+// so callers may keep mutating their own.
 func (c *SharedCache) PutDetections(model string, frame int, dets []track.Detection) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cached := make([]cachedDetection, len(dets))
-	for i, d := range dets {
-		truthID, _ := d.Ref.(int)
-		cached[i] = cachedDetection{node: Node{
-			Box: d.Box, Class: classOf(d.Class), Score: d.Score, TruthID: truthID,
-		}}
-	}
-	c.detects[detKey(model, frame)] = cached
+	owned := make([]track.Detection, len(dets))
+	copy(owned, dets)
+	k := detKey{model, frame}
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	sh.detects[k] = owned
+	sh.mu.Unlock()
 }
 
-// GetLabel returns a cached classification for (model, frame, box).
-func (c *SharedCache) GetLabel(model string, frame int, box geom.BBox) (any, bool) {
+// DoDetections returns the cached detector output for (model, frame) or
+// computes, caches and returns it. Concurrent callers missing on the same
+// key are deduplicated: one runs compute, the rest wait and share its
+// output (and its error, which is not cached). A nil cache degenerates to
+// calling compute directly.
+func (c *SharedCache) DoDetections(model string, frame int, compute func() ([]track.Detection, error)) ([]track.Detection, error) {
+	if c == nil {
+		return compute()
+	}
+	k := detKey{model, frame}
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	if dets, ok := sh.detects[k]; ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return dets, nil
+	}
+	if f, ok := sh.detFlight[k]; ok {
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.hits.Add(1)
+		return f.val.([]track.Detection), nil
+	}
+	f := &flight{done: make(chan struct{})}
+	if sh.detFlight == nil {
+		sh.detFlight = make(map[detKey]*flight)
+	}
+	sh.detFlight[k] = f
+	sh.mu.Unlock()
+	c.miss.Add(1)
+
+	dets, err := compute()
+	f.val, f.err = dets, err
+	sh.mu.Lock()
+	if err == nil {
+		sh.detects[k] = dets
+	}
+	delete(sh.detFlight, k)
+	sh.mu.Unlock()
+	close(f.done)
+	return dets, err
+}
+
+// GetLabel returns a cached classification for (model, frame, box,
+// object).
+func (c *SharedCache) GetLabel(model string, frame int, box geom.BBox, truthID int) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.labels[labelKey(model, frame, box)]
+	k := makeLabelKey(model, frame, box, truthID)
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	v, ok := sh.labels[k]
+	sh.mu.Unlock()
 	if ok {
-		c.hits++
+		c.hits.Add(1)
 	} else {
-		c.miss++
+		c.miss.Add(1)
 	}
 	return v, ok
 }
 
 // PutLabel caches a classification.
-func (c *SharedCache) PutLabel(model string, frame int, box geom.BBox, v any) {
+func (c *SharedCache) PutLabel(model string, frame int, box geom.BBox, truthID int, v any) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.labels[labelKey(model, frame, box)] = v
+	k := makeLabelKey(model, frame, box, truthID)
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	sh.labels[k] = v
+	sh.mu.Unlock()
+}
+
+// DoLabel returns the cached classification for (model, frame, box,
+// object) or computes, caches and returns it, deduplicating concurrent
+// misses like DoDetections. A nil cache degenerates to calling compute
+// directly.
+func (c *SharedCache) DoLabel(model string, frame int, box geom.BBox, truthID int, compute func() (any, error)) (any, error) {
+	if c == nil {
+		return compute()
+	}
+	k := makeLabelKey(model, frame, box, truthID)
+	sh := &c.shards[k.shard()]
+	sh.mu.Lock()
+	if v, ok := sh.labels[k]; ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if f, ok := sh.labelFlight[k]; ok {
+		sh.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		c.hits.Add(1)
+		return f.val, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	if sh.labelFlight == nil {
+		sh.labelFlight = make(map[labelKey]*flight)
+	}
+	sh.labelFlight[k] = f
+	sh.mu.Unlock()
+	c.miss.Add(1)
+
+	v, err := compute()
+	f.val, f.err = v, err
+	sh.mu.Lock()
+	if err == nil {
+		sh.labels[k] = v
+	}
+	delete(sh.labelFlight, k)
+	sh.mu.Unlock()
+	close(f.done)
+	return v, err
 }
 
 // Stats returns (hits, misses).
 func (c *SharedCache) Stats() (hits, misses int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.miss
+	return int(c.hits.Load()), int(c.miss.Load())
 }
 
 // runState is the mutable per-execution state: one tracker per instance,
 // history windows, the memo store, and bookkeeping for video-level
-// aggregation.
+// aggregation. Each Stream owns exactly one runState; it is never shared
+// across goroutines.
 type runState struct {
 	trackers map[string]*track.Tracker
 	windows  map[windowKey]*historyWindow

@@ -33,6 +33,10 @@ type Stream struct {
 	res     *Result
 	startMS float64
 	closed  bool
+
+	// fc is the reusable per-frame context: node arena, instance
+	// slices and raster cache are recycled between frames.
+	fc *FrameCtx
 }
 
 // Verdict is the streaming per-frame outcome.
@@ -82,7 +86,12 @@ func (st *Stream) Feed(f *video.Frame) (Verdict, error) {
 	if st.closed {
 		return Verdict{}, fmt.Errorf("exec: Feed on closed stream")
 	}
-	fc := &FrameCtx{Frame: f, Nodes: make(map[string][]*Node)}
+	if st.fc == nil {
+		st.fc = newFrameCtx(f)
+	} else {
+		st.fc.reset(f)
+	}
+	fc := st.fc
 	st.e.opts.Env.Clock.StartFrame(f.Index)
 	if err := st.e.runFrame(st.p, fc, st.rs, st.filters, st.specs); err != nil {
 		return Verdict{}, err

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"vqpy/internal/geom"
 	"vqpy/internal/sim"
@@ -80,14 +81,23 @@ type Profile struct {
 }
 
 // Env carries the per-experiment context every model shares: the virtual
-// clock to charge, the seed from which all noise derives, and whether to
-// burn proportional real CPU.
+// clock to charge, the seed from which all noise derives, and how virtual
+// cost maps onto real time (CPU burn, accelerator-style waiting, or
+// nothing).
 type Env struct {
 	Clock *sim.Clock
 	Seed  uint64
 	// NoBurn disables the proportional CPU work; unit tests set it to
 	// keep suites fast. Benchmarks leave it false.
 	NoBurn bool
+	// OffloadNSPerMS, when > 0, models inference offloaded to an
+	// accelerator: instead of spinning the CPU, each charge sleeps
+	// OffloadNSPerMS nanoseconds per virtual millisecond. Goroutines of
+	// concurrent queries overlap these waits, so multi-query wall-clock
+	// benchmarks behave like a real serving system where the CPU-side
+	// executor blocks on device inference. Takes precedence over the
+	// burn loop; NoBurn still disables both.
+	OffloadNSPerMS float64
 }
 
 // NewEnv returns an Env with a fresh clock.
@@ -95,14 +105,43 @@ func NewEnv(seed uint64) *Env {
 	return &Env{Clock: sim.NewClock(), Seed: seed}
 }
 
+// Fork returns an Env sharing this Env's seed and real-time behaviour
+// but charging a fresh, empty clock. Parallel query workers each run
+// against a fork so their virtual-time ledgers stay independent; callers
+// merge the forked clocks back afterwards (sim.Clock.Merge).
+func (e *Env) Fork() *Env {
+	return &Env{
+		Clock:          sim.NewClock(),
+		Seed:           e.Seed,
+		NoBurn:         e.NoBurn,
+		OffloadNSPerMS: e.OffloadNSPerMS,
+	}
+}
+
 // charge books virtual time and performs proportional real work.
 func (e *Env) charge(account string, ms float64) {
 	if e.Clock != nil {
 		e.Clock.Charge(account, ms)
 	}
-	if !e.NoBurn {
-		sim.Burn(ms)
+	if e.NoBurn {
+		return
 	}
+	if e.OffloadNSPerMS > 0 {
+		time.Sleep(time.Duration(ms * e.OffloadNSPerMS))
+		return
+	}
+	sim.Burn(ms)
+}
+
+// Cloner is implemented by models that carry per-stream mutable state
+// (e.g. the differencing frame filter's reference raster) and therefore
+// must not be shared between concurrent query streams. The executor
+// clones one fresh instance per stream instead of using the registry
+// instance directly.
+type Cloner interface {
+	// CloneModel returns a fresh instance with the same configuration
+	// and no accumulated state.
+	CloneModel() any
 }
 
 // hash combines identifying integers into an RNG seed (FNV-1a over the

@@ -343,6 +343,12 @@ func (d *DiffFilter) Keep(env *Env, f *video.Frame) bool {
 // Reset clears the filter's reference frame.
 func (d *DiffFilter) Reset() { d.last = nil }
 
+// CloneModel implements Cloner: differencing state is per-stream, so
+// each query stream gets a fresh filter with the same configuration.
+func (d *DiffFilter) CloneModel() any {
+	return &DiffFilter{P: d.P, Threshold: d.Threshold}
+}
+
 // ActionProposalFilter is the cheap trained filter from §5.3's Q6
 // optimization (following Xarchakos & Koudas): it drops frames unlikely
 // to contain the target interaction, with a small false-drop rate that

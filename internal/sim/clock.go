@@ -124,6 +124,35 @@ func (c *Clock) PerFrame() []FrameCost {
 	return out
 }
 
+// Merge folds another ledger's totals, per-account subtotals and
+// per-frame history into this one. Parallel query workers charge
+// independent forked clocks; the scheduler merges them back so the
+// session ledger reflects all work regardless of worker count. Merging
+// is additive and therefore order-independent for totals and accounts.
+func (c *Clock) Merge(o *Clock) {
+	if o == nil || o == c {
+		return
+	}
+	o.FlushFrames()
+	o.mu.Lock()
+	total := o.totalMS
+	accounts := make(map[string]float64, len(o.accounts))
+	for k, v := range o.accounts {
+		accounts[k] = v
+	}
+	history := make([]FrameCost, len(o.history))
+	copy(history, o.history)
+	o.mu.Unlock()
+
+	c.mu.Lock()
+	c.totalMS += total
+	for k, v := range accounts {
+		c.accounts[k] += v
+	}
+	c.history = append(c.history, history...)
+	c.mu.Unlock()
+}
+
 // Reset clears the ledger.
 func (c *Clock) Reset() {
 	c.mu.Lock()

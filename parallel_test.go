@@ -1,0 +1,127 @@
+// Parallel-scheduler contract tests at the facade level: ExecuteAll
+// must produce results indistinguishable from sequential execution at
+// every worker count, for basic, aggregating and higher-order nodes.
+package vqpy_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy"
+
+	"vqpy/internal/bench"
+)
+
+func runWorkload(t *testing.T, workers int) []*vqpy.RunResult {
+	t.Helper()
+	cfg := bench.Config{Seed: 99, Scale: 0.5}
+	res, _, err := bench.RunMultiQueryWith(cfg, workers)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return res
+}
+
+func TestExecuteAllParallelMatchesSequential(t *testing.T) {
+	seq := runWorkload(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := runWorkload(t, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i].Name != par[i].Name {
+				t.Fatalf("workers=%d: result %d is %s, want %s", workers, i, par[i].Name, seq[i].Name)
+			}
+			if !reflect.DeepEqual(seq[i].Matched, par[i].Matched) {
+				t.Errorf("workers=%d query %s: matched vectors differ", workers, seq[i].Name)
+			}
+			if !reflect.DeepEqual(seq[i].Events, par[i].Events) {
+				t.Errorf("workers=%d query %s: events differ", workers, seq[i].Name)
+			}
+			sb, pb := seq[i].Basic, par[i].Basic
+			if (sb == nil) != (pb == nil) {
+				t.Errorf("workers=%d query %s: basic result presence differs", workers, seq[i].Name)
+				continue
+			}
+			if sb == nil {
+				continue
+			}
+			if !reflect.DeepEqual(sb.Hits, pb.Hits) {
+				t.Errorf("workers=%d query %s: hits differ", workers, seq[i].Name)
+			}
+			if sb.Count != pb.Count || !reflect.DeepEqual(sb.TrackIDs, pb.TrackIDs) {
+				t.Errorf("workers=%d query %s: aggregation differs (count %d vs %d)",
+					workers, seq[i].Name, sb.Count, pb.Count)
+			}
+		}
+	}
+}
+
+// TestExecuteAllHigherOrderNodes runs duration/temporal nodes through
+// the pool: higher-order recursion must stay inside one worker and
+// still match sequential output.
+func TestExecuteAllHigherOrderNodes(t *testing.T) {
+	v := vqpy.GenerateVideo(vqpy.DatasetJackson(7, 20))
+	build := func() []vqpy.QueryNode {
+		base := vqpy.NewQuery("PersonPresent").
+			Use("p", vqpy.Person()).
+			Where(vqpy.P("p", vqpy.PropScore).Gt(0.5))
+		loiter, err := vqpy.NewDurationQuery("Loitering", base, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speeding := vqpy.SpeedQuery("Speeding", "car", vqpy.Car(), 10)
+		return []vqpy.QueryNode{loiter, speeding}
+	}
+	run := func(workers int) []*vqpy.RunResult {
+		s := vqpy.NewSession(7)
+		s.SetNoBurn(true)
+		res, err := s.ExecuteAll(build(), v, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(1)
+	par := run(2)
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i].Matched, par[i].Matched) {
+			t.Errorf("query %s: matched vectors differ", seq[i].Name)
+		}
+		if !reflect.DeepEqual(seq[i].Events, par[i].Events) {
+			t.Errorf("query %s: events differ", seq[i].Name)
+		}
+	}
+}
+
+// TestExecuteAllMergesLedger checks the virtual clock is worker-count
+// independent: forked worker ledgers must merge back into the session
+// clock.
+func TestExecuteAllMergesLedger(t *testing.T) {
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(11, 10))
+	nodes := func() []vqpy.QueryNode {
+		var out []vqpy.QueryNode
+		for _, color := range []string{"red", "blue", "black", "white"} {
+			out = append(out, vqpy.NewQuery("Q"+color).
+				Use("car", vqpy.Car()).
+				Where(vqpy.P("car", "color").Eq(color)))
+		}
+		return out
+	}
+	run := func(workers int) float64 {
+		s := vqpy.NewSession(11)
+		s.SetNoBurn(true)
+		if _, err := s.ExecuteAll(nodes(), v, workers); err != nil {
+			t.Fatal(err)
+		}
+		return s.Clock().TotalMS()
+	}
+	seqMS, parMS := run(1), run(4)
+	if diff := seqMS - parMS; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("ledger totals differ: sequential %.3f ms vs parallel %.3f ms", seqMS, parMS)
+	}
+	if seqMS == 0 {
+		t.Error("ledger recorded no work")
+	}
+}
