@@ -236,6 +236,31 @@ func BenchmarkMultiQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkMuxStream compares the single-pass shared-scan engine
+// against the per-query scheduler on the 8-query serving workload: same
+// queries, same clip, same answers, but the shared scan performs
+// detect/track work once per (model, frame) — the ledger's invocation
+// counts are exported as metrics so the drop is visible next to the
+// wall-clock numbers.
+func BenchmarkMuxStream(b *testing.B) {
+	cfg := bench.Config{Seed: 99, Scale: 0.5, Burn: true}
+	nQueries := len(bench.MultiQueryWorkload())
+	for _, arm := range []string{"runall-seq", "muxscan"} {
+		b.Run(arm, func(b *testing.B) {
+			b.ReportAllocs()
+			var s *vqpy.Session
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, _, s, err = bench.RunMuxScanWith(cfg, arm, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nQueries*b.N)/b.Elapsed().Seconds(), "queries/sec")
+			b.ReportMetric(float64(s.Clock().Invocations("tracker")), "tracker_inv/run")
+		})
+	}
+}
+
 // BenchmarkEngineRedCarPerFrame measures raw engine throughput on the
 // canonical red-car query (engine overhead per frame, excluding report
 // assembly).

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //
 // The multi experiment exercises the parallel multi-query scheduler
-// (sequential vs. -parallel workers over the 8-query serving workload).
-// -json writes every selected report as a JSON array to FILE in
+// (sequential vs. -parallel workers over the 8-query serving workload);
+// muxscan compares the single-pass shared-scan engine (ExecuteShared)
+// against isolated and scheduler-based per-query execution on the same
+// workload, reporting detector/tracker invocation counts from the
+// ledger. -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 package main
 
@@ -25,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
@@ -50,8 +53,9 @@ func main() {
 		"lazy":    bench.RunLazyAblation,
 		"edge":    bench.RunEdgeAblation,
 		"multi":   bench.RunMultiQuery,
+		"muxscan": bench.RunMuxScan,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

@@ -6,12 +6,15 @@
 //
 //	vqrun [-query redcar|speeding|redspeeding|loitering|hitandrun]
 //	      [-dataset cityflow|banff|jackson|southampton|auburn|pickup|retail]
-//	      [-seconds N] [-seed N] [-parallel N] [-v]
+//	      [-seconds N] [-seed N] [-parallel N] [-shared] [-v]
 //
 // -query accepts a comma-separated list; with -parallel N > 1 the
 // queries run on the parallel multi-query scheduler sharing one
 // cross-query cache (one worker per N; results are identical to
-// sequential execution).
+// sequential execution). -shared instead compiles every query to the
+// operator IR and multiplexes them over a single shared scan of the
+// video (one decode and one detect/track per (model, frame) for the
+// whole workload), again with identical results.
 package main
 
 import (
@@ -71,6 +74,7 @@ func main() {
 	seconds := flag.Float64("seconds", 60, "video length in seconds")
 	seed := flag.Uint64("seed", 42, "scenario and model seed")
 	parallel := flag.Int("parallel", 1, "worker pool size for multi-query execution (<=1 sequential)")
+	shared := flag.Bool("shared", false, "multiplex all queries over one shared scan (single-pass engine)")
 	verbose := flag.Bool("v", false, "print per-hit detail")
 	flag.Parse()
 
@@ -98,23 +102,34 @@ func main() {
 	v := vqpy.GenerateVideo(gen(*seed, *seconds))
 	s := vqpy.NewSession(*seed)
 	s.SetNoBurn(true)
-	results, err := s.ExecuteAll(nodes, v, *parallel)
+	var results []*vqpy.RunResult
+	var err error
+	if *shared {
+		results, err = s.ExecuteShared(nodes, v)
+	} else {
+		results, err = s.ExecuteAll(nodes, v, *parallel)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
 		os.Exit(1)
 	}
 
-	// Mirror the scheduler's effective pool size (plan.RunAll clamps).
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if *shared {
+		fmt.Printf("%d quer%s on %s (%d frames @ %d fps, single shared scan)\n",
+			len(results), pluralIes(len(results)), v.Name, len(v.Frames), v.FPS)
+	} else {
+		// Mirror the scheduler's effective pool size (plan.RunAll clamps).
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(nodes) {
+			workers = len(nodes)
+		}
+		fmt.Printf("%d quer%s on %s (%d frames @ %d fps, %d worker%s)\n",
+			len(results), pluralIes(len(results)), v.Name, len(v.Frames), v.FPS,
+			workers, plural(workers))
 	}
-	if workers > len(nodes) {
-		workers = len(nodes)
-	}
-	fmt.Printf("%d quer%s on %s (%d frames @ %d fps, %d worker%s)\n",
-		len(results), pluralIes(len(results)), v.Name, len(v.Frames), v.FPS,
-		workers, plural(workers))
 	for _, rr := range results {
 		fmt.Printf("\nquery %s: matched %d/%d frames, %d events\n",
 			rr.Name, rr.MatchedCount(), len(rr.Matched), len(rr.Events))

@@ -39,10 +39,13 @@ func TestVQPyAgreesWithEVA(t *testing.T) {
 		}
 	}
 
-	// EVA side (same seed → same model noise).
+	// EVA side (same seed → same model noise). The baseline engine keeps
+	// EVA's own row-at-a-time execution so this stays a cross-system
+	// check; the planner-backed engine's agreement is covered in
+	// internal/sqlbase/compile_test.go.
 	s2 := vqpy.NewSession(88)
 	s2.SetNoBurn(true)
-	eng := sqlbase.NewEngine(s2.Env(), s2.Registry())
+	eng := sqlbase.NewEVABaseline(s2.Env(), s2.Registry())
 	sqlbase.RegisterStandardUDFs(eng)
 	eng.RegisterVideo("v.mp4", v)
 	res, err := eng.ExecScript(sqlbase.RedCarScript("v.mp4"))

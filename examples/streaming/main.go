@@ -1,7 +1,9 @@
-// Streaming: the real-time mode of §4.1/§5.4 — frames arrive one at a
-// time (as from a live camera), the engine emits a verdict per frame,
-// and edge/server operator placement is accounted separately, the way
-// DeepVision deploys filters on cameras and detectors on GPU servers.
+// Streaming: the real-time mode of §4.1/§5.4 on the shared-scan engine
+// — frames arrive one at a time (as from a live camera) and several
+// standing queries are multiplexed over the single stream. The MuxStream
+// decodes each frame once, runs each shared detector/tracker group once,
+// and emits one verdict per query per frame; adding a query to the
+// camera adds predicate work, not another scan.
 //
 //	go run ./examples/streaming
 package main
@@ -21,41 +23,50 @@ func main() {
 	// stands in for the live stream; frames are fed one by one.
 	camera := vqpy.GenerateVideo(vqpy.DatasetBanff(31, 180))
 
-	query := vqpy.NewQuery("RedCarAlert").
-		Use("car", vqpy.RedCar()). // carries the no_red_on_road edge filter
+	// Two standing queries on the same feed. Both declare Car VObjs
+	// backed by the same detector, so the compiled pipelines share one
+	// scan group: one detect and one track per frame serve both.
+	redAlert := vqpy.NewQuery("RedCarAlert").
+		Use("car", vqpy.Car()).
 		Where(vqpy.And(
 			vqpy.P("car", vqpy.PropScore).Gt(0.5),
 			vqpy.P("car", "color").Eq("red"),
 		)).
 		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID))
+	carCensus := vqpy.NewQuery("CarCensus").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", vqpy.PropScore).Gt(0.5)).
+		CountDistinct("car")
 
-	// Plan against a canary prefix, place cheap filters on the edge
-	// (2 ms uplink per surviving frame), then stream.
-	stream, err := s.OpenStream(query, camera, camera.FPS,
-		vqpy.WithEdgePlacement(2), vqpy.WithoutSpecialized())
+	// Plan both against a canary prefix, then open one multiplexed
+	// stream over the camera.
+	mux, err := s.OpenShared([]*vqpy.Query{redAlert, carCensus}, camera, camera.FPS,
+		vqpy.WithoutSpecialized())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	alerts := 0
 	for i := range camera.Frames {
-		verdict, err := stream.Feed(&camera.Frames[i])
+		verdicts, err := mux.Feed(&camera.Frames[i])
 		if err != nil {
 			log.Fatal(err)
 		}
-		if verdict.Matched {
+		if verdicts[0].Matched {
 			alerts++
-			if alerts <= 3 && verdict.Hit != nil {
+			if alerts <= 3 && verdicts[0].Hit != nil {
 				fmt.Printf("ALERT frame %d t=%.1fs: %d red car(s)\n",
-					verdict.FrameIdx, verdict.Hit.TimeSec, len(verdict.Hit.Objects))
+					verdicts[0].FrameIdx, verdicts[0].Hit.TimeSec, len(verdicts[0].Hit.Objects))
 			}
 		}
 	}
-	res := stream.Close()
+	results := mux.Close()
 
-	fmt.Printf("\nstreamed %d frames, %d alert frames\n", res.FramesProcessed, alerts)
-	fmt.Printf("device split: edge %.1fs, server %.1fs, uplink %.1fs\n",
-		s.Clock().Account("device:edge")/1000,
-		s.Clock().Account("device:server")/1000,
-		s.Clock().Account("net:uplink")/1000)
+	fmt.Printf("\nstreamed %d frames through %d queries in one pass\n",
+		results[0].FramesProcessed, len(results))
+	fmt.Printf("red-car alert frames: %d\n", alerts)
+	fmt.Printf("distinct cars seen: %d\n", results[1].Count)
+	fmt.Printf("shared scan: %s\n", mux.Groups())
+	fmt.Printf("detector invocations: %d (one per frame, shared by both queries)\n",
+		s.Clock().Invocations("yolox"))
 }

@@ -306,6 +306,36 @@ func TestEdgeAblationShape(t *testing.T) {
 	}
 }
 
+func TestMuxScanShape(t *testing.T) {
+	rep, err := RunMuxScan(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep)
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Rows: isolated, runall-seq, runall-par, muxscan. Detector
+	// invocations must collapse from isolated to the cache-sharing
+	// modes, and tracker invocations must collapse only under muxscan.
+	isoDet := cell(t, rep.Rows[0][3])
+	seqDet := cell(t, rep.Rows[1][3])
+	muxDet := cell(t, rep.Rows[3][3])
+	if seqDet >= isoDet || muxDet > seqDet {
+		t.Errorf("detector invocations: isolated=%v seq=%v mux=%v", isoDet, seqDet, muxDet)
+	}
+	seqTrack := cell(t, rep.Rows[1][4])
+	muxTrack := cell(t, rep.Rows[3][4])
+	if muxTrack >= seqTrack {
+		t.Errorf("tracker invocations did not drop: seq=%v mux=%v", seqTrack, muxTrack)
+	}
+	// Total virtual work of the shared pass must not exceed the
+	// sequential scheduler's.
+	if muxMS, seqMS := cell(t, rep.Rows[3][5]), cell(t, rep.Rows[1][5]); muxMS > seqMS {
+		t.Errorf("shared scan charged more virtual time (%v) than sequential (%v)", muxMS, seqMS)
+	}
+}
+
 func TestStreamingFacade(t *testing.T) {
 	// The real-time mode: feed frames one by one through the facade.
 	cfg := smallCfg().withDefaults()

@@ -40,7 +40,10 @@ const (
 
 func runEVA(cfg Config, v *video.Video, kind evaQueryKind) (float64, error) {
 	s := cfg.session()
-	eng := sqlbase.NewEngine(s.Env(), s.Registry())
+	// The §5.2 comparison measures EVA's row-at-a-time execution, so the
+	// baseline engine is explicit here; the planner-backed SQL engine
+	// would route these scripts through VQPy's own shared-scan path.
+	eng := sqlbase.NewEVABaseline(s.Env(), s.Registry())
 	sqlbase.RegisterStandardUDFs(eng)
 	eng.RegisterVideo("clip.mp4", v)
 	var script []string

@@ -205,28 +205,38 @@ func (e *Executor) runFrame(p *Plan, fc *FrameCtx, rs *runState, filters map[str
 	return apply(p.Steps)
 }
 
-func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]models.BinaryFilter) error {
-	bf, ok := filters[s.FilterModel]
+// filterInstance returns the caller-local instance of a binary filter
+// model, resolving the registry on first use. Stateful filters (e.g.
+// frame differencing) carry per-stream state and must not be shared:
+// registry instances that declare themselves cloneable get a fresh
+// instance per stream (or per scan group on the shared-scan path).
+func (e *Executor) filterInstance(filters map[string]models.BinaryFilter, name string) (models.BinaryFilter, error) {
+	if bf, ok := filters[name]; ok {
+		return bf, nil
+	}
+	m, found := e.opts.Registry.Get(name)
+	if !found {
+		return nil, fmt.Errorf("exec: no filter model %q", name)
+	}
+	bf, ok := m.(models.BinaryFilter)
 	if !ok {
-		m, found := e.opts.Registry.Get(s.FilterModel)
-		if !found {
-			return fmt.Errorf("exec: no filter model %q", s.FilterModel)
+		return nil, fmt.Errorf("exec: model %q is not a binary filter", name)
+	}
+	if cl, isCloner := bf.(models.Cloner); isCloner {
+		fresh, okClone := cl.CloneModel().(models.BinaryFilter)
+		if !okClone {
+			return nil, fmt.Errorf("exec: model %q cloned to a non-filter", name)
 		}
-		bf, ok = m.(models.BinaryFilter)
-		if !ok {
-			return fmt.Errorf("exec: model %q is not a binary filter", s.FilterModel)
-		}
-		// Stateful filters (e.g. frame differencing) carry per-stream
-		// state and must not be shared: registry instances that declare
-		// themselves cloneable get a fresh instance per stream.
-		if cl, isCloner := bf.(models.Cloner); isCloner {
-			fresh, okClone := cl.CloneModel().(models.BinaryFilter)
-			if !okClone {
-				return fmt.Errorf("exec: model %q cloned to a non-filter", s.FilterModel)
-			}
-			bf = fresh
-		}
-		filters[s.FilterModel] = bf
+		bf = fresh
+	}
+	filters[name] = bf
+	return bf, nil
+}
+
+func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]models.BinaryFilter) error {
+	bf, err := e.filterInstance(filters, s.FilterModel)
+	if err != nil {
+		return err
 	}
 	if !bf.Keep(e.opts.Env, fc.Frame) {
 		fc.Dropped = true
@@ -234,18 +244,26 @@ func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]mode
 	return nil
 }
 
+// detectFrame runs a detector on one frame, converting its output to
+// tracker detections (Ref carries the ground-truth id for the simulated
+// models' noise channel). Both the per-query StepDetect and the shared
+// scan go through this one entry, normally behind the cache.
+func (e *Executor) detectFrame(model string, f *video.Frame) ([]track.Detection, error) {
+	det, err := e.opts.Registry.Detector(model)
+	if err != nil {
+		return nil, err
+	}
+	raw := det.Detect(e.opts.Env, f)
+	out := make([]track.Detection, len(raw))
+	for i, d := range raw {
+		out[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d.TruthID}
+	}
+	return out, nil
+}
+
 func (e *Executor) stepDetect(s Step, fc *FrameCtx) error {
 	dets, err := e.opts.Cache.DoDetections(s.DetectModel, fc.Frame.Index, func() ([]track.Detection, error) {
-		det, err := e.opts.Registry.Detector(s.DetectModel)
-		if err != nil {
-			return nil, err
-		}
-		raw := det.Detect(e.opts.Env, fc.Frame)
-		out := make([]track.Detection, len(raw))
-		for i, d := range raw {
-			out[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d.TruthID}
-		}
-		return out, nil
+		return e.detectFrame(s.DetectModel, fc.Frame)
 	})
 	if err != nil {
 		return err
@@ -311,11 +329,19 @@ func (e *Executor) stepTrack(s Step, fc *FrameCtx, rs *runState, specs []windowS
 		n.TrackID = tr.ID
 	}
 	// Seed windows with built-in values now that TrackIDs exist.
+	seedBuiltinWindows(fc, rs, specs, instance)
+}
+
+// seedBuiltinWindows pushes built-in property values of an instance's
+// freshly tracked nodes into the history windows that depend on them. It
+// runs after track ids are assigned — by stepTrack on the per-query
+// path, by the lane bind on the shared-scan path.
+func seedBuiltinWindows(fc *FrameCtx, rs *runState, specs []windowSpec, instance string) {
 	for _, spec := range specs {
 		if spec.instance != instance || !core.IsBuiltinProp(spec.prop) {
 			continue
 		}
-		for _, n := range nodes {
+		for _, n := range fc.Nodes[instance] {
 			if n.TrackID < 0 {
 				continue
 			}

@@ -138,10 +138,15 @@ type FrameCtx struct {
 	// Edges lists spatial-relation edges computed so far.
 	Edges []*RelEdge
 
-	raster *video.Raster
+	raster *rasterCell
 	hoi    map[string][]models.HOIPair // model name → cached per-frame HOI output
 	arena  nodeArena
 }
+
+// rasterCell holds a lazily rendered raster. MuxStream points every
+// lane's FrameCtx at one shared cell per frame, so a frame is rendered
+// ("decoded") at most once no matter how many queries read pixels.
+type rasterCell struct{ r *video.Raster }
 
 // newFrameCtx returns an empty context for one frame.
 func newFrameCtx(f *video.Frame) *FrameCtx {
@@ -174,13 +179,19 @@ func (fc *FrameCtx) NewNode(instance string) *Node {
 }
 
 // Raster renders the frame once and caches it for the lifetime of the
-// context.
+// context (or of the shared cell installed by shareRaster).
 func (fc *FrameCtx) Raster() *video.Raster {
 	if fc.raster == nil {
-		fc.raster = fc.Frame.Render()
+		fc.raster = &rasterCell{}
 	}
-	return fc.raster
+	if fc.raster.r == nil {
+		fc.raster.r = fc.Frame.Render()
+	}
+	return fc.raster.r
 }
+
+// shareRaster points the context at a shared per-frame raster cell.
+func (fc *FrameCtx) shareRaster(c *rasterCell) { fc.raster = c }
 
 // AliveNodes returns the alive nodes of an instance. When every node is
 // alive (the common case before any filter kills one) the instance slice

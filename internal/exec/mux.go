@@ -1,0 +1,421 @@
+package exec
+
+// MuxStream is the physical shared-scan layer of the single-pass engine:
+// one frame stream, many queries. Where RunAll runs N query streams that
+// each scan the whole video (sharing only model outputs through the
+// cache), a MuxStream pulls every frame from its FrameSource exactly
+// once, runs each distinct scan prefix — frame-filter chain, detector,
+// tracker — exactly once per frame, and fans the shared detect/track
+// results out to per-query predicate/property/output operators. An
+// 8-query workload thus does 1 scan + 1 detect/track per (model, frame)
+// instead of 8, with per-query results identical to sequential
+// execution: model outputs are pure functions of (seed, model, frame,
+// object), and a shared tracker fed the same class-filtered detection
+// sequence assigns the same track ids as each query's private tracker
+// would.
+//
+// Plans are grouped by ScanSig: the ordered frame-filter chain plus the
+// first detect model. Frame filters participate in the signature because
+// a tracker's state depends on exactly which frames reach it — two
+// queries whose filters drop different frames must not share a tracker.
+// Within a group, one tracker runs per bound class. Everything after the
+// first track step (projections, filters, relations, second detectors)
+// stays per-lane, executed by the ordinary operator machinery over the
+// lane's private runState.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vqpy/internal/core"
+	"vqpy/internal/models"
+	"vqpy/internal/track"
+	"vqpy/internal/video"
+)
+
+// ScanSig describes the shareable scan prefix of a physical plan. Plans
+// with equal Key() over the same source are served by one shared
+// filter/detect/track operator set.
+type ScanSig struct {
+	// Filters is the ordered frame-filter model chain before the first
+	// detector.
+	Filters []string
+	// Detect / Class / Instance describe the first detect+track pair.
+	Detect   string
+	Class    video.Class
+	Instance string
+	// Shareable reports whether the plan has the canonical prefix shape.
+	// Non-shareable plans (scene-first, device-placed, multi-bind) run
+	// whole inside their lane.
+	Shareable bool
+
+	residual []Step
+}
+
+// Key identifies the shared scan group: source-side operators only, so
+// two queries binding different classes of the same detector still land
+// in one group (one detector run, one tracker per class).
+func (s ScanSig) Key() string {
+	return strings.Join(s.Filters, ",") + "|" + s.Detect
+}
+
+// ScanPrefixOf extracts the shareable scan prefix of a plan: leading
+// frame filters followed by the first single-bind detect+track pair.
+// Plans with edge placement keep their per-query path (uplink accounting
+// is defined per query stream), as do plans whose first operator is not
+// part of the canonical prefix (e.g. a scene path that drops frames
+// before the detector).
+func ScanPrefixOf(p *Plan) ScanSig {
+	var sig ScanSig
+	if p.UplinkMS > 0 {
+		return sig
+	}
+	steps := p.Steps
+	i := 0
+	for i < len(steps) && steps[i].Kind == StepFrameFilter {
+		sig.Filters = append(sig.Filters, steps[i].FilterModel)
+		i++
+	}
+	if i+1 < len(steps) && steps[i].Kind == StepDetect && len(steps[i].Binds) == 1 &&
+		steps[i+1].Kind == StepTrack && steps[i+1].Instance == steps[i].Binds[0].Instance {
+		sig.Detect = steps[i].DetectModel
+		sig.Class = steps[i].Binds[0].Class
+		sig.Instance = steps[i].Binds[0].Instance
+		sig.Shareable = true
+		sig.residual = steps[i+2:]
+	}
+	return sig
+}
+
+// sharedTrack is one class's tracker within a scan group, plus its
+// per-frame output (class-filtered detections and their track ids).
+type sharedTrack struct {
+	tracker *track.Tracker
+	dets    []track.Detection
+	ids     []int
+	upBuf   []track.Detection
+}
+
+// muxGroup owns the shared scan state for one ScanSig: the frame-filter
+// instances (stateful filters cloned once per group, as per stream on
+// the per-query path) and one tracker per bound class.
+type muxGroup struct {
+	key         string
+	filters     []string
+	detect      string
+	filterInsts map[string]models.BinaryFilter
+	tracks      map[video.Class]*sharedTrack
+	classes     []video.Class // deterministic iteration order
+	members     int
+
+	dropped   bool // current frame dropped by the filter chain
+	virtualMS float64
+}
+
+// muxLane is one query's private slice of the mux: its residual plan and
+// all per-query state (trackers for non-shared instances, memo, history
+// windows, result accumulation).
+type muxLane struct {
+	plan    *Plan
+	runPlan *Plan // residual steps for shared lanes, the full plan otherwise
+	sig     ScanSig
+	group   *muxGroup // nil when the plan is not shareable
+
+	rs         *runState
+	filters    map[string]models.BinaryFilter
+	specs      []windowSpec
+	insts      []string
+	relBinds   map[string]relParticipants
+	frameCons  core.Pred
+	videoCons  core.Pred
+	outputSels []core.Selector
+
+	res       *Result
+	fc        *FrameCtx
+	virtualMS float64
+}
+
+// MuxStream multiplexes several query plans over one frame stream. Like
+// Stream it is single-goroutine: Feed frames in capture order, read the
+// per-lane verdicts, Close for the aggregate results (positionally
+// aligned with the plans passed to OpenMux).
+type MuxStream struct {
+	e      *Executor
+	lanes  []*muxLane
+	groups []*muxGroup
+	byKey  map[string]*muxGroup
+	fps    int
+	closed bool
+}
+
+// OpenMux validates every plan and prepares the shared-scan state. A
+// cache is created when the executor has none: the mux relies on it to
+// deduplicate detector and classifier work that stays per-lane.
+func (e *Executor) OpenMux(plans []*Plan, fps int) (*MuxStream, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("exec: OpenMux with no plans")
+	}
+	opts := e.opts
+	if opts.Cache == nil {
+		opts.Cache = NewSharedCache()
+	}
+	ex := &Executor{opts: opts}
+	m := &MuxStream{e: ex, fps: fps, byKey: make(map[string]*muxGroup)}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if err := p.Query.Validate(); err != nil {
+			return nil, err
+		}
+		sig := ScanPrefixOf(p)
+		l := &muxLane{
+			plan: p, runPlan: p, sig: sig,
+			rs:      newRunState(),
+			filters: make(map[string]models.BinaryFilter),
+			specs:   windowSpecs(p),
+			insts:   p.Query.InstanceNames(),
+			relBinds: func() map[string]relParticipants {
+				out := make(map[string]relParticipants)
+				for name, rb := range p.Query.Relations() {
+					out[name] = relParticipants{left: rb.LeftInst, right: rb.RightInst}
+				}
+				return out
+			}(),
+			frameCons:  p.Query.FrameConstraint(),
+			videoCons:  p.Query.VideoConstraint(),
+			outputSels: p.Query.FrameOutputSelectors(),
+			res:        &Result{Query: p.Query.Name(), FPS: fps},
+		}
+		if sig.Shareable {
+			key := sig.Key()
+			g, ok := m.byKey[key]
+			if !ok {
+				g = &muxGroup{
+					key: key, filters: sig.Filters, detect: sig.Detect,
+					filterInsts: make(map[string]models.BinaryFilter),
+					tracks:      make(map[video.Class]*sharedTrack),
+				}
+				m.byKey[key] = g
+				m.groups = append(m.groups, g)
+			}
+			if _, ok := g.tracks[sig.Class]; !ok {
+				g.tracks[sig.Class] = &sharedTrack{tracker: track.NewTracker(track.DefaultConfig())}
+				g.classes = append(g.classes, sig.Class)
+			}
+			g.members++
+			l.group = g
+			residual := *p
+			residual.Steps = sig.residual
+			l.runPlan = &residual
+		}
+		m.lanes = append(m.lanes, l)
+	}
+	return m, nil
+}
+
+// Groups reports the shared-scan structure: for each group, its filter
+// chain, detector, tracked classes and member count (explain tooling).
+func (m *MuxStream) Groups() []string {
+	out := make([]string, 0, len(m.groups))
+	for _, g := range m.groups {
+		classes := make([]string, len(g.classes))
+		for i, c := range g.classes {
+			classes[i] = c.String()
+		}
+		sort.Strings(classes)
+		desc := fmt.Sprintf("scan[%s] → detect(%s) → track(%s) ×%d",
+			strings.Join(g.filters, ","), g.detect, strings.Join(classes, ","), g.members)
+		out = append(out, desc)
+	}
+	return out
+}
+
+// GroupMembers returns each scan group's member-lane count, in group
+// creation order. Lanes without a shareable prefix belong to no group
+// and are not counted. plan.DedupScans derives the same partition at
+// the logical layer; tests pin the two views together.
+func (m *MuxStream) GroupMembers() []int {
+	out := make([]int, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = g.members
+	}
+	return out
+}
+
+// scanGroup advances one group's shared operators over a frame: the
+// filter chain (short-circuiting like the per-query path, so a stateful
+// filter never sees frames an earlier filter dropped), then one detector
+// invocation and one tracker update per bound class.
+func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
+	g.dropped = false
+	for _, fm := range g.filters {
+		bf, err := m.e.filterInstance(g.filterInsts, fm)
+		if err != nil {
+			return err
+		}
+		if !bf.Keep(m.e.opts.Env, f) {
+			g.dropped = true
+			return nil
+		}
+	}
+	dets, err := m.e.opts.Cache.DoDetections(g.detect, f.Index, func() ([]track.Detection, error) {
+		return m.e.detectFrame(g.detect, f)
+	})
+	if err != nil {
+		return err
+	}
+	for _, cls := range g.classes {
+		st := g.tracks[cls]
+		st.dets = st.dets[:0]
+		for i := range dets {
+			if classOf(dets[i].Class) == cls {
+				st.dets = append(st.dets, dets[i])
+			}
+		}
+		st.upBuf = st.upBuf[:0]
+		for i := range st.dets {
+			st.upBuf = append(st.upBuf, track.Detection{
+				Box: st.dets[i].Box, Class: st.dets[i].Class, Score: st.dets[i].Score, Ref: i,
+			})
+		}
+		m.e.opts.Env.Clock.Charge("tracker", trackerCostMS)
+		st.ids = st.ids[:0]
+		for range st.dets {
+			st.ids = append(st.ids, -1)
+		}
+		for _, tr := range st.tracker.Update(st.upBuf) {
+			if tr.Misses != 0 {
+				continue
+			}
+			if idx, ok := tr.Ref.(int); ok && idx >= 0 && idx < len(st.ids) {
+				st.ids[idx] = tr.ID
+			}
+		}
+	}
+	return nil
+}
+
+// bindLane materializes the shared detect/track output as the lane's
+// nodes — exactly what StepDetect+StepTrack would have produced — and
+// seeds the history windows that depend on built-in properties.
+func (m *MuxStream) bindLane(l *muxLane) {
+	st := l.group.tracks[l.sig.Class]
+	for i := range st.dets {
+		d := &st.dets[i]
+		node := l.fc.NewNode(l.sig.Instance)
+		truthID, _ := d.Ref.(int)
+		node.TrackID = st.ids[i]
+		node.TruthID = truthID
+		node.Class = classOf(d.Class)
+		node.ClassName = node.Class.String()
+		node.Box = d.Box
+		node.Score = d.Score
+	}
+	seedBuiltinWindows(l.fc, l.rs, l.specs, l.sig.Instance)
+}
+
+// Feed processes one frame for every lane and returns the per-lane
+// verdicts (aligned with the plans). Frames must arrive in capture
+// order.
+func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
+	if m.closed {
+		return nil, fmt.Errorf("exec: Feed on closed mux stream")
+	}
+	clock := m.e.opts.Env.Clock
+	clock.StartFrame(f.Index)
+	cell := &rasterCell{}
+	for _, g := range m.groups {
+		before := clock.TotalMS()
+		if err := m.scanGroup(g, f); err != nil {
+			return nil, err
+		}
+		g.virtualMS += clock.TotalMS() - before
+	}
+	verdicts := make([]Verdict, len(m.lanes))
+	for i, l := range m.lanes {
+		before := clock.TotalMS()
+		if l.fc == nil {
+			l.fc = newFrameCtx(f)
+		} else {
+			l.fc.reset(f)
+		}
+		l.fc.shareRaster(cell)
+		if l.group != nil {
+			if l.group.dropped {
+				l.fc.Dropped = true
+			} else {
+				m.bindLane(l)
+			}
+		}
+		if err := m.e.runFrame(l.runPlan, l.fc, l.rs, l.filters, l.specs); err != nil {
+			return nil, err
+		}
+		hitsBefore := len(l.res.Hits)
+		matched := m.e.finalize(l.fc, l.rs, l.insts, l.relBinds,
+			l.frameCons, l.videoCons, l.outputSels, l.res)
+		l.res.Matched = append(l.res.Matched, matched)
+		l.res.FramesProcessed++
+		v := Verdict{FrameIdx: f.Index, Matched: matched}
+		if len(l.res.Hits) > hitsBefore {
+			v.Hit = &l.res.Hits[len(l.res.Hits)-1]
+		}
+		verdicts[i] = v
+		l.virtualMS += clock.TotalMS() - before
+	}
+	return verdicts, nil
+}
+
+// Close finalizes every lane's aggregation and returns the results,
+// positionally aligned with the plans. Shared scan costs are attributed
+// evenly across a group's members (who paid is a scheduling artifact;
+// the per-query totals still sum to the work actually done, which is the
+// point: one scan's cost split N ways instead of N scans). Idempotent.
+func (m *MuxStream) Close() []*Result {
+	if !m.closed {
+		m.closed = true
+		m.e.opts.Env.Clock.FlushFrames()
+		for _, l := range m.lanes {
+			if agg := l.plan.Query.VideoOutput(); agg != nil {
+				tracksOf := l.rs.matchedTracks[agg.Instance]
+				ids := make([]int, 0, len(tracksOf))
+				for id := range tracksOf {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				l.res.Count = len(ids)
+				if agg.Kind == core.AggListTracks {
+					l.res.TrackIDs = ids
+				}
+			}
+			l.res.VirtualMS = l.virtualMS
+			if l.group != nil && l.group.members > 0 {
+				l.res.VirtualMS += l.group.virtualMS / float64(l.group.members)
+			}
+			l.res.MemoHits, l.res.MemoMisses = l.rs.memo.Stats()
+		}
+	}
+	out := make([]*Result, len(m.lanes))
+	for i, l := range m.lanes {
+		out[i] = l.res
+	}
+	return out
+}
+
+// RunMux executes every plan over the frame source in one shared pass:
+// the offline entry point of the shared-scan engine, pulling each frame
+// from the source exactly once.
+func (e *Executor) RunMux(plans []*Plan, src video.FrameSource) ([]*Result, error) {
+	m, err := e.OpenMux(plans, src.SourceFPS())
+	if err != nil {
+		return nil, err
+	}
+	n := src.NumFrames()
+	for i := 0; i < n; i++ {
+		if _, err := m.Feed(src.FrameAt(i)); err != nil {
+			return nil, err
+		}
+	}
+	return m.Close(), nil
+}

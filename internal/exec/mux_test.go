@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// TestMuxMatchesPerQuery is the shared-scan correctness contract: the
+// MuxStream's per-query results must be identical to running every plan
+// sequentially on its own stream.
+func TestMuxMatchesPerQuery(t *testing.T) {
+	v := video.CityFlow(42, 40).Generate()
+
+	seqPlans := poolPlans(t, 8)
+	seq, seqEnv := runAllWith(t, seqPlans, v, 1)
+
+	muxPlans := poolPlans(t, 8)
+	muxEnv := testEnv()
+	ex, err := NewExecutor(Options{Env: muxEnv, Registry: models.BuiltinRegistry(), Cache: NewSharedCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := ex.RunMux(muxPlans, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(seq) != len(mux) {
+		t.Fatalf("%d vs %d results", len(seq), len(mux))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i].Matched, mux[i].Matched) {
+			t.Errorf("query %d: matched vectors differ", i)
+		}
+		if !reflect.DeepEqual(seq[i].Hits, mux[i].Hits) {
+			t.Errorf("query %d: hits differ", i)
+		}
+		if seq[i].Count != mux[i].Count || !reflect.DeepEqual(seq[i].TrackIDs, mux[i].TrackIDs) {
+			t.Errorf("query %d: aggregation differs", i)
+		}
+		if seq[i].MemoHits != mux[i].MemoHits || seq[i].MemoMisses != mux[i].MemoMisses {
+			t.Errorf("query %d: memo stats differ (%d/%d vs %d/%d)", i,
+				seq[i].MemoHits, seq[i].MemoMisses, mux[i].MemoHits, mux[i].MemoMisses)
+		}
+	}
+
+	// The shared scan runs detect and track once per frame for the whole
+	// 8-query group; the per-query path tracks once per query per frame.
+	frames := int64(len(v.Frames))
+	if got := muxEnv.Clock.Invocations("yolox"); got != frames {
+		t.Errorf("mux detector invocations = %d, want %d", got, frames)
+	}
+	if got := muxEnv.Clock.Invocations("tracker"); got != frames {
+		t.Errorf("mux tracker invocations = %d, want %d", got, frames)
+	}
+	if got := seqEnv.Clock.Invocations("tracker"); got != 8*frames {
+		t.Errorf("sequential tracker invocations = %d, want %d", got, 8*frames)
+	}
+}
+
+// TestMuxScanGrouping checks the group structure the mux builds from
+// plan scan prefixes: same detector → one group; a differing frame-
+// filter chain → separate groups; different classes of one detector →
+// one group with two trackers.
+func TestMuxScanGrouping(t *testing.T) {
+	ct := carType()
+	plain1 := manualPlan(redCarQuery(ct), "car", ct)
+	plain2 := manualPlan(redCarQuery(ct), "car", ct)
+
+	filtered := manualPlan(redCarQuery(ct), "car", ct)
+	filtered.Steps = append([]Step{{Kind: StepFrameFilter, FilterModel: "motion_diff"}}, filtered.Steps...)
+
+	ex, err := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ex.OpenMux([]*Plan{plain1, plain2, filtered}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.groups) != 2 {
+		t.Fatalf("groups = %d, want 2: %v", len(m.groups), m.Groups())
+	}
+	if m.groups[0].members != 2 || m.groups[1].members != 1 {
+		t.Errorf("group members = %d/%d, want 2/1", m.groups[0].members, m.groups[1].members)
+	}
+}
+
+// TestMuxSharedRasterAndVerdicts feeds frames incrementally and checks
+// verdict alignment plus Close idempotence.
+func TestMuxSharedRasterAndVerdicts(t *testing.T) {
+	v := video.CityFlow(7, 10).Generate()
+	ct := carType()
+	plans := []*Plan{
+		manualPlan(redCarQuery(ct), "car", ct),
+		manualPlan(redCarQuery(ct), "car", ct),
+	}
+	ex, err := NewExecutor(Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ex.OpenMux(plans, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v.Frames {
+		verdicts, err := m.Feed(&v.Frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(verdicts) != 2 {
+			t.Fatalf("frame %d: %d verdicts", i, len(verdicts))
+		}
+		if verdicts[0].Matched != verdicts[1].Matched {
+			t.Errorf("frame %d: identical lanes disagree", i)
+		}
+	}
+	res := m.Close()
+	res2 := m.Close()
+	if !reflect.DeepEqual(res, res2) {
+		t.Error("Close is not idempotent")
+	}
+	if _, err := m.Feed(&v.Frames[0]); err == nil {
+		t.Error("Feed after Close accepted")
+	}
+}
+
+// TestMuxConcurrentStreams exercises the shared-scan fan-out under the
+// race detector: several MuxStreams (one per simulated camera feed) run
+// concurrently against one SharedCache, the deployment shape of a
+// multi-stream serving tier.
+func TestMuxConcurrentStreams(t *testing.T) {
+	v := video.CityFlow(11, 30).Generate()
+	cache := NewSharedCache()
+	base := testEnv()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	results := make([][]*Result, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := base.Fork()
+			defer base.Clock.Merge(env.Clock)
+			ex, err := NewExecutor(Options{Env: env, Registry: models.BuiltinRegistry(), Cache: cache})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			plans := poolPlans(t, 6)
+			results[w], errs[w] = ex.RunMux(plans, v)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", w, err)
+		}
+	}
+	for w := 1; w < 4; w++ {
+		for i := range results[0] {
+			if !reflect.DeepEqual(results[0][i].Matched, results[w][i].Matched) {
+				t.Errorf("stream %d query %d: matched differs from stream 0", w, i)
+			}
+			if !reflect.DeepEqual(results[0][i].Hits, results[w][i].Hits) {
+				t.Errorf("stream %d query %d: hits differ from stream 0", w, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package plan
+
+// This file is the unified logical operator IR every frontend compiles
+// into — the object-oriented core.Query API (with its event
+// combinators), sqlbase SELECTs over video tables, and the CLI all
+// produce the same representation:
+//
+//	Scan(source) → FrameFilter* → Detect → Track → Prop* → Filter* → Output
+//
+// wrapped in a combinator tree (QueryIR) for duration/temporal events.
+// A compiled workload can then be executed two ways by the physical
+// layer:
+//
+//   - per query (executeIR): each basic pipeline scans the video itself,
+//     the pre-shared-scan behaviour that RunAll parallelizes;
+//   - shared scan (RunShared): exec.MuxStream groups pipelines whose
+//     scan prefixes are structurally identical — same frame-filter
+//     chain, same detector, same source (exec.ScanPrefixOf keys) — and
+//     runs each group's scan/detect/track exactly once per frame,
+//     fanning results out to every member query. DedupScans exposes the
+//     same partition at the logical layer for analysis and explain.
+//
+// Results are identical either way; only the amount of scan work and its
+// ledger attribution change.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vqpy/internal/core"
+	"vqpy/internal/exec"
+	"vqpy/internal/video"
+)
+
+// IRKind discriminates QueryIR nodes.
+type IRKind int
+
+// QueryIR node kinds: a basic pipeline leaf, or an event combinator.
+const (
+	IRBasic IRKind = iota
+	IRDuration
+	IRTemporal
+)
+
+// BasicIR is the compiled logical pipeline of one basic (or merged
+// spatial) query: the validated logical query plus the physical plan the
+// optimizer selected for it. The plan's step list is the linearized
+// Scan→Detect→Track→Prop→Filter chain; exec.ScanPrefixOf recovers the
+// shareable scan prefix from it.
+type BasicIR struct {
+	Query *core.Query
+	Plan  *exec.Plan
+}
+
+// QueryIR is the compiled form of any frontend query node: a combinator
+// tree whose leaves are basic pipelines.
+type QueryIR struct {
+	Name string
+	Kind IRKind
+
+	// Basic is set for IRBasic leaves.
+	Basic *BasicIR
+
+	// MinSeconds (IRDuration) / WindowSeconds (IRTemporal) carry the
+	// combinator parameters.
+	MinSeconds    float64
+	WindowSeconds float64
+
+	// Children holds the base pipeline(s) of combinator nodes.
+	Children []*QueryIR
+}
+
+// Leaves appends the tree's basic pipelines to out in execution order.
+func (ir *QueryIR) Leaves(out []*BasicIR) []*BasicIR {
+	if ir.Kind == IRBasic {
+		return append(out, ir.Basic)
+	}
+	for _, c := range ir.Children {
+		out = c.Leaves(out)
+	}
+	return out
+}
+
+// CompileNode compiles a frontend query node into the IR. Basic leaves
+// are planned (and, when canary is non-nil, canary-profiled) by the
+// candidate machinery of PlanBasic; spatial queries are lowered to
+// merged basic queries first.
+func (pl *Planner) CompileNode(node core.QueryNode, canary *video.Video) (*QueryIR, error) {
+	switch n := node.(type) {
+	case *core.Query:
+		return pl.compileBasic(n, n.Name(), canary)
+	case *core.SpatialQuery:
+		merged, err := MergeSpatial(n)
+		if err != nil {
+			return nil, err
+		}
+		return pl.compileBasic(merged, n.NodeName(), canary)
+	case *core.DurationQuery:
+		base, err := pl.CompileNode(n.Base, canary)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryIR{
+			Name: n.NodeName(), Kind: IRDuration,
+			MinSeconds: n.MinSeconds, Children: []*QueryIR{base},
+		}, nil
+	case *core.TemporalQuery:
+		first, err := pl.CompileNode(n.First, canary)
+		if err != nil {
+			return nil, err
+		}
+		second, err := pl.CompileNode(n.Second, canary)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryIR{
+			Name: n.NodeName(), Kind: IRTemporal,
+			WindowSeconds: n.WindowSeconds, Children: []*QueryIR{first, second},
+		}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown query node %T", node)
+}
+
+func (pl *Planner) compileBasic(q *core.Query, name string, canary *video.Video) (*QueryIR, error) {
+	p, _, err := pl.PlanBasic(q, canary)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryIR{Name: name, Kind: IRBasic, Basic: &BasicIR{Query: q, Plan: p}}, nil
+}
+
+// executeIR runs a compiled node per query — every basic leaf performs
+// its own scan of the video — and combines leaf results with the event
+// semantics of §3. This is the physical strategy behind Run and RunAll.
+func (pl *Planner) executeIR(ir *QueryIR, v *video.Video) (*RunResult, error) {
+	leaves := ir.Leaves(nil)
+	leafRes := make(map[*BasicIR]*exec.Result, len(leaves))
+	for _, leaf := range leaves {
+		ex, err := exec.NewExecutor(exec.Options{
+			Env: pl.opts.Env, Registry: pl.opts.Registry, Cache: pl.opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := ex.Run(leaf.Plan, v)
+		if err != nil {
+			return nil, err
+		}
+		leafRes[leaf] = res
+	}
+	return assembleIR(ir, leafRes, v.FPS), nil
+}
+
+// assembleIR folds per-leaf executor results back up the combinator
+// tree. It is shared by the per-query and shared-scan strategies, which
+// is what makes them interchangeable: the physical layer only ever
+// produces leaf results.
+func assembleIR(ir *QueryIR, leafRes map[*BasicIR]*exec.Result, fps int) *RunResult {
+	switch ir.Kind {
+	case IRBasic:
+		res := leafRes[ir.Basic]
+		return &RunResult{
+			Name: ir.Name, Matched: res.Matched, Events: exec.EventsOf(res.Matched),
+			FPS: fps, Basic: res, Plans: []*exec.Plan{ir.Basic.Plan}, VirtualMS: res.VirtualMS,
+		}
+	case IRDuration:
+		base := assembleIR(ir.Children[0], leafRes, fps)
+		minFrames := int(math.Ceil(ir.MinSeconds * float64(fps)))
+		matched, events := exec.Duration(base.Matched, minFrames)
+		return &RunResult{
+			Name: ir.Name, Matched: matched, Events: events, FPS: fps,
+			Plans: base.Plans, VirtualMS: base.VirtualMS,
+		}
+	case IRTemporal:
+		first := assembleIR(ir.Children[0], leafRes, fps)
+		second := assembleIR(ir.Children[1], leafRes, fps)
+		window := int(math.Ceil(ir.WindowSeconds * float64(fps)))
+		matched, events := exec.Sequence(first.Matched, second.Matched, window)
+		return &RunResult{
+			Name: ir.Name, Matched: matched, Events: events, FPS: fps,
+			Plans:     append(append([]*exec.Plan{}, first.Plans...), second.Plans...),
+			VirtualMS: first.VirtualMS + second.VirtualMS,
+		}
+	}
+	return nil
+}
+
+// ScanShare describes one group produced by the cross-query dedup pass:
+// the scan prefix (filter chain + detector), the classes tracked under
+// it, and the queries it serves. One ScanShare lowers to one shared
+// filter/detect/track operator set in the MuxStream.
+type ScanShare struct {
+	// Filters is the ordered frame-filter chain of the shared prefix.
+	Filters []string
+	// Detect is the shared detector model; empty for pipelines that
+	// cannot share their scan (scene-first, edge-placed).
+	Detect string
+	// Classes lists the object classes tracked under the shared scan,
+	// sorted.
+	Classes []video.Class
+	// Queries names the member pipelines, in workload order.
+	Queries []string
+}
+
+// DedupScans partitions basic pipelines by structurally identical scan
+// prefixes (same frame-filter chain and detector over the same source —
+// the stream the caller is about to multiplex). Pipelines whose filters
+// differ stay apart, since a tracker's state depends on exactly which
+// frames reach it; pipelines without a shareable prefix each get a
+// singleton group.
+//
+// This is the logical-layer view of the grouping: both it and the
+// physical grouping inside exec.OpenMux are derived from the same
+// exec.ScanPrefixOf signatures, so the partition here is exactly the
+// set of shared operator groups the MuxStream will run
+// (TestDedupScansMatchesMuxGroups pins the two together). Use it for
+// explain output and workload analysis without opening a stream.
+func DedupScans(leaves []*BasicIR) []ScanShare {
+	var out []ScanShare
+	index := map[string]int{}
+	for i, leaf := range leaves {
+		sig := exec.ScanPrefixOf(leaf.Plan)
+		key := sig.Key()
+		if !sig.Shareable {
+			key = fmt.Sprintf("private#%d", i)
+		}
+		gi, ok := index[key]
+		if !ok {
+			gi = len(out)
+			index[key] = gi
+			share := ScanShare{Filters: sig.Filters}
+			if sig.Shareable {
+				share.Detect = sig.Detect
+			}
+			out = append(out, share)
+		}
+		g := &out[gi]
+		g.Queries = append(g.Queries, leaf.Query.Name())
+		if sig.Shareable {
+			seen := false
+			for _, c := range g.Classes {
+				if c == sig.Class {
+					seen = true
+				}
+			}
+			if !seen {
+				g.Classes = append(g.Classes, sig.Class)
+			}
+		}
+	}
+	for i := range out {
+		sort.Slice(out[i].Classes, func(a, b int) bool { return out[i].Classes[a] < out[i].Classes[b] })
+	}
+	return out
+}
+
+// canaryOf recovers a materialized video from a frame source for canary
+// profiling and result-cache fingerprints. Both simulation sources can
+// materialize; a live source would return nil and skip profiling.
+func canaryOf(src video.FrameSource) *video.Video {
+	switch s := src.(type) {
+	case *video.Video:
+		return s
+	case *video.ScenarioSource:
+		return s.Video()
+	}
+	return nil
+}
+
+// RunShared plans and executes every query node over one frame source in
+// a single shared pass: all nodes are compiled to the IR and
+// exec.MuxStream multiplexes every basic pipeline over one frame
+// stream, deduplicating structurally identical scan prefixes (the
+// DedupScans partition) into shared operators. Results align
+// positionally with nodes and are identical to running the nodes
+// sequentially (per-query virtual-time attribution shifts: shared scan
+// costs are split across the queries riding them).
+func (pl *Planner) RunShared(nodes []core.QueryNode, src video.FrameSource) ([]*RunResult, error) {
+	if len(nodes) == 0 {
+		return nil, nil
+	}
+	opts := pl.opts
+	if opts.Cache == nil {
+		opts.Cache = exec.NewSharedCache()
+	}
+	inner := &Planner{opts: opts}
+
+	canary := canaryOf(src)
+	results := make([]*RunResult, len(nodes))
+	irs := make([]*QueryIR, len(nodes))
+	var pending []int
+	for i, node := range nodes {
+		if opts.ResultCache != nil && canary != nil {
+			if r, ok := opts.ResultCache.Get(Fingerprint(node, canary)); ok {
+				results[i] = r
+				continue
+			}
+		}
+		ir, err := inner.CompileNode(node, canary)
+		if err != nil {
+			return nil, fmt.Errorf("plan: query %s: %w", node.NodeName(), err)
+		}
+		irs[i] = ir
+		pending = append(pending, i)
+	}
+	if len(pending) == 0 {
+		return results, nil
+	}
+
+	var leaves []*BasicIR
+	for _, i := range pending {
+		leaves = irs[i].Leaves(leaves)
+	}
+	plans := make([]*exec.Plan, len(leaves))
+	for j, leaf := range leaves {
+		plans[j] = leaf.Plan
+	}
+	ex, err := exec.NewExecutor(exec.Options{
+		Env: opts.Env, Registry: opts.Registry, Cache: opts.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	execRes, err := ex.RunMux(plans, src)
+	if err != nil {
+		return nil, err
+	}
+	leafRes := make(map[*BasicIR]*exec.Result, len(leaves))
+	for j, leaf := range leaves {
+		leafRes[leaf] = execRes[j]
+	}
+
+	fps := src.SourceFPS()
+	for _, i := range pending {
+		r := assembleIR(irs[i], leafRes, fps)
+		if opts.ResultCache != nil && canary != nil {
+			opts.ResultCache.Put(Fingerprint(nodes[i], canary), r)
+		}
+		results[i] = r
+	}
+	return results, nil
+}

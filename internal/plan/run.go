@@ -2,7 +2,6 @@ package plan
 
 import (
 	"fmt"
-	"math"
 
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
@@ -78,71 +77,16 @@ func (pl *Planner) Run(node core.QueryNode, v *video.Video) (*RunResult, error) 
 	return r, err
 }
 
+// runNode is the per-query physical strategy: the node is compiled to
+// the operator IR (planning every basic leaf against the video as the
+// profiling canary) and each leaf pipeline then scans the video itself.
+// The shared-scan strategy over the same IR is RunShared.
 func (pl *Planner) runNode(node core.QueryNode, v *video.Video) (*RunResult, error) {
-	switch n := node.(type) {
-	case *core.Query:
-		return pl.runBasic(n, v)
-	case *core.SpatialQuery:
-		merged, err := MergeSpatial(n)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := pl.runBasic(merged, v)
-		if err != nil {
-			return nil, err
-		}
-		rr.Name = n.NodeName()
-		return rr, nil
-	case *core.DurationQuery:
-		base, err := pl.runNode(n.Base, v)
-		if err != nil {
-			return nil, err
-		}
-		minFrames := int(math.Ceil(n.MinSeconds * float64(v.FPS)))
-		matched, events := exec.Duration(base.Matched, minFrames)
-		return &RunResult{
-			Name: n.NodeName(), Matched: matched, Events: events, FPS: v.FPS,
-			Plans: base.Plans, VirtualMS: base.VirtualMS,
-		}, nil
-	case *core.TemporalQuery:
-		first, err := pl.runNode(n.First, v)
-		if err != nil {
-			return nil, err
-		}
-		second, err := pl.runNode(n.Second, v)
-		if err != nil {
-			return nil, err
-		}
-		window := int(math.Ceil(n.WindowSeconds * float64(v.FPS)))
-		matched, events := exec.Sequence(first.Matched, second.Matched, window)
-		return &RunResult{
-			Name: n.NodeName(), Matched: matched, Events: events, FPS: v.FPS,
-			Plans:     append(append([]*exec.Plan{}, first.Plans...), second.Plans...),
-			VirtualMS: first.VirtualMS + second.VirtualMS,
-		}, nil
-	}
-	return nil, fmt.Errorf("plan: unknown query node %T", node)
-}
-
-func (pl *Planner) runBasic(q *core.Query, v *video.Video) (*RunResult, error) {
-	p, _, err := pl.PlanBasic(q, v)
+	ir, err := pl.CompileNode(node, v)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := exec.NewExecutor(exec.Options{
-		Env: pl.opts.Env, Registry: pl.opts.Registry, Cache: pl.opts.Cache,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := ex.Run(p, v)
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Name: q.Name(), Matched: res.Matched, Events: exec.EventsOf(res.Matched),
-		FPS: v.FPS, Basic: res, Plans: []*exec.Plan{p}, VirtualMS: res.VirtualMS,
-	}, nil
+	return pl.executeIR(ir, v)
 }
 
 // MergeSpatial lowers a SpatialQuery into a single basic query: the

@@ -22,6 +22,7 @@ type Clock struct {
 	mu       sync.Mutex
 	totalMS  float64
 	accounts map[string]float64
+	counts   map[string]int64
 	history  []FrameCost
 	curFrame int
 	curCost  float64
@@ -36,10 +37,18 @@ type FrameCost struct {
 
 // NewClock returns an empty ledger.
 func NewClock() *Clock {
-	return &Clock{accounts: make(map[string]float64), curFrame: -1}
+	return &Clock{
+		accounts: make(map[string]float64),
+		counts:   make(map[string]int64),
+		curFrame: -1,
+	}
 }
 
-// Charge adds ms virtual milliseconds against the named account.
+// Charge adds ms virtual milliseconds against the named account. Each
+// call also counts one invocation against the account, so the ledger can
+// answer "how many times did this model run" as well as "for how long"
+// (the shared-scan experiments compare invocation counts across
+// execution strategies).
 func (c *Clock) Charge(account string, ms float64) {
 	if ms < 0 {
 		ms = 0
@@ -47,6 +56,7 @@ func (c *Clock) Charge(account string, ms float64) {
 	c.mu.Lock()
 	c.totalMS += ms
 	c.accounts[account] += ms
+	c.counts[account]++
 	c.curCost += ms
 	c.mu.Unlock()
 }
@@ -113,6 +123,25 @@ func (c *Clock) Accounts() map[string]float64 {
 	return out
 }
 
+// Invocations returns the number of charges booked against one account
+// (one per model inference, tracker update, etc.).
+func (c *Clock) Invocations(account string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[account]
+}
+
+// InvocationTotals returns a copy of all per-account invocation counts.
+func (c *Clock) InvocationTotals() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
 // PerFrame returns the recorded per-frame cost series, flushing any
 // in-progress frame first.
 func (c *Clock) PerFrame() []FrameCost {
@@ -140,6 +169,10 @@ func (c *Clock) Merge(o *Clock) {
 	for k, v := range o.accounts {
 		accounts[k] = v
 	}
+	counts := make(map[string]int64, len(o.counts))
+	for k, v := range o.counts {
+		counts[k] = v
+	}
 	history := make([]FrameCost, len(o.history))
 	copy(history, o.history)
 	o.mu.Unlock()
@@ -148,6 +181,9 @@ func (c *Clock) Merge(o *Clock) {
 	c.totalMS += total
 	for k, v := range accounts {
 		c.accounts[k] += v
+	}
+	for k, v := range counts {
+		c.counts[k] += v
 	}
 	c.history = append(c.history, history...)
 	c.mu.Unlock()
@@ -158,6 +194,7 @@ func (c *Clock) Reset() {
 	c.mu.Lock()
 	c.totalMS = 0
 	c.accounts = make(map[string]float64)
+	c.counts = make(map[string]int64)
 	c.history = nil
 	c.curFrame = -1
 	c.curCost = 0

@@ -1,0 +1,428 @@
+package sqlbase
+
+// This file compiles SQL SELECTs over video tables into the unified
+// operator IR of internal/plan, so the SQL frontend executes through the
+// same planner and shared-scan engine as the object-oriented frontend —
+// there is no separate execution engine for the overlapping detect/
+// track/classify functionality. A SELECT of the shape
+//
+//	SELECT id, Color(Crop(data, T.bbox)) AS color, T.iid, T.bbox, ...
+//	FROM MyVideo
+//	JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+//	  AS T(iid, label, bbox, score)
+//	[WHERE T.label = 'car' AND T.score > 0.5 AND ... = 'red']
+//
+// lowers to one basic query per candidate object class (one lane each),
+// and the lanes execute as a single shared scan: one detector run and
+// one tracker per class per frame, exactly like N OO queries multiplexed
+// over one stream. Selects that do not fit this shape (joins over
+// materialized tables, arbitrary UDFs) fall back to the row-at-a-time
+// relational evaluator, which also serves as the EVA cost-model baseline
+// (NewEVABaseline).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vqpy/internal/core"
+	"vqpy/internal/geom"
+	"vqpy/internal/models"
+	"vqpy/internal/plan"
+	"vqpy/internal/video"
+)
+
+// semantic fields a compiled column can refer to.
+type sqlField int
+
+const (
+	fieldNone sqlField = iota
+	fieldFrameID
+	fieldData
+	fieldTrackID
+	fieldLabel
+	fieldBBox
+	fieldScore
+	fieldColor
+)
+
+// outItem is one compiled projection column.
+type outItem struct {
+	name  string
+	field sqlField
+}
+
+// compiledSelect is a SELECT lowered to IR lanes plus output mapping.
+type compiledSelect struct {
+	v       *video.Video
+	classes []video.Class
+	queries []*core.Query
+	items   []outItem
+}
+
+// sqlDefaultClasses are the candidate classes of an unrestricted
+// EXTRACT_OBJECT when the detector profile does not narrow them.
+var sqlDefaultClasses = []video.Class{
+	video.ClassPerson, video.ClassCar, video.ClassBus, video.ClassTruck, video.ClassBall,
+}
+
+// colResolver maps column references of one SELECT to semantic fields.
+type colResolver struct {
+	baseName    string
+	lateralName string
+	lateralCols map[string]sqlField // declared col name → field
+}
+
+func newColResolver(sel *Select) *colResolver {
+	r := &colResolver{baseName: sel.From.Name, lateralCols: map[string]sqlField{}}
+	if sel.From.Alias != "" {
+		r.baseName = sel.From.Alias
+	}
+	if sel.Lateral != nil {
+		r.lateralName = sel.Lateral.Alias
+		fields := []sqlField{fieldTrackID, fieldLabel, fieldBBox, fieldScore}
+		for i, col := range sel.Lateral.Cols {
+			if i < len(fields) {
+				r.lateralCols[col] = fields[i]
+			}
+		}
+	}
+	return r
+}
+
+// resolve maps a ColRef to a semantic field; fieldNone when unknown.
+func (r *colResolver) resolve(ref *ColRef) sqlField {
+	if ref.Table == "" || ref.Table == r.lateralName {
+		if f, ok := r.lateralCols[ref.Column]; ok {
+			return f
+		}
+	}
+	if ref.Table == "" || ref.Table == r.baseName {
+		switch ref.Column {
+		case "id":
+			return fieldFrameID
+		case "data":
+			return fieldData
+		}
+	}
+	return fieldNone
+}
+
+// isColorCall recognizes Color(Crop(data, <bbox>)) — the per-object
+// classifier invocation of the paper's SQL scripts.
+func (r *colResolver) isColorCall(ex Expr) bool {
+	call, ok := ex.(*CallExpr)
+	if !ok || call.Name != "color" || len(call.Args) != 1 {
+		return false
+	}
+	crop, ok := call.Args[0].(*CallExpr)
+	if !ok || crop.Name != "crop" || len(crop.Args) != 2 {
+		return false
+	}
+	dataRef, ok := crop.Args[0].(*ColRef)
+	if !ok || r.resolve(dataRef) != fieldData {
+		return false
+	}
+	boxRef, ok := crop.Args[1].(*ColRef)
+	return ok && r.resolve(boxRef) == fieldBBox
+}
+
+// fieldProp maps a semantic field to the IR property it filters or
+// outputs on the lane's single instance.
+func fieldProp(f sqlField) (string, bool) {
+	switch f {
+	case fieldFrameID:
+		return core.PropFrameIdx, true
+	case fieldTrackID:
+		return core.PropTrackID, true
+	case fieldScore:
+		return core.PropScore, true
+	case fieldColor:
+		return "color", true
+	}
+	return "", false
+}
+
+// sqlOp maps a SQL comparison operator to a predicate constructor.
+func sqlOp(b core.PropRef, op string, val any) (core.Pred, bool) {
+	switch op {
+	case "=":
+		return b.Eq(val), true
+	case "!=":
+		return b.Ne(val), true
+	case ">":
+		return b.Gt(val), true
+	case ">=":
+		return b.Ge(val), true
+	case "<":
+		return b.Lt(val), true
+	case "<=":
+		return b.Le(val), true
+	}
+	return nil, false
+}
+
+// compileSelect lowers a SELECT over a registered video table into IR
+// lanes. ok=false (with nil error) means the statement does not fit the
+// compilable shape and should take the relational path.
+func (e *Engine) compileSelect(sel *Select) (*compiledSelect, bool, error) {
+	v, isVideo := e.videoTables[sel.From.Name]
+	if !isVideo || sel.Join != nil || sel.Lateral == nil {
+		return nil, false, nil
+	}
+	if sel.Lateral.Call == nil || sel.Lateral.Call.Name != "extract_object" ||
+		len(sel.Lateral.Call.Args) != 3 {
+		return nil, false, nil
+	}
+	r := newColResolver(sel)
+	// The first argument must be the frame-data column; anything else is
+	// left to the row evaluator, which rejects it with a proper error.
+	dataRef, ok := sel.Lateral.Call.Args[0].(*ColRef)
+	if !ok || r.resolve(dataRef) != fieldData {
+		return nil, false, nil
+	}
+	detRef, ok := sel.Lateral.Call.Args[1].(*ColRef)
+	if !ok || detRef.Table != "" {
+		return nil, false, nil
+	}
+	detName := detRef.Column
+	if mapped, ok := detectorAliases[strings.ToLower(detName)]; ok {
+		detName = mapped
+	}
+	if _, err := e.registry.Detector(detName); err != nil {
+		return nil, false, nil
+	}
+
+	// WHERE: a conjunction of supported single-object predicates.
+	type cmpSpec struct {
+		field sqlField
+		op    string
+		value any
+	}
+	var cmps []cmpSpec
+	classRestrict := video.ClassUnknown
+	needColor := false
+	supported := true
+	var walk func(ex Expr)
+	walk = func(ex Expr) {
+		if !supported || ex == nil {
+			return
+		}
+		b, ok := ex.(*BinExpr)
+		if !ok {
+			supported = false
+			return
+		}
+		if b.Op == "and" {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		// Normalize to <expr> <op> <literal>.
+		lit, isLit := b.Right.(*Lit)
+		if !isLit {
+			supported = false
+			return
+		}
+		if ref, isRef := b.Left.(*ColRef); isRef {
+			f := r.resolve(ref)
+			if f == fieldLabel {
+				s, isStr := lit.Value.(string)
+				cls := video.ParseClass(s)
+				if b.Op != "=" || !isStr || cls == video.ClassUnknown {
+					supported = false
+					return
+				}
+				if classRestrict != video.ClassUnknown && classRestrict != cls {
+					supported = false // contradictory restriction: keep legacy semantics
+					return
+				}
+				classRestrict = cls
+				return
+			}
+			if _, ok := fieldProp(f); ok && f != fieldColor {
+				cmps = append(cmps, cmpSpec{field: f, op: b.Op, value: lit.Value})
+				return
+			}
+			supported = false
+			return
+		}
+		if r.isColorCall(b.Left) {
+			needColor = true
+			cmps = append(cmps, cmpSpec{field: fieldColor, op: b.Op, value: lit.Value})
+			return
+		}
+		supported = false
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	if !supported {
+		return nil, false, nil
+	}
+
+	// Projection items.
+	var items []outItem
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, false, nil
+		}
+		switch ex := item.Expr.(type) {
+		case *ColRef:
+			f := r.resolve(ex)
+			if f == fieldNone {
+				return nil, false, nil
+			}
+			name := item.Alias
+			if name == "" {
+				name = ex.Column
+			}
+			items = append(items, outItem{name: name, field: f})
+		case *CallExpr:
+			if !r.isColorCall(item.Expr) {
+				return nil, false, nil
+			}
+			needColor = true
+			name := item.Alias
+			if name == "" {
+				name = "color"
+			}
+			items = append(items, outItem{name: name, field: fieldColor})
+		default:
+			return nil, false, nil
+		}
+	}
+
+	// Candidate classes: the label restriction, or the detector's class
+	// coverage.
+	classes := sqlDefaultClasses
+	if classRestrict != video.ClassUnknown {
+		classes = []video.Class{classRestrict}
+	} else if prof, ok := models.ProfileOf(detName); ok && len(prof.Classes) > 0 {
+		classes = append([]video.Class{}, prof.Classes...)
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	}
+
+	// One IR lane per class: the shared-scan engine merges their scan
+	// prefixes into one detector run per frame.
+	queries := make([]*core.Query, 0, len(classes))
+	for _, cls := range classes {
+		t := core.NewVObj("sql_"+cls.String(), cls).Detector(detName)
+		if needColor {
+			t.StatelessModel("color", "color_detect", true)
+		}
+		var preds []core.Pred
+		for _, c := range cmps {
+			prop, _ := fieldProp(c.field)
+			p, ok := sqlOp(core.P("o", prop), c.op, c.value)
+			if !ok {
+				return nil, false, nil
+			}
+			preds = append(preds, p)
+		}
+		q := core.NewQuery(fmt.Sprintf("sql:%s:%s", sel.From.Name, cls))
+		q.Use("o", t)
+		if len(preds) > 0 {
+			q.Where(core.And(preds...))
+		}
+		sels := []core.Selector{
+			core.Sel("o", core.PropTrackID),
+			core.Sel("o", core.PropClass),
+			core.Sel("o", core.PropBBox),
+			core.Sel("o", core.PropScore),
+		}
+		if needColor {
+			sels = append(sels, core.Sel("o", "color"))
+		}
+		q.FrameOutput(sels...)
+		queries = append(queries, q)
+	}
+
+	return &compiledSelect{v: v, classes: classes, queries: queries, items: items}, true, nil
+}
+
+// execCompiledSelect runs the lowered lanes through the planner's
+// shared-scan path and materializes the relational result.
+func (e *Engine) execCompiledSelect(cs *compiledSelect) (*Table, error) {
+	pl, err := plan.NewPlanner(plan.Options{Env: e.env, Registry: e.registry})
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]core.QueryNode, len(cs.queries))
+	for i, q := range cs.queries {
+		nodes[i] = q
+	}
+	results, err := pl.RunShared(nodes, cs.v)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-lane frame → hit lookup (hits arrive in frame order).
+	hitAt := make([]map[int]int, len(results))
+	for li, rr := range results {
+		hitAt[li] = make(map[int]int, len(rr.Basic.Hits))
+		for hi := range rr.Basic.Hits {
+			hitAt[li][rr.Basic.Hits[hi].FrameIdx] = hi
+		}
+	}
+
+	out := &Table{}
+	for _, item := range cs.items {
+		out.Cols = append(out.Cols, item.name)
+	}
+	// Global object ids: per-lane track ids remapped in first-appearance
+	// order, so ids are unique across classes (a single EVA tracker
+	// numbers all classes from one sequence).
+	type laneTrack struct{ lane, track int }
+	iids := map[laneTrack]int{}
+	nextIID := 1
+	for fi := range cs.v.Frames {
+		frame := &cs.v.Frames[fi]
+		for li, rr := range results {
+			hi, ok := hitAt[li][frame.Index]
+			if !ok {
+				continue
+			}
+			for _, obj := range rr.Basic.Hits[hi].Objects {
+				var iid int
+				if obj.TrackID < 0 {
+					// Not yet confirmed by the tracker: a distinct
+					// unidentified object, numbered fresh.
+					iid = nextIID
+					nextIID++
+				} else {
+					key := laneTrack{li, obj.TrackID}
+					seen := false
+					if iid, seen = iids[key]; !seen {
+						iid = nextIID
+						nextIID++
+						iids[key] = iid
+					}
+				}
+				row := Row{}
+				for _, item := range cs.items {
+					switch item.field {
+					case fieldFrameID:
+						row[item.name] = float64(frame.Index)
+					case fieldData:
+						row[item.name] = frame
+					case fieldTrackID:
+						row[item.name] = float64(iid)
+					case fieldLabel:
+						row[item.name] = cs.classes[li].String()
+					case fieldBBox:
+						if v, ok := obj.Values[core.PropBBox]; ok {
+							row[item.name] = v.(geom.BBox)
+						}
+					case fieldScore:
+						row[item.name] = obj.Values[core.PropScore]
+					case fieldColor:
+						row[item.name] = obj.Values["color"]
+					}
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package sqlbase
+
+import (
+	"testing"
+
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// plannerEngine builds the default (planner-backed) engine.
+func plannerEngine(seed uint64) (*Engine, *models.Env) {
+	env := models.NewEnv(seed)
+	env.NoBurn = true
+	e := NewEngine(env, models.BuiltinRegistry())
+	RegisterStandardUDFs(e)
+	return e, env
+}
+
+// TestPlannerSelectRoutesThroughIR is the frontend-unification check: a
+// filtered SELECT over a video table executes through the planner/IR
+// shared-scan path — one detector invocation per frame, no per-row UDF
+// wrapping — and still answers the query.
+func TestPlannerSelectRoutesThroughIR(t *testing.T) {
+	e, env := plannerEngine(21)
+	v := video.CityFlow(21, 30).Generate()
+	e.RegisterVideo("v.mp4", v)
+	res, err := e.ExecScript([]string{
+		`LOAD VIDEO 'v.mp4' INTO MyVideo;`,
+		`CREATE FUNCTION Color IMPL './color.py';`,
+		`SELECT id, T.iid, T.bbox
+		   FROM MyVideo
+		   JOIN LATERAL UNNEST(EXTRACT_OBJECT(data, Yolo, NorFairTracker))
+		   AS T(iid, label, bbox, score)
+		   WHERE T.label = 'car' AND T.score > 0.5 AND Color(Crop(data, T.bbox)) = 'red';`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatal("planner-path select returned nothing")
+	}
+	truth := v.FramesMatching(func(o video.Object) bool {
+		return o.Class == video.ClassCar && o.Color == video.ColorRed
+	})
+	tp := 0
+	got := res.FrameSet("id")
+	for f := range got {
+		if truth[f] {
+			tp++
+		}
+	}
+	if prec := float64(tp) / float64(len(got)); prec < 0.6 {
+		t.Errorf("precision = %.2f (%d/%d frames)", prec, tp, len(got))
+	}
+	// The defining properties of the IR path: the detector ran exactly
+	// once per frame for the whole statement, and EVA's per-row pandas
+	// wrapping never happened.
+	if got := env.Clock.Invocations("yolox"); got != int64(len(v.Frames)) {
+		t.Errorf("detector invocations = %d, want %d (once per frame)", got, len(v.Frames))
+	}
+	if env.Clock.Account("eva:udf_wrap") != 0 {
+		t.Error("planner path charged per-row UDF wrapping")
+	}
+	if env.Clock.Account("eva:crop") != 0 {
+		t.Error("planner path charged per-row crops")
+	}
+}
+
+// TestPlannerEngineRedCarScript runs the paper's full Figure 20 script
+// on the default engine: the video-table CREATE TABLE AS goes through
+// the planner, the final SELECT over the materialized table stays
+// relational, and the answer still matches ground truth.
+func TestPlannerEngineRedCarScript(t *testing.T) {
+	e, env := plannerEngine(23)
+	v := video.CityFlow(23, 30).Generate()
+	e.RegisterVideo("v.mp4", v)
+	res, err := e.ExecScript(RedCarScript("v.mp4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || len(res.Rows) == 0 {
+		t.Fatal("red car script returned nothing")
+	}
+	truth := v.FramesMatching(func(o video.Object) bool {
+		return o.Class == video.ClassCar && o.Color == video.ColorRed
+	})
+	tp := 0
+	got := res.FrameSet("id")
+	for f := range got {
+		if truth[f] {
+			tp++
+		}
+	}
+	if prec := float64(tp) / float64(len(got)); prec < 0.6 {
+		t.Errorf("precision = %.2f", prec)
+	}
+	if got := env.Clock.Invocations("yolox"); got != int64(len(v.Frames)) {
+		t.Errorf("detector invocations = %d, want %d", got, len(v.Frames))
+	}
+	if env.Clock.Account("eva:udf_wrap") != 0 {
+		t.Error("planner path charged per-row UDF wrapping")
+	}
+}
+
+// TestPlannerAgreesWithBaseline compares the two strategies on the same
+// query, seed and video: different trackers and evaluation orders allow
+// noise-level divergence, but the answers must agree closely.
+func TestPlannerAgreesWithBaseline(t *testing.T) {
+	v := video.CityFlow(29, 30).Generate()
+	run := func(baseline bool) map[int]bool {
+		env := models.NewEnv(29)
+		env.NoBurn = true
+		var e *Engine
+		if baseline {
+			e = NewEVABaseline(env, models.BuiltinRegistry())
+		} else {
+			e = NewEngine(env, models.BuiltinRegistry())
+		}
+		RegisterStandardUDFs(e)
+		e.RegisterVideo("v.mp4", v)
+		res, err := e.ExecScript(RedCarScript("v.mp4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FrameSet("id")
+	}
+	planner := run(false)
+	legacy := run(true)
+	inter := 0
+	for f := range planner {
+		if legacy[f] {
+			inter++
+		}
+	}
+	union := len(planner) + len(legacy) - inter
+	if union == 0 {
+		t.Skip("both strategies found nothing on this clip")
+	}
+	if jac := float64(inter) / float64(union); jac < 0.6 {
+		t.Errorf("strategies diverge: jaccard = %.2f (planner %d, legacy %d frames)",
+			jac, len(planner), len(legacy))
+	}
+}
+
+// TestPlannerFallbackToRelational checks that non-video and unsupported
+// SELECT shapes still execute on the default engine via the relational
+// evaluator.
+func TestPlannerFallbackToRelational(t *testing.T) {
+	e, _ := plannerEngine(31)
+	v := video.CityFlow(31, 10).Generate()
+	e.RegisterVideo("v.mp4", v)
+	if _, err := e.Exec(`LOAD VIDEO 'v.mp4' INTO MyVideo;`); err != nil {
+		t.Fatal(err)
+	}
+	// Frame-id scan without a lateral clause: relational path.
+	res, err := e.Exec(`SELECT id FROM MyVideo WHERE id < 5;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.Rows))
+	}
+	// Unsupported projection (arithmetic) falls back too.
+	if _, err := e.Exec(`SELECT id + 1 AS next FROM MyVideo;`); err != nil {
+		t.Fatal(err)
+	}
+	// Malformed EXTRACT_OBJECT (first argument is not the data column)
+	// must not be silently compiled: it falls back to the row evaluator
+	// and keeps its error.
+	if _, err := e.Exec(`SELECT id, T.iid FROM MyVideo
+		JOIN LATERAL UNNEST(EXTRACT_OBJECT(id, Yolo, NorFairTracker))
+		AS T(iid, label, bbox, score);`); err == nil {
+		t.Error("EXTRACT_OBJECT over a non-data column was accepted")
+	}
+}

@@ -9,10 +9,14 @@ import (
 	"vqpy/internal/video"
 )
 
+// testEngine builds the EVA cost-model baseline engine: these tests
+// assert the row-at-a-time evaluator and its structural overhead
+// accounts. The planner-backed default engine is covered by
+// compile_test.go.
 func testEngine() (*Engine, *models.Env) {
 	env := models.NewEnv(42)
 	env.NoBurn = true
-	e := NewEngine(env, models.BuiltinRegistry())
+	e := NewEVABaseline(env, models.BuiltinRegistry())
 	RegisterStandardUDFs(e)
 	return e, env
 }

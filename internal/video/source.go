@@ -1,0 +1,67 @@
+package video
+
+// FrameSource is the decode-once abstraction the shared-scan engine
+// reads from: an ordered stream of frames with capture metadata. The
+// MuxStream layer pulls each frame from its source exactly once and fans
+// it out to every query multiplexed onto the stream, so adding a query
+// never adds a decode.
+//
+// *Video satisfies FrameSource directly (an already-materialized clip),
+// and ScenarioSource adapts the synthetic scenario generator (the
+// stand-in for a live camera in this reproduction).
+type FrameSource interface {
+	// SourceName identifies the stream (video name / camera id).
+	SourceName() string
+	// SourceFPS is the capture rate, for duration/window conversion.
+	SourceFPS() int
+	// NumFrames is the stream length. Live deployments would return the
+	// frames decoded so far; both simulation sources know it up front.
+	NumFrames() int
+	// FrameAt returns frame i (0 <= i < NumFrames), in capture order.
+	FrameAt(i int) *Frame
+}
+
+// SourceName implements FrameSource.
+func (v *Video) SourceName() string { return v.Name }
+
+// SourceFPS implements FrameSource.
+func (v *Video) SourceFPS() int { return v.FPS }
+
+// NumFrames implements FrameSource.
+func (v *Video) NumFrames() int { return len(v.Frames) }
+
+// FrameAt implements FrameSource.
+func (v *Video) FrameAt(i int) *Frame { return &v.Frames[i] }
+
+// ScenarioSource is a FrameSource backed by the scenario generator: the
+// clip is materialized lazily on first access, standing in for a camera
+// that decodes frames as they are requested.
+type ScenarioSource struct {
+	sc Scenario
+	v  *Video
+}
+
+// NewScenarioSource wraps a scenario as a frame source.
+func NewScenarioSource(sc Scenario) *ScenarioSource {
+	return &ScenarioSource{sc: sc}
+}
+
+// Video returns the backing clip, generating it on first call.
+func (s *ScenarioSource) Video() *Video {
+	if s.v == nil {
+		s.v = s.sc.Generate()
+	}
+	return s.v
+}
+
+// SourceName implements FrameSource.
+func (s *ScenarioSource) SourceName() string { return s.Video().Name }
+
+// SourceFPS implements FrameSource.
+func (s *ScenarioSource) SourceFPS() int { return s.Video().FPS }
+
+// NumFrames implements FrameSource.
+func (s *ScenarioSource) NumFrames() int { return len(s.Video().Frames) }
+
+// FrameAt implements FrameSource.
+func (s *ScenarioSource) FrameAt(i int) *Frame { return &s.Video().Frames[i] }

@@ -82,6 +82,11 @@ type (
 	Video = video.Video
 	// Scenario configures the synthetic video generator.
 	Scenario = video.Scenario
+	// FrameSource is the decode-once stream abstraction the shared-scan
+	// engine reads from; *Video and ScenarioSource satisfy it.
+	FrameSource = video.FrameSource
+	// ScenarioSource adapts the scenario generator as a FrameSource.
+	ScenarioSource = video.ScenarioSource
 )
 
 // Re-exported constructors and predicate builders.
@@ -110,6 +115,8 @@ var (
 	Sel = core.Sel
 	// SceneVObj returns the special scene VObj.
 	SceneVObj = core.Scene
+	// NewScenarioSource wraps a scenario as a FrameSource.
+	NewScenarioSource = video.NewScenarioSource
 )
 
 // Built-in property names (see core documentation).
@@ -243,19 +250,20 @@ func NewPlanCache() *plan.PlanCache { return plan.NewPlanCache() }
 // NewResultCache creates a cache for WithResultCache.
 func NewResultCache() *plan.ResultCache { return plan.NewResultCache() }
 
-func (s *Session) planner(opts ...Option) (*plan.Planner, error) {
+func (s *Session) planner(opts ...Option) (*plan.Planner, *config, error) {
 	cfg := &config{planOpts: plan.Options{Env: s.env, Registry: s.registry}}
 	for _, o := range opts {
 		o(cfg)
 	}
 	cfg.planOpts.Env = s.env
 	cfg.planOpts.Registry = s.registry
-	return plan.NewPlanner(cfg.planOpts)
+	pl, err := plan.NewPlanner(cfg.planOpts)
+	return pl, cfg, err
 }
 
 // Execute plans and runs a query node over a video.
 func (s *Session) Execute(node QueryNode, v *Video, opts ...Option) (*RunResult, error) {
-	pl, err := s.planner(opts...)
+	pl, _, err := s.planner(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -270,11 +278,55 @@ func (s *Session) Execute(node QueryNode, v *Video, opts ...Option) (*RunResult,
 // to sequential execution; per-worker virtual clocks are merged into
 // the session ledger.
 func (s *Session) ExecuteAll(nodes []QueryNode, v *Video, workers int, opts ...Option) ([]*RunResult, error) {
-	pl, err := s.planner(opts...)
+	pl, _, err := s.planner(opts...)
 	if err != nil {
 		return nil, err
 	}
 	return pl.RunAll(nodes, v, workers)
+}
+
+// ExecuteShared plans and runs several query nodes over one frame
+// source in a single shared pass: every node compiles to the unified
+// operator IR, the cross-query dedup pass merges structurally identical
+// scan prefixes (same frame-filter chain and detector over the same
+// source), and the MuxStream layer decodes each frame exactly once,
+// running each shared detect/track group once per frame and fanning the
+// results out to per-query operators. Results align positionally with
+// nodes and are identical to sequential per-query execution; shared
+// scan costs are split across the queries riding them in the ledger.
+func (s *Session) ExecuteShared(nodes []QueryNode, src FrameSource, opts ...Option) ([]*RunResult, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunShared(nodes, src)
+}
+
+// OpenShared plans several basic queries (profiling on the optional
+// canary video) and returns a MuxStream to Feed frames into — the
+// streaming flavour of ExecuteShared, for live multi-query serving on
+// one camera. fps annotates the per-query results.
+func (s *Session) OpenShared(qs []*Query, canary *Video, fps int, opts ...Option) (*MuxStream, error) {
+	pl, cfg, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]*exec.Plan, len(qs))
+	for i, q := range qs {
+		p, _, err := pl.PlanBasic(q, canary)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	// A WithSharedCache cache reaches the mux so several streams (e.g.
+	// one per camera) can share detection work; OpenMux creates a
+	// stream-private cache otherwise.
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
+	if err != nil {
+		return nil, err
+	}
+	return ex.OpenMux(plans, fps)
 }
 
 // SetOffloadLatency models accelerator-offloaded inference: every
@@ -292,13 +344,15 @@ func (s *Session) SetOffloadLatency(nsPerVirtualMS float64) {
 type (
 	Stream  = exec.Stream
 	Verdict = exec.Verdict
+	// MuxStream is the shared-scan multiplexer returned by OpenShared.
+	MuxStream = exec.MuxStream
 )
 
 // OpenStream plans a basic query (profiling on the optional canary
 // video) and returns a Stream to Feed frames into. fps annotates the
 // final result for duration/window conversion.
 func (s *Session) OpenStream(q *Query, canary *Video, fps int, opts ...Option) (*Stream, error) {
-	pl, err := s.planner(opts...)
+	pl, cfg, err := s.planner(opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +360,7 @@ func (s *Session) OpenStream(q *Query, canary *Video, fps int, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
-	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry})
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
 	if err != nil {
 		return nil, err
 	}
@@ -316,7 +370,7 @@ func (s *Session) OpenStream(q *Query, canary *Video, fps int, opts ...Option) (
 // Explain returns the selected plan and all profiled candidates for a
 // basic query without executing it in full.
 func (s *Session) Explain(q *Query, v *Video, opts ...Option) (*Plan, []*Plan, error) {
-	pl, err := s.planner(opts...)
+	pl, _, err := s.planner(opts...)
 	if err != nil {
 		return nil, nil, err
 	}
