@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
+//	vqbench -check bench_baselines.json
 //
 // The multi experiment exercises the parallel multi-query scheduler
 // (sequential vs. -parallel workers over the 8-query serving workload);
 // muxscan compares the single-pass shared-scan engine (ExecuteShared)
 // against isolated and scheduler-based per-query execution on the same
 // workload, reporting detector/tracker invocation counts from the
-// ledger. -json writes every selected report as a JSON array to FILE in
-// addition to the normal output.
+// ledger; churn measures the dynamic serving layer under attach/detach
+// arrival and departure against per-query streams. -json writes every
+// selected report as a JSON array to FILE in addition to the normal
+// output.
+//
+// -check runs the CI bench-regression gate instead of experiments: it
+// loads the named baselines file, reads the BENCH_*.json artifacts it
+// references, and exits non-zero when any gated metric regresses beyond
+// tolerance.
 package main
 
 import (
@@ -28,14 +36,45 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
 	burn := flag.Bool("burn", false, "do real CPU work proportional to virtual cost")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	jsonPath := flag.String("json", "", "also write selected reports as a JSON array to this file")
+	check := flag.String("check", "", "check benchmark artifacts against this baselines file and exit (regression gate)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vqbench: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	if *check != "" {
+		// The gate reads previously written artifacts; combining it with
+		// experiment selection or output flags is a misconfigured CI
+		// step, not a request.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" || f.Name == "json" || f.Name == "csv" {
+				expSet = true
+			}
+		})
+		if expSet {
+			fmt.Fprintln(os.Stderr, "vqbench: -check cannot be combined with -exp/-json/-csv")
+			os.Exit(2)
+		}
+		summary, err := bench.CheckBaselines(*check)
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baselines %s: all checks passed\n", *check)
+		return
+	}
 
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn, Workers: *parallel}
 	runners := map[string]func(bench.Config) (*metrics.Report, error){
@@ -54,8 +93,9 @@ func main() {
 		"edge":    bench.RunEdgeAblation,
 		"multi":   bench.RunMultiQuery,
 		"muxscan": bench.RunMuxScan,
+		"churn":   bench.RunChurn,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {
@@ -92,6 +132,12 @@ func main() {
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
 	}
 	if *jsonPath != "" {
+		if len(reports) == 0 {
+			// A gate consuming this file would read "null" and pass
+			// vacuously; refuse instead.
+			fmt.Fprintf(os.Stderr, "vqbench: -json with no reports produced (exp %q)\n", *exp)
+			os.Exit(1)
+		}
 		blob, err := json.MarshalIndent(reports, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vqbench: json: %v\n", err)

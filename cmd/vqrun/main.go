@@ -77,6 +77,20 @@ func main() {
 	shared := flag.Bool("shared", false, "multiplex all queries over one shared scan (single-pass engine)")
 	verbose := flag.Bool("v", false, "print per-hit detail")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vqrun: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *shared && *parallel > 1 {
+		// The shared scan is single-pass by construction; silently
+		// ignoring -parallel would misreport what actually ran.
+		fmt.Fprintln(os.Stderr, "vqrun: -shared and -parallel > 1 are mutually exclusive")
+		os.Exit(2)
+	}
+	if *seconds <= 0 {
+		fmt.Fprintf(os.Stderr, "vqrun: -seconds must be > 0 (got %g)\n", *seconds)
+		os.Exit(2)
+	}
 
 	gens := map[string]func(uint64, float64) vqpy.Scenario{
 		"cityflow": vqpy.DatasetCityFlow, "banff": vqpy.DatasetBanff,

@@ -1,0 +1,74 @@
+// Command vqserve is the live serving daemon: it registers scenario
+// sources (the reproduction's stand-in for cameras), drives one dynamic
+// shared-scan MuxStream per source on a frame-rate ticker, and lets
+// queries attach and detach over HTTP while frames keep flowing.
+//
+// Usage:
+//
+//	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
+//	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop]
+//
+// API:
+//
+//	POST   /queries              {"source":"cityflow","query":"redcar"}
+//	DELETE /queries/{id}         detach, returns the final result
+//	GET    /queries/{id}/results live result snapshot
+//	GET    /streamz              sources, scan groups, lanes, counters
+//
+// -speed multiplies the frame rate (10 feeds a 30fps source at 300fps);
+// -budget-ms rejects queries (HTTP 503) whose estimated per-frame
+// virtual cost would push a source past the budget; -loop wraps each
+// clip endlessly. See DESIGN.md §6 for the attach/detach semantics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"vqpy/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8791", "HTTP listen address")
+	sources := flag.String("sources", "cityflow", "comma-separated scenario sources to register")
+	seconds := flag.Float64("seconds", 60, "clip length per source in seconds")
+	seed := flag.Uint64("seed", 42, "scenario and model seed")
+	speed := flag.Float64("speed", 1, "frame ticker speed multiplier (x capture rate)")
+	budget := flag.Float64("budget-ms", 0, "per-frame virtual-time admission budget per source (0 = admit all)")
+	loop := flag.Bool("loop", false, "wrap clips endlessly (live-camera stand-in)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vqserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *speed <= 0 {
+		fmt.Fprintf(os.Stderr, "vqserve: -speed must be > 0 (got %g)\n", *speed)
+		os.Exit(2)
+	}
+
+	var names []string
+	for _, name := range strings.Split(*sources, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	s, err := serve.NewServer(serve.Config{
+		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
+	}, names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
+		os.Exit(1)
+	}
+	s.Run()
+	defer s.Close()
+
+	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, queries: %s)\n",
+		strings.Join(names, ","), *addr, *speed, *budget, strings.Join(serve.QueryNames(), ","))
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Dynamic serving: queries come and go while the stream is live. A
+// dynamic MuxStream starts empty; a red-car alert attaches first, a
+// plate reader joins its scan group mid-stream (warm-starting from the
+// group's shared tracker — it sees the track ids the group already
+// assigned), a person query opens a second group, and each departs
+// without perturbing the others. This is the engine under cmd/vqserve,
+// driven directly through the Session API.
+//
+//	go run ./examples/dynamicserving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vqpy"
+)
+
+func main() {
+	s := vqpy.NewSession(31)
+	s.SetNoBurn(true)
+
+	// The "camera": a generated scenario standing in for a live feed.
+	camera := vqpy.GenerateVideo(vqpy.DatasetCityFlow(31, 60))
+	n := len(camera.Frames)
+
+	// A serving stream starts with no queries at all.
+	mux, err := s.Serve(camera.FPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	redAlert := vqpy.NewQuery("RedCarAlert").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.5),
+			vqpy.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID))
+	plates := vqpy.NewQuery("PlateReader").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", vqpy.PropScore).Gt(0.7)).
+		FrameOutput(vqpy.Sel("car", "plate"))
+	people := vqpy.NewQuery("PeopleWatch").
+		Use("p", vqpy.Person()).
+		Where(vqpy.P("p", vqpy.PropScore).Gt(0.5)).
+		FrameOutput(vqpy.Sel("p", vqpy.PropTrackID))
+
+	redID, _, err := s.AttachQuery(mux, redAlert, camera)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame %4d: attached RedCarAlert → groups %v\n", 0, mux.Groups())
+
+	var plateID, peopleID int
+	for i := 0; i < n; i++ {
+		switch i {
+		case n / 4:
+			// Joins the car scan group mid-stream: no new detector or
+			// tracker, just another lane riding the shared scan.
+			if plateID, _, err = s.AttachQuery(mux, plates, camera); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("frame %4d: attached PlateReader → groups %v\n", i, mux.Groups())
+		case n / 3:
+			// A different detector: a second scan group spins up.
+			if peopleID, _, err = s.AttachQuery(mux, people, camera); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("frame %4d: attached PeopleWatch → groups %v\n", i, mux.Groups())
+		case 3 * n / 4:
+			// Departures tear down exactly their own state.
+			plateRes, err := mux.Detach(plateID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := mux.Detach(peopleID); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("frame %4d: detached PlateReader (%d frames, %d plate hits) and PeopleWatch → groups %v\n",
+				i, plateRes.FramesProcessed, len(plateRes.Hits), mux.Groups())
+		}
+		if _, err := mux.Feed(camera.FrameAt(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap, err := mux.Snapshot(redID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRedCarAlert live snapshot: %d/%d frames matched\n", snap.MatchedCount(), snap.FramesProcessed)
+
+	results := mux.Close()
+	fmt.Printf("surviving queries at close: %d (RedCarAlert rode the whole stream)\n", len(results))
+	fmt.Printf("tracker invocations: %d — one per live (group, class) per frame, not one per query\n",
+		s.Clock().Invocations("tracker"))
+}

@@ -1,0 +1,126 @@
+package bench
+
+// The CI bench-regression gate: bench_baselines.json pins floors for
+// the invocation counts and wall-clock ratios the BENCH_*.json smoke
+// artifacts report, and CheckBaselines fails the workflow when a value
+// regresses beyond tolerance — turning the uploaded artifacts into an
+// enforced contract. Invocation counts come off the virtual-time ledger
+// and are deterministic for a given seed/scale, so their tolerance only
+// absorbs intentional workload drift; wall ratios absorb runner noise.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vqpy/internal/metrics"
+)
+
+// BaselineCheck is one gated metric.
+type BaselineCheck struct {
+	// File is the benchmark JSON artifact (relative to the baselines
+	// file) holding the metric.
+	File string `json:"file"`
+	// Metric names a Report.Metrics scalar inside the artifact.
+	Metric string `json:"metric"`
+	// Max / Min bound the value (either or both). Max passes while
+	// value <= Max*(1+tol); Min while value >= Min*(1-tol).
+	Max *float64 `json:"max,omitempty"`
+	Min *float64 `json:"min,omitempty"`
+	// Tolerance overrides the file-level tolerance for this check
+	// (0 is meaningful: an exact bound).
+	Tolerance *float64 `json:"tolerance,omitempty"`
+}
+
+// Baselines is the bench_baselines.json schema.
+type Baselines struct {
+	// Tolerance is the default relative slack applied to every bound.
+	Tolerance float64         `json:"tolerance"`
+	Checks    []BaselineCheck `json:"checks"`
+}
+
+// findMetric locates a named metric across an artifact's reports,
+// erroring on absence and on ambiguity.
+func findMetric(reports []*metrics.Report, name string) (float64, error) {
+	found := false
+	var value float64
+	for _, rep := range reports {
+		if v, ok := rep.Metric(name); ok {
+			if found {
+				return 0, fmt.Errorf("metric %q appears in more than one report", name)
+			}
+			value, found = v, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %q not found", name)
+	}
+	return value, nil
+}
+
+// CheckBaselines loads a baselines file, reads every referenced
+// benchmark artifact and verifies all bounds. It returns a per-check
+// summary (one line each) and an error describing every violation.
+func CheckBaselines(path string) (string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("bench: baselines: %w", err)
+	}
+	var base Baselines
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return "", fmt.Errorf("bench: baselines %s: %w", path, err)
+	}
+	if len(base.Checks) == 0 {
+		return "", fmt.Errorf("bench: baselines %s: no checks", path)
+	}
+	dir := filepath.Dir(path)
+
+	artifacts := make(map[string][]*metrics.Report)
+	var lines, violations []string
+	for _, c := range base.Checks {
+		if c.Max == nil && c.Min == nil {
+			violations = append(violations, fmt.Sprintf("%s %s: check has neither max nor min", c.File, c.Metric))
+			continue
+		}
+		reports, ok := artifacts[c.File]
+		if !ok {
+			blob, err := os.ReadFile(filepath.Join(dir, c.File))
+			if err != nil {
+				return "", fmt.Errorf("bench: baselines: %w", err)
+			}
+			if err := json.Unmarshal(blob, &reports); err != nil {
+				return "", fmt.Errorf("bench: baselines artifact %s: %w", c.File, err)
+			}
+			artifacts[c.File] = reports
+		}
+		v, err := findMetric(reports, c.Metric)
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: %v", c.File, err))
+			continue
+		}
+		tol := base.Tolerance
+		if c.Tolerance != nil {
+			tol = *c.Tolerance
+		}
+		status := "ok"
+		if c.Max != nil && v > *c.Max*(1+tol) {
+			status = fmt.Sprintf("FAIL (above max %.4g +%.0f%%)", *c.Max, tol*100)
+			violations = append(violations, fmt.Sprintf("%s %s = %.4g exceeds max %.4g (tolerance %.0f%%)",
+				c.File, c.Metric, v, *c.Max, tol*100))
+		}
+		if c.Min != nil && v < *c.Min*(1-tol) {
+			status = fmt.Sprintf("FAIL (below min %.4g -%.0f%%)", *c.Min, tol*100)
+			violations = append(violations, fmt.Sprintf("%s %s = %.4g below min %.4g (tolerance %.0f%%)",
+				c.File, c.Metric, v, *c.Min, tol*100))
+		}
+		lines = append(lines, fmt.Sprintf("%-14s %-32s %10.4g  %s", c.File, c.Metric, v, status))
+	}
+	summary := strings.Join(lines, "\n")
+	if len(violations) > 0 {
+		return summary, fmt.Errorf("bench: %d baseline violation(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	return summary, nil
+}

@@ -44,6 +44,14 @@ func (c Config) session() *vqpy.Session {
 	return s
 }
 
+// boolMetric encodes a correctness flag as a gateable scalar.
+func boolMetric(ok bool) float64 {
+	if ok {
+		return 1
+	}
+	return 0
+}
+
 // cvipStyleCar builds the §5.1 vehicle VObj: the same pretrained models
 // CVIP uses (color, type and direction classifiers), with color and type
 // intrinsic (the user annotations of §4.2).

@@ -156,6 +156,10 @@ func RunMultiQuery(cfg Config) (*metrics.Report, error) {
 		fmt.Sprintf("%.2f", float64(nQueries)/(seqMS/1000)), "1.0x")
 	rep.AddRow("parallel", fmt.Sprint(workers), fmt.Sprint(nQueries), fmt.Sprintf("%.1f", parMS),
 		fmt.Sprintf("%.2f", float64(nQueries)/(parMS/1000)), fmt.Sprintf("%.2fx", speedup))
+	rep.SetMetric("multi_seq_wall_ms", seqMS)
+	rep.SetMetric("multi_par_wall_ms", parMS)
+	rep.SetMetric("multi_speedup", speedup)
+	rep.SetMetric("multi_identical", boolMetric(identical))
 	rep.AddNote("results identical across modes: %v", identical)
 	rep.AddNote("expected shape: speedup approaches min(workers, private-work ratio); " +
 		"reuse-only queries (Plates, BlueCars) ride RedCar's detector in both modes")

@@ -126,6 +126,7 @@ func RunMuxScan(cfg Config) (*metrics.Report, error) {
 	}
 	var ref []*vqpy.RunResult // runall-seq answers, the identity baseline
 	var mux []*vqpy.RunResult
+	wallMS := make(map[string]float64, len(modes))
 	for _, m := range modes {
 		results, wall, s, err := RunMuxScanWith(cfg, m.name, m.workers)
 		if err != nil {
@@ -138,14 +139,22 @@ func RunMuxScan(cfg Config) (*metrics.Report, error) {
 			mux = results
 		}
 		clock := s.Clock()
+		ms := float64(wall.Microseconds()) / 1000
+		wallMS[m.name] = ms
 		rep.AddRow(m.name, fmt.Sprint(m.workers),
-			fmt.Sprintf("%.1f", float64(wall.Microseconds())/1000),
+			fmt.Sprintf("%.1f", ms),
 			fmt.Sprint(detectorInvocations(clock)),
 			fmt.Sprint(clock.Invocations("tracker")),
 			fmt.Sprintf("%.0f", clock.TotalMS()))
+		rep.SetMetric("muxscan_detect_inv_"+m.name, float64(detectorInvocations(clock)))
+		rep.SetMetric("muxscan_tracker_inv_"+m.name, float64(clock.Invocations("tracker")))
+	}
+	if wallMS["runall-seq"] > 0 {
+		rep.SetMetric("muxscan_wall_ratio_vs_seq", wallMS["muxscan"]/wallMS["runall-seq"])
 	}
 
 	identical := sameAnswers(ref, mux)
+	rep.SetMetric("muxscan_identical", boolMetric(identical))
 	rep.AddNote("queries: %d; muxscan results identical to runall-seq: %v", nQueries, identical)
 	rep.AddNote("expected shape: detect invocations collapse isolated → runall (cache dedup) " +
 		"and tracker invocations collapse only under muxscan (one tracker per scan group, not per query)")

@@ -22,11 +22,21 @@ package exec
 // first track step (projections, filters, relations, second detectors)
 // stays per-lane, executed by the ordinary operator machinery over the
 // lane's private runState.
+//
+// The query set is dynamic: Attach admits a new plan mid-stream (joining
+// an existing scan group when its prefix matches, warm-starting from the
+// group's shared tracker state) and Detach finalizes and removes a lane,
+// tearing down its class tracker and group when it was the last user.
+// Neither operation perturbs sibling lanes: a lane present for the whole
+// stream produces results bit-identical to a fresh stream of the
+// surviving set, because shared trackers see the same class-filtered
+// detection sequence regardless of who else rides the group.
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"vqpy/internal/core"
 	"vqpy/internal/models"
@@ -95,12 +105,16 @@ type sharedTrack struct {
 	dets    []track.Detection
 	ids     []int
 	upBuf   []track.Detection
+	// refs counts the lanes bound to this class; the tracker is torn
+	// down when the last one detaches.
+	refs int
 }
 
 // muxGroup owns the shared scan state for one ScanSig: the frame-filter
 // instances (stateful filters cloned once per group, as per stream on
 // the per-query path) and one tracker per bound class.
 type muxGroup struct {
+	id          int
 	key         string
 	filters     []string
 	detect      string
@@ -109,7 +123,8 @@ type muxGroup struct {
 	classes     []video.Class // deterministic iteration order
 	members     int
 
-	dropped   bool // current frame dropped by the filter chain
+	dropped   bool    // current frame dropped by the filter chain
+	frameMS   float64 // shared scan cost of the current frame
 	virtualMS float64
 }
 
@@ -117,6 +132,7 @@ type muxGroup struct {
 // all per-query state (trackers for non-shared instances, memo, history
 // windows, result accumulation).
 type muxLane struct {
+	id      int
 	plan    *Plan
 	runPlan *Plan // residual steps for shared lanes, the full plan otherwise
 	sig     ScanSig
@@ -131,93 +147,200 @@ type muxLane struct {
 	videoCons  core.Pred
 	outputSels []core.Selector
 
-	res       *Result
-	fc        *FrameCtx
-	virtualMS float64
+	res        *Result
+	fc         *FrameCtx
+	virtualMS  float64
+	sharedMS   float64
+	matched    int // running matched-frame count (cheap stats reads)
+	attachedAt int // stream position (frames fed before attach)
+	finalized  bool
 }
 
 // MuxStream multiplexes several query plans over one frame stream. Like
-// Stream it is single-goroutine: Feed frames in capture order, read the
-// per-lane verdicts, Close for the aggregate results (positionally
-// aligned with the plans passed to OpenMux).
+// Stream it processes frames on one goroutine at a time, but all methods
+// are guarded by an internal mutex so queries can be attached and
+// detached concurrently with Feed — the live serving mode. Feed frames
+// in capture order, read the per-lane verdicts, Close for the aggregate
+// results of the lanes still attached (in attach order).
 type MuxStream struct {
-	e      *Executor
-	lanes  []*muxLane
-	groups []*muxGroup
-	byKey  map[string]*muxGroup
-	fps    int
-	closed bool
+	mu        sync.Mutex
+	e         *Executor
+	lanes     []*muxLane
+	byID      map[int]*muxLane
+	groups    []*muxGroup
+	byKey     map[string]*muxGroup
+	nextLane  int
+	nextGroup int
+	fps       int
+	framesFed int
+	closed    bool
 }
 
-// OpenMux validates every plan and prepares the shared-scan state. A
-// cache is created when the executor has none: the mux relies on it to
-// deduplicate detector and classifier work that stays per-lane.
-func (e *Executor) OpenMux(plans []*Plan, fps int) (*MuxStream, error) {
-	if len(plans) == 0 {
-		return nil, fmt.Errorf("exec: OpenMux with no plans")
-	}
+// newMux prepares an empty stream sharing the executor's cache (one is
+// created when the executor has none: the mux relies on it to
+// deduplicate detector and classifier work that stays per-lane).
+func (e *Executor) newMux(fps int) *MuxStream {
 	opts := e.opts
 	if opts.Cache == nil {
 		opts.Cache = NewSharedCache()
 	}
-	ex := &Executor{opts: opts}
-	m := &MuxStream{e: ex, fps: fps, byKey: make(map[string]*muxGroup)}
+	return &MuxStream{
+		e:     &Executor{opts: opts},
+		fps:   fps,
+		byID:  make(map[int]*muxLane),
+		byKey: make(map[string]*muxGroup),
+	}
+}
+
+// OpenMux validates every plan and prepares the shared-scan state for a
+// fixed initial query set. The set can still change afterwards through
+// Attach and Detach.
+func (e *Executor) OpenMux(plans []*Plan, fps int) (*MuxStream, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("exec: OpenMux with no plans")
+	}
+	m := e.newMux(fps)
 	for _, p := range plans {
-		if err := p.Validate(); err != nil {
+		if _, err := m.Attach(p); err != nil {
 			return nil, err
 		}
-		if err := p.Query.Validate(); err != nil {
-			return nil, err
-		}
-		sig := ScanPrefixOf(p)
-		l := &muxLane{
-			plan: p, runPlan: p, sig: sig,
-			rs:      newRunState(),
-			filters: make(map[string]models.BinaryFilter),
-			specs:   windowSpecs(p),
-			insts:   p.Query.InstanceNames(),
-			relBinds: func() map[string]relParticipants {
-				out := make(map[string]relParticipants)
-				for name, rb := range p.Query.Relations() {
-					out[name] = relParticipants{left: rb.LeftInst, right: rb.RightInst}
-				}
-				return out
-			}(),
-			frameCons:  p.Query.FrameConstraint(),
-			videoCons:  p.Query.VideoConstraint(),
-			outputSels: p.Query.FrameOutputSelectors(),
-			res:        &Result{Query: p.Query.Name(), FPS: fps},
-		}
-		if sig.Shareable {
-			key := sig.Key()
-			g, ok := m.byKey[key]
-			if !ok {
-				g = &muxGroup{
-					key: key, filters: sig.Filters, detect: sig.Detect,
-					filterInsts: make(map[string]models.BinaryFilter),
-					tracks:      make(map[video.Class]*sharedTrack),
-				}
-				m.byKey[key] = g
-				m.groups = append(m.groups, g)
-			}
-			if _, ok := g.tracks[sig.Class]; !ok {
-				g.tracks[sig.Class] = &sharedTrack{tracker: track.NewTracker(track.DefaultConfig())}
-				g.classes = append(g.classes, sig.Class)
-			}
-			g.members++
-			l.group = g
-			residual := *p
-			residual.Steps = sig.residual
-			l.runPlan = &residual
-		}
-		m.lanes = append(m.lanes, l)
 	}
 	return m, nil
+}
+
+// OpenDynamicMux prepares an empty shared-scan stream for live serving:
+// queries arrive later through Attach. Feeding frames with no lanes
+// attached is legal and does no model work.
+func (e *Executor) OpenDynamicMux(fps int) *MuxStream {
+	return e.newMux(fps)
+}
+
+// Attach admits one more plan onto the running stream and returns its
+// lane id. A plan whose scan prefix matches an existing group joins it
+// mid-stream: its lane is warm-started from the group's shared tracker
+// state (it observes the track ids the group has already assigned), so
+// attaching never resets or perturbs sibling lanes. A prefix with no
+// group — or a new class under an existing group — spins up fresh shared
+// state that starts cold at the current frame.
+func (m *MuxStream) Attach(p *Plan) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Query.Validate(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("exec: Attach on closed mux stream")
+	}
+	sig := ScanPrefixOf(p)
+	l := &muxLane{
+		id: m.nextLane, plan: p, runPlan: p, sig: sig,
+		rs:      newRunState(),
+		filters: make(map[string]models.BinaryFilter),
+		specs:   windowSpecs(p),
+		insts:   p.Query.InstanceNames(),
+		relBinds: func() map[string]relParticipants {
+			out := make(map[string]relParticipants)
+			for name, rb := range p.Query.Relations() {
+				out[name] = relParticipants{left: rb.LeftInst, right: rb.RightInst}
+			}
+			return out
+		}(),
+		frameCons:  p.Query.FrameConstraint(),
+		videoCons:  p.Query.VideoConstraint(),
+		outputSels: p.Query.FrameOutputSelectors(),
+		res:        &Result{Query: p.Query.Name(), FPS: m.fps},
+		attachedAt: m.framesFed,
+	}
+	m.nextLane++
+	if sig.Shareable {
+		key := sig.Key()
+		g, ok := m.byKey[key]
+		if !ok {
+			g = &muxGroup{
+				id: m.nextGroup, key: key, filters: sig.Filters, detect: sig.Detect,
+				filterInsts: make(map[string]models.BinaryFilter),
+				tracks:      make(map[video.Class]*sharedTrack),
+			}
+			m.nextGroup++
+			m.byKey[key] = g
+			m.groups = append(m.groups, g)
+		}
+		st, ok := g.tracks[sig.Class]
+		if !ok {
+			st = &sharedTrack{tracker: track.NewTracker(track.DefaultConfig())}
+			g.tracks[sig.Class] = st
+			g.classes = append(g.classes, sig.Class)
+		}
+		st.refs++
+		g.members++
+		l.group = g
+		residual := *p
+		residual.Steps = sig.residual
+		l.runPlan = &residual
+	}
+	m.lanes = append(m.lanes, l)
+	m.byID[l.id] = l
+	return l.id, nil
+}
+
+// Detach finalizes and removes one lane, returning its accumulated
+// result. The lane's class tracker is torn down when no other lane binds
+// the class, and its group when it was the last member — sibling lanes
+// keep their shared state untouched, so their results stay bit-identical
+// to a stream that never saw the detached query.
+func (m *MuxStream) Detach(id int) (*Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("exec: Detach on closed mux stream")
+	}
+	l, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("exec: Detach of unknown lane %d", id)
+	}
+	delete(m.byID, id)
+	for i, cand := range m.lanes {
+		if cand == l {
+			m.lanes = append(m.lanes[:i], m.lanes[i+1:]...)
+			break
+		}
+	}
+	if g := l.group; g != nil {
+		g.members--
+		if st := g.tracks[l.sig.Class]; st != nil {
+			st.refs--
+			if st.refs == 0 {
+				delete(g.tracks, l.sig.Class)
+				for i, c := range g.classes {
+					if c == l.sig.Class {
+						g.classes = append(g.classes[:i], g.classes[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if g.members == 0 {
+			delete(m.byKey, g.key)
+			for i, cand := range m.groups {
+				if cand == g {
+					m.groups = append(m.groups[:i], m.groups[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	m.finalizeLane(l)
+	return l.res, nil
 }
 
 // Groups reports the shared-scan structure: for each group, its filter
 // chain, detector, tracked classes and member count (explain tooling).
 func (m *MuxStream) Groups() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.groups))
 	for _, g := range m.groups {
 		classes := make([]string, len(g.classes))
@@ -237,11 +360,98 @@ func (m *MuxStream) Groups() []string {
 // and are not counted. plan.DedupScans derives the same partition at
 // the logical layer; tests pin the two views together.
 func (m *MuxStream) GroupMembers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]int, len(m.groups))
 	for i, g := range m.groups {
 		out[i] = g.members
 	}
 	return out
+}
+
+// GroupStat is one scan group's live accounting.
+type GroupStat struct {
+	// ID is the group id (stable for the group's lifetime; LaneStat
+	// references it).
+	ID int
+	// Filters / Detect describe the shared scan prefix.
+	Filters []string
+	Detect  string
+	// Classes counts the trackers the group runs per frame; Members the
+	// lanes riding the scan.
+	Classes int
+	Members int
+	// VirtualMS is the cumulative shared scan cost (split across
+	// members in per-lane accounting).
+	VirtualMS float64
+}
+
+// GroupStats returns the live per-group accounting, in creation order.
+func (m *MuxStream) GroupStats() []GroupStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GroupStat, len(m.groups))
+	for i, g := range m.groups {
+		out[i] = GroupStat{
+			ID: g.id, Filters: g.filters, Detect: g.detect,
+			Classes: len(g.classes), Members: g.members, VirtualMS: g.virtualMS,
+		}
+	}
+	return out
+}
+
+// LaneStat is one lane's live accounting, for serving dashboards and
+// admission control.
+type LaneStat struct {
+	// ID is the lane id returned by Attach.
+	ID int
+	// Query names the lane's query.
+	Query string
+	// Frames counts frames the lane has processed (fed since attach);
+	// Matched of them satisfied the frame constraint.
+	Frames  int
+	Matched int
+	// AttachedAt is the stream position (frames already fed) at attach.
+	AttachedAt int
+	// VirtualMS is the lane's virtual cost so far: private work plus its
+	// share of the group scan.
+	VirtualMS float64
+	// Group is the scan group id, or -1 for a private (non-shareable)
+	// lane.
+	Group int
+}
+
+// LaneStats returns the live per-lane accounting, in attach order.
+func (m *MuxStream) LaneStats() []LaneStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]LaneStat, len(m.lanes))
+	for i, l := range m.lanes {
+		st := LaneStat{
+			ID: l.id, Query: l.plan.Query.Name(),
+			Frames: l.res.FramesProcessed, Matched: l.matched, AttachedAt: l.attachedAt,
+			VirtualMS: l.virtualMS + l.sharedMS, Group: -1,
+		}
+		if l.group != nil {
+			st.Group = l.group.id
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Lanes returns the number of attached lanes.
+func (m *MuxStream) Lanes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lanes)
+}
+
+// FramesFed returns the number of frames the stream has processed.
+func (m *MuxStream) FramesFed() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.framesFed
 }
 
 // scanGroup advances one group's shared operators over a frame: the
@@ -317,9 +527,12 @@ func (m *MuxStream) bindLane(l *muxLane) {
 }
 
 // Feed processes one frame for every lane and returns the per-lane
-// verdicts (aligned with the plans). Frames must arrive in capture
-// order.
+// verdicts, aligned with the current attach order (Verdict.Lane carries
+// the lane id, stable across attach/detach churn). Frames must arrive
+// in capture order.
 func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("exec: Feed on closed mux stream")
 	}
@@ -331,7 +544,8 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 		if err := m.scanGroup(g, f); err != nil {
 			return nil, err
 		}
-		g.virtualMS += clock.TotalMS() - before
+		g.frameMS = clock.TotalMS() - before
+		g.virtualMS += g.frameMS
 	}
 	verdicts := make([]Verdict, len(m.lanes))
 	for i, l := range m.lanes {
@@ -343,6 +557,10 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 		}
 		l.fc.shareRaster(cell)
 		if l.group != nil {
+			// The scan ran once for the whole group; each member carries
+			// an equal share of this frame's cost, so per-query totals
+			// sum to the work actually done however membership churns.
+			l.sharedMS += l.group.frameMS / float64(l.group.members)
 			if l.group.dropped {
 				l.fc.Dropped = true
 			} else {
@@ -357,43 +575,89 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 			l.frameCons, l.videoCons, l.outputSels, l.res)
 		l.res.Matched = append(l.res.Matched, matched)
 		l.res.FramesProcessed++
-		v := Verdict{FrameIdx: f.Index, Matched: matched}
+		if matched {
+			l.matched++
+		}
+		v := Verdict{FrameIdx: f.Index, Lane: l.id, Matched: matched}
 		if len(l.res.Hits) > hitsBefore {
 			v.Hit = &l.res.Hits[len(l.res.Hits)-1]
 		}
 		verdicts[i] = v
 		l.virtualMS += clock.TotalMS() - before
 	}
+	m.framesFed++
 	return verdicts, nil
 }
 
-// Close finalizes every lane's aggregation and returns the results,
-// positionally aligned with the plans. Shared scan costs are attributed
-// evenly across a group's members (who paid is a scheduling artifact;
-// the per-query totals still sum to the work actually done, which is the
-// point: one scan's cost split N ways instead of N scans). Idempotent.
+// finalizeLane completes a lane's aggregation: the video-level count /
+// track listing, the virtual cost (private work plus the lane's
+// accumulated share of its group's scans) and memo statistics.
+func (m *MuxStream) finalizeLane(l *muxLane) {
+	if l.finalized {
+		return
+	}
+	l.finalized = true
+	if agg := l.plan.Query.VideoOutput(); agg != nil {
+		tracksOf := l.rs.matchedTracks[agg.Instance]
+		ids := make([]int, 0, len(tracksOf))
+		for id := range tracksOf {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		l.res.Count = len(ids)
+		if agg.Kind == core.AggListTracks {
+			l.res.TrackIDs = ids
+		}
+	}
+	l.res.VirtualMS = l.virtualMS + l.sharedMS
+	l.res.MemoHits, l.res.MemoMisses = l.rs.memo.Stats()
+}
+
+// Snapshot returns a copy of a live lane's accumulated result so far —
+// the serving layer's read path, safe against concurrent Feeds. The
+// video-level aggregation is computed fresh on each call; the lane keeps
+// accumulating.
+func (m *MuxStream) Snapshot(id int) (*Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("exec: Snapshot of unknown lane %d", id)
+	}
+	res := *l.res
+	res.Matched = append([]bool(nil), l.res.Matched...)
+	res.Hits = append([]FrameHit(nil), l.res.Hits...)
+	if agg := l.plan.Query.VideoOutput(); agg != nil {
+		tracksOf := l.rs.matchedTracks[agg.Instance]
+		ids := make([]int, 0, len(tracksOf))
+		for id := range tracksOf {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		res.Count = len(ids)
+		if agg.Kind == core.AggListTracks {
+			res.TrackIDs = ids
+		}
+	}
+	res.VirtualMS = l.virtualMS + l.sharedMS
+	res.MemoHits, res.MemoMisses = l.rs.memo.Stats()
+	return &res, nil
+}
+
+// Close finalizes every attached lane's aggregation and returns their
+// results in attach order. Shared scan costs were attributed frame by
+// frame, each frame's scan split evenly across the members riding it
+// (who paid is a scheduling artifact; the per-query totals still sum to
+// the work actually done, which is the point: one scan's cost split N
+// ways instead of N scans). Idempotent.
 func (m *MuxStream) Close() []*Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if !m.closed {
 		m.closed = true
 		m.e.opts.Env.Clock.FlushFrames()
 		for _, l := range m.lanes {
-			if agg := l.plan.Query.VideoOutput(); agg != nil {
-				tracksOf := l.rs.matchedTracks[agg.Instance]
-				ids := make([]int, 0, len(tracksOf))
-				for id := range tracksOf {
-					ids = append(ids, id)
-				}
-				sort.Ints(ids)
-				l.res.Count = len(ids)
-				if agg.Kind == core.AggListTracks {
-					l.res.TrackIDs = ids
-				}
-			}
-			l.res.VirtualMS = l.virtualMS
-			if l.group != nil && l.group.members > 0 {
-				l.res.VirtualMS += l.group.virtualMS / float64(l.group.members)
-			}
-			l.res.MemoHits, l.res.MemoMisses = l.rs.memo.Stats()
+			m.finalizeLane(l)
 		}
 	}
 	out := make([]*Result, len(m.lanes))

@@ -173,6 +173,10 @@ type Plan struct {
 	// profiling.
 	EstCostMS float64
 	EstF1     float64
+	// EstPerFrameMS is EstCostMS divided by the profiled frame count:
+	// the per-frame virtual cost estimate the serving layer admits
+	// queries against.
+	EstPerFrameMS float64
 }
 
 // String renders the whole plan, one step per line.

@@ -43,6 +43,9 @@ type Stream struct {
 type Verdict struct {
 	FrameIdx int
 	Matched  bool
+	// Lane is the id of the query lane the verdict belongs to on the
+	// shared-scan path (MuxStream.Feed); zero for a single-query Stream.
+	Lane int
 	// Hit carries output objects when the frame matched and hit
 	// collection is enabled; nil otherwise.
 	Hit *FrameHit

@@ -1,0 +1,59 @@
+package metrics
+
+// Counters is a small named-counter registry for the serving layer:
+// per-query and per-group event counts (attaches, detaches, admission
+// rejections, frames fed) that /streamz surfaces. It is safe for
+// concurrent use by HTTP handlers and the frame-ticker goroutines.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named monotonic counters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]int64)}
+}
+
+// Add increments a counter by delta (creating it at zero first).
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns a counter's value (zero when never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns all counter names, sorted (stable rendering).
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

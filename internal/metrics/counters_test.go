@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("untouched counter = %d, want 0", got)
+	}
+	c.Add("a", 2)
+	c.Add("a", 3)
+	c.Add("b", 1)
+	if got := c.Get("a"); got != 5 {
+		t.Errorf("a = %d, want 5", got)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("names = %v", got)
+	}
+	snap := c.Snapshot()
+	c.Add("a", 1)
+	if snap["a"] != 5 {
+		t.Errorf("snapshot mutated: %d", snap["a"])
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add("hits", 1)
+				c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}
+
+func TestReportMetrics(t *testing.T) {
+	r := &Report{Title: "t"}
+	if _, ok := r.Metric("x"); ok {
+		t.Error("metric present on empty report")
+	}
+	r.SetMetric("x", 1.5)
+	if v, ok := r.Metric("x"); !ok || v != 1.5 {
+		t.Errorf("x = %v, %v", v, ok)
+	}
+}

@@ -92,17 +92,36 @@ type Series struct {
 }
 
 // Report is a paper-style table: a title, a header row, data rows, and
-// free-form notes (expected-shape commentary).
+// free-form notes (expected-shape commentary). Metrics carries the
+// report's machine-readable values — named scalars the CI
+// bench-regression gate checks against bench_baselines.json, so a
+// regression fails the build instead of hiding in an uploaded artifact.
 type Report struct {
 	Title  string
 	Header []string
 	Rows   [][]string
 	Notes  []string
 	Curves []Series
+
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // AddRow appends a data row.
 func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// SetMetric records one machine-readable scalar for the regression gate.
+func (r *Report) SetMetric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = v
+}
+
+// Metric returns a named scalar and whether it is present.
+func (r *Report) Metric(name string) (float64, bool) {
+	v, ok := r.Metrics[name]
+	return v, ok
+}
 
 // AddNote appends a note line.
 func (r *Report) AddNote(format string, args ...any) {
@@ -186,11 +205,4 @@ func SortedKeys(m map[int]bool) []int {
 	}
 	sort.Ints(out)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

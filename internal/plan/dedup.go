@@ -1,0 +1,186 @@
+package plan
+
+// Incremental cross-query scan dedup: the logical-layer mirror of the
+// dynamic MuxStream. A ScanPartition maintains the DedupScans grouping
+// under attach/detach churn, so the serving layer can answer "which scan
+// group would this query join, and what would the partition look like"
+// without opening (or perturbing) a stream. exec.MuxStream performs the
+// same grouping physically; TestScanPartitionMatchesMuxGroups pins the
+// two together through an arbitrary attach/detach sequence.
+
+import (
+	"fmt"
+	"sort"
+
+	"vqpy/internal/exec"
+	"vqpy/internal/video"
+)
+
+// partMember is one attached pipeline's slot in the partition.
+type partMember struct {
+	group     *partGroup
+	name      string
+	class     video.Class
+	shareable bool
+}
+
+// partGroup is the mutable state behind one ScanShare.
+type partGroup struct {
+	key       string
+	filters   []string
+	detect    string
+	shareable bool
+	members   []*partMember
+	classRefs map[video.Class]int
+	classes   []video.Class // first-bound order, pruned on teardown
+}
+
+// ScanPartition maintains the DedupScans grouping incrementally: Attach
+// places one compiled pipeline into its scan group (joining an existing
+// group when the prefix matches, creating one otherwise) and Detach
+// removes it, tearing down the group's class entry — and the group —
+// when the last user leaves. This is exactly the bookkeeping
+// exec.MuxStream.Attach/Detach performs on the physical state.
+type ScanPartition struct {
+	index   map[string]*partGroup
+	groups  []*partGroup // live groups, creation order
+	members map[int]*partMember
+	next    int
+}
+
+// NewScanPartition returns an empty partition.
+func NewScanPartition() *ScanPartition {
+	return &ScanPartition{
+		index:   make(map[string]*partGroup),
+		members: make(map[int]*partMember),
+	}
+}
+
+// Attach places a compiled pipeline into the partition and returns its
+// member id (pass it to Detach). Non-shareable pipelines get a private
+// singleton group.
+func (sp *ScanPartition) Attach(leaf *BasicIR) int {
+	sig := exec.ScanPrefixOf(leaf.Plan)
+	id := sp.next
+	sp.next++
+	mem := &partMember{name: leaf.Query.Name(), class: sig.Class, shareable: sig.Shareable}
+
+	key := sig.Key()
+	if !sig.Shareable {
+		key = fmt.Sprintf("private#%d", id)
+	}
+	g, ok := sp.index[key]
+	if !ok {
+		g = &partGroup{
+			key: key, filters: sig.Filters, shareable: sig.Shareable,
+			classRefs: make(map[video.Class]int),
+		}
+		if sig.Shareable {
+			g.detect = sig.Detect
+		}
+		sp.index[key] = g
+		sp.groups = append(sp.groups, g)
+	}
+	if sig.Shareable {
+		if g.classRefs[sig.Class] == 0 {
+			g.classes = append(g.classes, sig.Class)
+		}
+		g.classRefs[sig.Class]++
+	}
+	mem.group = g
+	g.members = append(g.members, mem)
+	sp.members[id] = mem
+	return id
+}
+
+// Detach removes a member from the partition, pruning its class — and
+// its group, when it was the last member.
+func (sp *ScanPartition) Detach(member int) error {
+	mem, ok := sp.members[member]
+	if !ok {
+		return fmt.Errorf("plan: detach of unknown partition member %d", member)
+	}
+	delete(sp.members, member)
+	g := mem.group
+	for i, cand := range g.members {
+		if cand == mem {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	if mem.shareable {
+		g.classRefs[mem.class]--
+		if g.classRefs[mem.class] == 0 {
+			delete(g.classRefs, mem.class)
+			for i, c := range g.classes {
+				if c == mem.class {
+					g.classes = append(g.classes[:i], g.classes[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	if len(g.members) == 0 {
+		delete(sp.index, g.key)
+		for i, cand := range sp.groups {
+			if cand == g {
+				sp.groups = append(sp.groups[:i], sp.groups[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Shares renders the live partition as ScanShare values, groups in
+// creation order, member queries in attach order, classes sorted.
+func (sp *ScanPartition) Shares() []ScanShare {
+	out := make([]ScanShare, 0, len(sp.groups))
+	for _, g := range sp.groups {
+		share := ScanShare{Filters: g.filters, Detect: g.detect}
+		for _, mem := range g.members {
+			share.Queries = append(share.Queries, mem.name)
+		}
+		share.Classes = append(share.Classes, g.classes...)
+		sort.Slice(share.Classes, func(a, b int) bool { return share.Classes[a] < share.Classes[b] })
+		out = append(out, share)
+	}
+	return out
+}
+
+// Groups returns the number of live groups.
+func (sp *ScanPartition) Groups() int { return len(sp.groups) }
+
+// GroupMembers returns each live group's member count in creation order
+// — positionally comparable with exec.MuxStream.GroupMembers when the
+// same attach/detach sequence was applied to both, except that the mux
+// omits private lanes from its group list while the partition keeps
+// them as singleton groups.
+func (sp *ScanPartition) GroupMembers() []int {
+	out := make([]int, len(sp.groups))
+	for i, g := range sp.groups {
+		out[i] = len(g.members)
+	}
+	return out
+}
+
+// DedupScans partitions basic pipelines by structurally identical scan
+// prefixes (same frame-filter chain and detector over the same source —
+// the stream the caller is about to multiplex). Pipelines whose filters
+// differ stay apart, since a tracker's state depends on exactly which
+// frames reach it; pipelines without a shareable prefix each get a
+// singleton group.
+//
+// This is the batch entry point over the incremental ScanPartition: both
+// it and the physical grouping inside exec.OpenMux are derived from the
+// same exec.ScanPrefixOf signatures, so the partition here is exactly
+// the set of shared operator groups the MuxStream will run
+// (TestDedupScansMatchesMuxGroups pins the two together). Use it for
+// explain output and workload analysis without opening a stream.
+func DedupScans(leaves []*BasicIR) []ScanShare {
+	sp := NewScanPartition()
+	for _, leaf := range leaves {
+		sp.Attach(leaf)
+	}
+	return sp.Shares()
+}

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/exec"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// TestScanPartitionIncrementalMatchesBatch checks that attaching leaves
+// one by one yields exactly the batch DedupScans partition, and that
+// detaching reverses the bookkeeping (class teardown, group teardown,
+// singleton private groups).
+func TestScanPartitionIncrementalMatchesBatch(t *testing.T) {
+	pl := testPlanner(t, nil)
+	personType := core.NewVObj("Person", video.ClassPerson).Detector("yolox")
+	diffCar := carType().Extend("DiffCar").RegisterFrameFilter("motion_diff", 1)
+	cheapCar := core.NewVObj("CheapCar", video.ClassCar).Detector("yolov5s")
+	leaves := compileLeaves(t, pl,
+		scoreQuery("Cars", "car", carType()),
+		scoreQuery("People", "p", personType),
+		scoreQuery("Diffed", "car", diffCar),
+		scoreQuery("Cheap", "car", cheapCar),
+		scoreQuery("MoreCars", "car", carType()),
+	)
+
+	sp := NewScanPartition()
+	ids := make([]int, len(leaves))
+	for i, leaf := range leaves {
+		ids[i] = sp.Attach(leaf)
+	}
+	if got, want := sp.Shares(), DedupScans(leaves); !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental shares %v\nwant batch shares  %v", got, want)
+	}
+
+	// Detach People: its class leaves the yolox group but the group
+	// stays (Cars, MoreCars remain).
+	if err := sp.Detach(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	shares := sp.Shares()
+	if len(shares[0].Classes) != 1 || shares[0].Classes[0] != video.ClassCar {
+		t.Errorf("after People detach: classes = %v, want [car]", shares[0].Classes)
+	}
+	if !reflect.DeepEqual(shares[0].Queries, []string{"Cars", "MoreCars"}) {
+		t.Errorf("after People detach: queries = %v", shares[0].Queries)
+	}
+
+	// Detach Diffed: its singleton group disappears entirely.
+	if err := sp.Detach(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Groups(); got != 2 {
+		t.Errorf("groups after Diffed detach = %d, want 2", got)
+	}
+
+	// Re-attaching an equivalent leaf re-joins the surviving yolox group.
+	again := compileLeaves(t, pl, scoreQuery("CarsAgain", "car", carType()))
+	id := sp.Attach(again[0])
+	if got := sp.GroupMembers(); !reflect.DeepEqual(got, []int{3, 1}) {
+		t.Errorf("members after re-attach = %v, want [3 1]", got)
+	}
+	if err := sp.Detach(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Detach(id); err == nil {
+		t.Error("double detach accepted")
+	}
+}
+
+// TestScanPartitionMatchesMuxGroups drives the same attach/detach
+// sequence through the logical partition and a physical dynamic mux and
+// checks the two groupings never diverge — the incremental analogue of
+// TestDedupScansMatchesMuxGroups.
+func TestScanPartitionMatchesMuxGroups(t *testing.T) {
+	pl := testPlanner(t, nil)
+	personType := core.NewVObj("Person", video.ClassPerson).Detector("yolox")
+	diffCar := carType().Extend("DiffCar").RegisterFrameFilter("motion_diff", 1)
+	cheapCar := core.NewVObj("CheapCar", video.ClassCar).Detector("yolov5s")
+	leaves := compileLeaves(t, pl,
+		scoreQuery("Cars", "car", carType()),
+		scoreQuery("People", "p", personType),
+		scoreQuery("Diffed", "car", diffCar),
+		scoreQuery("Cheap", "car", cheapCar),
+		scoreQuery("MoreCars", "car", carType()),
+	)
+
+	ex, err := exec.NewExecutor(exec.Options{Env: testEnv(), Registry: models.BuiltinRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ex.OpenDynamicMux(30)
+	sp := NewScanPartition()
+
+	crosscheck := func(stage string) {
+		t.Helper()
+		var logical []int
+		for _, s := range sp.Shares() {
+			if s.Detect != "" { // shareable groups only; the mux tracks no others
+				logical = append(logical, len(s.Queries))
+			}
+		}
+		got := m.GroupMembers()
+		if len(got) != len(logical) || (len(got) > 0 && !reflect.DeepEqual(got, logical)) {
+			t.Errorf("%s: logical %v diverges from mux %v", stage, logical, got)
+		}
+	}
+
+	laneOf := make([]int, len(leaves))
+	memOf := make([]int, len(leaves))
+	for i, leaf := range leaves {
+		if laneOf[i], err = m.Attach(leaf.Plan); err != nil {
+			t.Fatal(err)
+		}
+		memOf[i] = sp.Attach(leaf)
+		crosscheck("attach")
+	}
+	for _, i := range []int{1, 4, 2, 0, 3} {
+		if _, err := m.Detach(laneOf[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Detach(memOf[i]); err != nil {
+			t.Fatal(err)
+		}
+		crosscheck("detach")
+	}
+	if sp.Groups() != 0 || m.Lanes() != 0 {
+		t.Errorf("partition/mux not empty after full detach: %d groups, %d lanes", sp.Groups(), m.Lanes())
+	}
+}

@@ -26,7 +26,6 @@ package plan
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
@@ -201,58 +200,6 @@ type ScanShare struct {
 	Classes []video.Class
 	// Queries names the member pipelines, in workload order.
 	Queries []string
-}
-
-// DedupScans partitions basic pipelines by structurally identical scan
-// prefixes (same frame-filter chain and detector over the same source —
-// the stream the caller is about to multiplex). Pipelines whose filters
-// differ stay apart, since a tracker's state depends on exactly which
-// frames reach it; pipelines without a shareable prefix each get a
-// singleton group.
-//
-// This is the logical-layer view of the grouping: both it and the
-// physical grouping inside exec.OpenMux are derived from the same
-// exec.ScanPrefixOf signatures, so the partition here is exactly the
-// set of shared operator groups the MuxStream will run
-// (TestDedupScansMatchesMuxGroups pins the two together). Use it for
-// explain output and workload analysis without opening a stream.
-func DedupScans(leaves []*BasicIR) []ScanShare {
-	var out []ScanShare
-	index := map[string]int{}
-	for i, leaf := range leaves {
-		sig := exec.ScanPrefixOf(leaf.Plan)
-		key := sig.Key()
-		if !sig.Shareable {
-			key = fmt.Sprintf("private#%d", i)
-		}
-		gi, ok := index[key]
-		if !ok {
-			gi = len(out)
-			index[key] = gi
-			share := ScanShare{Filters: sig.Filters}
-			if sig.Shareable {
-				share.Detect = sig.Detect
-			}
-			out = append(out, share)
-		}
-		g := &out[gi]
-		g.Queries = append(g.Queries, leaf.Query.Name())
-		if sig.Shareable {
-			seen := false
-			for _, c := range g.Classes {
-				if c == sig.Class {
-					seen = true
-				}
-			}
-			if !seen {
-				g.Classes = append(g.Classes, sig.Class)
-			}
-		}
-	}
-	for i := range out {
-		sort.Slice(out[i].Classes, func(a, b int) bool { return out[i].Classes[a] < out[i].Classes[b] })
-	}
-	return out
 }
 
 // canaryOf recovers a materialized video from a frame source for canary

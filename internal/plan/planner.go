@@ -676,22 +676,10 @@ func (pl *Planner) selectByProfile(plans []*exec.Plan, canary *video.Video) (*ex
 	best := plans[0]
 	bestCost := math.Inf(1)
 	for i, p := range plans {
-		// Profiling uses an isolated clock so canary work does not
-		// pollute the experiment ledger, but the same seed so model
-		// noise is identical.
-		profEnv := &models.Env{Clock: newIsolatedClock(), Seed: pl.opts.Env.Seed, NoBurn: true}
-		ex, err := exec.NewExecutor(exec.Options{
-			Env: profEnv, Registry: pl.opts.Registry,
-			MaxFrames: frames, SkipHits: true,
-		})
+		res, err := pl.profileOne(p, canary, frames)
 		if err != nil {
 			return nil, err
 		}
-		res, err := ex.Run(p, canary)
-		if err != nil {
-			return nil, err
-		}
-		p.EstCostMS = res.VirtualMS
 		if i == 0 {
 			refMatched = res.Matched
 			p.EstF1 = 1
@@ -703,6 +691,47 @@ func (pl *Planner) selectByProfile(plans []*exec.Plan, canary *video.Video) (*ex
 		}
 	}
 	return best, nil
+}
+
+// profileOne runs a candidate plan over the canary prefix on an
+// isolated clock (so canary work does not pollute the experiment
+// ledger, with the session seed so model noise is identical) and fills
+// its cost estimates. Shared by candidate selection and ProfileCost.
+func (pl *Planner) profileOne(p *exec.Plan, canary *video.Video, frames int) (*exec.Result, error) {
+	profEnv := &models.Env{Clock: newIsolatedClock(), Seed: pl.opts.Env.Seed, NoBurn: true}
+	ex, err := exec.NewExecutor(exec.Options{
+		Env: profEnv, Registry: pl.opts.Registry,
+		MaxFrames: frames, SkipHits: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := ex.Run(p, canary)
+	if err != nil {
+		return nil, err
+	}
+	p.EstCostMS = res.VirtualMS
+	if frames > 0 {
+		p.EstPerFrameMS = res.VirtualMS / float64(frames)
+	}
+	return res, nil
+}
+
+// ProfileCost fills a plan's cost estimates (EstCostMS, EstPerFrameMS)
+// by running it over the canary prefix on an isolated clock, without
+// touching the session ledger. PlanBasic profiles only when several
+// candidates compete; the serving layer calls this for single-candidate
+// plans so admission control always has a per-frame cost signal.
+func (pl *Planner) ProfileCost(p *exec.Plan, canary *video.Video) error {
+	frames := pl.opts.CanaryFrames
+	if frames > len(canary.Frames) {
+		frames = len(canary.Frames)
+	}
+	if frames == 0 {
+		return nil
+	}
+	_, err := pl.profileOne(p, canary, frames)
+	return err
 }
 
 // matchedF1 computes frame-level F1 of a candidate's matched vector

@@ -1,0 +1,139 @@
+package serve
+
+// HTTP surface of the serving daemon:
+//
+//	POST   /queries              {"source":"cityflow","query":"redcar"} → {"id":0,...}
+//	DELETE /queries/{id}         → final result JSON
+//	GET    /queries/{id}/results → live result snapshot JSON
+//	GET    /streamz              → sources, groups, lanes, counters
+//
+// The handlers are thin JSON adapters over the Server methods; all
+// concurrency control lives there.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"vqpy"
+)
+
+// attachRequest is the POST /queries body.
+type attachRequest struct {
+	Source string `json:"source"`
+	Query  string `json:"query"`
+}
+
+// attachResponse is the POST /queries reply.
+type attachResponse struct {
+	ID     int    `json:"id"`
+	Source string `json:"source"`
+	Query  string `json:"query"`
+}
+
+// resultResponse wraps a query result for the wire.
+type resultResponse struct {
+	ID              int          `json:"id"`
+	Query           string       `json:"query"`
+	FramesProcessed int          `json:"frames_processed"`
+	MatchedFrames   int          `json:"matched_frames"`
+	Hits            int          `json:"hits"`
+	Count           int          `json:"count,omitempty"`
+	TrackIDs        []int        `json:"track_ids,omitempty"`
+	VirtualMS       float64      `json:"virtual_ms"`
+	Result          *vqpy.Result `json:"result"`
+}
+
+func wireResult(id int, res *vqpy.Result) resultResponse {
+	return resultResponse{
+		ID: id, Query: res.Query,
+		FramesProcessed: res.FramesProcessed, MatchedFrames: res.MatchedCount(),
+		Hits: len(res.Hits), Count: res.Count, TrackIDs: res.TrackIDs,
+		VirtualMS: res.VirtualMS, Result: res,
+	}
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleAttach)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleDetach)
+	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /streamz", s.handleStreamz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var adm *ErrAdmission
+	code := http.StatusBadRequest
+	switch {
+	case errors.As(err, &adm):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req attachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	id, err := s.AttachNamed(req.Source, req.Query)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query})
+}
+
+func queryID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, errors.New("serve: bad query id: " + err.Error())
+	}
+	return id, nil
+}
+
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.Detach(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireResult(id, res))
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.Results(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireResult(id, res))
+}
+
+func (s *Server) handleStreamz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Streamz())
+}

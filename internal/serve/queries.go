@@ -1,0 +1,89 @@
+package serve
+
+// The daemon's query catalogue: named builders for the library's basic
+// queries. Serving attaches basic queries only — event combinators
+// (duration, temporal) aggregate over a whole clip and are answered by
+// the offline paths (Execute/ExecuteShared).
+
+import (
+	"fmt"
+	"sort"
+
+	"vqpy"
+
+	"vqpy/internal/core"
+	"vqpy/internal/video"
+)
+
+// builders maps query names to fresh query values. Builders return a
+// new value per call so concurrent attaches never share query state.
+var builders = map[string]func() *vqpy.Query{
+	"redcar": func() *vqpy.Query {
+		return vqpy.NewQuery("RedCar").
+			Use("car", vqpy.Car()).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("red"),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "color"))
+	},
+	"plates": func() *vqpy.Query {
+		return vqpy.NewQuery("Plates").
+			Use("car", vqpy.Car()).
+			Where(vqpy.P("car", vqpy.PropScore).Gt(0.7)).
+			FrameOutput(vqpy.Sel("car", "plate"))
+	},
+	"bluecars": func() *vqpy.Query {
+		return vqpy.NewQuery("BlueCars").
+			Use("car", vqpy.Car()).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("blue"),
+			)).
+			CountDistinct("car")
+	},
+	"whitecars": func() *vqpy.Query {
+		t := core.NewVObj("WhiteVehicle", video.ClassCar).
+			Detector("yolov8m").
+			StatelessModel("color", "color_detect", true)
+		return vqpy.NewQuery("WhiteCars").
+			Use("w", t).
+			Where(vqpy.And(
+				vqpy.P("w", vqpy.PropScore).Gt(0.5),
+				vqpy.P("w", "color").Eq("white"),
+			))
+	},
+	"people": func() *vqpy.Query {
+		return vqpy.NewQuery("People").
+			Use("p", vqpy.Person()).
+			Where(vqpy.P("p", vqpy.PropScore).Gt(0.5)).
+			FrameOutput(vqpy.Sel("p", vqpy.PropTrackID))
+	},
+	"balls": func() *vqpy.Query {
+		return vqpy.NewQuery("Balls").
+			Use("b", core.NewVObj("CheapBall", video.ClassBall).Detector("ball_person_cheap")).
+			Where(vqpy.P("b", vqpy.PropScore).Gt(0.3))
+	},
+	"speeding": func() *vqpy.Query {
+		return vqpy.SpeedQuery("Speeding", "car", vqpy.Car(), 12)
+	},
+}
+
+// QueryNames lists the attachable query names, sorted.
+func QueryNames() []string {
+	out := make([]string, 0, len(builders))
+	for name := range builders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildQuery returns a fresh instance of a named query.
+func BuildQuery(name string) (*vqpy.Query, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown query %q (have %v): %w", name, QueryNames(), ErrNotFound)
+	}
+	return b(), nil
+}

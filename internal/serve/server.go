@@ -1,0 +1,434 @@
+// Package serve is the live serving layer on top of the dynamic
+// shared-scan engine: one MuxStream per registered scenario source,
+// driven by a frame-rate ticker, with queries attaching and detaching
+// over HTTP while frames keep flowing. It is the daemon brain behind
+// cmd/vqserve; the HTTP handlers live in http.go.
+//
+// Admission control is virtual-time based: every query is canary-
+// profiled at attach (plan.EstPerFrameMS), and a source rejects a new
+// query when the sum of estimated per-frame costs of its resident
+// queries would exceed the configured per-frame budget — the serving
+// analogue of refusing work that cannot be completed before the next
+// frame arrives.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vqpy"
+
+	"vqpy/internal/metrics"
+)
+
+// ErrNotFound marks lookups of unregistered sources, queries or ids
+// (the HTTP layer maps it to 404).
+var ErrNotFound = errors.New("not found")
+
+// Config tunes the serving daemon.
+type Config struct {
+	// Seed drives scenario generation and the model zoo per source.
+	Seed uint64
+	// Seconds is the generated clip length per source.
+	Seconds float64
+	// Speed multiplies the frame ticker rate (Run): 10 means frames are
+	// fed at 10× the capture rate. <= 0 disables the ticker entirely;
+	// frames then advance only through Step/StepAll (tests, tools).
+	Speed float64
+	// BudgetMS is the per-frame virtual-time admission budget per
+	// source; 0 admits everything.
+	BudgetMS float64
+	// Loop wraps each clip when its frames run out, standing in for an
+	// endless camera feed. Without it a source stops feeding at the end
+	// of the clip (queries remain attached and readable).
+	Loop bool
+}
+
+// source is one registered scenario feed: its own session (private
+// virtual clock), clip and dynamic mux.
+type source struct {
+	name    string
+	session *vqpy.Session
+	video   *vqpy.Video
+	mux     *vqpy.MuxStream
+	fed     int   // frames fed (monotonic, counts wrapped frames once each)
+	done    bool  // no more frames will be fed (clip end, or a feed error)
+	feedErr error // the error that stopped the feed, if any
+}
+
+// liveQuery is one attached query's registration.
+type liveQuery struct {
+	id     int
+	name   string
+	source string
+	lane   int
+	estMS  float64 // estimated virtual ms per frame (admission signal)
+}
+
+// Server owns the sources and the query registry. All state is guarded
+// by one mutex: attach, detach, result reads and frame steps serialize,
+// which keeps admission decisions consistent with the lanes actually
+// riding each stream.
+type Server struct {
+	mu       sync.Mutex
+	cfg      Config
+	sources  map[string]*source
+	order    []string
+	queries  map[int]*liveQuery
+	nextID   int
+	counters *metrics.Counters
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+}
+
+// scenarios maps source names to scenario generators (the daemon's
+// stand-in for camera registration).
+var scenarios = map[string]func(uint64, float64) vqpy.Scenario{
+	"cityflow":    vqpy.DatasetCityFlow,
+	"banff":       vqpy.DatasetBanff,
+	"jackson":     vqpy.DatasetJackson,
+	"southampton": vqpy.DatasetSouthampton,
+	"auburn":      vqpy.DatasetAuburn,
+	"pickup":      vqpy.DatasetPickup,
+	"retail":      vqpy.DatasetRetail,
+}
+
+// SourceNames lists the registrable scenario sources, sorted.
+func SourceNames() []string {
+	out := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewServer generates one clip and opens one dynamic MuxStream per
+// named source.
+func NewServer(cfg Config, sourceNames []string) (*Server, error) {
+	if cfg.Seconds <= 0 {
+		cfg.Seconds = 30
+	}
+	if len(sourceNames) == 0 {
+		return nil, fmt.Errorf("serve: no sources registered")
+	}
+	s := &Server{
+		cfg:      cfg,
+		sources:  make(map[string]*source),
+		queries:  make(map[int]*liveQuery),
+		counters: metrics.NewCounters(),
+		stop:     make(chan struct{}),
+	}
+	for _, name := range sourceNames {
+		gen, ok := scenarios[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown source %q (have %v)", name, SourceNames())
+		}
+		if _, dup := s.sources[name]; dup {
+			return nil, fmt.Errorf("serve: source %q registered twice", name)
+		}
+		session := vqpy.NewSession(cfg.Seed)
+		session.SetNoBurn(true)
+		v := vqpy.GenerateVideo(gen(cfg.Seed, cfg.Seconds))
+		mux, err := session.Serve(v.FPS)
+		if err != nil {
+			return nil, err
+		}
+		s.sources[name] = &source{name: name, session: session, video: v, mux: mux}
+		s.order = append(s.order, name)
+	}
+	return s, nil
+}
+
+// Run starts one ticker goroutine per source feeding frames at
+// Speed × capture rate. It is a no-op when Speed <= 0 (manual stepping)
+// or when already started. Stop with Close.
+func (s *Server) Run() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.cfg.Speed <= 0 {
+		return
+	}
+	s.started = true
+	for _, name := range s.order {
+		src := s.sources[name]
+		interval := time.Duration(float64(time.Second) / (float64(src.video.FPS) * s.cfg.Speed))
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		s.wg.Add(1)
+		go func(name string) {
+			defer s.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					if err := s.Step(name); err != nil {
+						return
+					}
+				}
+			}
+		}(name)
+	}
+}
+
+// Close stops the tickers and closes every mux.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.started {
+		close(s.stop)
+		s.started = false
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, src := range s.sources {
+		src.mux.Close()
+	}
+}
+
+// Step feeds one frame on the named source (wrapping when Loop is set).
+func (s *Server) Step(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepLocked(name)
+}
+
+// StepAll feeds one frame on every source, in registration order.
+func (s *Server) StepAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range s.order {
+		if err := s.stepLocked(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) stepLocked(name string) error {
+	src, ok := s.sources[name]
+	if !ok {
+		return fmt.Errorf("serve: unknown source %q: %w", name, ErrNotFound)
+	}
+	if src.done {
+		return nil
+	}
+	n := len(src.video.Frames)
+	idx := src.fed
+	if idx >= n {
+		if !s.cfg.Loop {
+			src.done = true
+			return nil
+		}
+		idx %= n
+	}
+	if _, err := src.mux.Feed(src.video.FrameAt(idx)); err != nil {
+		// A feed error is fatal for the source: record it so /streamz
+		// shows why frames stopped instead of freezing silently.
+		src.done = true
+		src.feedErr = err
+		s.counters.Add("feed_errors:"+name, 1)
+		return fmt.Errorf("serve: feed %s: %w", name, err)
+	}
+	src.fed++
+	s.counters.Add("frames_fed:"+name, 1)
+	return nil
+}
+
+// ErrAdmission marks a rejected attach (the HTTP layer maps it to 503).
+type ErrAdmission struct {
+	Source          string
+	EstMS, LoadMS   float64
+	BudgetMS        float64
+	ResidentQueries int
+}
+
+// Error implements error.
+func (e *ErrAdmission) Error() string {
+	return fmt.Sprintf("serve: %s over budget: +%.2f est ms/frame onto %.2f resident (%d queries) exceeds %.2f",
+		e.Source, e.EstMS, e.LoadMS, e.ResidentQueries, e.BudgetMS)
+}
+
+// estLoadLocked sums the admission estimates of the queries resident on
+// one source.
+func (s *Server) estLoadLocked(source string) (float64, int) {
+	var load float64
+	n := 0
+	for _, q := range s.queries {
+		if q.source == source {
+			load += q.estMS
+			n++
+		}
+	}
+	return load, n
+}
+
+// AttachNamed plans a library query and attaches it to the named
+// source's stream, returning the server-wide query id. The clip doubles
+// as the planner canary, so the plan arrives with a per-frame cost
+// estimate; admission rejects the query when the source's estimated
+// virtual-time load per frame would exceed the budget.
+func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
+	q, err := BuildQuery(queryName)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[sourceName]
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown source %q: %w", sourceName, ErrNotFound)
+	}
+	lane, plan, err := src.session.AttachQuery(src.mux, q, src.video)
+	if err != nil {
+		return 0, err
+	}
+	if s.cfg.BudgetMS > 0 {
+		load, resident := s.estLoadLocked(sourceName)
+		if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
+			// Too expensive: undo the attach before it sees a frame.
+			if _, derr := src.mux.Detach(lane); derr != nil {
+				return 0, derr
+			}
+			s.counters.Add("admission_rejected", 1)
+			s.counters.Add("admission_rejected:"+sourceName, 1)
+			return 0, &ErrAdmission{
+				Source: sourceName, EstMS: plan.EstPerFrameMS,
+				LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+			}
+		}
+	}
+	id := s.nextID
+	s.nextID++
+	s.queries[id] = &liveQuery{
+		id: id, name: queryName, source: sourceName, lane: lane, estMS: plan.EstPerFrameMS,
+	}
+	s.counters.Add("queries_attached", 1)
+	s.counters.Add("queries_attached:"+queryName, 1)
+	return id, nil
+}
+
+// Detach removes a query and returns its final result.
+func (s *Server) Detach(id int) (*vqpy.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown query %d: %w", id, ErrNotFound)
+	}
+	res, err := s.sources[q.source].mux.Detach(q.lane)
+	if err != nil {
+		return nil, err
+	}
+	delete(s.queries, id)
+	s.counters.Add("queries_detached", 1)
+	return res, nil
+}
+
+// Results snapshots a live query's accumulated result.
+func (s *Server) Results(id int) (*vqpy.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown query %d: %w", id, ErrNotFound)
+	}
+	s.counters.Add("results_read", 1)
+	return s.sources[q.source].mux.Snapshot(q.lane)
+}
+
+// SourceStat is one source's /streamz row.
+type SourceStat struct {
+	Name         string           `json:"name"`
+	FPS          int              `json:"fps"`
+	ClipFrames   int              `json:"clip_frames"`
+	FramesFed    int              `json:"frames_fed"`
+	Done         bool             `json:"done"`
+	FeedError    string           `json:"feed_error,omitempty"`
+	Queries      int              `json:"queries"`
+	Groups       []string         `json:"groups"`
+	GroupMembers []int            `json:"group_members"`
+	GroupStats   []vqpy.GroupStat `json:"group_stats"`
+	Lanes        []vqpy.LaneStat  `json:"lanes"`
+	EstLoadMS    float64          `json:"est_load_ms_per_frame"`
+	BudgetMS     float64          `json:"budget_ms_per_frame"`
+	VirtualMS    float64          `json:"virtual_ms_total"`
+}
+
+// QueryStat is one live query's /streamz row.
+type QueryStat struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name"`
+	Source    string  `json:"source"`
+	Lane      int     `json:"lane"`
+	EstMS     float64 `json:"est_ms_per_frame"`
+	Frames    int     `json:"frames"`
+	VirtualMS float64 `json:"virtual_ms"`
+	Matched   int     `json:"matched_frames"`
+}
+
+// Stats is the /streamz payload.
+type Stats struct {
+	Sources  []SourceStat     `json:"sources"`
+	Queries  []QueryStat      `json:"queries"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Streamz assembles the live stats snapshot.
+func (s *Server) Streamz() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Counters: s.counters.Snapshot()}
+	for _, name := range s.order {
+		src := s.sources[name]
+		load, resident := s.estLoadLocked(name)
+		feedErr := ""
+		if src.feedErr != nil {
+			feedErr = src.feedErr.Error()
+		}
+		st.Sources = append(st.Sources, SourceStat{
+			Name: name, FPS: src.video.FPS, ClipFrames: len(src.video.Frames),
+			FramesFed: src.fed, Done: src.done, FeedError: feedErr, Queries: resident,
+			Groups: src.mux.Groups(), GroupMembers: src.mux.GroupMembers(),
+			GroupStats: src.mux.GroupStats(),
+			Lanes:      src.mux.LaneStats(), EstLoadMS: load, BudgetMS: s.cfg.BudgetMS,
+			VirtualMS: src.session.Clock().TotalMS(),
+		})
+	}
+	// Per-query rows come from the lane stats already collected above —
+	// no result copying on the stats path.
+	lanes := make(map[string]map[int]vqpy.LaneStat, len(st.Sources))
+	for _, src := range st.Sources {
+		byLane := make(map[int]vqpy.LaneStat, len(src.Lanes))
+		for _, l := range src.Lanes {
+			byLane[l.ID] = l
+		}
+		lanes[src.Name] = byLane
+	}
+	ids := make([]int, 0, len(s.queries))
+	for id := range s.queries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		q := s.queries[id]
+		qs := QueryStat{ID: q.id, Name: q.name, Source: q.source, Lane: q.lane, EstMS: q.estMS}
+		if l, ok := lanes[q.source][q.lane]; ok {
+			qs.Frames = l.Frames
+			qs.VirtualMS = l.VirtualMS
+			qs.Matched = l.Matched
+		}
+		st.Queries = append(st.Queries, qs)
+	}
+	return st
+}

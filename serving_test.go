@@ -1,0 +1,178 @@
+package vqpy_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy"
+)
+
+// Fresh query values per run: query nodes are stateless, but building
+// them per session keeps the two executions fully independent.
+
+func servingRedCar() *vqpy.Query {
+	return vqpy.NewQuery("RedCar").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+			vqpy.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "color"))
+}
+
+func servingPlates() *vqpy.Query {
+	return vqpy.NewQuery("Plates").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", vqpy.PropScore).Gt(0.7)).
+		FrameOutput(vqpy.Sel("car", "plate"))
+}
+
+func servingBlueCount() *vqpy.Query {
+	return vqpy.NewQuery("BlueCars").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+			vqpy.P("car", "color").Eq("blue"),
+		)).
+		CountDistinct("car")
+}
+
+func servingPeople() *vqpy.Query {
+	return vqpy.NewQuery("People").
+		Use("p", vqpy.Person()).
+		Where(vqpy.P("p", vqpy.PropScore).Gt(0.5)).
+		FrameOutput(vqpy.Sel("p", vqpy.PropTrackID))
+}
+
+// TestAttachDetachIdenticalToFreshOpen is the dynamic-serving acceptance
+// crosscheck: a MuxStream that suffered an arbitrary attach/detach churn
+// must leave its full-duration queries with results bit-identical to a
+// fresh OpenShared of exactly the surviving set — detaching a query (and
+// tearing down its tracker lane, or its whole group) never perturbs
+// siblings, and attaching mid-stream warm-starts from shared state
+// without resetting it.
+func TestAttachDetachIdenticalToFreshOpen(t *testing.T) {
+	const seed = 77
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(seed, 12))
+	n := len(v.Frames)
+
+	// Reference: the surviving set on a fresh shared stream.
+	ref := vqpy.NewSession(seed)
+	ref.SetNoBurn(true)
+	mRef, err := ref.OpenShared([]*vqpy.Query{servingRedCar(), servingPlates()}, v, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := mRef.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refRes := mRef.Close()
+
+	// Churned: same two survivors on a dynamic stream, with a same-group
+	// joiner (BlueCars rides the car-detector group) and a new-group
+	// joiner (People) coming and going mid-stream.
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	m, err := s.Serve(v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachQuery(m, servingRedCar(), v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachQuery(m, servingPlates(), v); err != nil {
+		t.Fatal(err)
+	}
+	baseGroups := len(m.GroupMembers())
+
+	blue, people := -1, -1
+	for i := 0; i < n; i++ {
+		switch i {
+		case n / 4:
+			if blue, _, err = s.AttachQuery(m, servingBlueCount(), v); err != nil {
+				t.Fatal(err)
+			}
+		case n / 3:
+			if people, _, err = s.AttachQuery(m, servingPeople(), v); err != nil {
+				t.Fatal(err)
+			}
+		case 2 * n / 3:
+			blueRes, err := m.Detach(blue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blueRes.FramesProcessed != 2*n/3-n/4 {
+				t.Errorf("churned lane processed %d frames, want %d", blueRes.FramesProcessed, 2*n/3-n/4)
+			}
+			if _, err := m.Detach(people); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.GroupMembers()); got != baseGroups {
+		t.Errorf("groups after churn = %d, want %d (churned groups torn down)", got, baseGroups)
+	}
+	res := m.Close()
+	if len(res) != len(refRes) {
+		t.Fatalf("%d surviving results, want %d", len(res), len(refRes))
+	}
+	for i := range refRes {
+		if res[i].Query != refRes[i].Query {
+			t.Fatalf("survivor %d: query %q vs %q", i, res[i].Query, refRes[i].Query)
+		}
+		if !reflect.DeepEqual(res[i].Matched, refRes[i].Matched) {
+			t.Errorf("survivor %s: matched vectors differ", res[i].Query)
+		}
+		if !reflect.DeepEqual(res[i].Hits, refRes[i].Hits) {
+			t.Errorf("survivor %s: hits differ", res[i].Query)
+		}
+		if res[i].Count != refRes[i].Count || !reflect.DeepEqual(res[i].TrackIDs, refRes[i].TrackIDs) {
+			t.Errorf("survivor %s: aggregation differs", res[i].Query)
+		}
+		if res[i].MemoHits != refRes[i].MemoHits || res[i].MemoMisses != refRes[i].MemoMisses {
+			t.Errorf("survivor %s: memo stats differ (%d/%d vs %d/%d)", res[i].Query,
+				res[i].MemoHits, res[i].MemoMisses, refRes[i].MemoHits, refRes[i].MemoMisses)
+		}
+	}
+}
+
+// TestServeAdmissionInputs sanity-checks the signals the serving layer
+// builds admission on: AttachQuery returns the canary-profiled plan
+// (EstCostMS > 0 with a canary) and LaneStats exposes live per-lane
+// accounting.
+func TestServeAdmissionInputs(t *testing.T) {
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(7, 6))
+	s := vqpy.NewSession(7)
+	s.SetNoBurn(true)
+	m, err := s.Serve(v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, p, err := s.AttachQuery(m, servingRedCar(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCostMS <= 0 {
+		t.Errorf("EstCostMS = %f, want > 0 (canary profiling)", p.EstCostMS)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := m.LaneStats()
+	if len(stats) != 1 || stats[0].ID != id || stats[0].Frames != 5 {
+		t.Fatalf("lane stats = %+v", stats)
+	}
+	if stats[0].VirtualMS <= 0 {
+		t.Error("lane VirtualMS not accounted")
+	}
+	if stats[0].Query != "RedCar" {
+		t.Errorf("lane query = %q", stats[0].Query)
+	}
+}

@@ -329,6 +329,53 @@ func (s *Session) OpenShared(qs []*Query, canary *Video, fps int, opts ...Option
 	return ex.OpenMux(plans, fps)
 }
 
+// Serve opens an empty dynamic MuxStream for live serving: queries come
+// and go through AttachQuery / MuxStream.Detach while frames keep
+// flowing. Feeding with no queries attached is legal and does no model
+// work, so a serving daemon can start the frame ticker before the first
+// query registers. fps annotates per-query results.
+func (s *Session) Serve(fps int, opts ...Option) (*MuxStream, error) {
+	_, cfg, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
+	if err != nil {
+		return nil, err
+	}
+	return ex.OpenDynamicMux(fps), nil
+}
+
+// AttachQuery plans a basic query (profiling on the optional canary
+// video) and attaches it to a running MuxStream mid-stream: the query
+// joins an existing scan group when its scan prefix matches one
+// (warm-starting from the group's shared tracker state) or spins up a
+// new group. It returns the lane id (pass it to MuxStream.Detach /
+// MuxStream.Snapshot) and the selected physical plan, whose EstCostMS
+// the serving layer uses for admission control.
+func (s *Session) AttachQuery(m *MuxStream, q *Query, canary *Video, opts ...Option) (int, *Plan, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, _, err := pl.PlanBasic(q, canary)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Single-candidate plans skip selection profiling; admission control
+	// still needs a per-frame cost, so profile them here.
+	if canary != nil && p.EstPerFrameMS == 0 {
+		if err := pl.ProfileCost(p, canary); err != nil {
+			return 0, nil, err
+		}
+	}
+	id, err := m.Attach(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, p, nil
+}
+
 // SetOffloadLatency models accelerator-offloaded inference: every
 // charged virtual millisecond makes the charging goroutine sleep
 // nsPerVirtualMS nanoseconds instead of spinning the CPU. Concurrent
@@ -344,8 +391,16 @@ func (s *Session) SetOffloadLatency(nsPerVirtualMS float64) {
 type (
 	Stream  = exec.Stream
 	Verdict = exec.Verdict
-	// MuxStream is the shared-scan multiplexer returned by OpenShared.
+	// MuxStream is the shared-scan multiplexer returned by OpenShared
+	// and Serve; Attach/Detach change its query set while it runs.
 	MuxStream = exec.MuxStream
+	// Result is the raw per-query execution result the streaming paths
+	// return (Stream.Close, MuxStream.Close/Detach/Snapshot).
+	Result = exec.Result
+	// LaneStat is one live query lane's accounting on a MuxStream.
+	LaneStat = exec.LaneStat
+	// GroupStat is one live scan group's accounting on a MuxStream.
+	GroupStat = exec.GroupStat
 )
 
 // OpenStream plans a basic query (profiling on the optional canary
