@@ -1,0 +1,540 @@
+package vqpy_test
+
+// Acceptance crosschecks of the tiered result store (DESIGN.md §7): a
+// cold re-run over a warm store and a store-backfilled mid-stream attach
+// must both be bit-identical to fresh execution, while the ledger shows
+// the model work disappearing.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vqpy"
+)
+
+// archivalQueries builds a small mixed workload: two queries sharing one
+// scan group (same detector, property models behind the label store) and
+// one with a video-level aggregation.
+func archivalQueries() []*vqpy.Query {
+	return []*vqpy.Query{
+		vqpy.NewQuery("RedCar").
+			Use("car", vqpy.Car()).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("red"),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "plate")),
+		vqpy.NewQuery("Plates").
+			Use("car", vqpy.Car()).
+			Where(vqpy.P("car", vqpy.PropScore).Gt(0.7)).
+			FrameOutput(vqpy.Sel("car", "plate")),
+		vqpy.NewQuery("BlueCount").
+			Use("car", vqpy.Car()).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("blue"),
+			)).
+			CountDistinct("car"),
+	}
+}
+
+func archivalNodes() []vqpy.QueryNode {
+	qs := archivalQueries()
+	nodes := make([]vqpy.QueryNode, len(qs))
+	for i, q := range qs {
+		nodes[i] = q
+	}
+	return nodes
+}
+
+func archivalVideo(seed uint64) *vqpy.Video {
+	return vqpy.GenerateVideo(vqpy.DatasetCityFlow(seed, 12))
+}
+
+// runStoredPass executes the workload through the shared-scan engine
+// against the given store directory in a fresh session (a process
+// restart stand-in) and returns the results plus the session.
+func runStoredPass(t *testing.T, dir string, seed uint64) ([]*vqpy.RunResult, *vqpy.Session) {
+	t.Helper()
+	st, err := vqpy.OpenStore(dir, seed)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	results, err := s.ExecuteShared(archivalNodes(), archivalVideo(seed), vqpy.WithStore(st))
+	if err != nil {
+		t.Fatalf("ExecuteShared with store: %v", err)
+	}
+	return results, s
+}
+
+func sameRunResults(t *testing.T, label string, want, got []*vqpy.RunResult) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d results", label, len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].Matched, got[i].Matched) {
+			t.Errorf("%s: query %s: matched vectors differ", label, want[i].Name)
+		}
+		if !reflect.DeepEqual(want[i].Events, got[i].Events) {
+			t.Errorf("%s: query %s: events differ", label, want[i].Name)
+		}
+		wb, gb := want[i].Basic, got[i].Basic
+		if (wb == nil) != (gb == nil) {
+			t.Fatalf("%s: query %s: basic presence differs", label, want[i].Name)
+		}
+		if wb != nil {
+			if !reflect.DeepEqual(wb.Hits, gb.Hits) {
+				t.Errorf("%s: query %s: hits differ", label, want[i].Name)
+			}
+			if wb.Count != gb.Count || !reflect.DeepEqual(wb.TrackIDs, gb.TrackIDs) {
+				t.Errorf("%s: query %s: aggregation differs", label, want[i].Name)
+			}
+		}
+	}
+}
+
+// TestRescanBitIdenticalAndCheaper is the acceptance crosscheck for
+// cross-process reuse: a cold re-run over a warm store must answer
+// bit-identically to fresh per-query execution while doing strictly
+// fewer detector and tracker invocations than the first pass.
+func TestRescanBitIdenticalAndCheaper(t *testing.T) {
+	const seed = 91
+	dir := t.TempDir()
+
+	// Fresh per-query execution is the identity reference.
+	ref := vqpy.NewSession(seed)
+	ref.SetNoBurn(true)
+	var refResults []*vqpy.RunResult
+	for _, node := range archivalNodes() {
+		r, err := ref.Execute(node, archivalVideo(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refResults = append(refResults, r)
+	}
+
+	first, firstSession := runStoredPass(t, dir, seed)
+	second, secondSession := runStoredPass(t, dir, seed)
+
+	sameRunResults(t, "first pass vs per-query", refResults, first)
+	sameRunResults(t, "warm rescan vs per-query", refResults, second)
+
+	firstDet, secondDet := sharedDetects(firstSession), sharedDetects(secondSession)
+	firstTrk := firstSession.Clock().Invocations("tracker")
+	secondTrk := secondSession.Clock().Invocations("tracker")
+	if secondDet >= firstDet {
+		t.Errorf("warm rescan detector invocations not below first pass: %d vs %d", secondDet, firstDet)
+	}
+	if secondTrk >= firstTrk {
+		t.Errorf("warm rescan tracker invocations not below first pass: %d vs %d", secondTrk, firstTrk)
+	}
+}
+
+// TestRescanSurvivesHotTierChurn reruns the rescan identity check with a
+// hot tier far smaller than the clip, so most store reads promote from
+// the disk tier after LRU eviction.
+func TestRescanSurvivesHotTierChurn(t *testing.T) {
+	const seed = 92
+	dir := t.TempDir()
+	open := func() *vqpy.Store {
+		st, err := vqpy.OpenStoreOptions(dir, seed, 8)
+		if err != nil {
+			t.Fatalf("OpenStoreOptions: %v", err)
+		}
+		return st
+	}
+	run := func(st *vqpy.Store) []*vqpy.RunResult {
+		defer st.Close()
+		s := vqpy.NewSession(seed)
+		s.SetNoBurn(true)
+		results, err := s.ExecuteShared(archivalNodes(), archivalVideo(seed), vqpy.WithStore(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	first := run(open())
+	st := open()
+	second := run(st)
+	sameRunResults(t, "tiny hot tier rescan", first, second)
+}
+
+// TestBackfillAttachIdenticalToFreshOpen is the acceptance crosscheck
+// for late-attaching queries: a query attached halfway through a stored
+// stream with AttachQueryBackfill must produce results bit-identical to
+// a fresh OpenShared of the full query set fed from frame zero — and
+// the resident query must be unperturbed.
+func TestBackfillAttachIdenticalToFreshOpen(t *testing.T) {
+	const seed = 93
+	v := archivalVideo(seed)
+	qs := archivalQueries()
+
+	// Reference: all queries resident from frame zero, no store.
+	refSession := vqpy.NewSession(seed)
+	refSession.SetNoBurn(true)
+	mRef, err := refSession.OpenShared(archivalQueries(), v, v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(v.Frames); i++ {
+		if _, err := mRef.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refResults := mRef.Close()
+
+	// Live: the first query rides from frame zero over a store-bound
+	// stream; the others join at the halfway mark with backfill.
+	st, err := vqpy.OpenStore(t.TempDir(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	m, err := s.OpenShared(qs[:1], v, v.FPS, vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(v.Frames) / 2
+	for i := 0; i < half; i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range qs[1:] {
+		if _, _, err := s.AttachQueryBackfill(m, q, v); err != nil {
+			t.Fatalf("AttachQueryBackfill(%s): %v", q.Name(), err)
+		}
+	}
+	for i := half; i < len(v.Frames); i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := m.Close()
+
+	if len(results) != len(refResults) {
+		t.Fatalf("%d vs %d results", len(results), len(refResults))
+	}
+	for i, ref := range refResults {
+		got := results[i]
+		if got.FramesProcessed != len(v.Frames) {
+			t.Errorf("query %s: processed %d frames, want %d (backfill incomplete)",
+				got.Query, got.FramesProcessed, len(v.Frames))
+		}
+		if !reflect.DeepEqual(ref.Matched, got.Matched) {
+			t.Errorf("query %s: matched vectors differ from fresh OpenShared", got.Query)
+		}
+		if !reflect.DeepEqual(ref.Hits, got.Hits) {
+			t.Errorf("query %s: hits differ from fresh OpenShared", got.Query)
+		}
+		if ref.Count != got.Count || !reflect.DeepEqual(ref.TrackIDs, got.TrackIDs) {
+			t.Errorf("query %s: aggregation differs from fresh OpenShared", got.Query)
+		}
+	}
+
+	backfilled := 0
+	for _, lane := range m.LaneStats() {
+		if lane.Backfilled {
+			backfilled++
+		}
+	}
+	if backfilled != len(qs)-1 {
+		t.Errorf("LaneStats reports %d backfilled lanes, want %d", backfilled, len(qs)-1)
+	}
+}
+
+// TestBackfillAttachNewGroupFromWarmStore covers the warm-restart shape:
+// a stream whose store was populated by a previous pass serves a
+// backfill for a scan group that does not exist yet in this process.
+func TestBackfillAttachNewGroupFromWarmStore(t *testing.T) {
+	const seed = 94
+	v := archivalVideo(seed)
+	dir := t.TempDir()
+
+	// Pass 1 archives the full clip for the car scan group.
+	runStoredPass(t, dir, seed)
+
+	// Reference result for the joining query, from-zero without a store.
+	refSession := vqpy.NewSession(seed)
+	refSession.SetNoBurn(true)
+	refRes, err := refSession.Execute(archivalNodes()[0], archivalVideo(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: a fresh process feeds half the clip with NO queries
+	// attached, then the query joins with backfill — its scan group is
+	// created on the spot and its whole history comes from the store.
+	st, err := vqpy.OpenStore(dir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	m, err := s.Serve(v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BindStore(st, v)
+	half := len(v.Frames) / 2
+	for i := 0; i < half; i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, _, err := s.AttachQueryBackfill(m, archivalQueries()[0], v)
+	if err != nil {
+		t.Fatalf("AttachQueryBackfill onto fresh group: %v", err)
+	}
+	for i := half; i < len(v.Frames); i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := m.Detach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refRes.Basic.Matched, got.Matched) {
+		t.Error("matched vector differs from from-zero execution")
+	}
+	if !reflect.DeepEqual(refRes.Basic.Hits, got.Hits) {
+		t.Error("hits differ from from-zero execution")
+	}
+}
+
+// TestBackfillRollbackOnUncoveredStore verifies a failed backfill leaves
+// the stream untouched: attaching over an empty store errors, siblings
+// keep running, and a plain attach still works.
+func TestBackfillRollbackOnUncoveredStore(t *testing.T) {
+	const seed = 95
+	v := archivalVideo(seed)
+	qs := archivalQueries()
+	st, err := vqpy.OpenStore(t.TempDir(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	m, err := s.OpenShared(qs[:1], v, v.FPS, vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second store knows nothing about these frames; swap it in to
+	// simulate missing coverage for a differently keyed group.
+	empty, err := vqpy.OpenStore(t.TempDir(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer empty.Close()
+	m.BindStore(empty, v)
+	if _, _, err := s.AttachQueryBackfill(m, qs[1], v); err == nil {
+		t.Fatal("backfill over an uncovered store should fail")
+	}
+	if lanes := m.Lanes(); lanes != 1 {
+		t.Fatalf("failed backfill leaked a lane: %d lanes", lanes)
+	}
+	if _, err := m.Feed(v.FrameAt(5)); err != nil {
+		t.Fatalf("stream unusable after failed backfill: %v", err)
+	}
+	if _, _, err := s.AttachQuery(m, qs[1], v); err != nil {
+		t.Fatalf("plain attach after failed backfill: %v", err)
+	}
+}
+
+// TestLoopWrapIdenticalWithStore pins the wrap rule: once a looping
+// stream re-feeds earlier frame indices, the scan archive must neither
+// serve lap-one track ids into a tracker carrying cross-wrap state nor
+// archive cross-wrap ids — so a looped run over a store (cold or warm)
+// answers bit-identically to a looped run without one.
+func TestLoopWrapIdenticalWithStore(t *testing.T) {
+	const seed = 97
+	v := archivalVideo(seed)
+	half := len(v.Frames) / 2
+
+	loopRun := func(st *vqpy.Store) *vqpy.Result {
+		s := vqpy.NewSession(seed)
+		s.SetNoBurn(true)
+		var opts []vqpy.Option
+		if st != nil {
+			opts = append(opts, vqpy.WithStore(st))
+		}
+		m, err := s.OpenShared(archivalQueries()[:1], v, v.FPS, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(v.Frames); i++ {
+			if _, err := m.Feed(v.FrameAt(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < half; i++ { // the wrap: earlier indices again
+			if _, err := m.Feed(v.FrameAt(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Close()[0]
+	}
+
+	ref := loopRun(nil)
+
+	coldStore, err := vqpy.OpenStore(t.TempDir(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coldStore.Close()
+	cold := loopRun(coldStore)
+
+	warmDir := t.TempDir()
+	runStoredPass(t, warmDir, seed) // archive the whole clip first
+	warmStore, err := vqpy.OpenStore(warmDir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warmStore.Close()
+	warm := loopRun(warmStore)
+
+	for _, tc := range []struct {
+		name string
+		got  *vqpy.Result
+	}{{"cold store", cold}, {"warm store", warm}} {
+		if !reflect.DeepEqual(ref.Matched, tc.got.Matched) {
+			t.Errorf("%s: looped matched vector differs from store-less run", tc.name)
+		}
+		if !reflect.DeepEqual(ref.Hits, tc.got.Hits) {
+			t.Errorf("%s: looped hits differ from store-less run", tc.name)
+		}
+	}
+}
+
+// TestColdStartTrackerIDsNotArchived pins the persist rule: a query
+// attached mid-stream (plain Attach, cold tracker numbering) must not
+// archive its ids, so a later from-zero pass re-tracks those frames and
+// stays bit-identical to store-less execution.
+func TestColdStartTrackerIDsNotArchived(t *testing.T) {
+	const seed = 98
+	v := archivalVideo(seed)
+	qs := archivalQueries()
+
+	// Stream with a store: nothing resident for the first half, then a
+	// plain (non-backfill) attach — its scan group is born mid-stream.
+	st, err := vqpy.OpenStore(t.TempDir(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	m, err := s.Serve(v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.BindStore(st, v)
+	half := len(v.Frames) / 2
+	for i := 0; i < half; i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.AttachQuery(m, qs[0], v); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(v.Frames); i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+
+	// A later from-zero pass over that store must match store-less
+	// per-query execution exactly — the cold tracker's numbering must
+	// not leak out of the archive.
+	ref := vqpy.NewSession(seed)
+	ref.SetNoBurn(true)
+	want, err := ref.Execute(qs[0], archivalVideo(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := vqpy.NewSession(seed)
+	s2.SetNoBurn(true)
+	got, err := s2.ExecuteShared([]vqpy.QueryNode{archivalQueries()[0]}, archivalVideo(seed), vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Basic.Matched, got[0].Basic.Matched) {
+		t.Error("from-zero pass over a cold-start-polluted store: matched vectors differ")
+	}
+	if !reflect.DeepEqual(want.Basic.Hits, got[0].Basic.Hits) {
+		t.Error("from-zero pass over a cold-start-polluted store: hits differ")
+	}
+}
+
+// TestStoreConcurrentServeRace drives a store-bound stream with
+// concurrent feeds, snapshots and backfill attaches — run under -race.
+func TestStoreConcurrentServeRace(t *testing.T) {
+	const seed = 96
+	v := archivalVideo(seed)
+	dir := t.TempDir()
+
+	// Warm the store first so backfills have coverage.
+	runStoredPass(t, dir, seed)
+
+	st, err := vqpy.OpenStore(dir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	qs := archivalQueries()
+	m, err := s.OpenShared(qs[:1], v, v.FPS, vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(v.Frames); i++ {
+			if _, err := m.Feed(v.FrameAt(i)); err != nil {
+				t.Errorf("Feed: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 6; j++ {
+			id, _, err := s.AttachQueryBackfill(m, qs[1+(j%2)], v)
+			if err != nil {
+				t.Errorf("AttachQueryBackfill: %v", err)
+				return
+			}
+			if _, err := m.Snapshot(id); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+			if _, err := m.Detach(id); err != nil {
+				t.Errorf("Detach: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	m.Close()
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
@@ -14,9 +14,11 @@
 // against isolated and scheduler-based per-query execution on the same
 // workload, reporting detector/tracker invocation counts from the
 // ledger; churn measures the dynamic serving layer under attach/detach
-// arrival and departure against per-query streams. -json writes every
-// selected report as a JSON array to FILE in addition to the normal
-// output.
+// arrival and departure against per-query streams; rescan runs the
+// workload twice over one persistent result store — the warm pass must
+// do strictly fewer detector/tracker invocations than the cold pass.
+// -json writes every selected report as a JSON array to FILE in
+// addition to the normal output.
 //
 // -check runs the CI bench-regression gate instead of experiments: it
 // loads the named baselines file, reads the BENCH_*.json artifacts it
@@ -36,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
@@ -94,8 +96,9 @@ func main() {
 		"multi":   bench.RunMultiQuery,
 		"muxscan": bench.RunMuxScan,
 		"churn":   bench.RunChurn,
+		"rescan":  bench.RunRescan,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

@@ -1,0 +1,75 @@
+// Command vqlint runs the repository's in-tree hygiene checks: the
+// doc-comment lint over the public Go API (the revive `exported` rule,
+// reimplemented on go/ast so CI needs no external tool) and the
+// offline markdown link checker. Both also run inside `go test
+// ./internal/lint`; this command is the explicit CI step and the local
+// pre-commit entry point.
+//
+// Usage:
+//
+//	vqlint [-docs file-or-dir,...] [-md file-or-dir,...]
+//
+// Directories expand non-recursively (.go files for -docs, *.md for
+// -md). Exits non-zero when any issue is found, printing one line per
+// issue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vqpy/internal/lint"
+)
+
+func main() {
+	docs := flag.String("docs", "", "comma-separated Go files or package directories for the doc-comment lint")
+	md := flag.String("md", "", "comma-separated markdown files or directories for the link checker")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vqlint: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *docs == "" && *md == "" {
+		fmt.Fprintln(os.Stderr, "vqlint: nothing to do (pass -docs and/or -md)")
+		os.Exit(2)
+	}
+
+	var issues []string
+	if *docs != "" {
+		found, err := lint.CheckDocs(splitList(*docs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			os.Exit(1)
+		}
+		issues = append(issues, found...)
+	}
+	if *md != "" {
+		found, err := lint.CheckMarkdownLinks(splitList(*md))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqlint: %v\n", err)
+			os.Exit(1)
+		}
+		issues = append(issues, found...)
+	}
+	for _, issue := range issues {
+		fmt.Println(issue)
+	}
+	if len(issues) > 0 {
+		fmt.Fprintf(os.Stderr, "vqlint: %d issue(s)\n", len(issues))
+		os.Exit(1)
+	}
+	fmt.Println("vqlint: clean")
+}
+
+// splitList parses a comma-separated path list, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

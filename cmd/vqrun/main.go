@@ -6,7 +6,7 @@
 //
 //	vqrun [-query redcar|speeding|redspeeding|loitering|hitandrun]
 //	      [-dataset cityflow|banff|jackson|southampton|auburn|pickup|retail]
-//	      [-seconds N] [-seed N] [-parallel N] [-shared] [-v]
+//	      [-seconds N] [-seed N] [-parallel N] [-shared] [-store DIR] [-v]
 //
 // -query accepts a comma-separated list; with -parallel N > 1 the
 // queries run on the parallel multi-query scheduler sharing one
@@ -15,6 +15,14 @@
 // operator IR and multiplexes them over a single shared scan of the
 // video (one decode and one detect/track per (model, frame) for the
 // whole workload), again with identical results.
+//
+// -store DIR persists model outputs to the tiered result store and
+// consults it before running a model, so re-running vqrun with the same
+// store directory (and seed) answers from the archive: detector and
+// property-model work disappears in every mode, and with -shared the
+// tracker work goes too (the scan group's track ids replay from the
+// archive). The run reports the store's hit/miss counters so the reuse
+// is visible; results are bit-identical with or without the store.
 package main
 
 import (
@@ -75,6 +83,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "scenario and model seed")
 	parallel := flag.Int("parallel", 1, "worker pool size for multi-query execution (<=1 sequential)")
 	shared := flag.Bool("shared", false, "multiplex all queries over one shared scan (single-pass engine)")
+	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
 	verbose := flag.Bool("v", false, "print per-hit detail")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -116,12 +125,26 @@ func main() {
 	v := vqpy.GenerateVideo(gen(*seed, *seconds))
 	s := vqpy.NewSession(*seed)
 	s.SetNoBurn(true)
+	var opts []vqpy.Option
+	var st *vqpy.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = vqpy.OpenStore(*storeDir, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		for _, w := range st.Warnings() {
+			fmt.Fprintf(os.Stderr, "vqrun: warning: %s\n", w)
+		}
+		opts = append(opts, vqpy.WithStore(st))
+	}
 	var results []*vqpy.RunResult
 	var err error
 	if *shared {
-		results, err = s.ExecuteShared(nodes, v)
+		results, err = s.ExecuteShared(nodes, v, opts...)
 	} else {
-		results, err = s.ExecuteAll(nodes, v, *parallel)
+		results, err = s.ExecuteAll(nodes, v, *parallel, opts...)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
@@ -166,6 +189,18 @@ func main() {
 		}
 	}
 	fmt.Printf("\n%s", s.Clock())
+	if st != nil {
+		stats := st.TierStats()
+		c := st.Counters()
+		fmt.Printf("\nresult store %s: %d scan / %d det / %d label records (%d hot, %d evicted)\n",
+			*storeDir, stats.ScanRecords, stats.DetRecords, stats.LabelRecords,
+			stats.MemRecords, stats.Evicted)
+		fmt.Printf("  hits: scan %d+%d det %d+%d label %d+%d (mem+disk), misses: scan %d det %d label %d\n",
+			c.Get("scan_mem_hits"), c.Get("scan_disk_hits"),
+			c.Get("det_mem_hits"), c.Get("det_disk_hits"),
+			c.Get("label_mem_hits"), c.Get("label_disk_hits"),
+			c.Get("scan_misses"), c.Get("det_misses"), c.Get("label_misses"))
+	}
 }
 
 func plural(n int) string {

@@ -6,19 +6,28 @@
 // Usage:
 //
 //	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
-//	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop]
+//	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop] [-store DIR]
+//	        [-attach source:query,...]
 //
 // API:
 //
 //	POST   /queries              {"source":"cityflow","query":"redcar"}
+//	                             (+"backfill":true replays scanned history)
 //	DELETE /queries/{id}         detach, returns the final result
-//	GET    /queries/{id}/results live result snapshot
-//	GET    /streamz              sources, scan groups, lanes, counters
+//	GET    /queries/{id}/results live result snapshot (?since=F for deltas)
+//	GET    /streamz              sources, scan groups, lanes, counters, store
 //
 // -speed multiplies the frame rate (10 feeds a 30fps source at 300fps);
 // -budget-ms rejects queries (HTTP 503) whose estimated per-frame
 // virtual cost would push a source past the budget; -loop wraps each
-// clip endlessly. See DESIGN.md §6 for the attach/detach semantics.
+// clip endlessly. -store DIR persists every source's scan output to the
+// tiered result store: a daemon restarted over the same directory (and
+// seed) serves frames it already scanned at zero model cost, and
+// backfill attaches replay a joining query over the scanned history.
+// -attach registers standing queries before the first frame is fed —
+// with -store, that guarantees the archive covers the stream from
+// frame zero, which is what later backfill attaches need. See
+// DESIGN.md §6 for attach/detach semantics and §7 for the store.
 package main
 
 import (
@@ -39,6 +48,8 @@ func main() {
 	speed := flag.Float64("speed", 1, "frame ticker speed multiplier (x capture rate)")
 	budget := flag.Float64("budget-ms", 0, "per-frame virtual-time admission budget per source (0 = admit all)")
 	loop := flag.Bool("loop", false, "wrap clips endlessly (live-camera stand-in)")
+	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
+	attach := flag.String("attach", "", "comma-separated source:query pairs to attach before frames start flowing")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vqserve: unexpected arguments %q\n", flag.Args())
@@ -57,16 +68,38 @@ func main() {
 	}
 	s, err := serve.NewServer(serve.Config{
 		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
+		StoreDir: *storeDir,
 	}, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(1)
 	}
+	// Standing queries attach before Run starts the tickers, so they
+	// (and the store archive) see the stream from frame zero.
+	if *attach != "" {
+		for _, pair := range strings.Split(*attach, ",") {
+			sourceName, queryName, ok := strings.Cut(strings.TrimSpace(pair), ":")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vqserve: -attach %q: want source:query\n", pair)
+				os.Exit(2)
+			}
+			id, err := s.AttachNamed(sourceName, queryName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vqserve: -attach %s: %v\n", pair, err)
+				os.Exit(1)
+			}
+			fmt.Printf("vqserve: attached standing query %s on %s (id %d)\n", queryName, sourceName, id)
+		}
+	}
 	s.Run()
 	defer s.Close()
 
-	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, queries: %s)\n",
-		strings.Join(names, ","), *addr, *speed, *budget, strings.Join(serve.QueryNames(), ","))
+	persistence := "off"
+	if *storeDir != "" {
+		persistence = *storeDir
+	}
+	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s, queries: %s)\n",
+		strings.Join(names, ","), *addr, *speed, *budget, persistence, strings.Join(serve.QueryNames(), ","))
 	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,116 @@
+package bench
+
+// Archival rescan experiment (E17): the tiered persistent result store
+// measured over two passes of the 8-query workload on the same clip.
+// Pass 1 runs against an empty store directory and archives every
+// detector output, shared-scan track id and evaluated property value;
+// pass 2 is a fresh session (the process-restart stand-in) over the
+// warm store — its scan groups replay archived frames instead of
+// running models, so its detector and tracker invocation counts must
+// fall strictly below the first pass (the CI baselines gate enforces
+// it), while both passes answer bit-identically to the per-query
+// scheduler. This is the VStore-style scale lever: a query over
+// archival video costs model work once per archive, not once per ask.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"vqpy"
+
+	"vqpy/internal/metrics"
+)
+
+// RunRescanPass executes the workload once through the shared-scan
+// engine against the store directory in a fresh session, returning the
+// results, elapsed wall time and the session (for ledger reads).
+func RunRescanPass(cfg Config, dir string) ([]*vqpy.RunResult, time.Duration, *vqpy.Session, error) {
+	st, err := vqpy.OpenStore(dir, cfg.Seed)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer st.Close()
+	v := MultiQueryVideo(cfg)
+	s := vqpy.NewSession(cfg.Seed)
+	s.SetNoBurn(!cfg.Burn)
+	if cfg.Burn {
+		s.SetOffloadLatency(multiQueryOffloadNSPerMS)
+	}
+	start := time.Now()
+	results, err := s.ExecuteShared(MultiQueryWorkload(), v, vqpy.WithStore(st))
+	return results, time.Since(start), s, err
+}
+
+// RunRescan is the E17 experiment entry point used by vqbench.
+func RunRescan(cfg Config) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	dir, err := os.MkdirTemp("", "vqpy-rescan-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Identity reference: the sequential per-query scheduler.
+	ref, _, _, err := RunMuxScanWith(cfg, "runall-seq", 1)
+	if err != nil {
+		return nil, err
+	}
+
+	first, firstWall, firstSession, err := RunRescanPass(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	second, secondWall, secondSession, err := RunRescanPass(cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &metrics.Report{
+		Title:  "E17: archival rescan — cold pass vs warm store (fresh session each)",
+		Header: []string{"pass", "wall ms", "detect inv", "tracker inv", "virtual ms"},
+	}
+	firstClock, secondClock := firstSession.Clock(), secondSession.Clock()
+	firstDet, secondDet := detectorInvocations(firstClock), detectorInvocations(secondClock)
+	firstTrk, secondTrk := firstClock.Invocations("tracker"), secondClock.Invocations("tracker")
+	firstMS := float64(firstWall.Microseconds()) / 1000
+	secondMS := float64(secondWall.Microseconds()) / 1000
+	rep.AddRow("cold", fmt.Sprintf("%.1f", firstMS), fmt.Sprint(firstDet),
+		fmt.Sprint(firstTrk), fmt.Sprintf("%.0f", firstClock.TotalMS()))
+	rep.AddRow("warm", fmt.Sprintf("%.1f", secondMS), fmt.Sprint(secondDet),
+		fmt.Sprint(secondTrk), fmt.Sprintf("%.0f", secondClock.TotalMS()))
+
+	rep.SetMetric("rescan_detect_inv_first", float64(firstDet))
+	rep.SetMetric("rescan_detect_inv_second", float64(secondDet))
+	rep.SetMetric("rescan_tracker_inv_first", float64(firstTrk))
+	rep.SetMetric("rescan_tracker_inv_second", float64(secondTrk))
+	if firstDet > 0 {
+		rep.SetMetric("rescan_detect_ratio", float64(secondDet)/float64(firstDet))
+	}
+	if firstTrk > 0 {
+		rep.SetMetric("rescan_tracker_ratio", float64(secondTrk)/float64(firstTrk))
+	}
+	if firstClock.TotalMS() > 0 {
+		rep.SetMetric("rescan_virtual_ratio", secondClock.TotalMS()/firstClock.TotalMS())
+	}
+
+	identical := sameAnswers(ref, first) && sameAnswers(ref, second)
+	rep.SetMetric("rescan_identical", boolMetric(identical))
+	rep.AddNote("queries: %d; both passes identical to the sequential scheduler: %v",
+		len(MultiQueryWorkload()), identical)
+	rep.AddNote("expected shape: the warm pass replays archived detections and track ids — " +
+		"detector and tracker invocations drop to the canary-profiling floor")
+	if !cfg.Burn {
+		rep.AddNote("burn disabled: wall times reflect engine overhead only, not model latency")
+	}
+	if !identical {
+		return rep, fmt.Errorf("bench: rescan results diverge from the sequential scheduler")
+	}
+	if secondDet >= firstDet {
+		return rep, fmt.Errorf("bench: warm detector invocations %d not below cold %d", secondDet, firstDet)
+	}
+	if secondTrk >= firstTrk {
+		return rep, fmt.Errorf("bench: warm tracker invocations %d not below cold %d", secondTrk, firstTrk)
+	}
+	return rep, nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestRescanShape runs the E17 experiment at test scale and pins its
+// contract: the warm pass's model invocation counts fall strictly below
+// the cold pass (RunRescan errors otherwise) and every gated metric is
+// exported for the baselines file.
+func TestRescanShape(t *testing.T) {
+	rep, err := RunRescan(Config{Seed: 13, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (cold, warm)", len(rep.Rows))
+	}
+	for _, name := range []string{
+		"rescan_identical", "rescan_detect_inv_first", "rescan_detect_inv_second",
+		"rescan_tracker_inv_first", "rescan_tracker_inv_second",
+		"rescan_detect_ratio", "rescan_tracker_ratio", "rescan_virtual_ratio",
+	} {
+		if _, ok := rep.Metric(name); !ok {
+			t.Errorf("metric %s missing from report", name)
+		}
+	}
+	if v, _ := rep.Metric("rescan_identical"); v != 1 {
+		t.Error("rescan passes not identical to the sequential scheduler")
+	}
+	if ratio, _ := rep.Metric("rescan_virtual_ratio"); ratio >= 0.5 {
+		t.Errorf("warm pass virtual cost ratio %.3f; expected the archive to eliminate most model work", ratio)
+	}
+}

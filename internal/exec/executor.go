@@ -7,6 +7,7 @@ import (
 	"vqpy/internal/core"
 	"vqpy/internal/geom"
 	"vqpy/internal/models"
+	"vqpy/internal/store"
 	"vqpy/internal/track"
 	"vqpy/internal/video"
 )
@@ -26,6 +27,16 @@ type Options struct {
 	// SkipHits disables hit collection (profiling runs that only need
 	// cost and the matched vector).
 	SkipHits bool
+	// Store enables the tiered persistent result store (§4.3's reuse
+	// carried across processes): detector and per-crop model outputs are
+	// consulted before invoking a model — a store hit costs zero virtual
+	// time — and populated on miss. Requires StoreSource; optional.
+	// Profiling executors must not set it, so plan selection stays
+	// independent of what happens to be persisted.
+	Store *store.Store
+	// StoreSource names the video / camera stream store records are
+	// keyed under (frame indices alone do not identify a frame).
+	StoreSource string
 }
 
 // ObjOut is one matched object in a frame hit, carrying the values of
@@ -247,8 +258,17 @@ func (e *Executor) stepFrameFilter(s Step, fc *FrameCtx, filters map[string]mode
 // detectFrame runs a detector on one frame, converting its output to
 // tracker detections (Ref carries the ground-truth id for the simulated
 // models' noise channel). Both the per-query StepDetect and the shared
-// scan go through this one entry, normally behind the cache.
+// scan go through this one entry, normally behind the cache — which is
+// also where the persistent store plugs in: a store hit returns the
+// archived detections at zero model cost, and a miss persists what the
+// detector produced. Detector output depends only on (seed, model,
+// frame), so one store record serves every scan group and query stream.
 func (e *Executor) detectFrame(model string, f *video.Frame) ([]track.Detection, error) {
+	if st, src := e.opts.Store, e.opts.StoreSource; st != nil && src != "" {
+		if sdets, ok := st.GetDets(src, model, f.Index); ok {
+			return trackDetsOf(sdets), nil
+		}
+	}
 	det, err := e.opts.Registry.Detector(model)
 	if err != nil {
 		return nil, err
@@ -258,7 +278,33 @@ func (e *Executor) detectFrame(model string, f *video.Frame) ([]track.Detection,
 	for i, d := range raw {
 		out[i] = track.Detection{Box: d.Box, Class: int(d.Class), Score: d.Score, Ref: d.TruthID}
 	}
+	if st, src := e.opts.Store, e.opts.StoreSource; st != nil && src != "" {
+		if err := st.PutDets(src, model, f.Index, storeDetsOf(out)); err != nil {
+			return nil, err
+		}
+	}
 	return out, nil
+}
+
+// storeDetsOf converts live tracker detections to their persistent form
+// (the opaque Ref pinned down to the ground-truth id it carries).
+func storeDetsOf(dets []track.Detection) []store.Detection {
+	out := make([]store.Detection, len(dets))
+	for i, d := range dets {
+		truthID, _ := d.Ref.(int)
+		out[i] = store.Detection{Box: d.Box, Class: d.Class, Score: d.Score, TruthID: truthID}
+	}
+	return out
+}
+
+// trackDetsOf converts persisted detections back to the live form,
+// restoring Ref exactly as detectFrame would have produced it.
+func trackDetsOf(dets []store.Detection) []track.Detection {
+	out := make([]track.Detection, len(dets))
+	for i, d := range dets {
+		out[i] = track.Detection{Box: d.Box, Class: d.Class, Score: d.Score, Ref: d.TruthID}
+	}
+	return out
 }
 
 func (e *Executor) stepDetect(s Step, fc *FrameCtx) error {
@@ -406,20 +452,37 @@ func (e *Executor) pushWindow(fc *FrameCtx, rs *runState, specs []windowSpec, in
 func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc *FrameCtx, rs *runState) (any, bool, error) {
 	if prop.Model != "" {
 		v, err := e.opts.Cache.DoLabel(prop.Model, fc.Frame.Index, n.Box, n.TruthID, func() (any, error) {
+			// The in-process cache missed; the persistent store is the
+			// next tier — a hit observes the archived value at zero model
+			// cost (it equals what the model would compute, by the
+			// determinism contract), a miss runs the model and persists.
+			st, src := e.opts.Store, e.opts.StoreSource
+			if st != nil && src != "" {
+				if v, ok := st.GetLabel(src, prop.Model, fc.Frame.Index, n.Box, n.TruthID); ok {
+					return v, nil
+				}
+			}
 			m, found := e.opts.Registry.Get(prop.Model)
 			if !found {
 				return nil, fmt.Errorf("exec: no model %q for property %s.%s", prop.Model, instance, prop.Name)
 			}
+			var v any
 			switch mm := m.(type) {
 			case models.Classifier:
-				return mm.Classify(e.opts.Env, fc.Frame, fc.Raster(), n.Box, n.TruthID), nil
+				v = mm.Classify(e.opts.Env, fc.Frame, fc.Raster(), n.Box, n.TruthID)
 			case models.Embedder:
-				return mm.Embed(e.opts.Env, fc.Frame, n.Box, n.TruthID), nil
+				v = mm.Embed(e.opts.Env, fc.Frame, n.Box, n.TruthID)
 			case models.OCRModel:
-				return mm.ReadPlate(e.opts.Env, fc.Frame, n.Box, n.TruthID), nil
+				v = mm.ReadPlate(e.opts.Env, fc.Frame, n.Box, n.TruthID)
 			default:
 				return nil, fmt.Errorf("exec: model %q cannot compute a VObj property", prop.Model)
 			}
+			if st != nil && src != "" {
+				if err := st.PutLabel(src, prop.Model, fc.Frame.Index, n.Box, n.TruthID, v); err != nil {
+					return nil, err
+				}
+			}
+			return v, nil
 		})
 		if err != nil {
 			return nil, false, err

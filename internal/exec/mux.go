@@ -40,6 +40,7 @@ import (
 
 	"vqpy/internal/core"
 	"vqpy/internal/models"
+	"vqpy/internal/store"
 	"vqpy/internal/track"
 	"vqpy/internal/video"
 )
@@ -108,6 +109,16 @@ type sharedTrack struct {
 	// refs counts the lanes bound to this class; the tracker is torn
 	// down when the last one detaches.
 	refs int
+	// bornAt is the stream position (frames fed) at tracker creation; 0
+	// means from-zero semantics, which is what makes a store backfill's
+	// historical ids consistent with the live ids this tracker assigns.
+	bornAt int
+	// pending lists frame indices whose scan was served from the store
+	// (ids applied without running this tracker), in feed order. Before
+	// the tracker next runs live it must catch up by replaying these
+	// frames' class detections (re-read from the store), restoring the
+	// state a continuous run would have.
+	pending []int
 }
 
 // muxGroup owns the shared scan state for one ScanSig: the frame-filter
@@ -126,6 +137,16 @@ type muxGroup struct {
 	dropped   bool    // current frame dropped by the filter chain
 	frameMS   float64 // shared scan cost of the current frame
 	virtualMS float64
+
+	// statefulFilters reports whether any filter model carries per-frame
+	// state (models.Cloner). Stateless chains need no catch-up when the
+	// store serves frames the filters never saw.
+	statefulFilters bool
+	// filterPos is the frame index the filter chain expects next: state
+	// is synced through filterPos-1. -1 until the chain first runs.
+	// Store-served frames leave it behind; catchUpFilters replays the
+	// gap before the chain runs live again.
+	filterPos int
 }
 
 // muxLane is one query's private slice of the mux: its residual plan and
@@ -151,8 +172,9 @@ type muxLane struct {
 	fc         *FrameCtx
 	virtualMS  float64
 	sharedMS   float64
-	matched    int // running matched-frame count (cheap stats reads)
-	attachedAt int // stream position (frames fed before attach)
+	matched    int  // running matched-frame count (cheap stats reads)
+	attachedAt int  // stream position (frames fed before attach)
+	backfilled bool // history replayed from the store at attach
 	finalized  bool
 }
 
@@ -173,7 +195,18 @@ type MuxStream struct {
 	nextGroup int
 	fps       int
 	framesFed int
+	lastFed   int  // highest frame index fed so far (-1 before the first)
+	wrapped   bool // a looping source re-fed earlier indices (see Feed)
 	closed    bool
+
+	// store / source / src are set by BindStore: the persistent result
+	// store scan groups consult before doing model work (and populate on
+	// miss), the stream name records are keyed under, and the frame
+	// source backing the stream (needed by AttachBackfill replays and by
+	// stateful-filter catch-up after store-served frames).
+	store  *store.Store
+	source string
+	src    video.FrameSource
 }
 
 // newMux prepares an empty stream sharing the executor's cache (one is
@@ -184,12 +217,38 @@ func (e *Executor) newMux(fps int) *MuxStream {
 	if opts.Cache == nil {
 		opts.Cache = NewSharedCache()
 	}
-	return &MuxStream{
-		e:     &Executor{opts: opts},
-		fps:   fps,
-		byID:  make(map[int]*muxLane),
-		byKey: make(map[string]*muxGroup),
+	m := &MuxStream{
+		e:       &Executor{opts: opts},
+		fps:     fps,
+		byID:    make(map[int]*muxLane),
+		byKey:   make(map[string]*muxGroup),
+		lastFed: -1,
 	}
+	if opts.Store != nil && opts.StoreSource != "" {
+		m.store = opts.Store
+		m.source = opts.StoreSource
+	}
+	return m
+}
+
+// BindStore attaches a persistent result store to the stream: scan
+// groups consult it before running filters, detectors or trackers (a hit
+// serves the frame at zero model cost) and populate it on miss, and
+// AttachBackfill can replay a joining query over already-scanned frames.
+// src is the frame source backing the stream; it may be nil when frames
+// are pushed from elsewhere, at the price of backfill and of stateful
+// frame-filter catch-up being unavailable. Bind before the first Feed —
+// records are keyed by src.SourceName().
+func (m *MuxStream) BindStore(st *store.Store, src video.FrameSource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store = st
+	m.src = src
+	if src != nil {
+		m.source = src.SourceName()
+	}
+	m.e.opts.Store = st
+	m.e.opts.StoreSource = m.source
 }
 
 // OpenMux validates every plan and prepares the shared-scan state for a
@@ -223,16 +282,25 @@ func (e *Executor) OpenDynamicMux(fps int) *MuxStream {
 // group — or a new class under an existing group — spins up fresh shared
 // state that starts cold at the current frame.
 func (m *MuxStream) Attach(p *Plan) (int, error) {
-	if err := p.Validate(); err != nil {
-		return 0, err
-	}
-	if err := p.Query.Validate(); err != nil {
-		return 0, err
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return 0, fmt.Errorf("exec: Attach on closed mux stream")
+	}
+	l, err := m.attachLocked(p)
+	if err != nil {
+		return 0, err
+	}
+	return l.id, nil
+}
+
+// attachLocked admits one plan, returning its lane. Callers hold m.mu.
+func (m *MuxStream) attachLocked(p *Plan) (*muxLane, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Query.Validate(); err != nil {
+		return nil, err
 	}
 	sig := ScanPrefixOf(p)
 	l := &muxLane{
@@ -263,6 +331,14 @@ func (m *MuxStream) Attach(p *Plan) (int, error) {
 				id: m.nextGroup, key: key, filters: sig.Filters, detect: sig.Detect,
 				filterInsts: make(map[string]models.BinaryFilter),
 				tracks:      make(map[video.Class]*sharedTrack),
+				filterPos:   -1,
+			}
+			for _, fm := range sig.Filters {
+				if fmod, found := m.e.opts.Registry.Get(fm); found {
+					if _, stateful := fmod.(models.Cloner); stateful {
+						g.statefulFilters = true
+					}
+				}
 			}
 			m.nextGroup++
 			m.byKey[key] = g
@@ -270,7 +346,7 @@ func (m *MuxStream) Attach(p *Plan) (int, error) {
 		}
 		st, ok := g.tracks[sig.Class]
 		if !ok {
-			st = &sharedTrack{tracker: track.NewTracker(track.DefaultConfig())}
+			st = &sharedTrack{tracker: track.NewTracker(track.DefaultConfig()), bornAt: m.framesFed}
 			g.tracks[sig.Class] = st
 			g.classes = append(g.classes, sig.Class)
 		}
@@ -283,7 +359,7 @@ func (m *MuxStream) Attach(p *Plan) (int, error) {
 	}
 	m.lanes = append(m.lanes, l)
 	m.byID[l.id] = l
-	return l.id, nil
+	return l, nil
 }
 
 // Detach finalizes and removes one lane, returning its accumulated
@@ -301,7 +377,14 @@ func (m *MuxStream) Detach(id int) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: Detach of unknown lane %d", id)
 	}
-	delete(m.byID, id)
+	m.detachLocked(l)
+	return l.res, nil
+}
+
+// detachLocked removes one lane and tears down shared state it was the
+// last user of. Callers hold m.mu.
+func (m *MuxStream) detachLocked(l *muxLane) {
+	delete(m.byID, l.id)
 	for i, cand := range m.lanes {
 		if cand == l {
 			m.lanes = append(m.lanes[:i], m.lanes[i+1:]...)
@@ -333,7 +416,6 @@ func (m *MuxStream) Detach(id int) (*Result, error) {
 		}
 	}
 	m.finalizeLane(l)
-	return l.res, nil
 }
 
 // Groups reports the shared-scan structure: for each group, its filter
@@ -413,6 +495,9 @@ type LaneStat struct {
 	Matched int
 	// AttachedAt is the stream position (frames already fed) at attach.
 	AttachedAt int
+	// Backfilled reports that the lane replayed frames [0, AttachedAt)
+	// from the store at attach, so its result covers the whole stream.
+	Backfilled bool
 	// VirtualMS is the lane's virtual cost so far: private work plus its
 	// share of the group scan.
 	VirtualMS float64
@@ -430,7 +515,7 @@ func (m *MuxStream) LaneStats() []LaneStat {
 		st := LaneStat{
 			ID: l.id, Query: l.plan.Query.Name(),
 			Frames: l.res.FramesProcessed, Matched: l.matched, AttachedAt: l.attachedAt,
-			VirtualMS: l.virtualMS + l.sharedMS, Group: -1,
+			Backfilled: l.backfilled, VirtualMS: l.virtualMS + l.sharedMS, Group: -1,
 		}
 		if l.group != nil {
 			st.Group = l.group.id
@@ -458,7 +543,26 @@ func (m *MuxStream) FramesFed() int {
 // filter chain (short-circuiting like the per-query path, so a stateful
 // filter never sees frames an earlier filter dropped), then one detector
 // invocation and one tracker update per bound class.
+//
+// With a store bound the group first tries to serve the frame from
+// persisted records — dropped verdict, detections and track ids applied
+// with zero model cost — and persists what it computed otherwise. Live
+// operators that skipped store-served frames catch up before running
+// again (catchUpFilters, replayPending), so falling in and out of store
+// coverage never changes results, only costs.
 func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
+	if m.store != nil && !m.wrapped {
+		served, err := m.scanGroupFromStore(g, f)
+		if err != nil {
+			return err
+		}
+		if served {
+			return nil
+		}
+	}
+	if err := m.catchUpFilters(g, f.Index); err != nil {
+		return err
+	}
 	g.dropped = false
 	for _, fm := range g.filters {
 		bf, err := m.e.filterInstance(g.filterInsts, fm)
@@ -467,8 +571,12 @@ func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
 		}
 		if !bf.Keep(m.e.opts.Env, f) {
 			g.dropped = true
-			return nil
+			break
 		}
+	}
+	g.filterPos = f.Index + 1
+	if g.dropped {
+		return m.persistScan(g, f)
 	}
 	dets, err := m.e.opts.Cache.DoDetections(g.detect, f.Index, func() ([]track.Detection, error) {
 		return m.e.detectFrame(g.detect, f)
@@ -484,27 +592,45 @@ func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
 				st.dets = append(st.dets, dets[i])
 			}
 		}
-		st.upBuf = st.upBuf[:0]
-		for i := range st.dets {
-			st.upBuf = append(st.upBuf, track.Detection{
-				Box: st.dets[i].Box, Class: st.dets[i].Class, Score: st.dets[i].Score, Ref: i,
-			})
+		if err := m.replayPending(g, cls, st); err != nil {
+			return err
 		}
-		m.e.opts.Env.Clock.Charge("tracker", trackerCostMS)
-		st.ids = st.ids[:0]
-		for range st.dets {
-			st.ids = append(st.ids, -1)
+		m.liveTrackUpdate(st)
+	}
+	return m.persistScan(g, f)
+}
+
+// trackerUpdate charges and runs one tracker update over cdets, filling
+// ids (reused, resized to len(cdets)) with the assigned track ids; upBuf
+// is scratch. Shared by the live per-frame path and the store catch-up
+// replays, so both feed the tracker byte-identical input.
+func (m *MuxStream) trackerUpdate(tk *track.Tracker, cdets []track.Detection, ids []int, upBuf []track.Detection) ([]int, []track.Detection) {
+	upBuf = upBuf[:0]
+	for i := range cdets {
+		upBuf = append(upBuf, track.Detection{
+			Box: cdets[i].Box, Class: cdets[i].Class, Score: cdets[i].Score, Ref: i,
+		})
+	}
+	m.e.opts.Env.Clock.Charge("tracker", trackerCostMS)
+	ids = ids[:0]
+	for range cdets {
+		ids = append(ids, -1)
+	}
+	for _, tr := range tk.Update(upBuf) {
+		if tr.Misses != 0 {
+			continue
 		}
-		for _, tr := range st.tracker.Update(st.upBuf) {
-			if tr.Misses != 0 {
-				continue
-			}
-			if idx, ok := tr.Ref.(int); ok && idx >= 0 && idx < len(st.ids) {
-				st.ids[idx] = tr.ID
-			}
+		if idx, ok := tr.Ref.(int); ok && idx >= 0 && idx < len(ids) {
+			ids[idx] = tr.ID
 		}
 	}
-	return nil
+	return ids, upBuf
+}
+
+// liveTrackUpdate runs one shared tracker update over st.dets (charging
+// the tracker account), filling st.ids with the assigned track ids.
+func (m *MuxStream) liveTrackUpdate(st *sharedTrack) {
+	st.ids, st.upBuf = m.trackerUpdate(st.tracker, st.dets, st.ids, st.upBuf)
 }
 
 // bindLane materializes the shared detect/track output as the lane's
@@ -512,11 +638,18 @@ func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
 // seeds the history windows that depend on built-in properties.
 func (m *MuxStream) bindLane(l *muxLane) {
 	st := l.group.tracks[l.sig.Class]
-	for i := range st.dets {
-		d := &st.dets[i]
+	m.bindLaneDets(l, st.dets, st.ids)
+}
+
+// bindLaneDets binds an explicit detection/id pair as the lane's nodes —
+// the shared tracker's output on the live path, an archived frame's
+// output on the backfill path.
+func (m *MuxStream) bindLaneDets(l *muxLane, dets []track.Detection, ids []int) {
+	for i := range dets {
+		d := &dets[i]
 		node := l.fc.NewNode(l.sig.Instance)
 		truthID, _ := d.Ref.(int)
-		node.TrackID = st.ids[i]
+		node.TrackID = ids[i]
 		node.TruthID = truthID
 		node.Class = classOf(d.Class)
 		node.ClassName = node.Class.String()
@@ -536,6 +669,14 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 	if m.closed {
 		return nil, fmt.Errorf("exec: Feed on closed mux stream")
 	}
+	// A looping source re-feeds earlier indices. From that point the
+	// scan archive is off limits both ways: a lap-1 record's from-zero
+	// ids would not match a tracker carrying state across the wrap, and
+	// persisting cross-wrap ids would poison later from-zero passes.
+	if f.Index <= m.lastFed {
+		m.wrapped = true
+	}
+	m.lastFed = f.Index
 	clock := m.e.opts.Env.Clock
 	clock.StartFrame(f.Index)
 	cell := &rasterCell{}
@@ -567,16 +708,10 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 				m.bindLane(l)
 			}
 		}
-		if err := m.e.runFrame(l.runPlan, l.fc, l.rs, l.filters, l.specs); err != nil {
-			return nil, err
-		}
 		hitsBefore := len(l.res.Hits)
-		matched := m.e.finalize(l.fc, l.rs, l.insts, l.relBinds,
-			l.frameCons, l.videoCons, l.outputSels, l.res)
-		l.res.Matched = append(l.res.Matched, matched)
-		l.res.FramesProcessed++
-		if matched {
-			l.matched++
+		matched, err := m.runLaneFrame(l)
+		if err != nil {
+			return nil, err
 		}
 		v := Verdict{FrameIdx: f.Index, Lane: l.id, Matched: matched}
 		if len(l.res.Hits) > hitsBefore {
@@ -587,6 +722,24 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 	}
 	m.framesFed++
 	return verdicts, nil
+}
+
+// runLaneFrame executes the lane's operators over its prepared frame
+// context and folds the outcome into the lane's accumulated result —
+// the per-frame step shared by Feed and the backfill replay, which is
+// what makes a backfilled frame indistinguishable from a live one.
+func (m *MuxStream) runLaneFrame(l *muxLane) (bool, error) {
+	if err := m.e.runFrame(l.runPlan, l.fc, l.rs, l.filters, l.specs); err != nil {
+		return false, err
+	}
+	matched := m.e.finalize(l.fc, l.rs, l.insts, l.relBinds,
+		l.frameCons, l.videoCons, l.outputSels, l.res)
+	l.res.Matched = append(l.res.Matched, matched)
+	l.res.FramesProcessed++
+	if matched {
+		l.matched++
+	}
+	return matched, nil
 }
 
 // finalizeLane completes a lane's aggregation: the video-level count /
@@ -675,6 +828,13 @@ func (e *Executor) RunMux(plans []*Plan, src video.FrameSource) ([]*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	m.mu.Lock()
+	if m.src == nil {
+		// The offline driver knows the stream's source; hand it to the
+		// mux so store catch-up replays can reach real frames.
+		m.src = src
+	}
+	m.mu.Unlock()
 	n := src.NumFrames()
 	for i := 0; i < n; i++ {
 		if _, err := m.Feed(src.FrameAt(i)); err != nil {

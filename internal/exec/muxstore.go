@@ -1,0 +1,409 @@
+package exec
+
+// Store integration of the shared-scan engine: serving scan groups from
+// the persistent result store (zero model cost on hit), keeping live
+// operator state consistent when frames are served without running the
+// operators (catch-up replays), and the backfill flavour of Attach that
+// replays a joining query over already-scanned frames.
+//
+// The bit-identity argument mirrors DESIGN.md §5.3, extended one level:
+// archived detections and labels are the pure-function model outputs
+// themselves, and archived track ids were assigned by a tracker that
+// consumed exactly the class-filtered detection sequence from frame
+// zero — so applying them is indistinguishable from recomputing them,
+// and a tracker (or stateful filter) that later has to run live first
+// replays the frames it skipped, restoring the state a continuous run
+// would have had. DESIGN.md §7 states the rules; the crosscheck tests
+// (TestRescanBitIdentical*, TestBackfillAttachIdenticalToFreshOpen) pin
+// them.
+
+import (
+	"fmt"
+
+	"vqpy/internal/store"
+	"vqpy/internal/track"
+	"vqpy/internal/video"
+)
+
+// scanGroupFromStore tries to serve one group's frame entirely from the
+// store: the archived dropped verdict, detections and per-class track
+// ids, at zero model cost. It returns served=false — leaving all state
+// untouched — when the store has no usable record (missing frame,
+// missing detections, or a detector mismatch, the invalidation rule).
+// Classes the archive does not cover are tracked live, after catching
+// the tracker up, and the merged ids are persisted for the next pass.
+func (m *MuxStream) scanGroupFromStore(g *muxGroup, f *video.Frame) (bool, error) {
+	if m.source == "" {
+		return false, nil
+	}
+	rec, release, ok := m.store.GetScanRef(m.source, g.key, f.Index)
+	if !ok {
+		return false, nil
+	}
+	defer release()
+	if rec.Detect != g.detect {
+		return false, nil
+	}
+	if rec.Dropped {
+		g.dropped = true
+		return true, nil
+	}
+	sdets, ok := m.store.GetDets(m.source, g.detect, f.Index)
+	if !ok {
+		return false, nil
+	}
+	dets := trackDetsOf(sdets)
+	g.dropped = false
+	var updated *store.ScanRecord
+	for _, cls := range g.classes {
+		st := g.tracks[cls]
+		st.dets = st.dets[:0]
+		for i := range dets {
+			if classOf(dets[i].Class) == cls {
+				st.dets = append(st.dets, dets[i])
+			}
+		}
+		ids, have := rec.IDs[int(cls)]
+		if have && len(ids) == len(st.dets) && st.bornAt == 0 {
+			// Archived ids are from-zero by the persist rule below; they
+			// may only be applied to a tracker with the same semantics —
+			// a class cold-started mid-stream keeps its live numbering.
+			st.ids = append(st.ids[:0], ids...)
+			st.pending = append(st.pending, f.Index)
+			continue
+		}
+		// The archive cannot serve this class (never tracked under this
+		// signature, or this tracker is not from-zero): run the live
+		// tracker after catching it up. From-zero ids are merged back so
+		// the next pass serves this class too.
+		if err := m.replayPending(g, cls, st); err != nil {
+			return false, err
+		}
+		m.liveTrackUpdate(st)
+		if st.bornAt != 0 {
+			continue
+		}
+		if updated == nil {
+			updated = &store.ScanRecord{
+				Source: rec.Source, ScanKey: rec.ScanKey, Detect: rec.Detect,
+				Frame: rec.Frame, IDs: make(map[int][]int, len(rec.IDs)+1),
+			}
+			for k, v := range rec.IDs {
+				updated.IDs[k] = v
+			}
+		}
+		updated.IDs[int(cls)] = append([]int(nil), st.ids...)
+	}
+	if updated != nil {
+		if err := m.store.PutScan(updated); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// persistScan records the group's just-computed frame outcome (dropped
+// verdict and per-class track ids; the raw detections were persisted by
+// detectFrame). Only from-zero trackers' ids are archived: a class
+// cold-started mid-stream numbers its tracks relative to its attach
+// frame, which no other pass could reproduce — its frames are archived
+// id-less and re-tracked (then merged) by the next from-zero pass.
+// No-op without a bound store, and after a looping stream wraps (a
+// cross-wrap tracker's state has no from-zero meaning either).
+func (m *MuxStream) persistScan(g *muxGroup, f *video.Frame) error {
+	if m.store == nil || m.source == "" || m.wrapped {
+		return nil
+	}
+	rec := &store.ScanRecord{
+		Source: m.source, ScanKey: g.key, Detect: g.detect,
+		Frame: f.Index, Dropped: g.dropped,
+	}
+	if !g.dropped {
+		rec.IDs = make(map[int][]int, len(g.classes))
+		for _, cls := range g.classes {
+			if st := g.tracks[cls]; st.bornAt == 0 {
+				rec.IDs[int(cls)] = append([]int(nil), st.ids...)
+			}
+		}
+	}
+	return m.store.PutScan(rec)
+}
+
+// catchUpFilters replays the group's frame-filter chain over frames the
+// store served (which the live filters therefore never saw), so a
+// stateful filter's next live decision matches a continuous run's. The
+// replay recomputes each frame's keep/drop decisions itself — they are
+// deterministic, so intermediate short-circuiting matches the archived
+// pass. Stateless chains skip the replay: they carry no state to sync.
+func (m *MuxStream) catchUpFilters(g *muxGroup, frameIdx int) error {
+	if g.filterPos < 0 || g.filterPos >= frameIdx || len(g.filters) == 0 {
+		// Chain not born yet, in sync, or the stream wrapped its source
+		// (a looping clip re-feeds smaller indices; no gap to replay).
+		return nil
+	}
+	if !g.statefulFilters {
+		g.filterPos = frameIdx
+		return nil
+	}
+	if m.src == nil {
+		return fmt.Errorf("exec: scan group %q: stateful frame filters skipped store-served frames and no frame source is bound for catch-up", g.key)
+	}
+	for fi := g.filterPos; fi < frameIdx; fi++ {
+		fr := m.src.FrameAt(fi)
+		for _, fm := range g.filters {
+			bf, err := m.e.filterInstance(g.filterInsts, fm)
+			if err != nil {
+				return err
+			}
+			if !bf.Keep(m.e.opts.Env, fr) {
+				break
+			}
+		}
+	}
+	g.filterPos = frameIdx
+	return nil
+}
+
+// replayFrames catches a tracker up over archived frames: for each frame
+// index, the class-filtered archived detections are fed through one
+// charged tracker update — real tracker work, paid once, exactly as a
+// continuous run would have paid it.
+func (m *MuxStream) replayFrames(g *muxGroup, cls video.Class, tk *track.Tracker, frames []int) error {
+	var cdets, upBuf []track.Detection
+	var ids []int
+	for _, frame := range frames {
+		sdets, ok := m.store.GetDets(m.source, g.detect, frame)
+		if !ok {
+			return fmt.Errorf("exec: store lacks archived detections for %s@%d needed by tracker catch-up", g.detect, frame)
+		}
+		cdets = cdets[:0]
+		for i := range sdets {
+			if classOf(sdets[i].Class) == cls {
+				cdets = append(cdets, track.Detection{
+					Box: sdets[i].Box, Class: sdets[i].Class, Score: sdets[i].Score, Ref: sdets[i].TruthID,
+				})
+			}
+		}
+		ids, upBuf = m.trackerUpdate(tk, cdets, ids, upBuf)
+	}
+	return nil
+}
+
+// replayPending flushes a shared tracker's catch-up backlog (frames the
+// store served while the tracker sat idle) before it runs live again.
+func (m *MuxStream) replayPending(g *muxGroup, cls video.Class, st *sharedTrack) error {
+	if len(st.pending) == 0 {
+		return nil
+	}
+	if err := m.replayFrames(g, cls, st.tracker, st.pending); err != nil {
+		return err
+	}
+	st.pending = st.pending[:0]
+	return nil
+}
+
+// AttachBackfill admits a plan like Attach and then replays it over
+// every frame the stream already scanned, reading the archived per-frame
+// scan output from the bound store — so the lane's result is
+// bit-identical to having been attached at frame zero (the crosscheck
+// against a fresh OpenShared of the same set is a test invariant).
+// Historical detector, filter and tracker outputs are applied, not
+// recomputed; only the lane's residual operators (properties behind the
+// label store, predicates, aggregation) run, in frame order, exactly as
+// Feed would have run them.
+//
+// Requirements: a store and frame source are bound (BindStore), the
+// stream has not wrapped a looping source, the store covers every
+// already-scanned frame of the plan's scan group, and the group's class
+// tracker — when it predates this attach — has from-zero semantics
+// (bornAt 0), since a tracker cold-started mid-stream assigns ids a
+// from-zero replay could not match. On any failure the attach is rolled
+// back and the stream is left exactly as it was.
+func (m *MuxStream) AttachBackfill(p *Plan) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("exec: AttachBackfill on closed mux stream")
+	}
+	if m.store == nil || m.src == nil {
+		return 0, fmt.Errorf("exec: AttachBackfill requires a bound store and frame source (MuxStream.BindStore)")
+	}
+	n := m.framesFed
+	if m.wrapped || n > m.src.NumFrames() {
+		return 0, fmt.Errorf("exec: AttachBackfill after the stream wrapped its %d-frame source (%d frames fed): history is ambiguous", m.src.NumFrames(), n)
+	}
+	// Fail fast, before any lane state exists, when the archive cannot
+	// possibly cover the replay (backfillLane still verifies per frame).
+	if sig := ScanPrefixOf(p); sig.Shareable && n > 0 && !m.store.CoversScans(m.source, sig.Key(), n) {
+		return 0, fmt.Errorf("exec: store does not cover the %d already-scanned frames of scan group %q; cannot backfill", n, sig.Key())
+	}
+	l, err := m.attachLocked(p)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		l.backfilled = true
+		return l.id, nil
+	}
+	if err := m.backfillLane(l, n); err != nil {
+		m.detachLocked(l)
+		return 0, err
+	}
+	return l.id, nil
+}
+
+// backfillLane replays one freshly attached lane over frames [0, n).
+func (m *MuxStream) backfillLane(l *muxLane, n int) error {
+	clock := m.e.opts.Env.Clock
+	if l.group == nil {
+		// Non-shareable plans run whole inside their lane, so the replay
+		// is literally from-zero execution of the plan — with detector
+		// and label lookups landing in the store.
+		for f := 0; f < n; f++ {
+			before := clock.TotalMS()
+			if err := m.laneReplayFrame(l, m.src.FrameAt(f), false, nil, nil); err != nil {
+				return err
+			}
+			l.virtualMS += clock.TotalMS() - before
+		}
+		l.backfilled = true
+		return nil
+	}
+
+	g := l.group
+	st := g.tracks[l.sig.Class]
+	fresh := st.refs == 1 // attachLocked just incremented; 1 means it created the tracker
+	if !fresh && st.bornAt != 0 {
+		return fmt.Errorf("exec: cannot backfill: class %s tracker in scan group %q was cold-started at frame %d; its live ids cannot match a from-zero history",
+			l.sig.Class, g.key, st.bornAt)
+	}
+	// A pre-existing tracker's state must not be perturbed, so id
+	// reconstruction for frames the archive did not cover uses a
+	// throwaway replay tracker; a tracker created by this attach is
+	// caught up in place (st.pending), giving it from-zero state for
+	// the live frames ahead.
+	var replayTk *track.Tracker
+	var replayPending []int
+	if !fresh {
+		replayTk = track.NewTracker(track.DefaultConfig())
+	}
+
+	var cdets, upBuf []track.Detection
+	var scratchIDs []int
+	for f := 0; f < n; f++ {
+		rec, release, ok := m.store.GetScanRef(m.source, g.key, f)
+		if !ok {
+			return fmt.Errorf("exec: store does not cover frame %d of scan group %q; cannot backfill", f, g.key)
+		}
+		err := func() error {
+			defer release()
+			if rec.Detect != g.detect {
+				return fmt.Errorf("exec: archived scan of %q used detector %q but the plan chose %q; cannot backfill", g.key, rec.Detect, g.detect)
+			}
+			before := clock.TotalMS()
+			fr := m.src.FrameAt(f)
+			if rec.Dropped {
+				if err := m.laneReplayFrame(l, fr, true, nil, nil); err != nil {
+					return err
+				}
+				l.virtualMS += clock.TotalMS() - before
+				return nil
+			}
+			sdets, ok := m.store.GetDets(m.source, g.detect, f)
+			if !ok {
+				return fmt.Errorf("exec: store lacks archived detections for %s@%d; cannot backfill", g.detect, f)
+			}
+			cdets = cdets[:0]
+			for i := range sdets {
+				if classOf(sdets[i].Class) == l.sig.Class {
+					cdets = append(cdets, track.Detection{
+						Box: sdets[i].Box, Class: sdets[i].Class, Score: sdets[i].Score, Ref: sdets[i].TruthID,
+					})
+				}
+			}
+			var ids []int
+			if recIDs, have := rec.IDs[int(l.sig.Class)]; have && len(recIDs) == len(cdets) {
+				ids = recIDs
+				if fresh {
+					st.pending = append(st.pending, f)
+				} else {
+					replayPending = append(replayPending, f)
+				}
+			} else if fresh {
+				// Reconstruct from-zero ids with the lane's own shared
+				// tracker and persist them for the next pass.
+				if err := m.replayPending(g, l.sig.Class, st); err != nil {
+					return err
+				}
+				st.dets = append(st.dets[:0], cdets...)
+				m.liveTrackUpdate(st)
+				ids = st.ids
+				if err := m.persistMergedIDs(rec, l.sig.Class, ids); err != nil {
+					return err
+				}
+			} else {
+				if err := m.replayFrames(g, l.sig.Class, replayTk, replayPending); err != nil {
+					return err
+				}
+				replayPending = replayPending[:0]
+				scratchIDs, upBuf = m.trackerUpdate(replayTk, cdets, scratchIDs, upBuf)
+				ids = scratchIDs
+				if err := m.persistMergedIDs(rec, l.sig.Class, ids); err != nil {
+					return err
+				}
+			}
+			if err := m.laneReplayFrame(l, fr, false, cdets, ids); err != nil {
+				return err
+			}
+			l.virtualMS += clock.TotalMS() - before
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	if fresh {
+		st.bornAt = 0
+	}
+	if g.members == 1 && g.filterPos == -1 {
+		// The group was created by this attach: its (cold) filter chain
+		// is allowed to catch up from frame zero if it ever runs live.
+		g.filterPos = 0
+	}
+	l.backfilled = true
+	return nil
+}
+
+// persistMergedIDs re-persists an archived scan record with one class's
+// reconstructed ids merged in.
+func (m *MuxStream) persistMergedIDs(rec *store.ScanRecord, cls video.Class, ids []int) error {
+	updated := &store.ScanRecord{
+		Source: rec.Source, ScanKey: rec.ScanKey, Detect: rec.Detect,
+		Frame: rec.Frame, IDs: make(map[int][]int, len(rec.IDs)+1),
+	}
+	for k, v := range rec.IDs {
+		updated.IDs[k] = v
+	}
+	updated.IDs[int(cls)] = append([]int(nil), ids...)
+	return m.store.PutScan(updated)
+}
+
+// laneReplayFrame runs one archived frame through a lane: prepare the
+// frame context, bind the archived scan output (for shareable lanes) and
+// execute the lane's operators — the backfill mirror of Feed's per-lane
+// section.
+func (m *MuxStream) laneReplayFrame(l *muxLane, fr *video.Frame, dropped bool, dets []track.Detection, ids []int) error {
+	if l.fc == nil {
+		l.fc = newFrameCtx(fr)
+	} else {
+		l.fc.reset(fr)
+	}
+	switch {
+	case dropped:
+		l.fc.Dropped = true
+	case l.group != nil:
+		m.bindLaneDets(l, dets, ids)
+	}
+	_, err := m.runLaneFrame(l)
+	return err
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// linkPattern matches inline markdown links and images: [text](target)
+// and ![alt](target). Reference-style definitions are rare in this
+// repository and intentionally out of scope.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// CheckMarkdownLinks reports broken relative links in the given
+// markdown files (directories are expanded to their *.md files,
+// non-recursively). External links (http, https, mailto) are not
+// fetched — this is the offline half of link hygiene: every relative
+// path must resolve against the linking file's directory, anchors
+// stripped.
+func CheckMarkdownLinks(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(p, "*.md"))
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, matches...)
+	}
+	sort.Strings(files)
+
+	var issues []string
+	for _, file := range files {
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		dir := filepath.Dir(file)
+		for lineNo, line := range strings.Split(string(blob), "\n") {
+			for _, match := range linkPattern.FindAllStringSubmatch(line, -1) {
+				target := match[1]
+				if skipLink(target) {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue // pure in-page anchor
+				}
+				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+					issues = append(issues,
+						fmt.Sprintf("%s:%d: broken link %q", file, lineNo+1, match[1]))
+				}
+			}
+		}
+	}
+	return issues, nil
+}
+
+// skipLink reports targets the offline checker cannot or should not
+// resolve: absolute URLs and mail addresses.
+func skipLink(target string) bool {
+	for _, scheme := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, scheme) {
+			return true
+		}
+	}
+	return false
+}

@@ -138,6 +138,7 @@ func (pl *Planner) executeIR(ir *QueryIR, v *video.Video) (*RunResult, error) {
 	for _, leaf := range leaves {
 		ex, err := exec.NewExecutor(exec.Options{
 			Env: pl.opts.Env, Registry: pl.opts.Registry, Cache: pl.opts.Cache,
+			Store: pl.opts.Store, StoreSource: v.Name,
 		})
 		if err != nil {
 			return nil, err
@@ -265,6 +266,7 @@ func (pl *Planner) RunShared(nodes []core.QueryNode, src video.FrameSource) ([]*
 	}
 	ex, err := exec.NewExecutor(exec.Options{
 		Env: opts.Env, Registry: opts.Registry, Cache: opts.Cache,
+		Store: opts.Store, StoreSource: src.SourceName(),
 	})
 	if err != nil {
 		return nil, err

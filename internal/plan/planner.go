@@ -21,6 +21,7 @@ import (
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
 	"vqpy/internal/models"
+	"vqpy/internal/store"
 	"vqpy/internal/video"
 )
 
@@ -77,6 +78,15 @@ type Options struct {
 	// repeated executions on the same video (§4.2's query-level reuse,
 	// final-result flavour).
 	ResultCache *ResultCache
+
+	// Store enables the tiered persistent result store (internal/store):
+	// detector outputs, shared-scan track ids and evaluated property
+	// values are consulted before invoking a model and persisted on
+	// miss, carrying reuse across processes. Execution executors are
+	// bound to it with the video's source name; profiling executors
+	// never see it, so plan selection is independent of what happens to
+	// be persisted.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {

@@ -3,9 +3,11 @@ package serve
 // HTTP surface of the serving daemon:
 //
 //	POST   /queries              {"source":"cityflow","query":"redcar"} → {"id":0,...}
+//	                             (+"backfill":true to replay scanned history from the store)
 //	DELETE /queries/{id}         → final result JSON
 //	GET    /queries/{id}/results → live result snapshot JSON
-//	GET    /streamz              → sources, groups, lanes, counters
+//	                             (?since=F restricts hits to frames >= F — delta polling)
+//	GET    /streamz              → sources, groups, lanes, counters, store tiers
 //
 // The handlers are thin JSON adapters over the Server methods; all
 // concurrency control lives there.
@@ -19,17 +21,21 @@ import (
 	"vqpy"
 )
 
-// attachRequest is the POST /queries body.
+// attachRequest is the POST /queries body. Backfill asks for the
+// store-replayed attach: results cover the frames scanned before the
+// query arrived (requires the daemon's -store).
 type attachRequest struct {
-	Source string `json:"source"`
-	Query  string `json:"query"`
+	Source   string `json:"source"`
+	Query    string `json:"query"`
+	Backfill bool   `json:"backfill,omitempty"`
 }
 
 // attachResponse is the POST /queries reply.
 type attachResponse struct {
-	ID     int    `json:"id"`
-	Source string `json:"source"`
-	Query  string `json:"query"`
+	ID       int    `json:"id"`
+	Source   string `json:"source"`
+	Query    string `json:"query"`
+	Backfill bool   `json:"backfill,omitempty"`
 }
 
 // resultResponse wraps a query result for the wire.
@@ -90,12 +96,18 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
 		return
 	}
-	id, err := s.AttachNamed(req.Source, req.Query)
+	var id int
+	var err error
+	if req.Backfill {
+		id, err = s.AttachNamedBackfill(req.Source, req.Query)
+	} else {
+		id, err = s.AttachNamed(req.Source, req.Query)
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query})
+	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query, Backfill: req.Backfill})
 }
 
 func queryID(r *http.Request) (int, error) {
@@ -126,7 +138,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.Results(id)
+	since := 0
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err = strconv.Atoi(raw)
+		if err != nil {
+			writeErr(w, errors.New("serve: bad since frame: "+err.Error()))
+			return
+		}
+	}
+	res, err := s.ResultsSince(id, since)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -45,6 +45,13 @@ type Config struct {
 	// endless camera feed. Without it a source stops feeding at the end
 	// of the clip (queries remain attached and readable).
 	Loop bool
+	// StoreDir enables the tiered persistent result store (DESIGN.md
+	// §7): every source's scan output is archived under this directory
+	// and consulted before model work, so a daemon restarted over the
+	// same directory (same seed) replays its previous passes at zero
+	// model cost — the warm-restart path — and queries can attach with
+	// backfill. Empty disables persistence.
+	StoreDir string
 }
 
 // source is one registered scenario feed: its own session (private
@@ -80,6 +87,7 @@ type Server struct {
 	queries  map[int]*liveQuery
 	nextID   int
 	counters *metrics.Counters
+	store    *vqpy.Store // persistent result store, nil without StoreDir
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -124,12 +132,24 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		counters: metrics.NewCounters(),
 		stop:     make(chan struct{}),
 	}
+	if cfg.StoreDir != "" {
+		// One store serves every source: records are keyed by source
+		// name. A restart over the same directory finds its own archive
+		// (the manifest guards the seed).
+		st, err := vqpy.OpenStore(cfg.StoreDir, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
 	for _, name := range sourceNames {
 		gen, ok := scenarios[name]
 		if !ok {
+			s.closeStore()
 			return nil, fmt.Errorf("serve: unknown source %q (have %v)", name, SourceNames())
 		}
 		if _, dup := s.sources[name]; dup {
+			s.closeStore()
 			return nil, fmt.Errorf("serve: source %q registered twice", name)
 		}
 		session := vqpy.NewSession(cfg.Seed)
@@ -137,12 +157,24 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		v := vqpy.GenerateVideo(gen(cfg.Seed, cfg.Seconds))
 		mux, err := session.Serve(v.FPS)
 		if err != nil {
+			s.closeStore()
 			return nil, err
+		}
+		if s.store != nil {
+			mux.BindStore(s.store, v)
 		}
 		s.sources[name] = &source{name: name, session: session, video: v, mux: mux}
 		s.order = append(s.order, name)
 	}
 	return s, nil
+}
+
+// closeStore releases the store during failed construction / shutdown.
+func (s *Server) closeStore() {
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
+	}
 }
 
 // Run starts one ticker goroutine per source feeding frames at
@@ -194,6 +226,7 @@ func (s *Server) Close() {
 	for _, src := range s.sources {
 		src.mux.Close()
 	}
+	s.closeStore()
 }
 
 // Step feeds one frame on the named source (wrapping when Loop is set).
@@ -279,6 +312,19 @@ func (s *Server) estLoadLocked(source string) (float64, int) {
 // estimate; admission rejects the query when the source's estimated
 // virtual-time load per frame would exceed the budget.
 func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
+	return s.attach(sourceName, queryName, false)
+}
+
+// AttachNamedBackfill is AttachNamed with history: the query replays
+// every frame the source already scanned from the persistent store
+// before going live, so its results cover the whole stream as if it had
+// been attached at frame zero. Requires the daemon to run with a store
+// (Config.StoreDir) whose archive covers the scanned frames.
+func (s *Server) AttachNamedBackfill(sourceName, queryName string) (int, error) {
+	return s.attach(sourceName, queryName, true)
+}
+
+func (s *Server) attach(sourceName, queryName string, backfill bool) (int, error) {
 	q, err := BuildQuery(queryName)
 	if err != nil {
 		return 0, err
@@ -289,17 +335,20 @@ func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("serve: unknown source %q: %w", sourceName, ErrNotFound)
 	}
-	lane, plan, err := src.session.AttachQuery(src.mux, q, src.video)
+	if backfill && s.store == nil {
+		return 0, fmt.Errorf("serve: backfill attach requires the daemon to run with -store")
+	}
+	// Plan first (the clip doubles as the canary, so the plan arrives
+	// with a per-frame cost) and admit before any lane state exists —
+	// in particular before a backfill replays the scanned history, work
+	// a rejection would otherwise throw away.
+	plan, err := src.session.PlanQuery(q, src.video)
 	if err != nil {
 		return 0, err
 	}
 	if s.cfg.BudgetMS > 0 {
 		load, resident := s.estLoadLocked(sourceName)
 		if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
-			// Too expensive: undo the attach before it sees a frame.
-			if _, derr := src.mux.Detach(lane); derr != nil {
-				return 0, derr
-			}
 			s.counters.Add("admission_rejected", 1)
 			s.counters.Add("admission_rejected:"+sourceName, 1)
 			return 0, &ErrAdmission{
@@ -308,6 +357,15 @@ func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
 			}
 		}
 	}
+	var lane int
+	if backfill {
+		lane, err = src.mux.AttachBackfill(plan)
+	} else {
+		lane, err = src.mux.Attach(plan)
+	}
+	if err != nil {
+		return 0, err
+	}
 	id := s.nextID
 	s.nextID++
 	s.queries[id] = &liveQuery{
@@ -315,6 +373,9 @@ func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
 	}
 	s.counters.Add("queries_attached", 1)
 	s.counters.Add("queries_attached:"+queryName, 1)
+	if backfill {
+		s.counters.Add("queries_backfilled", 1)
+	}
 	return id, nil
 }
 
@@ -337,6 +398,16 @@ func (s *Server) Detach(id int) (*vqpy.Result, error) {
 
 // Results snapshots a live query's accumulated result.
 func (s *Server) Results(id int) (*vqpy.Result, error) {
+	return s.ResultsSince(id, 0)
+}
+
+// ResultsSince snapshots a live query's result with its frame hits
+// restricted to frame indices >= since — the delta-polling read path: a
+// client remembers the last frame it saw and asks only for what is new
+// (and a backfilled query can be asked for exactly its replayed
+// history). Aggregate fields (matched counts, video-level aggregation)
+// always reflect the whole residency; since <= 0 returns everything.
+func (s *Server) ResultsSince(id int, since int) (*vqpy.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	q, ok := s.queries[id]
@@ -344,7 +415,21 @@ func (s *Server) Results(id int) (*vqpy.Result, error) {
 		return nil, fmt.Errorf("serve: unknown query %d: %w", id, ErrNotFound)
 	}
 	s.counters.Add("results_read", 1)
-	return s.sources[q.source].mux.Snapshot(q.lane)
+	res, err := s.sources[q.source].mux.Snapshot(q.lane)
+	if err != nil {
+		return nil, err
+	}
+	if since > 0 {
+		// The snapshot's hit slice is a private copy; filter in place.
+		kept := res.Hits[:0]
+		for _, h := range res.Hits {
+			if h.FrameIdx >= since {
+				kept = append(kept, h)
+			}
+		}
+		res.Hits = kept
+	}
+	return res, nil
 }
 
 // SourceStat is one source's /streamz row.
@@ -377,11 +462,20 @@ type QueryStat struct {
 	Matched   int     `json:"matched_frames"`
 }
 
+// StoreStat is the /streamz persistence row: the result store's tier
+// shape plus its hit/miss counters.
+type StoreStat struct {
+	Dir      string           `json:"dir"`
+	Tiers    vqpy.StoreStats  `json:"tiers"`
+	Counters map[string]int64 `json:"counters"`
+}
+
 // Stats is the /streamz payload.
 type Stats struct {
 	Sources  []SourceStat     `json:"sources"`
 	Queries  []QueryStat      `json:"queries"`
 	Counters map[string]int64 `json:"counters"`
+	Store    *StoreStat       `json:"store,omitempty"`
 }
 
 // Streamz assembles the live stats snapshot.
@@ -389,6 +483,12 @@ func (s *Server) Streamz() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{Counters: s.counters.Snapshot()}
+	if s.store != nil {
+		st.Store = &StoreStat{
+			Dir: s.store.Dir(), Tiers: s.store.TierStats(),
+			Counters: s.store.Counters().Snapshot(),
+		}
+	}
 	for _, name := range s.order {
 		src := s.sources[name]
 		load, resident := s.estLoadLocked(name)

@@ -1,0 +1,214 @@
+package store
+
+// A tier pairs the two storage levels behind one record kind: a bounded
+// in-memory LRU of decoded records (the hot tier) over an append-only
+// on-disk log with a full offset index (the archival tier). Reads check
+// memory first, then the disk index; disk hits are promoted back into
+// memory. Writes always append to disk and insert into memory, so the
+// archival tier is a superset of the hot tier and eviction never loses
+// data — which is why eviction can be purely size-driven, refined only
+// by refcounts: a record pinned by an in-progress reader (a backfill
+// replay walking thousands of frames) is skipped by the evictor until
+// released.
+//
+// All methods assume the owning Store's mutex is held.
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+)
+
+// span locates one record in the log file.
+type span struct {
+	off int64
+	n   int32
+}
+
+// memEnt is one resident record of the hot tier.
+type memEnt struct {
+	key  string
+	val  any
+	refs int
+	elem *list.Element
+}
+
+// tier is one record kind's two-level storage.
+type tier struct {
+	name string
+	f    *os.File
+	size int64 // logical end of log: next append offset
+
+	idx map[string]span    // every durable record, latest version wins
+	mem map[string]*memEnt // decoded hot set
+	lru *list.List         // front = most recently used
+	cap int                // hot-set capacity (records)
+
+	// decode turns one verified blob into (key, typed record).
+	decode func(blob []byte, crc uint32) (string, any, error)
+
+	corrupt int // records skipped at open (bad CRC / undecodable)
+	evicted int // hot-tier evictions (records remain on disk)
+}
+
+// openTier opens (creating if needed) one log file and rebuilds its
+// index, skipping corrupt records and truncating a torn tail.
+func openTier(path, name string, capacity int,
+	decode func(blob []byte, crc uint32) (string, any, error)) (*tier, []string, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	t := &tier{
+		name: name, f: f,
+		idx: make(map[string]span), mem: make(map[string]*memEnt),
+		lru: list.New(), cap: capacity, decode: decode,
+	}
+	var warnings []string
+	fileSize := st.Size()
+	off := int64(0)
+	for off < fileSize {
+		length, crc, err := readHeader(f, off)
+		if err == io.EOF {
+			break
+		}
+		if err == io.ErrUnexpectedEOF || int64(length) > maxRecordBytes ||
+			off+recordHeaderBytes+int64(length) > fileSize {
+			// Torn or garbage framing: nothing beyond this point can be
+			// trusted, so the logical log ends here.
+			warnings = append(warnings,
+				fmt.Sprintf("store: %s: truncating torn tail at offset %d (file size %d)", name, off, fileSize))
+			t.corrupt++
+			break
+		}
+		blob := make([]byte, length)
+		if _, err := f.ReadAt(blob, off+recordHeaderBytes); err != nil {
+			warnings = append(warnings,
+				fmt.Sprintf("store: %s: unreadable record at offset %d: %v", name, off, err))
+			t.corrupt++
+			break
+		}
+		rec := span{off: off, n: int32(length)}
+		off += recordHeaderBytes + int64(length)
+		key, _, err := t.decode(blob, crc)
+		if err != nil {
+			// Framing intact but the payload is garbage (bad CRC or gob):
+			// skip just this record and keep indexing the rest.
+			warnings = append(warnings,
+				fmt.Sprintf("store: %s: skipping corrupt record at offset %d: %v", name, rec.off, err))
+			t.corrupt++
+			continue
+		}
+		t.idx[key] = rec
+	}
+	t.size = off
+	if off < fileSize {
+		if err := f.Truncate(off); err != nil {
+			warnings = append(warnings, fmt.Sprintf("store: %s: truncate failed: %v", name, err))
+		}
+	}
+	return t, warnings, nil
+}
+
+// put appends one record and installs it in the hot tier.
+func (t *tier) put(key string, val any, framed []byte) error {
+	if _, err := t.f.WriteAt(framed, t.size); err != nil {
+		return fmt.Errorf("store: %s: append: %w", t.name, err)
+	}
+	t.idx[key] = span{off: t.size, n: int32(len(framed) - recordHeaderBytes)}
+	t.size += int64(len(framed))
+	t.install(key, val)
+	return nil
+}
+
+// get returns the record for key, promoting disk hits into memory.
+// memHit distinguishes the tier that served it.
+func (t *tier) get(key string) (val any, memHit, ok bool) {
+	if e, hit := t.mem[key]; hit {
+		t.lru.MoveToFront(e.elem)
+		return e.val, true, true
+	}
+	rec, hit := t.idx[key]
+	if !hit {
+		return nil, false, false
+	}
+	blob := make([]byte, rec.n)
+	if _, err := t.f.ReadAt(blob, rec.off+recordHeaderBytes); err != nil {
+		return nil, false, false
+	}
+	length, crc, err := readHeader(t.f, rec.off)
+	if err != nil || int64(length) != int64(rec.n) {
+		return nil, false, false
+	}
+	_, v, err := t.decode(blob, crc)
+	if err != nil {
+		return nil, false, false
+	}
+	t.install(key, v)
+	return v, false, true
+}
+
+// pin increments the refcount of a resident record; the evictor skips
+// pinned entries. The record must currently be in the hot tier (pin is
+// called immediately after a successful get).
+func (t *tier) pin(key string) {
+	if e, ok := t.mem[key]; ok {
+		e.refs++
+	}
+}
+
+// unpin releases one pin.
+func (t *tier) unpin(key string) {
+	if e, ok := t.mem[key]; ok && e.refs > 0 {
+		e.refs--
+	}
+}
+
+// install inserts (or refreshes) a hot-tier entry and evicts beyond
+// capacity, skipping pinned entries. When every entry is pinned the hot
+// tier grows past capacity rather than dropping in-use records.
+func (t *tier) install(key string, val any) {
+	if e, ok := t.mem[key]; ok {
+		e.val = val
+		t.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &memEnt{key: key, val: val}
+	e.elem = t.lru.PushFront(e)
+	t.mem[key] = e
+	for len(t.mem) > t.cap {
+		victim := t.oldestUnpinned()
+		if victim == nil {
+			break
+		}
+		t.lru.Remove(victim.elem)
+		delete(t.mem, victim.key)
+		t.evicted++
+	}
+}
+
+// oldestUnpinned walks the LRU list from the cold end past pinned
+// entries.
+func (t *tier) oldestUnpinned() *memEnt {
+	for el := t.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*memEnt); e.refs == 0 {
+			return e
+		}
+	}
+	return nil
+}
+
+// close syncs and closes the log.
+func (t *tier) close() error {
+	if err := t.f.Sync(); err != nil {
+		t.f.Close()
+		return err
+	}
+	return t.f.Close()
+}

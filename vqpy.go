@@ -41,6 +41,7 @@ import (
 	"vqpy/internal/models"
 	"vqpy/internal/plan"
 	"vqpy/internal/sim"
+	"vqpy/internal/store"
 	"vqpy/internal/video"
 )
 
@@ -241,6 +242,39 @@ func WithResultCache(rc *plan.ResultCache) Option {
 	return func(c *config) { c.planOpts.ResultCache = rc }
 }
 
+// WithStore enables the tiered persistent result store: detector
+// outputs, shared-scan track ids and evaluated VObj property values are
+// consulted before any model runs (a hit costs zero virtual time) and
+// persisted on miss — so a second pass over the same source, even in a
+// new process, replays archived results instead of recomputing them
+// (DESIGN.md §7). Open one with OpenStore using the session's seed;
+// records from a different seed are invalid and refused at open.
+func WithStore(st *Store) Option {
+	return func(c *config) { c.planOpts.Store = st }
+}
+
+// Store is the tiered persistent result store (in-memory LRU over an
+// on-disk archive); see internal/store and DESIGN.md §7.
+type Store = store.Store
+
+// StoreStats summarizes a store's tiers (Store.TierStats).
+type StoreStats = store.Stats
+
+// OpenStore opens (creating if needed) a persistent result store rooted
+// at dir for sessions seeded with seed. A directory written under a
+// different seed or store format version is invalidated rather than
+// served — its records would not match what live models compute.
+func OpenStore(dir string, seed uint64) (*Store, error) {
+	return store.Open(dir, store.Meta{Seed: seed}, store.Options{})
+}
+
+// OpenStoreOptions is OpenStore with an explicit hot-tier capacity
+// (records held in memory per record kind before LRU eviction to the
+// disk tier); memRecords <= 0 uses the store default.
+func OpenStoreOptions(dir string, seed uint64, memRecords int) (*Store, error) {
+	return store.Open(dir, store.Meta{Seed: seed}, store.Options{MemRecords: memRecords})
+}
+
 // NewSharedCache creates a cache for WithSharedCache.
 func NewSharedCache() *exec.SharedCache { return exec.NewSharedCache() }
 
@@ -326,7 +360,18 @@ func (s *Session) OpenShared(qs []*Query, canary *Video, fps int, opts ...Option
 	if err != nil {
 		return nil, err
 	}
-	return ex.OpenMux(plans, fps)
+	m, err := ex.OpenMux(plans, fps)
+	if err != nil {
+		return nil, err
+	}
+	// A WithStore store is keyed by the canary video's name: the canary
+	// doubles as the stream's source on this path (examples feed its
+	// frames), giving scan groups persistence and AttachQueryBackfill a
+	// frame source to replay.
+	if cfg.planOpts.Store != nil && canary != nil {
+		m.BindStore(cfg.planOpts.Store, canary)
+	}
+	return m, nil
 }
 
 // Serve opens an empty dynamic MuxStream for live serving: queries come
@@ -346,6 +391,29 @@ func (s *Session) Serve(fps int, opts ...Option) (*MuxStream, error) {
 	return ex.OpenDynamicMux(fps), nil
 }
 
+// PlanQuery plans a basic query (profiling on the optional canary
+// video) and guarantees a per-frame cost estimate: single-candidate
+// plans skip selection profiling, so they are profiled explicitly here.
+// This is the planning half of AttachQuery — the serving layer calls it
+// separately when it must make an admission decision (Plan.EstPerFrameMS
+// against the budget) before creating any lane state.
+func (s *Session) PlanQuery(q *Query, canary *Video, opts ...Option) (*Plan, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := pl.PlanBasic(q, canary)
+	if err != nil {
+		return nil, err
+	}
+	if canary != nil && p.EstPerFrameMS == 0 {
+		if err := pl.ProfileCost(p, canary); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // AttachQuery plans a basic query (profiling on the optional canary
 // video) and attaches it to a running MuxStream mid-stream: the query
 // joins an existing scan group when its scan prefix matches one
@@ -354,22 +422,31 @@ func (s *Session) Serve(fps int, opts ...Option) (*MuxStream, error) {
 // MuxStream.Snapshot) and the selected physical plan, whose EstCostMS
 // the serving layer uses for admission control.
 func (s *Session) AttachQuery(m *MuxStream, q *Query, canary *Video, opts ...Option) (int, *Plan, error) {
-	pl, _, err := s.planner(opts...)
+	p, err := s.PlanQuery(q, canary, opts...)
 	if err != nil {
 		return 0, nil, err
-	}
-	p, _, err := pl.PlanBasic(q, canary)
-	if err != nil {
-		return 0, nil, err
-	}
-	// Single-candidate plans skip selection profiling; admission control
-	// still needs a per-frame cost, so profile them here.
-	if canary != nil && p.EstPerFrameMS == 0 {
-		if err := pl.ProfileCost(p, canary); err != nil {
-			return 0, nil, err
-		}
 	}
 	id, err := m.Attach(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, p, nil
+}
+
+// AttachQueryBackfill is AttachQuery with history: after planning, the
+// query is attached through MuxStream.AttachBackfill, which replays it
+// over every frame the stream already scanned using the bound store's
+// archived scan output — so its result is bit-identical to having been
+// attached at frame zero. The stream must have a store and frame source
+// bound (Session.OpenShared with WithStore, or MuxStream.BindStore) and
+// the store must cover the already-scanned frames; otherwise the attach
+// fails without perturbing the stream.
+func (s *Session) AttachQueryBackfill(m *MuxStream, q *Query, canary *Video, opts ...Option) (int, *Plan, error) {
+	p, err := s.PlanQuery(q, canary, opts...)
+	if err != nil {
+		return 0, nil, err
+	}
+	id, err := m.AttachBackfill(p)
 	if err != nil {
 		return 0, nil, err
 	}
