@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan|fleet]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
@@ -16,7 +16,11 @@
 // ledger; churn measures the dynamic serving layer under attach/detach
 // arrival and departure against per-query streams; rescan runs the
 // workload twice over one persistent result store — the warm pass must
-// do strictly fewer detector/tracker invocations than the cold pass.
+// do strictly fewer detector/tracker invocations than the cold pass;
+// fleet compares batched cross-source inference over a correlated
+// three-camera clip set against N isolated daemons — identical
+// per-source verdicts at equal detector invocation counts, with lower
+// total virtual time and a cross-camera global-id join.
 // -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 //
@@ -38,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan, fleet)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
@@ -97,8 +101,9 @@ func main() {
 		"muxscan": bench.RunMuxScan,
 		"churn":   bench.RunChurn,
 		"rescan":  bench.RunRescan,
+		"fleet":   bench.RunFleet,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "fleet", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

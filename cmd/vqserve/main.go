@@ -7,7 +7,7 @@
 //
 //	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
 //	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop] [-store DIR]
-//	        [-attach source:query,...]
+//	        [-attach source:query,...] [-fleet N]
 //
 // API:
 //
@@ -16,6 +16,18 @@
 //	DELETE /queries/{id}         detach, returns the final result
 //	GET    /queries/{id}/results live result snapshot (?since=F for deltas)
 //	GET    /streamz              sources, scan groups, lanes, counters, store
+//
+// Fleet mode (-fleet N, DESIGN.md §8) replaces -sources with N
+// correlated camera clips sharing one entity population, driven in
+// lockstep with batched cross-source detector inference and a global
+// re-ID registry, and adds the fleet-wide query surface (-attach
+// accepts the pseudo-source "fleet", e.g. -attach fleet:redcar, to
+// register a standing fleet-wide query before frames start flowing):
+//
+//	POST   /fleet/queries              {"query":"redcar"} → all cameras at once
+//	DELETE /fleet/queries/{id}         detach everywhere, per-source finals
+//	GET    /fleet/queries/{id}/results merged per-global-id view with
+//	                                   provenance (?min_sources=&window_sec=)
 //
 // -speed multiplies the frame rate (10 feeds a 30fps source at 300fps);
 // -budget-ms rejects queries (HTTP 503) whose estimated per-frame
@@ -50,6 +62,7 @@ func main() {
 	loop := flag.Bool("loop", false, "wrap clips endlessly (live-camera stand-in)")
 	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
 	attach := flag.String("attach", "", "comma-separated source:query pairs to attach before frames start flowing")
+	fleetCams := flag.Int("fleet", 0, "fleet mode: drive N correlated cameras in lockstep with batched cross-source inference (replaces -sources)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vqserve: unexpected arguments %q\n", flag.Args())
@@ -68,22 +81,30 @@ func main() {
 	}
 	s, err := serve.NewServer(serve.Config{
 		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
-		StoreDir: *storeDir,
+		StoreDir: *storeDir, FleetCams: *fleetCams,
 	}, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(1)
 	}
 	// Standing queries attach before Run starts the tickers, so they
-	// (and the store archive) see the stream from frame zero.
+	// (and the store archive) see the stream from frame zero. The
+	// pseudo-source "fleet" attaches a fleet-wide query to every camera
+	// at once (fleet mode only).
 	if *attach != "" {
 		for _, pair := range strings.Split(*attach, ",") {
 			sourceName, queryName, ok := strings.Cut(strings.TrimSpace(pair), ":")
 			if !ok {
-				fmt.Fprintf(os.Stderr, "vqserve: -attach %q: want source:query\n", pair)
+				fmt.Fprintf(os.Stderr, "vqserve: -attach %q: want source:query (or fleet:query)\n", pair)
 				os.Exit(2)
 			}
-			id, err := s.AttachNamed(sourceName, queryName)
+			var id int
+			var err error
+			if sourceName == "fleet" {
+				id, err = s.AttachFleet(queryName)
+			} else {
+				id, err = s.AttachNamed(sourceName, queryName)
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vqserve: -attach %s: %v\n", pair, err)
 				os.Exit(1)
@@ -98,8 +119,14 @@ func main() {
 	if *storeDir != "" {
 		persistence = *storeDir
 	}
+	serving := strings.Join(names, ",")
+	queries := strings.Join(serve.QueryNames(), ",")
+	if *fleetCams > 0 {
+		serving = fmt.Sprintf("fleet of %d cameras (%s)", *fleetCams, strings.Join(s.SourceNamesRegistered(), ","))
+		queries = queries + "; fleet: " + strings.Join(serve.FleetQueryNames(), ",")
+	}
 	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s, queries: %s)\n",
-		strings.Join(names, ","), *addr, *speed, *budget, persistence, strings.Join(serve.QueryNames(), ","))
+		serving, *addr, *speed, *budget, persistence, queries)
 	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(1)

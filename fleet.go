@@ -1,0 +1,239 @@
+package vqpy
+
+// The fleet facade: cross-camera analytics over many correlated
+// sources. A Fleet drives one dynamic MuxStream per camera in lockstep,
+// fuses per-source track ids into global object ids through the
+// appearance-matching registry (internal/fleet), and coalesces
+// same-tick detector invocations from all sources into batched device
+// calls with sub-linear amortized cost (exec.BatchScheduler). Queries
+// attach fleet-wide — one lane per source — and read back results
+// merged per global id with per-source provenance. See DESIGN.md §8.
+
+import (
+	"fmt"
+
+	"vqpy/internal/exec"
+	"vqpy/internal/fleet"
+	"vqpy/internal/video"
+)
+
+// PropGlobalID is the cross-camera identity property a fleet-enabled
+// VObj exposes (GlobalVObj): query it with vqpy.P(obj, PropGlobalID)
+// and select it with vqpy.Sel to make results mergeable per entity.
+const PropGlobalID = fleet.PropGlobalID
+
+// Fleet-layer re-exports.
+type (
+	// FleetScenario generates correlated multi-camera clips from one
+	// shared entity population.
+	FleetScenario = video.FleetScenario
+	// FleetClip is a generated camera set plus re-ID ground truth.
+	FleetClip = video.FleetClip
+	// GlobalRegistry is the fleet identity service fusing per-source
+	// track ids into global object ids.
+	GlobalRegistry = fleet.Registry
+	// GlobalRegistryStats summarizes a registry (entities, cross-camera
+	// count).
+	GlobalRegistryStats = fleet.RegistryStats
+	// FleetMerged is a fleet query's per-global-id merged result.
+	FleetMerged = fleet.MergedResult
+	// FleetEntity is one merged global object with provenance.
+	FleetEntity = fleet.Entity
+	// FleetSighting is one per-source appearance of a global object.
+	FleetSighting = fleet.Sighting
+	// BatchStats reports the batched-inference scheduler's accounting.
+	BatchStats = exec.BatchStats
+)
+
+// FleetIntersections is the correlated multi-camera preset (CityFlow
+// bases, shared population, planted cross-camera red sedan).
+var FleetIntersections = video.FleetIntersections
+
+// NewGlobalRegistry creates a standalone identity registry; threshold
+// <= 0 uses the default cosine match threshold. A Fleet creates its own
+// registry — this constructor serves isolated per-source runs (e.g. the
+// crosscheck baselines) and custom serving layers.
+func NewGlobalRegistry(threshold float64) *GlobalRegistry { return fleet.NewRegistry(threshold) }
+
+// GlobalVObj extends a VObj type with the fleet identity pair: an
+// intrinsic appearance feature from the fleet_reid zoo model and the
+// global_id property resolving it against reg. source names the camera
+// the resulting type observes — build one per source.
+func GlobalVObj(t *VObjType, reg *GlobalRegistry, source string) *VObjType {
+	return fleet.WithGlobalID(t, reg, source)
+}
+
+// Fleet is a cross-camera engine over one session: per-source dynamic
+// MuxStreams fed in lockstep, a shared global identity registry, and
+// (optionally) batched cross-source detector inference. Create one with
+// Session.NewFleet, attach queries with Session.AttachFleetQuery, drive
+// it with Step or Run, and read merged results with Merged.
+type Fleet struct {
+	s      *Session
+	engine *fleet.Engine
+	batch  *exec.BatchScheduler
+	videos map[string]*Video
+	order  []string
+}
+
+// NewFleet generates the fleet scenario's correlated clips and opens a
+// cross-camera engine over them. With batched true, same-tick detector
+// invocations across sources are coalesced into batched device calls
+// (the scheduler installs itself as the session env's charge
+// interceptor — one batched fleet per session); results are bit-
+// identical either way, only costs change.
+func (s *Session) NewFleet(fs FleetScenario, batched bool, opts ...Option) (*Fleet, error) {
+	clip := fs.Generate()
+	return s.NewFleetFromClips(clip.Videos, batched, opts...)
+}
+
+// NewFleetFromClips opens a cross-camera engine over pre-generated
+// clips (one per camera, distinct names, fed in slice order). See
+// NewFleet for the batched contract.
+func (s *Session) NewFleetFromClips(videos []*Video, batched bool, opts ...Option) (*Fleet, error) {
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("vqpy: fleet needs at least one camera clip")
+	}
+	// Lockstep feeding and the cross-camera time-window predicate both
+	// assume the clips advance in unison: same FPS, same length.
+	for _, v := range videos[1:] {
+		if v.FPS != videos[0].FPS || v.NumFrames() != videos[0].NumFrames() {
+			return nil, fmt.Errorf("vqpy: fleet clips must share FPS and duration for lockstep feeding (%q: %d fps/%d frames vs %q: %d fps/%d frames)",
+				v.Name, v.FPS, v.NumFrames(), videos[0].Name, videos[0].FPS, videos[0].NumFrames())
+		}
+	}
+	// The SharedCache keys detections by (model, frame index) with no
+	// source dimension: shared across cameras it would serve camera A's
+	// detections for camera B's same-indexed frames. Each camera must
+	// keep its stream-private cache.
+	probe := &config{}
+	for _, o := range opts {
+		o(probe)
+	}
+	if probe.planOpts.Cache != nil {
+		return nil, fmt.Errorf("vqpy: WithSharedCache cannot span a fleet (detection keys carry no source); drop the option")
+	}
+	var batch *exec.BatchScheduler
+	var ticker fleet.Ticker
+	if batched {
+		if s.env.Interceptor != nil {
+			// A second scheduler would silently steal the live fleet's
+			// deferred charges; refuse rather than corrupt its batching.
+			return nil, fmt.Errorf("vqpy: session already has a live batched fleet (close it first)")
+		}
+		batch = exec.NewBatchScheduler(0, exec.DetectorAccounts(s.registry))
+		s.env.Interceptor = batch
+		ticker = batch
+	}
+	f := &Fleet{
+		s:      s,
+		engine: fleet.NewEngine(fleet.NewRegistry(0), ticker),
+		batch:  batch,
+		videos: make(map[string]*Video, len(videos)),
+	}
+	// A construction failure must leave the session reusable: release
+	// the interceptor hook and close every camera stream opened so far.
+	fail := func(err error) (*Fleet, error) {
+		f.Close()
+		return nil, err
+	}
+	for _, v := range videos {
+		mux, err := s.Serve(v.FPS, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		if err := f.engine.AddSource(v.Name, mux, v); err != nil {
+			mux.Close()
+			return fail(err)
+		}
+		f.videos[v.Name] = v
+		f.order = append(f.order, v.Name)
+	}
+	return f, nil
+}
+
+// AttachFleetQuery attaches one query to every source of the fleet at
+// once: build is called once per source name (use f.GlobalVObj inside
+// it so per-source instances resolve against the fleet's registry and
+// select PropGlobalID for mergeable results), each per-source query is
+// planned against its camera's clip as the canary, and the lanes attach
+// atomically — all sources or none. The returned fleet query id feeds
+// Merged, Snapshot and DetachFleetQuery.
+func (s *Session) AttachFleetQuery(f *Fleet, name string, build func(source string) *Query, opts ...Option) (int, error) {
+	if f == nil || f.s != s {
+		return 0, fmt.Errorf("vqpy: AttachFleetQuery on a fleet of another session")
+	}
+	plans := make(map[string]*exec.Plan, len(f.order))
+	for _, src := range f.order {
+		q := build(src)
+		if q == nil {
+			return 0, fmt.Errorf("vqpy: fleet query builder returned nil for source %q", src)
+		}
+		p, err := s.PlanQuery(q, f.videos[src], opts...)
+		if err != nil {
+			return 0, fmt.Errorf("vqpy: plan fleet query on %s: %w", src, err)
+		}
+		plans[src] = p
+	}
+	return f.engine.Attach(name, plans)
+}
+
+// DetachFleetQuery removes a fleet query from every source, returning
+// the final per-source results keyed by source name.
+func (f *Fleet) DetachFleetQuery(id int) (map[string]*Result, error) {
+	return f.engine.Detach(id)
+}
+
+// GlobalVObj builds the per-source fleet variant of a VObj type bound
+// to this fleet's identity registry.
+func (f *Fleet) GlobalVObj(t *VObjType, source string) *VObjType {
+	return GlobalVObj(t, f.engine.Registry(), source)
+}
+
+// Sources lists the fleet's camera names in feed order.
+func (f *Fleet) Sources() []string { return f.engine.SourceNames() }
+
+// Video returns one camera's clip (nil for unknown names).
+func (f *Fleet) Video(source string) *Video { return f.videos[source] }
+
+// Registry exposes the fleet's global identity registry.
+func (f *Fleet) Registry() *GlobalRegistry { return f.engine.Registry() }
+
+// Step advances every camera by one lockstep frame (batching same-tick
+// detector work when enabled); it reports false once all cameras are
+// exhausted.
+func (f *Fleet) Step() (bool, error) { return f.engine.Step() }
+
+// Run drives the fleet until every camera's clip is exhausted.
+func (f *Fleet) Run() error { return f.engine.Run() }
+
+// FramesFed reports each camera's feed position.
+func (f *Fleet) FramesFed() map[string]int { return f.engine.FramesFed() }
+
+// Snapshot returns a fleet query's live per-source results.
+func (f *Fleet) Snapshot(id int) (map[string]*Result, error) { return f.engine.Snapshot(id) }
+
+// Merged returns a fleet query's cross-camera view: per-source results
+// joined per global id with provenance; filter it with
+// FleetMerged.CrossCamera for predicates like "seen on ≥2 cameras
+// within 30s".
+func (f *Fleet) Merged(id int) (*FleetMerged, error) { return f.engine.Merged(id) }
+
+// BatchStats reports the batched-inference accounting; ok is false for
+// an unbatched fleet.
+func (f *Fleet) BatchStats() (BatchStats, bool) {
+	if f.batch == nil {
+		return BatchStats{}, false
+	}
+	return f.batch.Stats(), true
+}
+
+// Close closes every camera's stream, finalizing all lanes, and
+// releases the session's batch-interceptor hook so a new batched fleet
+// can be opened on the session afterwards.
+func (f *Fleet) Close() {
+	f.engine.Close()
+	if f.batch != nil && f.s.env.Interceptor == f.batch {
+		f.s.env.Interceptor = nil
+	}
+}

@@ -1,0 +1,389 @@
+package vqpy_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vqpy"
+
+	"vqpy/internal/models"
+	"vqpy/internal/sim"
+)
+
+// fleetRedCarQuery builds the fleet red-car query for one source: the
+// library Car with the global-id pair, matched on color and selected by
+// global id so results merge per entity.
+func fleetRedCarQuery(reg *vqpy.GlobalRegistry, source string) *vqpy.Query {
+	car := vqpy.GlobalVObj(vqpy.Car(), reg, source)
+	return vqpy.NewQuery("FleetRedCar").
+		Use("car", car).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+			vqpy.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropGlobalID))
+}
+
+// fleetPeopleQuery is a plain per-source query (no global id) — its
+// results must be byte-identical between fleet and isolated execution.
+func fleetPeopleQuery() *vqpy.Query {
+	return vqpy.NewQuery("People").
+		Use("p", vqpy.Person()).
+		Where(vqpy.P("p", vqpy.PropScore).Gt(0.5)).
+		FrameOutput(vqpy.Sel("p", vqpy.PropTrackID))
+}
+
+// fleetDetInvocations sums detector-model invocation counts off a
+// clock's ledger.
+func fleetDetInvocations(c *sim.Clock) int64 {
+	var total int64
+	for name, n := range c.InvocationTotals() {
+		if p, ok := models.ProfileOf(name); ok && p.Task == models.TaskDetect {
+			total += n
+		}
+	}
+	return total
+}
+
+// runFleetIsolated executes the two-query workload on each camera alone
+// — N independent daemons: fresh session, private registry, no batching
+// — returning per-source results (attach order: redcar, people), the
+// summed virtual time and detector invocations.
+func runFleetIsolated(t *testing.T, clip *vqpy.FleetClip, seed uint64) (map[string][]*vqpy.Result, float64, int64) {
+	t.Helper()
+	out := make(map[string][]*vqpy.Result, len(clip.Videos))
+	var virtual float64
+	var det int64
+	for _, v := range clip.Videos {
+		s := vqpy.NewSession(seed)
+		s.SetNoBurn(true)
+		reg := vqpy.NewGlobalRegistry(0)
+		mux, err := s.Serve(v.FPS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []*vqpy.Query{fleetRedCarQuery(reg, v.Name), fleetPeopleQuery()} {
+			if _, _, err := s.AttachQuery(mux, q, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < v.NumFrames(); i++ {
+			if _, err := mux.Feed(v.FrameAt(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out[v.Name] = mux.Close()
+		virtual += s.Clock().TotalMS()
+		det += fleetDetInvocations(s.Clock())
+	}
+	return out, virtual, det
+}
+
+// TestFleetCrosscheckBatchedVsIsolated is the batching soundness gate:
+// per-source verdicts of a batched fleet run are bit-identical to
+// running each camera alone; only the costs differ (batched virtual
+// time strictly below the isolated sum at equal detector invocation
+// counts).
+func TestFleetCrosscheckBatchedVsIsolated(t *testing.T) {
+	const seed = 20240501
+	clip := vqpy.FleetIntersections(seed, 6, 2).Generate()
+	isolated, isoVirtual, isoDet := runFleetIsolated(t, clip, seed)
+
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	f, err := s.NewFleetFromClips(clip.Videos, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redID, err := s.AttachFleetQuery(f, "FleetRedCar", func(source string) *vqpy.Query {
+		return fleetRedCarQuery(f.Registry(), source)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peopleID, err := s.AttachFleetQuery(f, "People", func(string) *vqpy.Query { return fleetPeopleQuery() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	red, err := f.Snapshot(redID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	people, err := f.Snapshot(peopleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, v := range clip.Videos {
+		iso := isolated[v.Name]
+		// The plain query must be byte-identical, hits and all.
+		if !reflect.DeepEqual(iso[1].Matched, people[v.Name].Matched) ||
+			!reflect.DeepEqual(iso[1].Hits, people[v.Name].Hits) {
+			t.Fatalf("%s: people results diverge between isolated and batched fleet", v.Name)
+		}
+		// The global-id query matches the same frames and objects;
+		// only the global id VALUES may differ (assignment order is
+		// fleet-wide vs per-daemon).
+		if !reflect.DeepEqual(iso[0].Matched, red[v.Name].Matched) {
+			t.Fatalf("%s: red-car matched vectors diverge", v.Name)
+		}
+		if len(iso[0].Hits) != len(red[v.Name].Hits) {
+			t.Fatalf("%s: red-car hit counts diverge: %d vs %d", v.Name, len(iso[0].Hits), len(red[v.Name].Hits))
+		}
+		for i := range iso[0].Hits {
+			a, b := iso[0].Hits[i], red[v.Name].Hits[i]
+			if a.FrameIdx != b.FrameIdx || len(a.Objects) != len(b.Objects) {
+				t.Fatalf("%s hit %d diverges: frame %d/%d, objects %d/%d",
+					v.Name, i, a.FrameIdx, b.FrameIdx, len(a.Objects), len(b.Objects))
+			}
+			for j := range a.Objects {
+				if a.Objects[j].TrackID != b.Objects[j].TrackID {
+					t.Fatalf("%s hit %d object %d track diverges", v.Name, i, j)
+				}
+			}
+		}
+	}
+
+	fleetVirtual := s.Clock().TotalMS()
+	fleetDet := fleetDetInvocations(s.Clock())
+	if fleetDet != isoDet {
+		t.Fatalf("detector invocations diverge: fleet %d vs isolated %d (batching must change costs, not work)", fleetDet, isoDet)
+	}
+	if fleetVirtual >= isoVirtual {
+		t.Fatalf("batched fleet virtual %.0f ms not below isolated sum %.0f ms", fleetVirtual, isoVirtual)
+	}
+	st, ok := f.BatchStats()
+	if !ok || st.Batched == 0 || st.SavedMS <= 0 {
+		t.Fatalf("batch scheduler idle: %+v", st)
+	}
+}
+
+// TestFleetGlobalIDJoinFindsTraveler runs the preset's planted red
+// sedan through a batched fleet and checks the cross-camera join: the
+// merged result contains an entity sighted on at least two cameras
+// within 30 seconds, with per-source provenance.
+func TestFleetGlobalIDJoinFindsTraveler(t *testing.T) {
+	s := vqpy.NewSession(7)
+	s.SetNoBurn(true)
+	f, err := s.NewFleet(vqpy.FleetIntersections(7, 10, 3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.AttachFleetQuery(f, "FleetRedCar", func(source string) *vqpy.Query {
+		return fleetRedCarQuery(f.Registry(), source)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Merged(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entities) == 0 {
+		t.Fatal("no merged entities")
+	}
+	cross := m.CrossCamera(2, 30)
+	if len(cross) == 0 {
+		t.Fatal("no entity crosses two cameras within 30s (planted traveler missed)")
+	}
+	best := cross[0]
+	for _, e := range cross {
+		if len(e.Sources) > len(best.Sources) {
+			best = e
+		}
+	}
+	if len(best.Sources) < 2 {
+		t.Fatalf("best cross-camera entity covers %v", best.Sources)
+	}
+	for _, sg := range best.Sightings {
+		if sg.Source == "" || sg.TrackID < 0 {
+			t.Fatalf("sighting lost provenance: %+v", sg)
+		}
+	}
+	if st := f.Registry().Stats(); st.CrossCamera == 0 {
+		t.Fatalf("registry fused no cross-camera identity: %+v", st)
+	}
+	f.Close()
+}
+
+// TestFleetAttachDetachChurn exercises fleet-wide attach/detach while
+// the fleet runs and concurrent merged-result readers — the -race
+// serving pattern. Lanes present for the whole run must end with full
+// coverage regardless of sibling churn.
+func TestFleetAttachDetachChurn(t *testing.T) {
+	s := vqpy.NewSession(11)
+	s.SetNoBurn(true)
+	clip := vqpy.FleetIntersections(11, 6, 2).Generate()
+	f, err := s.NewFleetFromClips(clip.Videos, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standing, err := s.AttachFleetQuery(f, "FleetRedCar", func(source string) *vqpy.Query {
+		return fleetRedCarQuery(f.Registry(), source)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // concurrent reader: merged views while the fleet runs
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := f.Merged(standing); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	step := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := f.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(10)
+	visitor, err := s.AttachFleetQuery(f, "People", func(string) *vqpy.Query { return fleetPeopleQuery() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	step(10)
+	if _, err := f.DetachFleetQuery(visitor); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	res, err := f.Snapshot(standing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range clip.Videos {
+		if res[v.Name].FramesProcessed != v.NumFrames() {
+			t.Fatalf("%s standing lane covered %d/%d frames", v.Name, res[v.Name].FramesProcessed, v.NumFrames())
+		}
+	}
+	if _, err := f.DetachFleetQuery(standing); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Registry().SourcesOf(1)); got == 0 {
+		t.Fatal("registry issued no identities under churn")
+	}
+	f.Close()
+}
+
+// TestFleetDoubleBatchedRefused pins the one-LIVE-batched-fleet rule:
+// a second scheduler would silently steal the first fleet's deferred
+// charges, so NewFleet refuses while one is live; Close releases the
+// interceptor hook and a new batched fleet opens cleanly.
+func TestFleetDoubleBatchedRefused(t *testing.T) {
+	s := vqpy.NewSession(3)
+	s.SetNoBurn(true)
+	clip := vqpy.FleetIntersections(3, 4, 2).Generate()
+	first, err := s.NewFleetFromClips(clip.Videos, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewFleetFromClips(clip.Videos, true); err == nil {
+		t.Fatal("second batched fleet on one session must be refused")
+	}
+	// An unbatched sibling fleet is fine — it installs no interceptor.
+	unbatched, err := s.NewFleetFromClips(clip.Videos, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbatched.Close()
+	// Closing the live batched fleet releases the hook.
+	first.Close()
+	next, err := s.NewFleetFromClips(clip.Videos, true)
+	if err != nil {
+		t.Fatalf("batched fleet after Close refused: %v", err)
+	}
+	next.Close()
+	// A failed construction (duplicate camera names) must release the
+	// hook too, leaving the session reusable.
+	if _, err := s.NewFleetFromClips([]*vqpy.Video{clip.Videos[0], clip.Videos[0]}, true); err == nil {
+		t.Fatal("duplicate camera names must fail")
+	}
+	again, err := s.NewFleetFromClips(clip.Videos, true)
+	if err != nil {
+		t.Fatalf("session unusable after failed construction: %v", err)
+	}
+	again.Close()
+}
+
+// TestFleetPlanningDoesNotTouchRegistry pins the profiling rule: a
+// fleet query using global_id even in its WHERE clause must not
+// resolve identities during attach-time canary profiling — profiling
+// candidates can assign different track ids than the live scan, so
+// their resolutions would poison the live identity map. Live feeding
+// then resolves normally.
+func TestFleetPlanningDoesNotTouchRegistry(t *testing.T) {
+	s := vqpy.NewSession(5)
+	s.SetNoBurn(true)
+	f, err := s.NewFleetFromClips(vqpy.FleetIntersections(5, 6, 2).Generate().Videos, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.AttachFleetQuery(f, "GidWhere", func(source string) *vqpy.Query {
+		car := f.GlobalVObj(vqpy.Car(), source)
+		return vqpy.NewQuery("GidWhere").
+			Use("car", car).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", vqpy.PropGlobalID).Gt(0),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropGlobalID))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Registry().Stats(); st.Entities != 0 || st.Resolves != 0 {
+		t.Fatalf("attach-time planning polluted the registry: %+v", st)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Registry().Stats(); st.Entities == 0 {
+		t.Fatal("live run resolved no identities")
+	}
+	m, err := f.Merged(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entities) == 0 {
+		t.Fatal("global-id predicate query matched no entities live")
+	}
+}
+
+// TestFleetRefusesSharedCache pins the cache-poisoning guard: the
+// shared cache keys detections by (model, frame) with no source, so
+// spanning it across cameras would serve one camera's detections for
+// another's same-indexed frames.
+func TestFleetRefusesSharedCache(t *testing.T) {
+	s := vqpy.NewSession(9)
+	s.SetNoBurn(true)
+	clip := vqpy.FleetIntersections(9, 4, 2).Generate()
+	if _, err := s.NewFleetFromClips(clip.Videos, false, vqpy.WithSharedCache(vqpy.NewSharedCache())); err == nil {
+		t.Fatal("WithSharedCache across a fleet must be refused")
+	}
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestFleetShape runs the E18 experiment at test scale and pins its
+// contract: verdicts identical to isolated daemons, equal detector
+// invocation counts, batched virtual time strictly below the isolated
+// sum (RunFleet errors otherwise), a cross-camera entity present, and
+// every gated metric exported for the baselines file.
+func TestFleetShape(t *testing.T) {
+	rep, err := RunFleet(Config{Seed: 13, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (isolated, fleet-batched)", len(rep.Rows))
+	}
+	for _, name := range []string{
+		"fleet_identical", "fleet_virtual_isolated", "fleet_virtual_batched",
+		"fleet_virtual_ratio", "fleet_detect_inv_isolated", "fleet_detect_inv_batched",
+		"fleet_detect_parity", "fleet_wall_ratio", "fleet_crosscam_entities",
+		"fleet_batch_saved_ms",
+	} {
+		if _, ok := rep.Metric(name); !ok {
+			t.Errorf("metric %s missing from report", name)
+		}
+	}
+	if v, _ := rep.Metric("fleet_identical"); v != 1 {
+		t.Error("fleet verdicts not identical to isolated daemons")
+	}
+	if v, _ := rep.Metric("fleet_detect_parity"); v != 1 {
+		t.Errorf("detector invocation parity %.3f, want exactly 1", v)
+	}
+	if ratio, _ := rep.Metric("fleet_virtual_ratio"); ratio >= 0.95 {
+		t.Errorf("batched virtual ratio %.3f; expected batching to amortize detector cost", ratio)
+	}
+	if v, _ := rep.Metric("fleet_crosscam_entities"); v < 1 {
+		t.Error("no cross-camera entity matched within the window")
+	}
+}

@@ -73,6 +73,13 @@ type PropInput struct {
 	// model zoo.
 	Env      *models.Env
 	Registry *models.Registry
+
+	// Profiling is set on planner canary runs: compute functions with
+	// side effects outside the engine (e.g. the fleet global-id
+	// resolver mutating the shared identity registry) should charge
+	// their cost but skip the effect, so profiling a plan never
+	// perturbs live state.
+	Profiling bool
 }
 
 // ComputeFunc computes a property value. Returning ErrNotReady indicates

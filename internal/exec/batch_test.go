@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+func newBatchEnv() *models.Env {
+	env := models.NewEnv(1)
+	env.NoBurn = true
+	return env
+}
+
+// chargeDetect invokes a zoo detector on an empty frame: exactly one
+// charge of the model's fixed cost against env, through the normal
+// (interceptable) charging path.
+func chargeDetect(t *testing.T, env *models.Env, model string, frameIdx int) {
+	t.Helper()
+	det, err := models.BuiltinRegistry().Detector(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.Detect(env, &video.Frame{Index: frameIdx, W: 64, H: 48})
+}
+
+// TestBatchSchedulerAmortizesSameTick checks the cost model: K
+// same-model invocations inside one tick cost alpha + (1-alpha)·K of
+// one invocation in total, counts are preserved, and a lone invocation
+// pays full price.
+func TestBatchSchedulerAmortizesSameTick(t *testing.T) {
+	b := NewBatchScheduler(0.6, []string{"yolox"})
+	envs := []*models.Env{newBatchEnv(), newBatchEnv(), newBatchEnv()}
+	for _, env := range envs {
+		env.Interceptor = b
+	}
+
+	b.BeginTick()
+	for _, env := range envs {
+		chargeDetect(t, env, "yolox", 0)
+	}
+	b.FlushTick()
+
+	// eff = (0.6 + 0.4*3)/3 = 0.6 → each clock booked 28*0.6.
+	want := 28 * 0.6
+	for i, env := range envs {
+		if got := env.Clock.TotalMS(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("env %d charged %.3f, want %.3f", i, got, want)
+		}
+		if env.Clock.Invocations("yolox") != 1 {
+			t.Fatalf("env %d invocations = %d, want 1", i, env.Clock.Invocations("yolox"))
+		}
+	}
+
+	// A solo invocation in its own tick pays the unbatched cost.
+	b.BeginTick()
+	chargeDetect(t, envs[0], "yolox", 1)
+	b.FlushTick()
+	if got := envs[0].Clock.TotalMS(); math.Abs(got-(want+28)) > 1e-9 {
+		t.Fatalf("solo tick charged %.3f total, want %.3f", got, want+28)
+	}
+
+	st := b.Stats()
+	if st.Ticks != 2 || st.Invocations != 4 || st.Batched != 3 || st.MaxBatch != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.SavedMS-(3*28-3*want)) > 1e-9 {
+		t.Fatalf("saved %.3f ms, want %.3f", st.SavedMS, 3*28-3*want)
+	}
+}
+
+// TestBatchSchedulerInertOutsideTick checks that charges outside a tick
+// window — planner profiling, offline runs — pass through unbatched.
+func TestBatchSchedulerInertOutsideTick(t *testing.T) {
+	b := NewBatchScheduler(0.6, []string{"yolox"})
+	env := newBatchEnv()
+	env.Interceptor = b
+	chargeDetect(t, env, "yolox", 0)
+	if got := env.Clock.TotalMS(); got != 28 {
+		t.Fatalf("outside tick charged %.3f, want 28", got)
+	}
+	if st := b.Stats(); st.Invocations != 0 {
+		t.Fatalf("scheduler should be inert outside ticks, stats %+v", st)
+	}
+}
+
+// TestBatchSchedulerIgnoresIneligibleAccounts checks that a detector
+// absent from the eligible set flows through even inside a tick.
+func TestBatchSchedulerIgnoresIneligibleAccounts(t *testing.T) {
+	b := NewBatchScheduler(0.6, []string{"yolox"})
+	env := newBatchEnv()
+	env.Interceptor = b
+	b.BeginTick()
+	chargeDetect(t, env, "yolov5s", 0)
+	b.FlushTick()
+	if got := env.Clock.TotalMS(); got != 7 {
+		t.Fatalf("ineligible account charged %.3f, want 7", got)
+	}
+}
+
+// TestDetectorAccounts checks the registry scan finds the zoo's
+// detectors and only them.
+func TestDetectorAccounts(t *testing.T) {
+	accounts := DetectorAccounts(models.BuiltinRegistry())
+	seen := make(map[string]bool, len(accounts))
+	for _, a := range accounts {
+		seen[a] = true
+	}
+	for _, want := range []string{"yolox", "yolov5s", "person_detector", "red_car_specialized"} {
+		if !seen[want] {
+			t.Errorf("missing detector account %q", want)
+		}
+	}
+	if seen["color_detect"] || seen["upt"] || seen["motion_diff"] {
+		t.Errorf("non-detector leaked into accounts: %v", accounts)
+	}
+}

@@ -494,6 +494,9 @@ func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc
 		Frame: fc.Frame, Raster: fc.Raster(),
 		Box: n.Box, TrackID: n.TrackID, TruthID: n.TruthID,
 		Env: e.opts.Env, Registry: e.opts.Registry,
+		// SkipHits marks profiling executors; externally-effectful
+		// compute functions key off it (core.PropInput.Profiling).
+		Profiling: e.opts.SkipHits,
 	}
 	if prop.Stateful {
 		if n.TrackID < 0 {

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy/internal/exec"
+)
+
+// feat builds a unit-ish feature along one axis with a small bleed into
+// another, enough to steer cosine matching in tests.
+func feat(axis int, bleed float64) []float64 {
+	v := make([]float64, 8)
+	v[axis] = 1
+	v[(axis+1)%8] = bleed
+	return v
+}
+
+// TestRegistryResolveFusesAcrossSources checks the core fusion
+// behaviour: similar features on different sources share one global id,
+// dissimilar ones get fresh ids, and (source, track) memoization sticks.
+func TestRegistryResolveFusesAcrossSources(t *testing.T) {
+	r := NewRegistry(0.7)
+	a := r.Resolve("cam0", 1, feat(0, 0.05))
+	if a != 1 {
+		t.Fatalf("first identity = %d, want 1", a)
+	}
+	if b := r.Resolve("cam1", 9, feat(0, 0.08)); b != a {
+		t.Fatalf("same appearance on cam1 got id %d, want %d", b, a)
+	}
+	if c := r.Resolve("cam0", 2, feat(3, 0.02)); c == a {
+		t.Fatal("distinct appearance fused into the same identity")
+	}
+	// Memoized: a different (even empty) feature cannot re-assign an
+	// already-resolved track.
+	if again := r.Resolve("cam0", 1, feat(5, 0)); again != a {
+		t.Fatalf("re-resolve changed id: %d → %d", a, again)
+	}
+	st := r.Stats()
+	if st.Entities != 2 || st.CrossCamera != 1 || st.Resolves != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := r.SourcesOf(a); !reflect.DeepEqual(got, []string{"cam0", "cam1"}) {
+		t.Fatalf("SourcesOf(%d) = %v", a, got)
+	}
+	if gid, ok := r.GlobalID("cam1", 9); !ok || gid != a {
+		t.Fatalf("GlobalID lookup = %d,%v", gid, ok)
+	}
+}
+
+// TestRegistryUntrackedResolvesToMinusOne checks untracked detections
+// never pollute the identity space.
+func TestRegistryUntrackedResolvesToMinusOne(t *testing.T) {
+	r := NewRegistry(0)
+	if gid := r.Resolve("cam0", -1, feat(0, 0)); gid != -1 {
+		t.Fatalf("untracked resolve = %d, want -1", gid)
+	}
+	if gid := r.Resolve("cam0", 3, nil); gid != -1 {
+		t.Fatalf("featureless resolve = %d, want -1", gid)
+	}
+	if st := r.Stats(); st.Entities != 0 {
+		t.Fatalf("identity space polluted: %+v", st)
+	}
+}
+
+// hitWith builds a one-object frame hit carrying a global id output.
+func hitWith(frame int, sec float64, trackID, gid int) exec.FrameHit {
+	return exec.FrameHit{
+		FrameIdx: frame, TimeSec: sec,
+		Objects: []exec.ObjOut{{
+			Instance: "car", TrackID: trackID,
+			Values: map[string]any{PropGlobalID: gid},
+		}},
+	}
+}
+
+// TestMergeAndCrossCamera exercises the per-global-id join and the
+// windowed cross-camera predicate.
+func TestMergeAndCrossCamera(t *testing.T) {
+	per := map[string]*exec.Result{
+		"cam0": {Query: "Fleet", Hits: []exec.FrameHit{
+			hitWith(2, 0.2, 4, 1),
+			hitWith(3, 0.3, 4, 1),
+			hitWith(8, 0.8, 5, 2),
+		}},
+		"cam1": {Query: "Fleet", Hits: []exec.FrameHit{
+			hitWith(60, 6.0, 11, 1), // entity 1, 5.7s after cam0
+		}},
+	}
+	m := Merge("Fleet", per)
+	if len(m.Entities) != 2 {
+		t.Fatalf("entities = %d, want 2", len(m.Entities))
+	}
+	e1 := m.Entities[0]
+	if e1.GlobalID != 1 || !reflect.DeepEqual(e1.Sources, []string{"cam0", "cam1"}) {
+		t.Fatalf("entity 1 = %+v", e1)
+	}
+	if len(e1.Sightings) != 3 || e1.FirstSec != 0.2 || e1.LastSec != 6.0 {
+		t.Fatalf("entity 1 sightings = %+v", e1)
+	}
+	if e1.Sightings[2].Source != "cam1" || e1.Sightings[2].TrackID != 11 {
+		t.Fatalf("provenance lost: %+v", e1.Sightings[2])
+	}
+
+	// Entity 1 crosses cameras within 30s but not within 2s; entity 2
+	// never leaves cam0.
+	if got := m.CrossCamera(2, 30); len(got) != 1 || got[0].GlobalID != 1 {
+		t.Fatalf("CrossCamera(2, 30) = %+v", got)
+	}
+	if got := m.CrossCamera(2, 2); len(got) != 0 {
+		t.Fatalf("CrossCamera(2, 2) = %+v, want none", got)
+	}
+	if got := m.CrossCamera(2, 0); len(got) != 1 {
+		t.Fatalf("CrossCamera unbounded = %+v", got)
+	}
+}
+
+// TestMergeSkipsHitsWithoutGlobalID checks that non-fleet outputs are
+// ignored rather than misattributed.
+func TestMergeSkipsHitsWithoutGlobalID(t *testing.T) {
+	per := map[string]*exec.Result{
+		"cam0": {Hits: []exec.FrameHit{
+			{FrameIdx: 1, Objects: []exec.ObjOut{{TrackID: 2}}},
+			hitWith(2, 0.2, 3, -1), // untracked
+		}},
+	}
+	if m := Merge("q", per); len(m.Entities) != 0 {
+		t.Fatalf("entities = %+v, want none", m.Entities)
+	}
+}

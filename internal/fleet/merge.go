@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"sort"
+
+	"vqpy/internal/exec"
+)
+
+// Sighting is one per-source appearance of a global entity inside a
+// fleet query's results — the provenance record: which camera saw it,
+// when, and under which source-local track id.
+type Sighting struct {
+	// Source is the camera the entity was sighted on.
+	Source string `json:"source"`
+	// FrameIdx / TimeSec locate the sighting on that camera's stream
+	// (cameras run in lockstep, so TimeSec is comparable across
+	// sources).
+	FrameIdx int     `json:"frame_idx"`
+	TimeSec  float64 `json:"time_sec"`
+	// TrackID is the source-local track id the global id was fused
+	// from.
+	TrackID int `json:"track_id"`
+}
+
+// Entity is one global object's merged view across every source a fleet
+// query matched it on.
+type Entity struct {
+	// GlobalID is the registry-issued cross-camera identity.
+	GlobalID int `json:"global_id"`
+	// Sources lists the distinct cameras the entity matched on, sorted.
+	Sources []string `json:"sources"`
+	// FirstSec / LastSec span the entity's matched sightings.
+	FirstSec float64 `json:"first_sec"`
+	LastSec  float64 `json:"last_sec"`
+	// Sightings holds every matched appearance, ordered by time then
+	// source.
+	Sightings []Sighting `json:"sightings"`
+}
+
+// MergedResult is a fleet query's cross-camera view: the per-source
+// results joined per global id.
+type MergedResult struct {
+	// Query names the fleet query.
+	Query string `json:"query"`
+	// PerSource holds each source's raw accumulated result.
+	PerSource map[string]*exec.Result `json:"-"`
+	// Entities lists the matched global objects, by ascending id.
+	Entities []Entity `json:"entities"`
+}
+
+// Merge joins per-source query results per global id: every frame hit's
+// output objects carrying a global_id value become sightings of that
+// entity, with the source recorded as provenance. Hits without a
+// global_id output (or with the untracked id -1) are skipped — a fleet
+// query must select PropGlobalID for its results to merge.
+func Merge(query string, perSource map[string]*exec.Result) *MergedResult {
+	m := &MergedResult{Query: query, PerSource: perSource}
+	byGid := make(map[int]*Entity)
+	sources := make([]string, 0, len(perSource))
+	for name := range perSource {
+		sources = append(sources, name)
+	}
+	sort.Strings(sources)
+	for _, source := range sources {
+		res := perSource[source]
+		if res == nil {
+			continue
+		}
+		for _, hit := range res.Hits {
+			for _, obj := range hit.Objects {
+				gid, ok := obj.Values[PropGlobalID].(int)
+				if !ok || gid < 1 {
+					continue
+				}
+				e := byGid[gid]
+				if e == nil {
+					e = &Entity{GlobalID: gid, FirstSec: hit.TimeSec, LastSec: hit.TimeSec}
+					byGid[gid] = e
+				}
+				if hit.TimeSec < e.FirstSec {
+					e.FirstSec = hit.TimeSec
+				}
+				if hit.TimeSec > e.LastSec {
+					e.LastSec = hit.TimeSec
+				}
+				e.Sightings = append(e.Sightings, Sighting{
+					Source: source, FrameIdx: hit.FrameIdx, TimeSec: hit.TimeSec,
+					TrackID: obj.TrackID,
+				})
+			}
+		}
+	}
+	gids := make([]int, 0, len(byGid))
+	for gid := range byGid {
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+	for _, gid := range gids {
+		e := byGid[gid]
+		seen := make(map[string]bool)
+		for _, s := range e.Sightings {
+			seen[s.Source] = true
+		}
+		e.Sources = make([]string, 0, len(seen))
+		for s := range seen {
+			e.Sources = append(e.Sources, s)
+		}
+		sort.Strings(e.Sources)
+		sort.Slice(e.Sightings, func(i, j int) bool {
+			if e.Sightings[i].TimeSec != e.Sightings[j].TimeSec {
+				return e.Sightings[i].TimeSec < e.Sightings[j].TimeSec
+			}
+			return e.Sightings[i].Source < e.Sightings[j].Source
+		})
+		m.Entities = append(m.Entities, *e)
+	}
+	return m
+}
+
+// CrossCamera filters the merged entities down to those sighted on at
+// least minSources distinct sources within one windowSec span — the
+// cross-camera predicate ("same car seen on ≥2 cameras within 30s").
+// windowSec <= 0 means an unbounded window (any co-occurrence counts).
+func (m *MergedResult) CrossCamera(minSources int, windowSec float64) []Entity {
+	if minSources < 2 {
+		minSources = 2
+	}
+	var out []Entity
+	for _, e := range m.Entities {
+		if len(e.Sources) < minSources {
+			continue
+		}
+		if windowSec <= 0 {
+			out = append(out, e)
+			continue
+		}
+		// Sightings are time-sorted: slide a window over them keeping
+		// per-source counts incrementally, so the scan is O(n) — this
+		// runs under the serving layer's mutex, where a looping stream's
+		// unbounded sighting history would make a quadratic rescan stall
+		// the frame ticker.
+		j := 0
+		distinct := 0
+		counts := make(map[string]int)
+		matched := false
+		for i := range e.Sightings {
+			for j < len(e.Sightings) && e.Sightings[j].TimeSec <= e.Sightings[i].TimeSec+windowSec {
+				if counts[e.Sightings[j].Source] == 0 {
+					distinct++
+				}
+				counts[e.Sightings[j].Source]++
+				j++
+			}
+			if distinct >= minSources {
+				matched = true
+				break
+			}
+			counts[e.Sightings[i].Source]--
+			if counts[e.Sightings[i].Source] == 0 {
+				distinct--
+			}
+		}
+		if matched {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package fleet is the cross-camera layer on top of the per-source
+// shared-scan engine: a global re-identification registry that fuses
+// per-source track ids into global object ids via appearance matching,
+// an engine that drives many MuxStreams in lockstep (batching
+// cross-source detector work through exec.BatchScheduler), and merge
+// helpers that join per-source query results per global id with
+// per-source provenance — the substrate of fleet-wide queries like
+// "same car seen on at least two cameras within 30 seconds".
+//
+// Soundness rules (DESIGN.md §8):
+//
+//   - one (source, track id) pair resolves to exactly one global id for
+//     its whole lifetime — the first resolution is memoized, so a track
+//     can never split across global identities;
+//   - global ids are append-only: identities are created, never merged
+//     or recycled, so a global id observed once stays valid;
+//   - assignment is deterministic for a fixed feed order — the engine
+//     feeds sources in registration order each tick, making fleet runs
+//     reproducible.
+package fleet
+
+import (
+	"sort"
+	"sync"
+
+	"vqpy/internal/models"
+)
+
+// PropGlobalID is the property name under which a fleet-enabled VObj
+// exposes its global (cross-camera) object id; query it with
+// vqpy.P(obj, vqpy.PropGlobalID). Untracked objects report id -1.
+const PropGlobalID = "global_id"
+
+// defaultThreshold is the cosine similarity above which two appearance
+// features are considered the same entity. The simulated embedding
+// space puts same-entity crops near ~0.95 and distinct entities near 0,
+// so 0.7 separates them with margin on both sides.
+const defaultThreshold = 0.7
+
+// RegistryStats summarizes the registry for dashboards and benchmarks.
+type RegistryStats struct {
+	// Entities is the number of distinct global ids issued.
+	Entities int
+	// Resolves counts Resolve calls that performed feature matching
+	// (first sight of a (source, track) pair); CrossCamera the entities
+	// seen on at least two sources.
+	Resolves    int
+	CrossCamera int
+}
+
+// Registry is the fleet-level identity service: it fuses per-source
+// track ids into global object ids by matching appearance features
+// against the centroids of known identities. Safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	threshold float64
+	centroids [][]float64
+	counts    []int
+	sources   []map[string]bool
+	bySource  map[string]map[int]int
+	resolves  int
+}
+
+// NewRegistry creates an identity registry; threshold <= 0 uses the
+// default cosine match threshold.
+func NewRegistry(threshold float64) *Registry {
+	if threshold <= 0 {
+		threshold = defaultThreshold
+	}
+	return &Registry{
+		threshold: threshold,
+		bySource:  make(map[string]map[int]int),
+	}
+}
+
+// Resolve returns the global id for one sighting: a source-local track
+// id plus its appearance feature. The first resolution of a (source,
+// trackID) pair matches the feature against known identity centroids —
+// best match at or above the threshold joins that identity, otherwise a
+// new global id is issued — and is memoized; later resolutions return
+// the same id without touching the feature (rule 1: a track never
+// splits). Track ids < 0 (untracked detections) resolve to -1.
+func (r *Registry) Resolve(source string, trackID int, feature []float64) int {
+	if trackID < 0 || len(feature) == 0 {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if byTrack, ok := r.bySource[source]; ok {
+		if gid, ok := byTrack[trackID]; ok {
+			return gid
+		}
+	}
+	r.resolves++
+	best, bestSim := -1, r.threshold
+	for i, c := range r.centroids {
+		if s := models.Cosine(c, feature); s >= bestSim {
+			best, bestSim = i, s
+		}
+	}
+	if best < 0 {
+		r.centroids = append(r.centroids, append([]float64(nil), feature...))
+		r.counts = append(r.counts, 1)
+		r.sources = append(r.sources, map[string]bool{source: true})
+		best = len(r.centroids) - 1
+	} else {
+		// Fold the sighting into the identity's running-mean centroid;
+		// cosine matching is scale-invariant, so no renormalization.
+		c := r.centroids[best]
+		n := float64(r.counts[best])
+		for i := range c {
+			c[i] = (c[i]*n + feature[i]) / (n + 1)
+		}
+		r.counts[best]++
+		r.sources[best][source] = true
+	}
+	gid := best + 1
+	if r.bySource[source] == nil {
+		r.bySource[source] = make(map[int]int)
+	}
+	r.bySource[source][trackID] = gid
+	return gid
+}
+
+// GlobalID looks up an already-resolved (source, track) pair without
+// matching; ok is false when the pair has never been sighted.
+func (r *Registry) GlobalID(source string, trackID int) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gid, ok := r.bySource[source][trackID]
+	return gid, ok
+}
+
+// SourcesOf lists the sources a global id has been sighted on, sorted;
+// nil for unknown ids.
+func (r *Registry) SourcesOf(gid int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gid < 1 || gid > len(r.sources) {
+		return nil
+	}
+	out := make([]string, 0, len(r.sources[gid-1]))
+	for s := range r.sources[gid-1] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the registry's accounting.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryStats{Entities: len(r.centroids), Resolves: r.resolves}
+	for _, srcs := range r.sources {
+		if len(srcs) >= 2 {
+			st.CrossCamera++
+		}
+	}
+	return st
+}

@@ -1,0 +1,40 @@
+package fleet
+
+import "vqpy/internal/core"
+
+// propFleetFeature is the appearance-embedding property WithGlobalID
+// adds beneath global_id; it is an implementation detail of the pair
+// but visible to explain tooling.
+const propFleetFeature = "fleet_feature"
+
+// WithGlobalID extends a VObj type with the fleet identity pair: an
+// intrinsic appearance feature computed by the fleet_reid zoo model,
+// and the global_id property that resolves it against the registry —
+// making vqpy.P(obj, PropGlobalID) usable in predicates and outputs.
+// Both are intrinsic, so the model and the registry are consulted once
+// per (source, track), not once per frame. The source name keys the
+// registry's per-source track spaces; build one fleet VObj per source.
+//
+// Planner canary runs never touch the registry: a profiling candidate
+// may assign different track ids than the live scan (e.g. under a
+// specialized detector), so memoizing its resolutions would poison the
+// live (source, track) → global id map. Profiled global ids evaluate
+// as -1 (cost is still charged); live resolution happens on the real
+// stream only.
+func WithGlobalID(t *core.VObjType, reg *Registry, source string) *core.VObjType {
+	return t.Extend(t.Name()+"Fleet").
+		StatelessModel(propFleetFeature, "fleet_reid", true).
+		AddProperty(&core.Property{
+			Name:       PropGlobalID,
+			Intrinsic:  true,
+			DependsOn:  []string{propFleetFeature},
+			CostHintMS: 0.05,
+			Compute: func(in core.PropInput) (any, error) {
+				if in.Profiling {
+					return -1, nil
+				}
+				f, _ := in.Deps[propFleetFeature].([]float64)
+				return reg.Resolve(source, in.TrackID, f), nil
+			},
+		})
+}

@@ -107,17 +107,22 @@ func repoDocPaths(t *testing.T) []string {
 	return []string{
 		filepath.Join(root, "vqpy.go"),
 		filepath.Join(root, "library.go"),
+		filepath.Join(root, "fleet.go"),
 		filepath.Join(root, "internal/plan"),
 		filepath.Join(root, "internal/exec"),
 		filepath.Join(root, "internal/serve"),
 		filepath.Join(root, "internal/store"),
 		filepath.Join(root, "internal/lint"),
+		filepath.Join(root, "internal/fleet"),
+		filepath.Join(root, "internal/video"),
+		filepath.Join(root, "internal/track"),
 	}
 }
 
 // TestRepoDocComments enforces the doc-comment rule over the repo's
-// public API surface: the facade plus the plan / exec / serve / store
-// packages. A failure names each undocumented exported identifier.
+// public API surface: the facade plus the plan / exec / serve / store /
+// fleet / video / track packages. A failure names each undocumented
+// exported identifier.
 func TestRepoDocComments(t *testing.T) {
 	issues, err := CheckDocs(repoDocPaths(t))
 	if err != nil {

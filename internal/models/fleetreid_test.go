@@ -1,0 +1,125 @@
+package models
+
+import (
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+// fleetClipFrames builds two tiny frames standing in for two cameras:
+// the same entity (shared FeatureID) under different per-camera track
+// ids, plus a distinct entity.
+func fleetClipFrames() (*video.Frame, *video.Frame) {
+	a := &video.Frame{Index: 3, W: 640, H: 480, Objects: []video.Object{
+		{TrackID: 1, Class: video.ClassCar, FeatureID: 5001},
+		{TrackID: 2, Class: video.ClassCar, FeatureID: 6002},
+	}}
+	b := &video.Frame{Index: 9, W: 640, H: 480, Objects: []video.Object{
+		{TrackID: 7, Class: video.ClassCar, FeatureID: 5001},
+	}}
+	return a, b
+}
+
+// TestGlobalReIDEmbedderSeparation checks the property the fleet re-ID
+// registry depends on: same entity across cameras → high cosine
+// similarity, distinct entities → low.
+func TestGlobalReIDEmbedderSeparation(t *testing.T) {
+	env := NewEnv(42)
+	env.NoBurn = true
+	reg := BuiltinRegistry()
+	m, ok := reg.Get("fleet_reid")
+	if !ok {
+		t.Fatal("fleet_reid not in builtin registry")
+	}
+	emb, ok := m.(Embedder)
+	if !ok {
+		t.Fatal("fleet_reid is not an embedder")
+	}
+	a, b := fleetClipFrames()
+	same1 := emb.Embed(env, a, a.Objects[0].Box, 1)
+	same2 := emb.Embed(env, b, b.Objects[0].Box, 7)
+	other := emb.Embed(env, a, a.Objects[1].Box, 2)
+	if s := Cosine(same1, same2); s < 0.8 {
+		t.Fatalf("same entity across cameras: cosine %.3f, want >= 0.8", s)
+	}
+	if s := Cosine(same1, other); s > 0.6 {
+		t.Fatalf("distinct entities: cosine %.3f, want <= 0.6", s)
+	}
+	if env.Clock.Invocations("fleet_reid") != 3 {
+		t.Fatalf("embedder invocations = %d, want 3", env.Clock.Invocations("fleet_reid"))
+	}
+	if env.Clock.Account("fleet_reid") <= 0 {
+		t.Fatal("fleet_reid charged no virtual time")
+	}
+}
+
+// captureInterceptor records intercepted charges without booking them.
+type captureInterceptor struct {
+	on       bool
+	accounts []string
+	ms       []float64
+}
+
+// Intercept implements ChargeInterceptor.
+func (c *captureInterceptor) Intercept(_ *Env, account string, ms float64) bool {
+	if !c.on {
+		return false
+	}
+	c.accounts = append(c.accounts, account)
+	c.ms = append(c.ms, ms)
+	return true
+}
+
+// TestChargeInterceptor pins the interceptor contract: an active
+// interceptor owns the charge (nothing reaches the clock), an inactive
+// one lets it flow, and ChargeBypass always books directly.
+func TestChargeInterceptor(t *testing.T) {
+	env := NewEnv(1)
+	env.NoBurn = true
+	ic := &captureInterceptor{}
+	env.Interceptor = ic
+
+	env.charge("yolox", 28)
+	if env.Clock.TotalMS() != 28 {
+		t.Fatalf("inactive interceptor: total %.1f, want 28", env.Clock.TotalMS())
+	}
+
+	ic.on = true
+	env.charge("yolox", 28)
+	if env.Clock.TotalMS() != 28 {
+		t.Fatalf("active interceptor must own the charge, total %.1f", env.Clock.TotalMS())
+	}
+	if len(ic.accounts) != 1 || ic.accounts[0] != "yolox" || ic.ms[0] != 28 {
+		t.Fatalf("interceptor saw %v %v", ic.accounts, ic.ms)
+	}
+
+	env.ChargeBypass("yolox", 14)
+	if env.Clock.TotalMS() != 42 {
+		t.Fatalf("ChargeBypass must skip the interceptor, total %.1f", env.Clock.TotalMS())
+	}
+	if env.Clock.Invocations("yolox") != 2 {
+		t.Fatalf("yolox invocations = %d, want 2", env.Clock.Invocations("yolox"))
+	}
+}
+
+// TestGlobalReIDEmbedderFalsePositiveEmbedsNil pins the phantom-identity
+// guard: a crop with no ground-truth object behind it (a detector false
+// positive) must embed to nil — a shared fallback vector would fuse
+// unrelated false positives across cameras into one bogus cross-camera
+// entity.
+func TestGlobalReIDEmbedderFalsePositiveEmbedsNil(t *testing.T) {
+	env := NewEnv(42)
+	env.NoBurn = true
+	m, _ := BuiltinRegistry().Get("fleet_reid")
+	emb := m.(Embedder)
+	a, _ := fleetClipFrames()
+	if v := emb.Embed(env, a, a.Objects[0].Box, -1); v != nil {
+		t.Fatalf("false positive embedded to %v, want nil", v)
+	}
+	if v := emb.Embed(env, a, a.Objects[0].Box, 999); v != nil {
+		t.Fatalf("unknown truth id embedded to %v, want nil", v)
+	}
+	if env.Clock.Invocations("fleet_reid") != 2 {
+		t.Fatal("embedder must still charge for the attempted crops")
+	}
+}

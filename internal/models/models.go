@@ -98,6 +98,22 @@ type Env struct {
 	// executor blocks on device inference. Takes precedence over the
 	// burn loop; NoBurn still disables both.
 	OffloadNSPerMS float64
+	// Interceptor, when set, gets the first look at every model charge.
+	// A batch scheduler uses it to defer same-tick detector invocations
+	// from several sources and re-charge them at an amortized batched
+	// cost (exec.BatchScheduler); outside a tick the interceptor
+	// declines and charges flow through unchanged.
+	Interceptor ChargeInterceptor
+}
+
+// ChargeInterceptor intercepts model charges before they reach the
+// clock. Intercept returns true when it has taken ownership of the
+// charge (it will book it later through ChargeBypass) and false to let
+// the normal charging path proceed.
+type ChargeInterceptor interface {
+	// Intercept observes one charge of ms virtual milliseconds against
+	// account on env.
+	Intercept(env *Env, account string, ms float64) bool
 }
 
 // NewEnv returns an Env with a fresh clock.
@@ -108,7 +124,9 @@ func NewEnv(seed uint64) *Env {
 // Fork returns an Env sharing this Env's seed and real-time behaviour
 // but charging a fresh, empty clock. Parallel query workers each run
 // against a fork so their virtual-time ledgers stay independent; callers
-// merge the forked clocks back afterwards (sim.Clock.Merge).
+// merge the forked clocks back afterwards (sim.Clock.Merge). The charge
+// interceptor is deliberately not inherited: batch ticks are scoped to
+// the fleet engine's lockstep loop, not to parallel workers.
 func (e *Env) Fork() *Env {
 	return &Env{
 		Clock:          sim.NewClock(),
@@ -118,11 +136,41 @@ func (e *Env) Fork() *Env {
 	}
 }
 
-// charge books virtual time and performs proportional real work.
+// charge books virtual time and performs proportional real work,
+// offering the charge to the interceptor first (batched inference).
 func (e *Env) charge(account string, ms float64) {
+	if e.Interceptor != nil && e.Interceptor.Intercept(e, account, ms) {
+		return
+	}
+	e.ChargeBypass(account, ms)
+}
+
+// ChargeBypass books virtual time and performs proportional real work
+// without consulting the interceptor. It is the flush path of batch
+// schedulers, which re-charge deferred invocations at their amortized
+// cost; everything else should go through the models' own charging.
+func (e *Env) ChargeBypass(account string, ms float64) {
 	if e.Clock != nil {
 		e.Clock.Charge(account, ms)
 	}
+	e.SimulateWork(ms)
+}
+
+// ChargeClockOnly books virtual time against the clock without the
+// real-time mirror. A batch scheduler books each batch member's
+// amortized share this way and then simulates the single coalesced
+// device call once through SimulateWork — K clock entries, one real
+// wait, which is exactly what a batched invocation is.
+func (e *Env) ChargeClockOnly(account string, ms float64) {
+	if e.Clock != nil {
+		e.Clock.Charge(account, ms)
+	}
+}
+
+// SimulateWork performs the real-time mirror of ms virtual milliseconds
+// — proportional CPU burn, or an offload sleep when the env models
+// accelerator inference — without booking anything on the clock.
+func (e *Env) SimulateWork(ms float64) {
 	if e.NoBurn {
 		return
 	}

@@ -194,6 +194,51 @@ func (e *ReIDEmbedder) Embed(env *Env, f *video.Frame, box geom.BBox, truthID in
 	return featureVec(featureID, rng, 0.08)
 }
 
+// GlobalReIDEmbedder is the fleet-level re-identification model: unlike
+// the person-only ReID of the single-camera pipeline it embeds any
+// tracked object (the amber-alert scenarios re-identify cars), and its
+// appearance noise stands in for viewpoint and lighting differences
+// between cameras — two crops of the same entity on different cameras
+// land near each other in embedding space, distinct entities stay
+// near-orthogonal. Charged on the virtual clock like every other model.
+type GlobalReIDEmbedder struct {
+	P Profile
+	// Noise is the per-crop appearance noise stddev; 0 uses a default
+	// larger than the single-camera ReID's (cross-camera crops differ
+	// more than same-camera crops).
+	Noise float64
+}
+
+// Name implements Embedder.
+func (e *GlobalReIDEmbedder) Name() string { return e.P.Name }
+
+// Embed implements Embedder. A crop with no underlying ground-truth
+// object (a detector false positive) embeds to nil: giving every FP
+// one shared fallback vector would fuse unrelated hallucinations
+// across cameras into a single phantom identity, so the registry must
+// see "no feature" and refuse to resolve instead.
+func (e *GlobalReIDEmbedder) Embed(env *Env, f *video.Frame, box geom.BBox, truthID int) []float64 {
+	env.charge(e.P.Name, e.P.CostMS)
+	featureID := 0
+	found := false
+	for _, o := range f.Objects {
+		if o.TrackID == truthID {
+			featureID = o.FeatureID
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	noise := e.Noise
+	if noise <= 0 {
+		noise = 0.12
+	}
+	rng := sim.NewRNG(hash(env.Seed, strHash(e.P.Name), uint64(f.Index), uint64(truthID)))
+	return featureVec(featureID, rng, noise)
+}
+
 // UPTModel detects person-object interactions (the paper's UPT
 // two-stage HOI model).
 type UPTModel struct {
@@ -389,6 +434,7 @@ var builtinProfiles = []Profile{
 	{Name: "type_detect", Task: TaskClassify, CostMS: 5, MisclassRate: 0.05},
 	{Name: "direction_model", Task: TaskClassify, CostMS: 20, MisclassRate: 0.06},
 	{Name: "reid", Task: TaskEmbed, CostMS: 9},
+	{Name: "fleet_reid", Task: TaskEmbed, CostMS: 7},
 	{Name: "upt", Task: TaskHOI, CostMS: 95, MisclassRate: 0.06},
 	{Name: "plate_ocr", Task: TaskOCR, CostMS: 12, MisclassRate: 0.02},
 	{Name: "car_texture_filter", Task: TaskBinary, CostMS: 1.2, Classes: []video.Class{video.ClassCar, video.ClassBus, video.ClassTruck}, MissRate: 0.03, FPRate: 0.15},
@@ -424,6 +470,9 @@ func NewFromProfile(p Profile) any {
 			return &KindClassifier{P: p}
 		}
 	case TaskEmbed:
+		if p.Name == "fleet_reid" {
+			return &GlobalReIDEmbedder{P: p}
+		}
 		return &ReIDEmbedder{P: p}
 	case TaskHOI:
 		return &UPTModel{P: p}

@@ -1,0 +1,316 @@
+package serve
+
+// Fleet mode of the serving daemon: with Config.FleetCams > 0 the
+// server generates one correlated multi-camera clip set (a shared
+// entity population with per-camera offsets), registers each camera as
+// a source, and drives all of them in LOCKSTEP on one ticker — every
+// tick feeds one frame per camera inside a batch window, so same-tick
+// detector invocations across cameras coalesce into batched device
+// calls (exec.BatchScheduler). A shared global re-ID registry fuses
+// per-camera track ids into global object ids, and fleet-wide queries
+// attach one lane per camera (POST /fleet/queries), reading back
+// results merged per global id with per-source provenance.
+
+import (
+	"fmt"
+	"sort"
+
+	"vqpy"
+
+	"vqpy/internal/exec"
+	"vqpy/internal/fleet"
+)
+
+// The daemon deliberately does NOT wrap fleet.Engine: its per-source
+// bookkeeping (Loop wrap, done/feedErr, counters, admission) is
+// interleaved with stepping in ways the engine's own feed loop does
+// not expose, so the daemon reuses the engine's building blocks
+// (Registry, BatchScheduler, Merge) and keeps the thin attach/step
+// loops local. The invariants shared with the engine — atomic
+// fleet-wide attach, batch-bracketed lockstep — are pinned by tests on
+// both layers.
+//
+// fleetState is the serving daemon's fleet-mode extension: the shared
+// identity registry, the cross-source batch scheduler, and the live
+// fleet-wide query registrations.
+type fleetState struct {
+	reg     *vqpy.GlobalRegistry
+	batch   *exec.BatchScheduler
+	queries map[int]*fleetQuery
+}
+
+// fleetQuery is one live fleet-wide query: its per-source lanes and
+// admission estimates.
+type fleetQuery struct {
+	id    int
+	name  string
+	lanes map[string]int
+	estMS map[string]float64
+}
+
+// initFleet builds the fleet-mode source set: correlated camera clips,
+// one session + dynamic mux per camera, every session's env wired to
+// the shared batch scheduler.
+func (s *Server) initFleet() error {
+	if s.cfg.StoreDir != "" {
+		return fmt.Errorf("serve: fleet mode does not combine with -store (per-camera archives of a lockstep fleet are future work)")
+	}
+	clip := vqpy.FleetIntersections(s.cfg.Seed, s.cfg.Seconds, s.cfg.FleetCams).Generate()
+	s.fleet = &fleetState{
+		reg:     vqpy.NewGlobalRegistry(0),
+		queries: make(map[int]*fleetQuery),
+	}
+	for _, v := range clip.Videos {
+		session := vqpy.NewSession(s.cfg.Seed)
+		session.SetNoBurn(true)
+		mux, err := session.Serve(v.FPS)
+		if err != nil {
+			return err
+		}
+		if s.fleet.batch == nil {
+			s.fleet.batch = exec.NewBatchScheduler(0, exec.DetectorAccounts(session.Registry()))
+		}
+		session.Env().Interceptor = s.fleet.batch
+		s.sources[v.Name] = &source{name: v.Name, session: session, video: v, mux: mux}
+		s.order = append(s.order, v.Name)
+	}
+	return nil
+}
+
+// fleetStepLocked advances every camera by one lockstep frame inside a
+// batch window. A camera whose feed fails is marked done with its
+// error recorded (stepLocked) and the OTHERS keep stepping — one bad
+// camera must not freeze the fleet silently. The first error is still
+// returned for callers that surface it. Callers hold s.mu.
+func (s *Server) fleetStepLocked() error {
+	s.fleet.batch.BeginTick()
+	defer s.fleet.batch.FlushTick()
+	var firstErr error
+	for _, name := range s.order {
+		if err := s.stepLocked(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// fleetLoadLocked sums fleet-query admission estimates resident on one
+// source. Callers hold s.mu.
+func (s *Server) fleetLoadLocked(source string) (float64, int) {
+	if s.fleet == nil {
+		return 0, 0
+	}
+	var load float64
+	n := 0
+	for _, q := range s.fleet.queries {
+		if est, ok := q.estMS[source]; ok {
+			load += est
+			n++
+		}
+	}
+	return load, n
+}
+
+// AttachFleet plans a fleet catalogue query for every camera and
+// attaches it fleet-wide: each per-camera plan is admission-checked
+// against that camera's budget before any lane exists, and the lanes
+// attach atomically — a failure rolls back the ones already attached,
+// so a fleet query is live everywhere or nowhere.
+func (s *Server) AttachFleet(queryName string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fleet == nil {
+		return 0, fmt.Errorf("serve: fleet mode disabled (run with -fleet): %w", ErrNotFound)
+	}
+	build, ok := fleetBuilders[queryName]
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown fleet query %q (have %v): %w", queryName, FleetQueryNames(), ErrNotFound)
+	}
+	// Plan and admit on every camera before attaching anywhere.
+	plans := make(map[string]*vqpy.Plan, len(s.order))
+	est := make(map[string]float64, len(s.order))
+	for _, name := range s.order {
+		src := s.sources[name]
+		plan, err := src.session.PlanQuery(build(s.fleet.reg, name), src.video)
+		if err != nil {
+			return 0, err
+		}
+		if s.cfg.BudgetMS > 0 {
+			load, resident := s.estLoadLocked(name)
+			if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
+				s.counters.Add("admission_rejected", 1)
+				s.counters.Add("admission_rejected:"+name, 1)
+				return 0, &ErrAdmission{
+					Source: name, EstMS: plan.EstPerFrameMS,
+					LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+				}
+			}
+		}
+		plans[name] = plan
+		est[name] = plan.EstPerFrameMS
+	}
+	lanes := make(map[string]int, len(s.order))
+	for _, name := range s.order {
+		lane, err := s.sources[name].mux.Attach(plans[name])
+		if err != nil {
+			for prev, l := range lanes {
+				_, _ = s.sources[prev].mux.Detach(l)
+			}
+			return 0, fmt.Errorf("serve: fleet attach on %s: %w", name, err)
+		}
+		lanes[name] = lane
+	}
+	id := s.nextID
+	s.nextID++
+	s.fleet.queries[id] = &fleetQuery{id: id, name: queryName, lanes: lanes, estMS: est}
+	s.counters.Add("fleet_queries_attached", 1)
+	s.counters.Add("fleet_queries_attached:"+queryName, 1)
+	return id, nil
+}
+
+// DetachFleet removes a fleet query from every camera and returns the
+// final per-source results.
+func (s *Server) DetachFleet(id int) (map[string]*vqpy.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fleet == nil {
+		return nil, fmt.Errorf("serve: fleet mode disabled: %w", ErrNotFound)
+	}
+	q, ok := s.fleet.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown fleet query %d: %w", id, ErrNotFound)
+	}
+	out := make(map[string]*vqpy.Result, len(q.lanes))
+	var firstErr error
+	for name, lane := range q.lanes {
+		res, err := s.sources[name].mux.Detach(lane)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[name] = res
+	}
+	delete(s.fleet.queries, id)
+	s.counters.Add("fleet_queries_detached", 1)
+	return out, firstErr
+}
+
+// FleetSourceSummary is one camera's slice of a fleet query's results.
+type FleetSourceSummary struct {
+	// FramesProcessed / MatchedFrames / Hits summarize the camera's
+	// lane.
+	FramesProcessed int `json:"frames_processed"`
+	MatchedFrames   int `json:"matched_frames"`
+	Hits            int `json:"hits"`
+}
+
+// FleetResultView is the merged cross-camera read of one fleet query.
+type FleetResultView struct {
+	// ID / Query identify the fleet query.
+	ID    int    `json:"id"`
+	Query string `json:"query"`
+	// Entities lists every merged global object; CrossCamera the subset
+	// matching the windowed cross-camera predicate.
+	Entities    []vqpy.FleetEntity `json:"entities"`
+	CrossCamera []vqpy.FleetEntity `json:"cross_camera"`
+	// MinSources / WindowSec echo the predicate parameters applied.
+	MinSources int     `json:"min_sources"`
+	WindowSec  float64 `json:"window_sec"`
+	// PerSource summarizes each camera's lane.
+	PerSource map[string]FleetSourceSummary `json:"per_source"`
+}
+
+// FleetResults snapshots a fleet query's per-source results and merges
+// them per global id, applying the cross-camera predicate ("seen on at
+// least minSources cameras within windowSec seconds"; minSources < 2
+// defaults to 2, windowSec <= 0 means unbounded).
+func (s *Server) FleetResults(id, minSources int, windowSec float64) (*FleetResultView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fleet == nil {
+		return nil, fmt.Errorf("serve: fleet mode disabled: %w", ErrNotFound)
+	}
+	q, ok := s.fleet.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown fleet query %d: %w", id, ErrNotFound)
+	}
+	perSource := make(map[string]*vqpy.Result, len(q.lanes))
+	for name, lane := range q.lanes {
+		res, err := s.sources[name].mux.Snapshot(lane)
+		if err != nil {
+			return nil, err
+		}
+		perSource[name] = res
+	}
+	if minSources < 2 {
+		minSources = 2
+	}
+	merged := fleet.Merge(q.name, perSource)
+	view := &FleetResultView{
+		ID: id, Query: q.name,
+		Entities:    merged.Entities,
+		CrossCamera: merged.CrossCamera(minSources, windowSec),
+		MinSources:  minSources, WindowSec: windowSec,
+		PerSource: make(map[string]FleetSourceSummary, len(perSource)),
+	}
+	s.counters.Add("fleet_results_read", 1)
+	for name, res := range perSource {
+		view.PerSource[name] = FleetSourceSummary{
+			FramesProcessed: res.FramesProcessed,
+			MatchedFrames:   res.MatchedCount(),
+			Hits:            len(res.Hits),
+		}
+	}
+	return view, nil
+}
+
+// FleetQueryStat is one live fleet query's /streamz row.
+type FleetQueryStat struct {
+	// ID / Name identify the query; Lanes maps camera to lane id.
+	ID    int            `json:"id"`
+	Name  string         `json:"name"`
+	Lanes map[string]int `json:"lanes"`
+	// EstMS sums the per-camera admission estimates.
+	EstMS float64 `json:"est_ms_per_frame_total"`
+}
+
+// FleetStat is the /streamz fleet block.
+type FleetStat struct {
+	// Cams is the camera count; Entities / CrossCamera the identity
+	// registry's population and its ≥2-source subset.
+	Cams        int `json:"cams"`
+	Entities    int `json:"entities"`
+	CrossCamera int `json:"cross_camera"`
+	// Batch reports the batched-inference scheduler's accounting.
+	Batch vqpy.BatchStats `json:"batch"`
+	// Queries lists the live fleet-wide queries.
+	Queries []FleetQueryStat `json:"queries"`
+}
+
+// fleetStatLocked assembles the /streamz fleet block. Callers hold
+// s.mu.
+func (s *Server) fleetStatLocked() *FleetStat {
+	if s.fleet == nil {
+		return nil
+	}
+	regStats := s.fleet.reg.Stats()
+	st := &FleetStat{
+		Cams:        len(s.order),
+		Entities:    regStats.Entities,
+		CrossCamera: regStats.CrossCamera,
+		Batch:       s.fleet.batch.Stats(),
+	}
+	ids := make([]int, 0, len(s.fleet.queries))
+	for id := range s.fleet.queries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		q := s.fleet.queries[id]
+		total := 0.0
+		for _, est := range q.estMS {
+			total += est
+		}
+		st.Queries = append(st.Queries, FleetQueryStat{ID: q.id, Name: q.name, Lanes: q.lanes, EstMS: total})
+	}
+	return st
+}

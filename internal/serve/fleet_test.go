@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newFleetServer builds a manual-stepping fleet daemon for tests.
+func newFleetServer(t *testing.T, budgetMS float64) *Server {
+	t.Helper()
+	s, err := NewServer(Config{Seed: 11, Seconds: 5, Speed: 0, FleetCams: 2, BudgetMS: budgetMS}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one request against the daemon's handler.
+func doFleet(t *testing.T, h http.Handler, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	out := make(map[string]any)
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, path, w.Body.String(), err)
+	}
+	return w.Code, out
+}
+
+// TestFleetHTTPFlow drives the fleet surface end to end: attach a
+// fleet-wide query over HTTP, step the lockstep ticker, read the merged
+// per-global-id results, check /streamz's fleet block, detach.
+func TestFleetHTTPFlow(t *testing.T) {
+	s := newFleetServer(t, 0)
+	h := s.Handler()
+
+	code, resp := doFleet(t, h, "POST", "/fleet/queries", `{"query":"people"}`)
+	if code != http.StatusOK {
+		t.Fatalf("fleet attach: %d %v", code, resp)
+	}
+	if n := len(resp["sources"].([]any)); n != 2 {
+		t.Fatalf("fleet attach covers %d sources, want 2", n)
+	}
+	if id := int(resp["id"].(float64)); id != 0 {
+		t.Fatalf("first fleet query id = %d, want 0", id)
+	}
+
+	for i := 0; i < 30; i++ {
+		if err := s.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, resp = doFleet(t, h, "GET", "/fleet/queries/0/results?min_sources=2&window_sec=30", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet results: %d %v", code, resp)
+	}
+	per := resp["per_source"].(map[string]any)
+	if len(per) != 2 {
+		t.Fatalf("per_source = %v", per)
+	}
+	for name, raw := range per {
+		if raw.(map[string]any)["frames_processed"].(float64) != 30 {
+			t.Fatalf("source %s processed %v frames, want 30", name, raw)
+		}
+	}
+
+	code, resp = doFleet(t, h, "GET", "/streamz", "")
+	if code != http.StatusOK {
+		t.Fatal("streamz failed")
+	}
+	fl, ok := resp["fleet"].(map[string]any)
+	if !ok {
+		t.Fatalf("streamz has no fleet block: %v", resp)
+	}
+	if fl["cams"].(float64) != 2 {
+		t.Fatalf("fleet block cams = %v", fl["cams"])
+	}
+	batch := fl["batch"].(map[string]any)
+	if batch["Ticks"].(float64) != 30 {
+		t.Fatalf("batch ticks = %v, want 30", batch["Ticks"])
+	}
+	if len(fl["queries"].([]any)) != 1 {
+		t.Fatalf("fleet queries = %v", fl["queries"])
+	}
+
+	code, resp = doFleet(t, h, "DELETE", "/fleet/queries/0", "")
+	if code != http.StatusOK {
+		t.Fatalf("fleet detach: %d %v", code, resp)
+	}
+	if code, _ = doFleet(t, h, "GET", "/fleet/queries/0/results", ""); code != http.StatusNotFound {
+		t.Fatalf("detached fleet query still readable: %d", code)
+	}
+}
+
+// TestFleetAttachAdmission checks budget enforcement across sources: a
+// fleet attach whose per-camera estimate exceeds any camera's budget is
+// rejected with the admission error and leaves no lanes behind.
+func TestFleetAttachAdmission(t *testing.T) {
+	s := newFleetServer(t, 0.001)
+	if _, err := s.AttachFleet("redcar"); err == nil {
+		t.Fatal("expected admission rejection")
+	}
+	st := s.Streamz()
+	if st.Fleet == nil || len(st.Fleet.Queries) != 0 {
+		t.Fatalf("rejected attach left fleet queries: %+v", st.Fleet)
+	}
+	for _, src := range st.Sources {
+		if len(src.Lanes) != 0 {
+			t.Fatalf("rejected attach left lanes on %s", src.Name)
+		}
+	}
+}
+
+// TestFleetSurfaceDisabledWithoutFleetMode checks the fleet endpoints
+// 404 on a per-source daemon.
+func TestFleetSurfaceDisabledWithoutFleetMode(t *testing.T) {
+	s, err := NewServer(Config{Seed: 1, Seconds: 2, Speed: 0}, []string{"cityflow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	code, _ := doFleet(t, s.Handler(), "POST", "/fleet/queries", `{"query":"people"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("fleet attach on per-source daemon: %d, want 404", code)
+	}
+}
+
+// TestFleetCrossCameraOverHTTP runs the planted-traveler scenario to
+// completion and checks the merged view surfaces a cross-camera entity.
+func TestFleetCrossCameraOverHTTP(t *testing.T) {
+	s, err := NewServer(Config{Seed: 7, Seconds: 8, Speed: 0, FleetCams: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if _, err := s.AttachFleet("redcar"); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st := s.Streamz()
+		done := true
+		for _, src := range st.Sources {
+			if !src.Done {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if err := s.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view, err := s.FleetResults(0, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Entities) == 0 {
+		t.Fatal("no merged entities")
+	}
+	if len(view.CrossCamera) == 0 {
+		t.Fatal("planted traveler not matched across cameras")
+	}
+	st := s.Streamz()
+	if st.Fleet.CrossCamera < 1 {
+		t.Fatalf("registry cross-camera count = %d", st.Fleet.CrossCamera)
+	}
+	if st.Fleet.Batch.Batched == 0 {
+		t.Fatal("no batched invocations in fleet mode")
+	}
+}
+
+// TestFleetSingleSourceStepRefused pins the lockstep rule: stepping
+// one camera of a fleet would feed it outside the batch window and out
+// of lockstep, so Step must refuse and point at StepAll.
+func TestFleetSingleSourceStepRefused(t *testing.T) {
+	s := newFleetServer(t, 0)
+	name := s.SourceNamesRegistered()[0]
+	if err := s.Step(name); err == nil {
+		t.Fatal("single-source Step on a fleet daemon must be refused")
+	}
+	if err := s.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+}

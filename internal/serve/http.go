@@ -9,6 +9,14 @@ package serve
 //	                             (?since=F restricts hits to frames >= F — delta polling)
 //	GET    /streamz              → sources, groups, lanes, counters, store tiers
 //
+// Fleet mode (vqserve -fleet N) adds the fleet-wide surface:
+//
+//	POST   /fleet/queries              {"query":"redcar"} → {"id":0,"sources":[...]}
+//	DELETE /fleet/queries/{id}         → final per-source results
+//	GET    /fleet/queries/{id}/results → merged per-global-id view
+//	                                   (?min_sources=2&window_sec=30 tunes the
+//	                                   cross-camera predicate)
+//
 // The handlers are thin JSON adapters over the Server methods; all
 // concurrency control lives there.
 
@@ -66,6 +74,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /queries", s.handleAttach)
 	mux.HandleFunc("DELETE /queries/{id}", s.handleDetach)
 	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	mux.HandleFunc("POST /fleet/queries", s.handleFleetAttach)
+	mux.HandleFunc("DELETE /fleet/queries/{id}", s.handleFleetDetach)
+	mux.HandleFunc("GET /fleet/queries/{id}/results", s.handleFleetResults)
 	mux.HandleFunc("GET /streamz", s.handleStreamz)
 	return mux
 }
@@ -152,6 +163,89 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, wireResult(id, res))
+}
+
+// fleetAttachRequest is the POST /fleet/queries body.
+type fleetAttachRequest struct {
+	Query string `json:"query"`
+}
+
+// fleetAttachResponse is the POST /fleet/queries reply.
+type fleetAttachResponse struct {
+	ID      int      `json:"id"`
+	Query   string   `json:"query"`
+	Sources []string `json:"sources"`
+}
+
+func (s *Server) handleFleetAttach(w http.ResponseWriter, r *http.Request) {
+	var req fleetAttachRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	id, err := s.AttachFleet(req.Query)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetAttachResponse{ID: id, Query: req.Query, Sources: s.SourceNamesRegistered()})
+}
+
+// fleetDetachResponse is the DELETE /fleet/queries/{id} reply: the
+// final per-source result summaries.
+type fleetDetachResponse struct {
+	ID        int                           `json:"id"`
+	PerSource map[string]FleetSourceSummary `json:"per_source"`
+}
+
+func (s *Server) handleFleetDetach(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	perSource, err := s.DetachFleet(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := fleetDetachResponse{ID: id, PerSource: make(map[string]FleetSourceSummary, len(perSource))}
+	for name, res := range perSource {
+		resp.PerSource[name] = FleetSourceSummary{
+			FramesProcessed: res.FramesProcessed,
+			MatchedFrames:   res.MatchedCount(),
+			Hits:            len(res.Hits),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
+	id, err := queryID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	minSources := 2
+	windowSec := 30.0
+	if raw := r.URL.Query().Get("min_sources"); raw != "" {
+		if minSources, err = strconv.Atoi(raw); err != nil {
+			writeErr(w, errors.New("serve: bad min_sources: "+err.Error()))
+			return
+		}
+	}
+	if raw := r.URL.Query().Get("window_sec"); raw != "" {
+		if windowSec, err = strconv.ParseFloat(raw, 64); err != nil {
+			writeErr(w, errors.New("serve: bad window_sec: "+err.Error()))
+			return
+		}
+	}
+	view, err := s.FleetResults(id, minSources, windowSec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleStreamz(w http.ResponseWriter, _ *http.Request) {

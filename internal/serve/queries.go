@@ -69,6 +69,50 @@ var builders = map[string]func() *vqpy.Query{
 	},
 }
 
+// fleetBuilders maps fleet query names to per-source builders: each is
+// called once per camera with the daemon's shared identity registry, so
+// the per-camera instances resolve global ids against one fleet-wide
+// identity space and select PropGlobalID for mergeable results.
+var fleetBuilders = map[string]func(reg *vqpy.GlobalRegistry, source string) *vqpy.Query{
+	"redcar": func(reg *vqpy.GlobalRegistry, source string) *vqpy.Query {
+		car := vqpy.GlobalVObj(vqpy.Car(), reg, source)
+		return vqpy.NewQuery("FleetRedCar").
+			Use("car", car).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "color").Eq("red"),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropGlobalID), vqpy.Sel("car", "color"))
+	},
+	"people": func(reg *vqpy.GlobalRegistry, source string) *vqpy.Query {
+		p := vqpy.GlobalVObj(vqpy.Person(), reg, source)
+		return vqpy.NewQuery("FleetPeople").
+			Use("p", p).
+			Where(vqpy.P("p", vqpy.PropScore).Gt(0.5)).
+			FrameOutput(vqpy.Sel("p", vqpy.PropGlobalID))
+	},
+	"speeding": func(reg *vqpy.GlobalRegistry, source string) *vqpy.Query {
+		car := vqpy.GlobalVObj(vqpy.Car(), reg, source)
+		return vqpy.NewQuery("FleetSpeeding").
+			Use("car", car).
+			Where(vqpy.And(
+				vqpy.P("car", vqpy.PropScore).Gt(0.6),
+				vqpy.P("car", "velocity").Gt(12),
+			)).
+			FrameOutput(vqpy.Sel("car", vqpy.PropGlobalID))
+	},
+}
+
+// FleetQueryNames lists the fleet-attachable query names, sorted.
+func FleetQueryNames() []string {
+	out := make([]string, 0, len(fleetBuilders))
+	for name := range fleetBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // QueryNames lists the attachable query names, sorted.
 func QueryNames() []string {
 	out := make([]string, 0, len(builders))

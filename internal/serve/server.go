@@ -52,6 +52,13 @@ type Config struct {
 	// model cost — the warm-restart path — and queries can attach with
 	// backfill. Empty disables persistence.
 	StoreDir string
+	// FleetCams > 0 switches the daemon to fleet mode (DESIGN.md §8):
+	// the registered sourceNames are replaced by that many correlated
+	// camera clips sharing one entity population, all driven in
+	// lockstep on one ticker with batched cross-source detector
+	// inference and a shared global re-ID registry; fleet-wide queries
+	// attach through POST /fleet/queries. Incompatible with StoreDir.
+	FleetCams int
 }
 
 // source is one registered scenario feed: its own session (private
@@ -88,6 +95,7 @@ type Server struct {
 	nextID   int
 	counters *metrics.Counters
 	store    *vqpy.Store // persistent result store, nil without StoreDir
+	fleet    *fleetState // fleet-mode extension, nil without FleetCams
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -117,12 +125,14 @@ func SourceNames() []string {
 }
 
 // NewServer generates one clip and opens one dynamic MuxStream per
-// named source.
+// named source. In fleet mode (Config.FleetCams > 0) sourceNames is
+// ignored: the sources are the correlated camera clips of the fleet
+// scenario.
 func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 	if cfg.Seconds <= 0 {
 		cfg.Seconds = 30
 	}
-	if len(sourceNames) == 0 {
+	if len(sourceNames) == 0 && cfg.FleetCams <= 0 {
 		return nil, fmt.Errorf("serve: no sources registered")
 	}
 	s := &Server{
@@ -131,6 +141,12 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		queries:  make(map[int]*liveQuery),
 		counters: metrics.NewCounters(),
 		stop:     make(chan struct{}),
+	}
+	if cfg.FleetCams > 0 {
+		if err := s.initFleet(); err != nil {
+			return nil, err
+		}
+		return s, nil
 	}
 	if cfg.StoreDir != "" {
 		// One store serves every source: records are keyed by source
@@ -177,9 +193,19 @@ func (s *Server) closeStore() {
 	}
 }
 
+// SourceNamesRegistered lists this server's registered sources in feed
+// order (in fleet mode, the generated camera names).
+func (s *Server) SourceNamesRegistered() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
 // Run starts one ticker goroutine per source feeding frames at
-// Speed × capture rate. It is a no-op when Speed <= 0 (manual stepping)
-// or when already started. Stop with Close.
+// Speed × capture rate — or, in fleet mode, ONE lockstep ticker
+// stepping every camera per tick inside a batch window. It is a no-op
+// when Speed <= 0 (manual stepping) or when already started. Stop with
+// Close.
 func (s *Server) Run() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -187,6 +213,33 @@ func (s *Server) Run() {
 		return
 	}
 	s.started = true
+	if s.fleet != nil {
+		src := s.sources[s.order[0]]
+		interval := time.Duration(float64(time.Second) / (float64(src.video.FPS) * s.cfg.Speed))
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					// A per-source feed error marks that source done
+					// with the error recorded; the ticker keeps driving
+					// the healthy cameras.
+					s.mu.Lock()
+					_ = s.fleetStepLocked()
+					s.mu.Unlock()
+				}
+			}
+		}()
+		return
+	}
 	for _, name := range s.order {
 		src := s.sources[name]
 		interval := time.Duration(float64(time.Second) / (float64(src.video.FPS) * s.cfg.Speed))
@@ -229,17 +282,27 @@ func (s *Server) Close() {
 	s.closeStore()
 }
 
-// Step feeds one frame on the named source (wrapping when Loop is set).
+// Step feeds one frame on the named source (wrapping when Loop is
+// set). In fleet mode single-source stepping is refused: it would feed
+// the camera outside the batch window and out of lockstep — use
+// StepAll, which advances the whole fleet one tick.
 func (s *Server) Step(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fleet != nil {
+		return fmt.Errorf("serve: fleet sources step in lockstep; use StepAll")
+	}
 	return s.stepLocked(name)
 }
 
-// StepAll feeds one frame on every source, in registration order.
+// StepAll feeds one frame on every source, in registration order — in
+// fleet mode this is one lockstep tick with its batch window.
 func (s *Server) StepAll() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fleet != nil {
+		return s.fleetStepLocked()
+	}
 	for _, name := range s.order {
 		if err := s.stepLocked(name); err != nil {
 			return err
@@ -293,7 +356,8 @@ func (e *ErrAdmission) Error() string {
 }
 
 // estLoadLocked sums the admission estimates of the queries resident on
-// one source.
+// one source — per-source attaches plus that source's share of every
+// fleet-wide query.
 func (s *Server) estLoadLocked(source string) (float64, int) {
 	var load float64
 	n := 0
@@ -303,7 +367,8 @@ func (s *Server) estLoadLocked(source string) (float64, int) {
 			n++
 		}
 	}
-	return load, n
+	fleetLoad, fleetN := s.fleetLoadLocked(source)
+	return load + fleetLoad, n + fleetN
 }
 
 // AttachNamed plans a library query and attaches it to the named
@@ -476,13 +541,14 @@ type Stats struct {
 	Queries  []QueryStat      `json:"queries"`
 	Counters map[string]int64 `json:"counters"`
 	Store    *StoreStat       `json:"store,omitempty"`
+	Fleet    *FleetStat       `json:"fleet,omitempty"`
 }
 
 // Streamz assembles the live stats snapshot.
 func (s *Server) Streamz() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Counters: s.counters.Snapshot()}
+	st := Stats{Counters: s.counters.Snapshot(), Fleet: s.fleetStatLocked()}
 	if s.store != nil {
 		st.Store = &StoreStat{
 			Dir: s.store.Dir(), Tiers: s.store.TierStats(),

@@ -1,0 +1,317 @@
+package video
+
+// Cross-camera scenario generation: a FleetScenario materializes ONE
+// shared entity population into several correlated clips — the same
+// cars and persons reappearing on different cameras with per-camera
+// timing offsets (travel time between views) and per-camera viewpoints
+// (each camera renders its own trajectory for the entity). This gives
+// the fleet layer ground truth for global re-identification: every
+// entity carries one global id and one appearance FeatureID across all
+// cameras, while per-camera ground-truth track ids are assigned
+// independently per clip — exactly the situation a re-ID registry must
+// untangle.
+
+import (
+	"fmt"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/sim"
+)
+
+// FleetScenario configures the correlated multi-camera generator. The
+// Base scenario supplies the shared parameters (seed, duration, frame
+// rate, spawn rates, attribute weights); each camera view is derived
+// from it. Zero values get defaults in Generate, and the same
+// FleetScenario always produces the same FleetClip.
+type FleetScenario struct {
+	// Base is the single-camera scenario every view derives from.
+	Base Scenario
+	// Cameras is the number of correlated views (default 3).
+	Cameras int
+	// MaxOffsetSec bounds the per-camera timing offset of a traveling
+	// entity: the travel time between two views (default 4s).
+	MaxOffsetSec float64
+	// TravelFrac is the fraction of entities that appear on more than
+	// one camera (default 0.5). Non-travelers stay on their home view.
+	TravelFrac float64
+	// PlantTraveler plants one red sedan that visits every camera in
+	// order — a guaranteed cross-camera entity for walkthroughs and the
+	// fleet bench gate.
+	PlantTraveler bool
+}
+
+// FleetClip is a generated multi-camera clip set plus its re-ID ground
+// truth.
+type FleetClip struct {
+	// Videos holds one correlated clip per camera, all sharing FPS and
+	// duration so the fleet engine can feed them in lockstep.
+	Videos []*Video
+	// GlobalOf maps, per camera, the clip's ground-truth track id to the
+	// global entity id — the reference a re-ID evaluation scores
+	// against. Global ids start at 1 and are shared across cameras.
+	GlobalOf []map[int]int
+	// Entities is the population size (the number of distinct global
+	// ids).
+	Entities int
+	// PlantedGlobalID is the planted traveler's global id, 0 when no
+	// traveler was planted.
+	PlantedGlobalID int
+}
+
+// fleetEntity is one member of the shared population: global identity,
+// intrinsic appearance, and its per-camera visit schedule.
+type fleetEntity struct {
+	gid       int
+	class     Class
+	color     Color
+	kind      VehicleKind
+	plate     string
+	featureID int
+	w, h      float64
+	speed     float64
+	walking   bool
+
+	spawn   int // home-camera spawn frame
+	visits  []bool
+	offsets []int // per-camera spawn offset in frames
+}
+
+// applyDefaults fills unset fleet knobs.
+func (fs *FleetScenario) applyDefaults() {
+	fs.Base.applyDefaults()
+	if fs.Cameras <= 0 {
+		fs.Cameras = 3
+	}
+	if fs.MaxOffsetSec <= 0 {
+		fs.MaxOffsetSec = 4
+	}
+	if fs.TravelFrac <= 0 {
+		fs.TravelFrac = 0.5
+	}
+}
+
+// Generate materializes the fleet scenario: one entity population,
+// Cameras correlated clips. Generation is pure — all randomness flows
+// from the base scenario seed.
+func (fs FleetScenario) Generate() *FleetClip {
+	fs.applyDefaults()
+	base := fs.Base
+	rng := sim.NewRNG(base.Seed ^ 0xF1EE7_C0FFEE)
+	frames := base.frameCount()
+
+	entities := fs.genPopulation(rng, frames)
+	planted := 0
+	if fs.PlantTraveler {
+		e := fs.plantTraveler(rng, len(entities)+1, frames)
+		entities = append(entities, e)
+		planted = e.gid
+	}
+
+	clip := &FleetClip{
+		Videos:          make([]*Video, fs.Cameras),
+		GlobalOf:        make([]map[int]int, fs.Cameras),
+		Entities:        len(entities),
+		PlantedGlobalID: planted,
+	}
+	for c := 0; c < fs.Cameras; c++ {
+		camSc := base
+		camSc.Name = fmt.Sprintf("%s-cam%d", base.Name, c)
+		// Each camera renders its own viewpoint: trajectories come from
+		// a camera-specific generator stream, so the same entity crosses
+		// different cameras along different paths.
+		camRng := sim.NewRNG(base.Seed ^ (0xCA11_0000 + uint64(c)*0x9E3779B9))
+		v := camSc.emptyVideo(frames)
+		v.Name = camSc.Name
+		clip.GlobalOf[c] = make(map[int]int)
+		nextTrack := 1
+		for _, e := range entities {
+			if !e.visits[c] {
+				continue
+			}
+			tr := fs.cameraTrack(camRng, &camSc, e, c, frames)
+			tr.id = nextTrack
+			camSc.materialize(v, tr)
+			if len(v.Tracks[tr.id]) == 0 {
+				// The offset pushed the visit past the clip; it never
+				// became visible on this camera.
+				continue
+			}
+			clip.GlobalOf[c][tr.id] = e.gid
+			nextTrack++
+		}
+		clip.Videos[c] = v
+	}
+	return clip
+}
+
+// genPopulation spawns the shared entity set from the base scenario's
+// rates and attribute weights, then schedules each entity's camera
+// visits.
+func (fs *FleetScenario) genPopulation(rng *sim.RNG, frames int) []*fleetEntity {
+	base := &fs.Base
+	var out []*fleetEntity
+	gid := 1
+	pVehicle := base.VehiclesPerSec / float64(base.FPS)
+	pPerson := base.PersonsPerSec / float64(base.FPS)
+	for f := 0; f < frames; f++ {
+		if rng.Bool(pVehicle) {
+			e := fs.newEntity(rng, gid, f)
+			out = append(out, e)
+			gid++
+		}
+		if rng.Bool(pPerson) {
+			e := fs.newPersonEntity(rng, gid, f)
+			out = append(out, e)
+			gid++
+		}
+	}
+	return out
+}
+
+// newEntity creates one vehicle entity with a visit schedule.
+func (fs *FleetScenario) newEntity(rng *sim.RNG, gid, spawn int) *fleetEntity {
+	base := &fs.Base
+	kind := weightedKind(rng, base.KindWeights)
+	w, h := 90.0, 58.0
+	switch kind {
+	case KindBusKind:
+		w, h = 170, 75
+	case KindTruckKind:
+		w, h = 150, 80
+	case KindSUV:
+		w, h = 100, 66
+	case KindVan:
+		w, h = 110, 70
+	}
+	speed := rng.Range(base.SpeedRange[0], base.SpeedRange[1])
+	if rng.Bool(base.SpeederFrac) {
+		speed = SpeedingThreshold + rng.Range(2, 8)
+	}
+	e := &fleetEntity{
+		gid:       gid,
+		class:     vehicleClass(kind),
+		color:     weightedColor(rng, base.ColorWeights),
+		kind:      kind,
+		plate:     synthPlate(rng),
+		featureID: fleetFeatureID(gid),
+		w:         w, h: h,
+		speed: speed,
+		spawn: spawn,
+	}
+	fs.scheduleVisits(rng, e)
+	return e
+}
+
+// newPersonEntity creates one pedestrian entity with a visit schedule.
+func (fs *FleetScenario) newPersonEntity(rng *sim.RNG, gid, spawn int) *fleetEntity {
+	e := &fleetEntity{
+		gid:       gid,
+		class:     ClassPerson,
+		featureID: fleetFeatureID(gid),
+		w:         26, h: 64,
+		speed:   rng.Range(1.5, 3),
+		walking: rng.Bool(fs.Base.WalkFrac),
+		spawn:   spawn,
+	}
+	fs.scheduleVisits(rng, e)
+	return e
+}
+
+// fleetFeatureID derives a globally unique appearance key for an
+// entity. The offset keeps fleet feature ids disjoint from the
+// single-camera generator's person feature space.
+func fleetFeatureID(gid int) int { return 1<<20 + gid }
+
+// scheduleVisits assigns the entity's home camera plus, for travelers,
+// later visits with cumulative travel offsets.
+func (fs *FleetScenario) scheduleVisits(rng *sim.RNG, e *fleetEntity) {
+	e.visits = make([]bool, fs.Cameras)
+	e.offsets = make([]int, fs.Cameras)
+	home := rng.Intn(fs.Cameras)
+	e.visits[home] = true
+	if fs.Cameras == 1 || !rng.Bool(fs.TravelFrac) {
+		return
+	}
+	// Travelers sweep forward from the home camera (wrapping), each hop
+	// adding travel time; at least one extra camera is visited.
+	hops := 1 + rng.Intn(fs.Cameras-1)
+	offset := 0.0
+	for i := 1; i <= hops; i++ {
+		offset += rng.Range(fs.MaxOffsetSec*0.25, fs.MaxOffsetSec)
+		cam := (home + i) % fs.Cameras
+		e.visits[cam] = true
+		e.offsets[cam] = int(offset * float64(fs.Base.FPS))
+	}
+}
+
+// plantTraveler builds the guaranteed cross-camera entity: a red sedan
+// spawning early and visiting every camera in order.
+func (fs *FleetScenario) plantTraveler(rng *sim.RNG, gid, frames int) *fleetEntity {
+	e := &fleetEntity{
+		gid:       gid,
+		class:     ClassCar,
+		color:     ColorRed,
+		kind:      KindSedan,
+		plate:     "FLT-001",
+		featureID: fleetFeatureID(gid),
+		w:         95, h: 60,
+		speed: rng.Range(fs.Base.SpeedRange[0], fs.Base.SpeedRange[1]),
+		spawn: frames / 10,
+	}
+	e.visits = make([]bool, fs.Cameras)
+	e.offsets = make([]int, fs.Cameras)
+	hop := fs.MaxOffsetSec * 0.5
+	for c := 0; c < fs.Cameras; c++ {
+		e.visits[c] = true
+		e.offsets[c] = int(float64(c) * hop * float64(fs.Base.FPS))
+	}
+	return e
+}
+
+// cameraTrack materializes one entity's visit to one camera as a track:
+// shared identity and intrinsics, camera-specific trajectory and spawn
+// offset. The returned track still needs its per-camera id assigned.
+func (fs *FleetScenario) cameraTrack(camRng *sim.RNG, camSc *Scenario, e *fleetEntity, cam, frames int) *track {
+	W, H := float64(camSc.W), float64(camSc.H)
+	spawn := e.spawn + e.offsets[cam]
+	var path []geom.Point
+	var life int
+	dir := geom.DirUnknown
+	if e.class == ClassPerson {
+		y := H * camRng.Range(0.58, 0.64)
+		if camRng.Bool(0.5) {
+			path = []geom.Point{{X: W * 0.25, Y: y}, {X: W * 0.75, Y: y}}
+		} else {
+			path = []geom.Point{{X: W * 0.75, Y: y}, {X: W * 0.25, Y: y}}
+		}
+		life = int(pathLength(path) / e.speed)
+	} else {
+		dir = weightedTurn(camRng, camSc.TurnWeights)
+		path = intersectionPath(camRng, W, H, dir)
+		life = int(pathLength(path) / e.speed)
+	}
+	if life < 8 {
+		life = 8
+	}
+	if life > frames {
+		life = frames
+	}
+	return &track{
+		class: e.class, color: e.color, kind: e.kind,
+		plate: e.plate, featureID: e.featureID,
+		spawnFrame: spawn, life: life, path: path, dir: dir,
+		w: e.w, h: e.h, walking: e.walking, pairTrack: -1,
+	}
+}
+
+// FleetIntersections is the multi-camera preset used by the fleet
+// experiments and walkthroughs: correlated CityFlow-style intersections
+// sharing one entity population, with a planted red sedan guaranteed to
+// cross every camera.
+func FleetIntersections(seed uint64, durationSec float64, cameras int) FleetScenario {
+	return FleetScenario{
+		Base:          CityFlow(seed, durationSec),
+		Cameras:       cameras,
+		PlantTraveler: true,
+	}
+}

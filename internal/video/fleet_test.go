@@ -1,0 +1,134 @@
+package video
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFleetGenerateDeterministic pins generation purity: the same
+// FleetScenario yields byte-identical clips and ground truth.
+func TestFleetGenerateDeterministic(t *testing.T) {
+	fs := FleetIntersections(7, 8, 3)
+	a, b := fs.Generate(), fs.Generate()
+	if a.Entities != b.Entities {
+		t.Fatalf("entity counts differ: %d vs %d", a.Entities, b.Entities)
+	}
+	if !reflect.DeepEqual(a.GlobalOf, b.GlobalOf) {
+		t.Fatal("ground-truth global-id maps differ across runs")
+	}
+	for c := range a.Videos {
+		if !reflect.DeepEqual(a.Videos[c].Frames, b.Videos[c].Frames) {
+			t.Fatalf("camera %d frames differ across runs", c)
+		}
+	}
+}
+
+// TestFleetGenerateShape checks the structural contract: N correlated
+// clips sharing FPS and duration, per-camera track ids all mapped to
+// global ids, and camera names derived from the base.
+func TestFleetGenerateShape(t *testing.T) {
+	fs := FleetIntersections(11, 10, 3)
+	clip := fs.Generate()
+	if len(clip.Videos) != 3 || len(clip.GlobalOf) != 3 {
+		t.Fatalf("want 3 cameras, got %d videos / %d maps", len(clip.Videos), len(clip.GlobalOf))
+	}
+	for c, v := range clip.Videos {
+		if v.FPS != clip.Videos[0].FPS || len(v.Frames) != len(clip.Videos[0].Frames) {
+			t.Fatalf("camera %d not in lockstep with camera 0", c)
+		}
+		if v.Name == clip.Videos[(c+1)%3].Name {
+			t.Fatalf("camera names must be distinct, got %q twice", v.Name)
+		}
+		// Every ground-truth track id present on the camera must be
+		// mapped to a global id.
+		for id := range v.Tracks {
+			if _, ok := clip.GlobalOf[c][id]; !ok {
+				t.Errorf("camera %d track %d has no global id", c, id)
+			}
+		}
+	}
+}
+
+// TestFleetTravelersCrossCameras verifies the correlation that makes
+// re-ID meaningful: some global ids (including the planted traveler)
+// appear on at least two cameras, with the later visits time-shifted.
+func TestFleetTravelersCrossCameras(t *testing.T) {
+	fs := FleetIntersections(23, 12, 3)
+	clip := fs.Generate()
+	if clip.PlantedGlobalID == 0 {
+		t.Fatal("preset should plant a traveler")
+	}
+	camsOf := make(map[int]map[int]bool) // gid -> set of cameras
+	for c, m := range clip.GlobalOf {
+		for _, gid := range m {
+			if camsOf[gid] == nil {
+				camsOf[gid] = make(map[int]bool)
+			}
+			camsOf[gid][c] = true
+		}
+	}
+	travelers := 0
+	for _, cams := range camsOf {
+		if len(cams) >= 2 {
+			travelers++
+		}
+	}
+	if travelers == 0 {
+		t.Fatal("no entity appears on two cameras")
+	}
+	if len(camsOf[clip.PlantedGlobalID]) != 3 {
+		t.Fatalf("planted traveler on %d cameras, want 3", len(camsOf[clip.PlantedGlobalID]))
+	}
+	// The planted traveler's visits must be time-shifted camera to
+	// camera (travel time between views).
+	first := func(c int) int {
+		for id, gid := range clip.GlobalOf[c] {
+			if gid == clip.PlantedGlobalID {
+				return clip.Videos[c].Tracks[id][0].Frame
+			}
+		}
+		return -1
+	}
+	if f0, f1 := first(0), first(1); f0 < 0 || f1 <= f0 {
+		t.Fatalf("planted traveler not time-shifted: cam0 first frame %d, cam1 %d", f0, f1)
+	}
+}
+
+// TestFleetFeatureIDsSharedAcrossCameras checks that one entity carries
+// one appearance key everywhere — the property the simulated re-ID
+// embedder keys on — while per-camera track ids are assigned
+// independently.
+func TestFleetFeatureIDsSharedAcrossCameras(t *testing.T) {
+	clip := FleetIntersections(31, 10, 2).Generate()
+	featureOf := func(c, trackID int) int {
+		for i := range clip.Videos[c].Frames {
+			for _, o := range clip.Videos[c].Frames[i].Objects {
+				if o.TrackID == trackID {
+					return o.FeatureID
+				}
+			}
+		}
+		return 0
+	}
+	byGid := make(map[int]int)
+	checked := 0
+	for c, m := range clip.GlobalOf {
+		for id, gid := range m {
+			f := featureOf(c, id)
+			if f == 0 {
+				t.Fatalf("camera %d track %d has no feature id", c, id)
+			}
+			if prev, ok := byGid[gid]; ok {
+				checked++
+				if prev != f {
+					t.Fatalf("global id %d has feature ids %d and %d", gid, prev, f)
+				}
+			} else {
+				byGid[gid] = f
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cross-camera entity to check")
+	}
+}

@@ -157,15 +157,21 @@ func (tr *track) posAt(t int) geom.Point {
 	return geom.Point{X: a.X + (b.X-a.X)*frac, Y: a.Y + (b.Y-a.Y)*frac}
 }
 
-// Generate materializes the scenario into a Video. Generation is pure:
-// all randomness flows from the scenario seed.
-func (s Scenario) Generate() *Video {
-	s.applyDefaults()
-	rng := sim.NewRNG(s.Seed ^ 0xC0FFEE123456789)
+// frameCount converts the scenario duration into a frame count (always
+// at least one frame).
+func (s *Scenario) frameCount() int {
 	n := int(s.Duration * float64(s.FPS))
 	if n < 1 {
 		n = 1
 	}
+	return n
+}
+
+// emptyVideo builds the frame shell tracks are materialized into: n
+// frames with capture metadata and the static scene context, but no
+// objects yet. Shared by the single-camera generator and the fleet
+// generator, so every camera's shell is constructed identically.
+func (s *Scenario) emptyVideo(n int) *Video {
 	scene := &Scene{
 		Night:     s.Night,
 		Crosswalk: geom.Rect(float64(s.W)*0.3, float64(s.H)*0.55, float64(s.W)*0.4, float64(s.H)*0.12),
@@ -175,6 +181,22 @@ func (s Scenario) Generate() *Video {
 		Tracks: make(map[int][]TrackPoint),
 		scene:  scene,
 	}
+	v.Frames = make([]Frame, n)
+	for i := 0; i < n; i++ {
+		v.Frames[i] = Frame{
+			Index: i, TimeSec: float64(i) / float64(s.FPS),
+			W: s.W, H: s.H, scene: scene,
+		}
+	}
+	return v
+}
+
+// Generate materializes the scenario into a Video. Generation is pure:
+// all randomness flows from the scenario seed.
+func (s Scenario) Generate() *Video {
+	s.applyDefaults()
+	rng := sim.NewRNG(s.Seed ^ 0xC0FFEE123456789)
+	n := s.frameCount()
 
 	var tracks []*track
 	if s.Stills {
@@ -183,14 +205,7 @@ func (s Scenario) Generate() *Video {
 		tracks = s.genMotion(rng, n)
 	}
 
-	// Materialize frames.
-	v.Frames = make([]Frame, n)
-	for i := 0; i < n; i++ {
-		v.Frames[i] = Frame{
-			Index: i, TimeSec: float64(i) / float64(s.FPS),
-			W: s.W, H: s.H, scene: scene,
-		}
-	}
+	v := s.emptyVideo(n)
 	for _, tr := range tracks {
 		s.materialize(v, tr)
 	}
