@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan|fleet]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan|fleet|chaos]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
@@ -20,7 +20,11 @@
 // fleet compares batched cross-source inference over a correlated
 // three-camera clip set against N isolated daemons — identical
 // per-source verdicts at equal detector invocation counts, with lower
-// total virtual time and a cross-camera global-id join.
+// total virtual time and a cross-camera global-id join; chaos runs the
+// fleet workload under deterministic fault injection (E19) — retries
+// absorb recoverable faults at ≥99% verdict parity, breakers degrade
+// gracefully, a disabled injector is bit-identical, and store faults
+// downgrade tiers without changing answers.
 // -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 //
@@ -42,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan, fleet)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan, fleet, chaos)")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
@@ -102,8 +106,9 @@ func main() {
 		"churn":   bench.RunChurn,
 		"rescan":  bench.RunRescan,
 		"fleet":   bench.RunFleet,
+		"chaos":   bench.RunChaos,
 	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "fleet", "dag"}
+	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "fleet", "chaos", "dag"}
 
 	selected := []string{*exp}
 	if *exp == "all" {

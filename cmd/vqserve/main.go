@@ -7,7 +7,7 @@
 //
 //	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
 //	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop] [-store DIR]
-//	        [-attach source:query,...] [-fleet N]
+//	        [-attach source:query,...] [-fleet N] [-chaos] [-chaos-seed N]
 //
 // API:
 //
@@ -15,7 +15,10 @@
 //	                             (+"backfill":true replays scanned history)
 //	DELETE /queries/{id}         detach, returns the final result
 //	GET    /queries/{id}/results live result snapshot (?since=F for deltas)
-//	GET    /streamz              sources, scan groups, lanes, counters, store
+//	GET    /streamz              sources, scan groups, lanes, counters, store,
+//	                             degradation state (breakers, quarantines)
+//	GET    /healthz              liveness + degradation summary (always 200)
+//	GET    /readyz               readiness (503 while draining)
 //
 // Fleet mode (-fleet N, DESIGN.md §8) replaces -sources with N
 // correlated camera clips sharing one entity population, driven in
@@ -40,17 +43,59 @@
 // with -store, that guarantees the archive covers the stream from
 // frame zero, which is what later backfill attaches need. See
 // DESIGN.md §6 for attach/detach semantics and §7 for the store.
+//
+// -chaos enables the deterministic fault injector (DESIGN.md §9) with
+// a canned schedule seeded by -chaos-seed: transient model errors the
+// retry layer absorbs, occasional terminal failure windows that trip
+// circuit breakers into fallback detectors, source stalls that
+// quarantine a camera, and store write/read faults. Degradation state
+// is visible on /streamz and /healthz.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
+// admitting queries and frames (readyz flips to 503), detaches and
+// finalizes every live query, flushes the store, then stops the HTTP
+// listener.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+
+	"vqpy"
 
 	"vqpy/internal/serve"
 )
+
+// chaosSchedule is the canned -chaos fault plan: enough of every
+// failure domain to exercise retries, breakers, fallbacks, quarantine
+// and store degradation on a long-running daemon without drowning it.
+func chaosSchedule(seed uint64) vqpy.FaultSchedule {
+	return vqpy.FaultSchedule{
+		Seed: seed,
+		Rules: []vqpy.FaultRule{
+			// Transient model errors: absorbed by retry, zero verdict impact.
+			{Kind: vqpy.FaultModelError, Rate: 0.05, Persist: 1},
+			// Transient timeouts: absorbed by retry, charged on the clock.
+			{Kind: vqpy.FaultModelTimeout, Rate: 0.02, Persist: 1, DeadlineMS: 40},
+			// A recurring terminal window: trips breakers into fallback.
+			{Kind: vqpy.FaultModelError, Rate: 0.01, Persist: 10},
+			// Source stalls: a camera wedges and gets quarantined.
+			{Kind: vqpy.FaultSourceStall, Rate: 0.01, Persist: 6},
+			// Dropped frames.
+			{Kind: vqpy.FaultSourceDrop, Rate: 0.005, Persist: 1},
+			// Store faults: writes degrade a tier to memory-only, reads
+			// become misses.
+			{Kind: vqpy.FaultStoreRead, Rate: 0.02, Persist: 1},
+		},
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8791", "HTTP listen address")
@@ -63,6 +108,8 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
 	attach := flag.String("attach", "", "comma-separated source:query pairs to attach before frames start flowing")
 	fleetCams := flag.Int("fleet", 0, "fleet mode: drive N correlated cameras in lockstep with batched cross-source inference (replaces -sources)")
+	chaos := flag.Bool("chaos", false, "enable the deterministic fault injector with a canned schedule (DESIGN.md §9)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed (with -chaos)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vqserve: unexpected arguments %q\n", flag.Args())
@@ -79,9 +126,13 @@ func main() {
 			names = append(names, name)
 		}
 	}
+	var inj *vqpy.FaultInjector
+	if *chaos {
+		inj = vqpy.NewFaultInjector(chaosSchedule(*chaosSeed))
+	}
 	s, err := serve.NewServer(serve.Config{
 		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
-		StoreDir: *storeDir, FleetCams: *fleetCams,
+		StoreDir: *storeDir, FleetCams: *fleetCams, Faults: inj,
 	}, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
@@ -125,10 +176,36 @@ func main() {
 		serving = fmt.Sprintf("fleet of %d cameras (%s)", *fleetCams, strings.Join(s.SourceNamesRegistered(), ","))
 		queries = queries + "; fleet: " + strings.Join(serve.FleetQueryNames(), ",")
 	}
-	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s, queries: %s)\n",
-		serving, *addr, *speed, *budget, persistence, queries)
-	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
-		os.Exit(1)
+	chaosNote := ""
+	if *chaos {
+		chaosNote = fmt.Sprintf(", chaos seed %d", *chaosSeed)
+	}
+	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s%s, queries: %s)\n",
+		serving, *addr, *speed, *budget, persistence, chaosNote, queries)
+
+	// Graceful shutdown: SIGINT/SIGTERM drains before the listener goes
+	// down — stop admitting (readyz → 503), detach and finalize every
+	// live query, flush the store, then stop serving HTTP.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("vqserve: signal received, draining")
+		sum := s.Drain()
+		fmt.Printf("vqserve: drained %d queries (%d fleet), store flushed: %v\n",
+			sum.QueriesDetached, sum.FleetQueriesDetached, sum.StoreFlushed)
+		if err := httpSrv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "vqserve: shutdown: %v\n", err)
+		}
+		fmt.Println("vqserve: stopped")
 	}
 }

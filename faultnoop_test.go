@@ -1,0 +1,145 @@
+package vqpy_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy"
+)
+
+// faultServe runs the two standard serving queries over one CityFlow
+// clip with an optional fault schedule installed, returning the final
+// results and the session's virtual-clock total.
+func faultServe(t *testing.T, seed uint64, sched *vqpy.FaultSchedule) ([]*vqpy.Result, float64, *vqpy.FaultInjector) {
+	t.Helper()
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(seed, 12))
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	var inj *vqpy.FaultInjector
+	if sched != nil {
+		inj = vqpy.NewFaultInjector(*sched)
+		s.SetFaults(inj)
+	}
+	m, err := s.Serve(v.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachQuery(m, servingRedCar(), v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachQuery(m, servingPeople(), v); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(v.Frames); i++ {
+		if _, err := m.Feed(v.FrameAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m.Close(), s.Clock().TotalMS(), inj
+}
+
+// TestFaultInjectorNoop pins the no-op guarantee the fault layer's
+// documentation promises: a session with an ENABLED injector carrying an
+// empty schedule is bit-identical — results, degradation accounting and
+// virtual-clock totals — to a session with no injector at all. This is
+// what makes it safe to ship the chaos hooks compiled into every build.
+func TestFaultInjectorNoop(t *testing.T) {
+	const seed = 91
+	base, baseMS, _ := faultServe(t, seed, nil)
+	noop, noopMS, inj := faultServe(t, seed, &vqpy.FaultSchedule{Seed: seed})
+	if !inj.Enabled() {
+		t.Fatal("injector should be enabled (the guarantee is about the empty schedule, not a disabled switch)")
+	}
+	if !reflect.DeepEqual(base, noop) {
+		t.Errorf("results with empty-schedule injector differ from fault-free run")
+	}
+	if baseMS != noopMS {
+		t.Errorf("clock totals differ: %.4f vs %.4f virtual ms", baseMS, noopMS)
+	}
+	if trips := inj.Counters().Get("breaker_trips"); trips != 0 {
+		t.Errorf("empty schedule tripped %d breakers", trips)
+	}
+}
+
+// TestTransientFaultsAbsorbedByRetry: Persist=1 faults fail exactly one
+// attempt, so per-attempt retry reproduces the healthy output — verdicts
+// stay bit-identical while the virtual clock records the extra cost of
+// the failed attempts.
+func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
+	const seed = 92
+	base, baseMS, _ := faultServe(t, seed, nil)
+	sched := &vqpy.FaultSchedule{
+		Seed: seed,
+		Rules: []vqpy.FaultRule{
+			{Kind: vqpy.FaultModelError, Rate: 0.2, Persist: 1},
+			{Kind: vqpy.FaultModelTimeout, Rate: 0.1, Persist: 1, DeadlineMS: 40},
+		},
+	}
+	chaos, chaosMS, inj := faultServe(t, seed, sched)
+	if len(chaos) != len(base) {
+		t.Fatalf("%d results, want %d", len(chaos), len(base))
+	}
+	for i := range base {
+		if chaos[i].DegradedFrames != 0 || len(chaos[i].DegradedAt) != 0 {
+			t.Errorf("%s: %d degraded frames under transient-only chaos", base[i].Query, chaos[i].DegradedFrames)
+		}
+		if !reflect.DeepEqual(chaos[i].Matched, base[i].Matched) ||
+			!reflect.DeepEqual(chaos[i].Hits, base[i].Hits) ||
+			chaos[i].Count != base[i].Count ||
+			!reflect.DeepEqual(chaos[i].TrackIDs, base[i].TrackIDs) {
+			t.Errorf("%s: verdicts diverged under recoverable faults", base[i].Query)
+		}
+	}
+	if chaosMS <= baseMS {
+		t.Errorf("chaos clock %.2f <= baseline %.2f: failed attempts were not charged", chaosMS, baseMS)
+	}
+	if trips := inj.Counters().Get("breaker_trips"); trips != 0 {
+		t.Errorf("transient faults tripped %d breakers", trips)
+	}
+}
+
+// TestTerminalFaultWindowDegradesThenRecovers: a window of faults that
+// outlives the retry budget trips the breaker and forces degraded
+// verdicts with provenance, while every frame OUTSIDE the degraded set
+// still agrees with the fault-free run — blast-radius containment, the
+// property the chaos bench gates at scale.
+func TestTerminalFaultWindowDegradesThenRecovers(t *testing.T) {
+	const seed = 93
+	base, _, _ := faultServe(t, seed, nil)
+	sched := &vqpy.FaultSchedule{
+		Seed: seed,
+		Rules: []vqpy.FaultRule{
+			{Kind: vqpy.FaultModelError, Rate: 1, FromFrame: 30, ToFrame: 34, Persist: 99},
+		},
+	}
+	chaos, _, inj := faultServe(t, seed, sched)
+	totalDegraded := 0
+	for i := range base {
+		if len(chaos[i].DegradedAt) != chaos[i].DegradedFrames {
+			t.Errorf("%s: DegradedAt lists %d positions, counter says %d",
+				base[i].Query, len(chaos[i].DegradedAt), chaos[i].DegradedFrames)
+		}
+		totalDegraded += chaos[i].DegradedFrames
+		if len(chaos[i].Matched) != len(base[i].Matched) {
+			t.Fatalf("%s: %d verdicts, want %d", base[i].Query, len(chaos[i].Matched), len(base[i].Matched))
+		}
+		degraded := make(map[int]bool, len(chaos[i].DegradedAt))
+		for _, pos := range chaos[i].DegradedAt {
+			degraded[pos] = true
+		}
+		for pos := range base[i].Matched {
+			if degraded[pos] {
+				continue
+			}
+			if chaos[i].Matched[pos] != base[i].Matched[pos] {
+				t.Errorf("%s: healthy frame %d diverged from baseline", base[i].Query, pos)
+			}
+		}
+	}
+	if totalDegraded == 0 {
+		t.Error("terminal fault window produced no degraded frames")
+	}
+	if trips := inj.Counters().Get("breaker_trips"); trips == 0 {
+		t.Error("terminal fault window tripped no breakers")
+	}
+}

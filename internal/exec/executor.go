@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"vqpy/internal/core"
+	"vqpy/internal/fault"
 	"vqpy/internal/geom"
 	"vqpy/internal/models"
 	"vqpy/internal/store"
@@ -37,6 +38,13 @@ type Options struct {
 	// StoreSource names the video / camera stream store records are
 	// keyed under (frame indices alone do not identify a frame).
 	StoreSource string
+	// Faults is the chaos layer: a deterministic injector whose schedule
+	// can fail model calls (absorbed by per-model retry with backoff,
+	// then per-(model, source) circuit breakers and graceful
+	// degradation; see faults.go). Optional; nil — or an injector with
+	// an empty schedule — leaves every execution path bit-identical to
+	// a fault-free build.
+	Faults *fault.Injector
 }
 
 // ObjOut is one matched object in a frame hit, carrying the values of
@@ -74,6 +82,14 @@ type Result struct {
 	TrackIDs []int
 
 	FramesProcessed int
+	// DegradedFrames counts frames answered under failure-domain
+	// degradation (fallback detector tier, carry-forward tracker state,
+	// or an unavailable model property); their verdicts were tagged
+	// Degraded as they streamed out. DegradedAt lists their 0-based
+	// positions in Matched, so parity checks can compare exactly the
+	// frames served healthily.
+	DegradedFrames int
+	DegradedAt     []int
 	// VirtualMS is the virtual time charged during this execution.
 	VirtualMS float64
 	// MemoHits/MemoMisses report intrinsic-memo effectiveness.
@@ -269,6 +285,9 @@ func (e *Executor) detectFrame(model string, f *video.Frame) ([]track.Detection,
 			return trackDetsOf(sdets), nil
 		}
 	}
+	if err := e.modelGate(model, f.Index); err != nil {
+		return nil, err
+	}
 	det, err := e.opts.Registry.Detector(model)
 	if err != nil {
 		return nil, err
@@ -308,11 +327,14 @@ func trackDetsOf(dets []store.Detection) []track.Detection {
 }
 
 func (e *Executor) stepDetect(s Step, fc *FrameCtx) error {
-	dets, err := e.opts.Cache.DoDetections(s.DetectModel, fc.Frame.Index, func() ([]track.Detection, error) {
-		return e.detectFrame(s.DetectModel, fc.Frame)
-	})
+	dets, degraded, err := e.detectResilient(s.DetectModel, fc.Frame)
 	if err != nil {
 		return err
+	}
+	if degraded != "" {
+		// Terminal detector failure inside a lane: degrade to whatever
+		// tier answered (possibly nothing) instead of killing the stream.
+		fc.degrade(degraded)
 	}
 	for _, bind := range s.Binds {
 		for i := range dets {
@@ -451,6 +473,13 @@ func (e *Executor) pushWindow(fc *FrameCtx, rs *runState, specs []windowSpec, in
 // property is not yet computable (missing deps or history).
 func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc *FrameCtx, rs *runState) (any, bool, error) {
 	if prop.Model != "" {
+		inj := e.opts.Faults
+		if !inj.BreakerAllow(prop.Model, e.opts.StoreSource, fc.Frame.Index) {
+			// Breaker open: the property is unavailable this frame rather
+			// than paying for a call known to fail.
+			fc.degrade("prop:" + prop.Name)
+			return nil, false, nil
+		}
 		v, err := e.opts.Cache.DoLabel(prop.Model, fc.Frame.Index, n.Box, n.TruthID, func() (any, error) {
 			// The in-process cache missed; the persistent store is the
 			// next tier — a hit observes the archived value at zero model
@@ -461,6 +490,9 @@ func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc
 				if v, ok := st.GetLabel(src, prop.Model, fc.Frame.Index, n.Box, n.TruthID); ok {
 					return v, nil
 				}
+			}
+			if err := e.modelGate(prop.Model, fc.Frame.Index); err != nil {
+				return nil, err
 			}
 			m, found := e.opts.Registry.Get(prop.Model)
 			if !found {
@@ -485,8 +517,18 @@ func (e *Executor) computeProp(instance string, prop *core.Property, n *Node, fc
 			return v, nil
 		})
 		if err != nil {
+			if fault.IsFault(err) {
+				// Retry budget exhausted: count the failure toward the
+				// breaker and report the property not-ready — the frame is
+				// answered without it, tagged Degraded.
+				inj.BreakerFailure(prop.Model, e.opts.StoreSource, fc.Frame.Index)
+				inj.Count("degraded:prop:" + prop.Name)
+				fc.degrade("prop:" + prop.Name)
+				return nil, false, nil
+			}
 			return nil, false, err
 		}
+		inj.BreakerSuccess(prop.Model, e.opts.StoreSource)
 		return v, true, nil
 	}
 

@@ -1,0 +1,142 @@
+package exec
+
+// Failure-domain hardening of the execution layer: the per-model retry
+// loop that absorbs transient injected faults, and the breaker-guarded
+// fallback ladder detectors degrade down when faults persist.
+//
+// The cost model is explicit and lives on the sim.Clock: every failed
+// attempt charges what the failure cost (an error is detected after a
+// nominal round-trip, a timeout burns its full deadline budget) plus
+// exponential backoff between attempts, under dedicated fault:*
+// accounts so chaos runs show exactly where the virtual time went. The
+// charges bypass the ChargeInterceptor chain on purpose — a fleet batch
+// scheduler coalesces model work, and a failed call is not model work
+// it could have shared.
+//
+// Determinism: injected fault decisions are pure functions of
+// (schedule, target, frame), and model outputs are pure functions of
+// (seed, model, frame, object) — so when a retry succeeds it yields the
+// exact output the un-faulted run produced, which is the mechanism
+// behind the chaos benchmark's verdict-parity guarantee on recoverable
+// faults. With no injector every function here reduces to the plain
+// call path.
+
+import (
+	"vqpy/internal/fault"
+	"vqpy/internal/models"
+	"vqpy/internal/track"
+	"vqpy/internal/video"
+)
+
+const (
+	// maxModelAttempts bounds the per-invocation retry loop (first try
+	// plus retries).
+	maxModelAttempts = 3
+	// defaultTimeoutMS is the deadline budget burned by an injected
+	// timeout whose rule does not set one.
+	defaultTimeoutMS = 40
+	// failDetectMS is the nominal cost of detecting an outright model
+	// error (a failed round-trip, not a full inference).
+	failDetectMS = 1
+	// backoffBaseMS is the first retry backoff; it doubles per attempt.
+	backoffBaseMS = 4
+)
+
+// DegradedUnavailable is the degradation provenance when no detector
+// tier could answer: the scan carries the previous frame's tracker
+// state forward.
+const DegradedUnavailable = "unavailable"
+
+// chargeFault charges failure-path virtual time directly on the clock
+// (and mirrors it as CPU burn when enabled), bypassing interceptors.
+func (e *Executor) chargeFault(account string, ms float64) {
+	e.opts.Env.Clock.Charge(account, ms)
+	e.opts.Env.SimulateWork(ms)
+}
+
+// modelGate runs the injector's fault decision for one model invocation
+// at one frame, absorbing recoverable faults with charged retries. A
+// nil return means the caller may invoke the model now (and, for a
+// recoverable fault, the attempt ordinal that succeeded saw the exact
+// same world — the output is the healthy one). A *fault.Fault return
+// means the retry budget is exhausted: the caller degrades.
+func (e *Executor) modelGate(model string, frame int) error {
+	inj := e.opts.Faults
+	if inj == nil || !inj.Enabled() {
+		return nil
+	}
+	for attempt := 0; attempt < maxModelAttempts; attempt++ {
+		flt := inj.ModelFault(model, frame, attempt)
+		if flt == nil {
+			return nil
+		}
+		switch flt.Kind {
+		case fault.KindModelTimeout:
+			d := flt.DeadlineMS
+			if d <= 0 {
+				d = defaultTimeoutMS
+			}
+			e.chargeFault("fault:timeout:"+model, d)
+		default:
+			e.chargeFault("fault:error:"+model, failDetectMS)
+		}
+		if attempt+1 == maxModelAttempts {
+			return flt
+		}
+		e.chargeFault("fault:backoff:"+model, float64(backoffBaseMS*(int(1)<<attempt)))
+	}
+	return nil
+}
+
+// detectResilient runs a detector behind the full hardening ladder:
+// breaker gate → primary (with modelGate retries inside detectFrame) →
+// cheaper fallback tier → unavailable. It returns the detections and a
+// degradation provenance: "" for a healthy primary answer, the serving
+// model's tag for a fallback answer, DegradedUnavailable when no tier
+// answered (dets nil; the caller carries state forward). Non-fault
+// errors propagate untouched — the chaos layer must never hide a real
+// engine bug.
+func (e *Executor) detectResilient(model string, f *video.Frame) ([]track.Detection, string, error) {
+	inj := e.opts.Faults
+	source := e.opts.StoreSource
+	run := func(name string) ([]track.Detection, error) {
+		return e.opts.Cache.DoDetections(name, f.Index, func() ([]track.Detection, error) {
+			return e.detectFrame(name, f)
+		})
+	}
+	if inj.BreakerAllow(model, source, f.Index) {
+		dets, err := run(model)
+		if err == nil {
+			inj.BreakerSuccess(model, source)
+			return dets, "", nil
+		}
+		if !fault.IsFault(err) {
+			return nil, "", err
+		}
+		inj.BreakerFailure(model, source, f.Index)
+	}
+	if fb := models.FallbackDetector(model); fb != "" && inj.BreakerAllow(fb, source, f.Index) {
+		dets, err := run(fb)
+		if err == nil {
+			inj.BreakerSuccess(fb, source)
+			inj.Count("degraded:fallback:" + model)
+			return dets, "fallback:" + fb, nil
+		}
+		if !fault.IsFault(err) {
+			return nil, "", err
+		}
+		inj.BreakerFailure(fb, source, f.Index)
+	}
+	inj.Count("degraded:unavailable:" + model)
+	return nil, DegradedUnavailable, nil
+}
+
+// degrade marks the frame context as answered under degradation,
+// keeping the first provenance tag (later degradations on the same
+// frame are secondary).
+func (fc *FrameCtx) degrade(by string) {
+	fc.Degraded = true
+	if fc.DegradedBy == "" {
+		fc.DegradedBy = by
+	}
+}

@@ -132,6 +132,12 @@ type FrameCtx struct {
 	Frame   *video.Frame
 	Dropped bool
 
+	// Degraded marks the frame as answered under failure-domain
+	// degradation; DegradedBy carries the first provenance tag (see
+	// Verdict.DegradedBy).
+	Degraded   bool
+	DegradedBy string
+
 	// Nodes maps instance name → occurrences on this frame.
 	Nodes map[string][]*Node
 
@@ -158,6 +164,8 @@ func newFrameCtx(f *video.Frame) *FrameCtx {
 func (fc *FrameCtx) reset(f *video.Frame) {
 	fc.Frame = f
 	fc.Dropped = false
+	fc.Degraded = false
+	fc.DegradedBy = ""
 	for k, v := range fc.Nodes {
 		fc.Nodes[k] = v[:0]
 	}

@@ -138,6 +138,13 @@ type muxGroup struct {
 	frameMS   float64 // shared scan cost of the current frame
 	virtualMS float64
 
+	// degradedBy is the current frame's degradation provenance ("" =
+	// healthy): the fallback detector that answered, or
+	// DegradedUnavailable when the scan carried tracker state forward.
+	// degraded counts degraded frames over the group's lifetime.
+	degradedBy string
+	degraded   int
+
 	// statefulFilters reports whether any filter model carries per-frame
 	// state (models.Cloner). Stateless chains need no catch-up when the
 	// store serves frames the filters never saw.
@@ -173,6 +180,7 @@ type muxLane struct {
 	virtualMS  float64
 	sharedMS   float64
 	matched    int  // running matched-frame count (cheap stats reads)
+	degraded   int  // frames answered under degradation
 	attachedAt int  // stream position (frames fed before attach)
 	backfilled bool // history replayed from the store at attach
 	finalized  bool
@@ -248,6 +256,21 @@ func (m *MuxStream) BindStore(st *store.Store, src video.FrameSource) {
 		m.source = src.SourceName()
 	}
 	m.e.opts.Store = st
+	m.e.opts.StoreSource = m.source
+}
+
+// BindSource names the stream's frame source without attaching a store,
+// so per-source failure-domain state (the circuit breakers keyed by
+// (model, source)) stays separated across cameras in storeless serving.
+// A no-op for a nil source; BindStore supersedes it.
+func (m *MuxStream) BindSource(src video.FrameSource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if src == nil || m.store != nil {
+		return
+	}
+	m.src = src
+	m.source = src.SourceName()
 	m.e.opts.StoreSource = m.source
 }
 
@@ -466,6 +489,9 @@ type GroupStat struct {
 	// VirtualMS is the cumulative shared scan cost (split across
 	// members in per-lane accounting).
 	VirtualMS float64
+	// Degraded counts frames the group's scan answered under
+	// degradation (fallback detector tier or carry-forward).
+	Degraded int
 }
 
 // GroupStats returns the live per-group accounting, in creation order.
@@ -477,6 +503,7 @@ func (m *MuxStream) GroupStats() []GroupStat {
 		out[i] = GroupStat{
 			ID: g.id, Filters: g.filters, Detect: g.detect,
 			Classes: len(g.classes), Members: g.members, VirtualMS: g.virtualMS,
+			Degraded: g.degraded,
 		}
 	}
 	return out
@@ -504,6 +531,9 @@ type LaneStat struct {
 	// Group is the scan group id, or -1 for a private (non-shareable)
 	// lane.
 	Group int
+	// Degraded counts the lane's frames answered under failure-domain
+	// degradation (their verdicts were tagged Degraded).
+	Degraded int
 }
 
 // LaneStats returns the live per-lane accounting, in attach order.
@@ -516,6 +546,7 @@ func (m *MuxStream) LaneStats() []LaneStat {
 			ID: l.id, Query: l.plan.Query.Name(),
 			Frames: l.res.FramesProcessed, Matched: l.matched, AttachedAt: l.attachedAt,
 			Backfilled: l.backfilled, VirtualMS: l.virtualMS + l.sharedMS, Group: -1,
+			Degraded: l.degraded,
 		}
 		if l.group != nil {
 			st.Group = l.group.id
@@ -551,6 +582,7 @@ func (m *MuxStream) FramesFed() int {
 // again (catchUpFilters, replayPending), so falling in and out of store
 // coverage never changes results, only costs.
 func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
+	g.degradedBy = ""
 	if m.store != nil && !m.wrapped {
 		served, err := m.scanGroupFromStore(g, f)
 		if err != nil {
@@ -578,11 +610,21 @@ func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
 	if g.dropped {
 		return m.persistScan(g, f)
 	}
-	dets, err := m.e.opts.Cache.DoDetections(g.detect, f.Index, func() ([]track.Detection, error) {
-		return m.e.detectFrame(g.detect, f)
-	})
+	dets, degradedBy, err := m.e.detectResilient(g.detect, f)
 	if err != nil {
 		return err
+	}
+	g.degradedBy = degradedBy
+	if degradedBy != "" {
+		g.degraded++
+	}
+	if degradedBy == DegradedUnavailable {
+		// No detector tier answered: carry each class tracker's previous
+		// output forward (st.dets / st.ids are untouched from the last
+		// healthy frame) — lanes report the last known objects rather
+		// than a spurious empty frame. The tracker does not advance and
+		// nothing is persisted: the archive holds only healthy scans.
+		return nil
 	}
 	for _, cls := range g.classes {
 		st := g.tracks[cls]
@@ -596,6 +638,11 @@ func (m *MuxStream) scanGroup(g *muxGroup, f *video.Frame) error {
 			return err
 		}
 		m.liveTrackUpdate(st)
+	}
+	if degradedBy != "" {
+		// Fallback-tier output answered the frame but must not enter the
+		// archive: persisted scans are the healthy primary's by contract.
+		return nil
 	}
 	return m.persistScan(g, f)
 }
@@ -702,6 +749,9 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 			// an equal share of this frame's cost, so per-query totals
 			// sum to the work actually done however membership churns.
 			l.sharedMS += l.group.frameMS / float64(l.group.members)
+			if l.group.degradedBy != "" {
+				l.fc.degrade(l.group.degradedBy)
+			}
 			if l.group.dropped {
 				l.fc.Dropped = true
 			} else {
@@ -714,6 +764,10 @@ func (m *MuxStream) Feed(f *video.Frame) ([]Verdict, error) {
 			return nil, err
 		}
 		v := Verdict{FrameIdx: f.Index, Lane: l.id, Matched: matched}
+		if l.fc.Degraded {
+			v.Degraded = true
+			v.DegradedBy = l.fc.DegradedBy
+		}
 		if len(l.res.Hits) > hitsBefore {
 			v.Hit = &l.res.Hits[len(l.res.Hits)-1]
 		}
@@ -738,6 +792,11 @@ func (m *MuxStream) runLaneFrame(l *muxLane) (bool, error) {
 	l.res.FramesProcessed++
 	if matched {
 		l.matched++
+	}
+	if l.fc.Degraded {
+		l.degraded++
+		l.res.DegradedFrames++
+		l.res.DegradedAt = append(l.res.DegradedAt, len(l.res.Matched)-1)
 	}
 	return matched, nil
 }

@@ -49,6 +49,13 @@ type Verdict struct {
 	// Hit carries output objects when the frame matched and hit
 	// collection is enabled; nil otherwise.
 	Hit *FrameHit
+	// Degraded marks a verdict produced under failure-domain
+	// degradation: a fallback detector tier answered, tracker state was
+	// carried forward, or a model-backed property was unavailable.
+	// DegradedBy carries the provenance tag ("fallback:<model>",
+	// "prop:<name>", or "unavailable").
+	Degraded   bool
+	DegradedBy string
 }
 
 // OpenStream validates the plan and prepares streaming state. fps is
@@ -105,6 +112,12 @@ func (st *Stream) Feed(f *video.Frame) (Verdict, error) {
 	st.res.Matched = append(st.res.Matched, matched)
 	st.res.FramesProcessed++
 	v := Verdict{FrameIdx: f.Index, Matched: matched}
+	if fc.Degraded {
+		v.Degraded = true
+		v.DegradedBy = fc.DegradedBy
+		st.res.DegradedFrames++
+		st.res.DegradedAt = append(st.res.DegradedAt, len(st.res.Matched)-1)
+	}
 	if len(st.res.Hits) > hitsBefore {
 		v.Hit = &st.res.Hits[len(st.res.Hits)-1]
 	}

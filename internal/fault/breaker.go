@@ -1,0 +1,187 @@
+package fault
+
+// Circuit breakers: the per-(model, source) failure memory that turns
+// repeated terminal faults into graceful degradation. The execution
+// layer asks BreakerAllow before invoking a detector; after
+// BreakerThreshold consecutive terminal failures the breaker opens and
+// the engine stops paying for calls that will fail, falling back to a
+// cheaper detector tier or carrying tracker state forward. After
+// BreakerCooldown frames an open breaker admits a single half-open
+// probe; one success closes it.
+//
+// Breakers live on the Injector because faults are the only way a
+// builtin model can fail in this reproduction — with no injector there
+// is nothing to break, and the nil receiver answers Allow.
+
+const (
+	// BreakerThreshold is the consecutive terminal failures that trip a
+	// breaker open.
+	BreakerThreshold = 3
+	// BreakerCooldown is how many frames an open breaker waits before
+	// admitting a half-open probe.
+	BreakerCooldown = 30
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+type breaker struct {
+	model    string
+	source   string
+	state    breakerState
+	failures int // consecutive terminal failures
+	trips    int
+	openedAt int // frame index at the last trip
+}
+
+// BreakerStat is one breaker's externally visible state, surfaced by
+// /streamz and /healthz.
+type BreakerStat struct {
+	Model    string `json:"model"`
+	Source   string `json:"source"`
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+	Trips    int    `json:"trips"`
+}
+
+func breakerKey(model, source string) string { return model + "\x00" + source }
+
+// BreakerAllow reports whether a call to model on source may proceed at
+// this frame. An open breaker past its cooldown transitions to
+// half-open and admits the probe.
+func (in *Injector) BreakerAllow(model, source string, frame int) bool {
+	if in == nil {
+		return true
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	b, ok := in.breakers[breakerKey(model, source)]
+	if !ok {
+		return true
+	}
+	switch b.state {
+	case breakerOpen:
+		if frame-b.openedAt >= BreakerCooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// BreakerFailure records a terminal (retry-exhausted) failure of model
+// on source, tripping the breaker at the threshold.
+func (in *Injector) BreakerFailure(model, source string, frame int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	key := breakerKey(model, source)
+	b, ok := in.breakers[key]
+	if !ok {
+		b = &breaker{model: model, source: source}
+		in.breakers[key] = b
+	}
+	b.failures++
+	tripped := false
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.failures >= BreakerThreshold) {
+		b.state = breakerOpen
+		b.openedAt = frame
+		b.trips++
+		tripped = true
+	}
+	in.mu.Unlock()
+	if tripped {
+		in.count("breaker_trips", 1)
+		in.count("breaker_trip:"+model+":"+source, 1)
+	}
+}
+
+// BreakerSuccess records a healthy call, closing a half-open breaker
+// and resetting the failure streak.
+func (in *Injector) BreakerSuccess(model, source string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	if b, ok := in.breakers[breakerKey(model, source)]; ok {
+		b.failures = 0
+		b.state = breakerClosed
+	}
+	in.mu.Unlock()
+}
+
+// BreakerStats snapshots every breaker that has seen at least one
+// failure, for /streamz.
+func (in *Injector) BreakerStats() []BreakerStat {
+	return in.BreakerStatsFor("")
+}
+
+// BreakerStatsFor snapshots breakers for one source ("" = all), sorted
+// by (source, model) via the caller-visible map order being rebuilt
+// deterministically from sorted keys.
+func (in *Injector) BreakerStatsFor(source string) []BreakerStat {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]BreakerStat, 0, len(in.breakers))
+	for _, b := range in.breakers {
+		if source != "" && b.source != source {
+			continue
+		}
+		out = append(out, BreakerStat{
+			Model: b.model, Source: b.source,
+			State: b.state.String(), Failures: b.failures, Trips: b.trips,
+		})
+	}
+	sortBreakerStats(out)
+	return out
+}
+
+// TrippedBreakers reports whether any breaker is currently open or
+// half-open (the /healthz "degraded" signal).
+func (in *Injector) TrippedBreakers() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, b := range in.breakers {
+		if b.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+func sortBreakerStats(s []BreakerStat) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0; j-- {
+			a, b := s[j-1], s[j]
+			if a.Source < b.Source || (a.Source == b.Source && a.Model <= b.Model) {
+				break
+			}
+			s[j-1], s[j] = b, a
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package fault is the deterministic chaos layer for the serving stack:
+// a seeded injector that fails model calls, store I/O and frame sources
+// according to a reproducible schedule, plus the circuit breakers the
+// execution layer consults to degrade gracefully instead of crashing.
+//
+// Determinism is the whole point. Every injection decision is a pure
+// function of (schedule seed, rule index, fault kind, target, frame),
+// hashed with the same FNV-1a construction the model zoo uses for its
+// outputs — so a chaos run is exactly replayable, a retried attempt
+// sees the same world as the first attempt (only the attempt ordinal
+// moves), and the benchmark gate can assert verdict parity instead of
+// merely "it did not crash". With no injector installed (nil) or the
+// injector disabled, every hook in the engine collapses to the
+// pre-fault code path: the nil *Injector is a valid receiver for every
+// method and answers "no fault", which is what pins the no-op
+// guarantee tested at the repo root.
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"vqpy/internal/metrics"
+	"vqpy/internal/models"
+)
+
+// Kind enumerates the failure domains the injector can perturb.
+type Kind int
+
+const (
+	// KindModelError fails a model invocation outright (the call costs a
+	// nominal failure-detection charge and returns an error).
+	KindModelError Kind = iota
+	// KindModelTimeout fails a model invocation after burning its full
+	// deadline budget on the virtual clock.
+	KindModelTimeout
+	// KindStoreWrite fails a store append (the tier degrades to
+	// memory-only).
+	KindStoreWrite
+	// KindStoreRead fails a disk read in the store (served as a miss;
+	// the engine recomputes).
+	KindStoreRead
+	// KindSourceStall makes a frame source return no frame this poll;
+	// the same index must be polled again.
+	KindSourceStall
+	// KindSourceDrop makes a frame source lose a frame permanently; the
+	// caller skips the index.
+	KindSourceDrop
+)
+
+// String names the kind for counters and provenance tags.
+func (k Kind) String() string {
+	switch k {
+	case KindModelError:
+		return "model_error"
+	case KindModelTimeout:
+		return "model_timeout"
+	case KindStoreWrite:
+		return "store_write"
+	case KindStoreRead:
+		return "store_read"
+	case KindSourceStall:
+		return "source_stall"
+	case KindSourceDrop:
+		return "source_drop"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is one line of a fault schedule: inject Kind against Target at
+// Rate within a frame window. Persist controls recoverability: a fired
+// rule fails the first Persist attempts at the same (target, frame) and
+// then lets the retry through, so Persist=1 (the default) is a
+// transient fault that per-attempt retry absorbs with zero verdict
+// impact, while Persist >= the retry budget is a terminal fault that
+// trips breakers and forces degradation.
+type Rule struct {
+	Kind   Kind
+	Target string // model / source / record kind; "" matches any target
+
+	Rate      float64 // firing probability per (target, frame); 1 = always
+	FromFrame int     // first frame (inclusive) the rule is live on
+	ToFrame   int     // frame bound (exclusive); 0 = unbounded
+
+	Persist int // consecutive failing attempts per firing; <=0 means 1
+
+	DeadlineMS float64 // KindModelTimeout: virtual ms burned before failing
+}
+
+// Schedule is a complete, seeded fault plan. The zero Schedule injects
+// nothing.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Fault is the error an injected failure surfaces as. The execution
+// layer type-checks for it (via IsFault) to distinguish injected chaos,
+// which it must absorb, from genuine engine errors, which it must not
+// hide.
+type Fault struct {
+	Kind       Kind
+	Target     string
+	Frame      int
+	DeadlineMS float64
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault: injected %s on %q at frame %d", f.Kind, f.Target, f.Frame)
+}
+
+// IsFault reports whether err is (or wraps nothing but) an injected
+// fault.
+func IsFault(err error) bool {
+	_, ok := err.(*Fault)
+	return ok
+}
+
+// Injector evaluates a Schedule and keeps the failure-domain state the
+// hardening layers share: injection counters, per-op ordinals for the
+// store (which has no frame axis), and the circuit breakers in
+// breaker.go. It doubles as the models.ChargeInterceptor the session
+// installs so model-call charges flow through the fault layer; see
+// Wrap. All methods are safe on a nil receiver and answer "no fault".
+type Injector struct {
+	mu       sync.Mutex
+	sched    Schedule
+	enabled  bool
+	inner    models.ChargeInterceptor
+	counters *metrics.Counters
+	storeOps map[Kind]int
+	breakers map[string]*breaker
+}
+
+// New builds an enabled injector for a schedule. A schedule with no
+// rules is valid and injects nothing — the configuration the no-op
+// crosscheck runs under.
+func New(sched Schedule) *Injector {
+	return &Injector{
+		sched:    sched,
+		enabled:  true,
+		counters: metrics.NewCounters(),
+		storeOps: make(map[Kind]int),
+		breakers: make(map[string]*breaker),
+	}
+}
+
+// Enabled reports whether injection decisions are live.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.enabled
+}
+
+// SetEnabled toggles injection without discarding breaker or counter
+// state.
+func (in *Injector) SetEnabled(on bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.enabled = on
+	in.mu.Unlock()
+}
+
+// Counters exposes the injector's event counters (injections by kind
+// and target, breaker trips, degradations) for /streamz and benches.
+func (in *Injector) Counters() *metrics.Counters {
+	if in == nil {
+		return nil
+	}
+	return in.counters
+}
+
+// Wrap chains the injector in front of an existing ChargeInterceptor
+// (the fleet batch scheduler) so both see model charges. Install the
+// injector as the session interceptor after calling Wrap.
+func (in *Injector) Wrap(inner models.ChargeInterceptor) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.inner = inner
+	in.mu.Unlock()
+}
+
+// Intercept implements models.ChargeInterceptor by delegating to the
+// wrapped interceptor (if any). The injector itself never rewrites
+// charges — fault costs are charged explicitly by the retry layer — but
+// sitting in the charge path keeps the chain intact when a batch
+// scheduler is also installed.
+func (in *Injector) Intercept(env *models.Env, account string, ms float64) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	inner := in.inner
+	in.mu.Unlock()
+	if inner == nil {
+		return false
+	}
+	return inner.Intercept(env, account, ms)
+}
+
+// ModelFault decides whether a model invocation fails on this attempt.
+// It returns nil when the call should proceed. Attempt 0 is the first
+// try; a rule with Persist=p fails attempts 0..p-1 and then yields, so
+// retry reproduces the exact healthy output (model outputs are pure
+// functions of the frame).
+func (in *Injector) ModelFault(model string, frame, attempt int) *Fault {
+	kinds := [2]Kind{KindModelError, KindModelTimeout}
+	for _, k := range kinds {
+		if r := in.decide(k, model, frame, attempt); r != nil {
+			in.count("inject:"+k.String()+":"+model, 1)
+			return &Fault{Kind: k, Target: model, Frame: frame, DeadlineMS: r.DeadlineMS}
+		}
+	}
+	return nil
+}
+
+// StoreWriteFault decides whether a store append for one record kind
+// fails. The store has no frame axis, so a per-kind op ordinal stands
+// in for the frame; decisions stay deterministic because store ops are
+// serialized under the store mutex.
+func (in *Injector) StoreWriteFault(kind string) error {
+	return in.storeFault(KindStoreWrite, kind)
+}
+
+// StoreReadFault decides whether a store disk read fails; the store
+// treats it as a miss and the engine recomputes.
+func (in *Injector) StoreReadFault(kind string) error {
+	return in.storeFault(KindStoreRead, kind)
+}
+
+func (in *Injector) storeFault(k Kind, kind string) error {
+	if in == nil || !in.Enabled() {
+		return nil
+	}
+	in.mu.Lock()
+	ord := in.storeOps[k]
+	in.storeOps[k] = ord + 1
+	in.mu.Unlock()
+	if r := in.decide(k, kind, ord, 0); r != nil {
+		in.count("inject:"+k.String()+":"+kind, 1)
+		return &Fault{Kind: k, Target: kind, Frame: ord}
+	}
+	return nil
+}
+
+// SourceFault decides whether polling frame `frame` of a source stalls
+// or drops on this attempt. It returns the firing kind, or -1 for a
+// healthy poll.
+func (in *Injector) SourceFault(source string, frame, attempt int) Kind {
+	if r := in.decide(KindSourceStall, source, frame, attempt); r != nil {
+		in.count("inject:source_stall:"+source, 1)
+		return KindSourceStall
+	}
+	if r := in.decide(KindSourceDrop, source, frame, attempt); r != nil {
+		in.count("inject:source_drop:"+source, 1)
+		return KindSourceDrop
+	}
+	return -1
+}
+
+// decide returns the first live rule firing for (kind, target, frame,
+// attempt), or nil. The firing decision is attempt-independent — only
+// the Persist comparison consumes the attempt ordinal — so a retry
+// replays the same world.
+func (in *Injector) decide(kind Kind, target string, frame, attempt int) *Rule {
+	if in == nil || !in.Enabled() {
+		return nil
+	}
+	for i := range in.sched.Rules {
+		r := &in.sched.Rules[i]
+		if r.Kind != kind {
+			continue
+		}
+		if r.Target != "" && r.Target != target {
+			continue
+		}
+		if frame < r.FromFrame {
+			continue
+		}
+		if r.ToFrame > 0 && frame >= r.ToFrame {
+			continue
+		}
+		persist := r.Persist
+		if persist <= 0 {
+			persist = 1
+		}
+		if attempt >= persist {
+			continue
+		}
+		if r.Rate < 1 {
+			u := unit(hash(in.sched.Seed, uint64(kind)+0x9e3779b9, strHash(target), uint64(i), uint64(frame)))
+			if u >= r.Rate {
+				continue
+			}
+		}
+		return r
+	}
+	return nil
+}
+
+// Count bumps one injector event counter by one; safe on nil (the
+// hardening layers call it unconditionally).
+func (in *Injector) Count(name string) { in.count(name, 1) }
+
+func (in *Injector) count(name string, delta int64) {
+	if in == nil || in.counters == nil {
+		return
+	}
+	in.counters.Add(name, delta)
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hash is the same FNV-1a-over-words construction the model zoo uses,
+// replicated here so the fault layer does not export hashing from
+// models.
+func hash(parts ...uint64) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xFF
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}
+
+func strHash(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+func testSchedule() Schedule {
+	return Schedule{
+		Seed: 7,
+		Rules: []Rule{
+			{Kind: KindModelError, Target: "yolox", Rate: 0.5},
+			{Kind: KindModelTimeout, Target: "slow", Rate: 1, FromFrame: 10, ToFrame: 20, DeadlineMS: 25},
+			{Kind: KindSourceStall, Target: "cam0", Rate: 1, FromFrame: 5, ToFrame: 6, Persist: 3},
+			{Kind: KindStoreWrite, Target: "scans", Rate: 1, FromFrame: 2},
+		},
+	}
+}
+
+// TestNilInjectorIsNoFault pins the nil-receiver contract every hook in
+// the engine relies on for the no-op guarantee.
+func TestNilInjectorIsNoFault(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	if f := in.ModelFault("yolox", 3, 0); f != nil {
+		t.Errorf("nil injector injected %v", f)
+	}
+	if err := in.StoreWriteFault("scans"); err != nil {
+		t.Errorf("nil injector store write fault: %v", err)
+	}
+	if err := in.StoreReadFault("dets"); err != nil {
+		t.Errorf("nil injector store read fault: %v", err)
+	}
+	if k := in.SourceFault("cam0", 5, 0); k != Kind(-1) {
+		t.Errorf("nil injector source fault kind %v", k)
+	}
+	if !in.BreakerAllow("m", "s", 0) {
+		t.Error("nil injector breaker denies")
+	}
+	in.BreakerFailure("m", "s", 0) // must not panic
+	in.BreakerSuccess("m", "s")
+	in.Count("x")
+	if got := in.BreakerStats(); got != nil {
+		t.Errorf("nil injector breaker stats %v", got)
+	}
+}
+
+// TestDecisionsDeterministic: the same schedule produces the same
+// decisions on every replay, and disabling turns them all off without
+// losing state.
+func TestDecisionsDeterministic(t *testing.T) {
+	a, b := New(testSchedule()), New(testSchedule())
+	for frame := 0; frame < 200; frame++ {
+		fa := a.ModelFault("yolox", frame, 0)
+		fb := b.ModelFault("yolox", frame, 0)
+		if (fa == nil) != (fb == nil) {
+			t.Fatalf("frame %d: decisions diverge (%v vs %v)", frame, fa, fb)
+		}
+	}
+	fired := 0
+	for frame := 0; frame < 200; frame++ {
+		if a.ModelFault("yolox", frame, 0) != nil {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 200 {
+		t.Fatalf("rate 0.5 rule fired %d/200 times", fired)
+	}
+	a.SetEnabled(false)
+	for frame := 0; frame < 200; frame++ {
+		if f := a.ModelFault("yolox", frame, 0); f != nil {
+			t.Fatalf("disabled injector injected %v", f)
+		}
+	}
+}
+
+// TestFrameWindowAndDeadline: windowed rules fire only inside their
+// window and carry the rule's deadline.
+func TestFrameWindowAndDeadline(t *testing.T) {
+	in := New(testSchedule())
+	if f := in.ModelFault("slow", 9, 0); f != nil {
+		t.Errorf("fired before window: %v", f)
+	}
+	f := in.ModelFault("slow", 10, 0)
+	if f == nil || f.Kind != KindModelTimeout || f.DeadlineMS != 25 {
+		t.Errorf("in-window fault = %+v", f)
+	}
+	if f := in.ModelFault("slow", 20, 0); f != nil {
+		t.Errorf("fired at exclusive bound: %v", f)
+	}
+	if f := in.ModelFault("other", 10, 0); f != nil {
+		t.Errorf("fired for wrong target: %v", f)
+	}
+}
+
+// TestPersistControlsRecoverability: a Persist=p rule fails attempts
+// 0..p-1 and then yields, which is what lets retry absorb transient
+// faults.
+func TestPersistControlsRecoverability(t *testing.T) {
+	in := New(Schedule{Seed: 1, Rules: []Rule{
+		{Kind: KindModelError, Target: "m", Rate: 1, Persist: 2},
+	}})
+	for attempt := 0; attempt < 2; attempt++ {
+		if in.ModelFault("m", 0, attempt) == nil {
+			t.Fatalf("attempt %d should fail (persist 2)", attempt)
+		}
+	}
+	if f := in.ModelFault("m", 0, 2); f != nil {
+		t.Fatalf("attempt 2 should succeed, got %v", f)
+	}
+}
+
+// TestBreakerLifecycle walks closed → open → half-open → closed.
+func TestBreakerLifecycle(t *testing.T) {
+	in := New(Schedule{})
+	for i := 0; i < BreakerThreshold; i++ {
+		if !in.BreakerAllow("m", "s", i) {
+			t.Fatalf("breaker denied before threshold at %d", i)
+		}
+		in.BreakerFailure("m", "s", i)
+	}
+	tripFrame := BreakerThreshold - 1
+	if in.BreakerAllow("m", "s", tripFrame+1) {
+		t.Fatal("breaker still allows after tripping")
+	}
+	if n := in.TrippedBreakers(); n != 1 {
+		t.Fatalf("tripped breakers = %d", n)
+	}
+	// Cooldown elapses: one half-open probe is admitted.
+	probe := tripFrame + BreakerCooldown
+	if !in.BreakerAllow("m", "s", probe) {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	// A half-open failure re-opens immediately.
+	in.BreakerFailure("m", "s", probe)
+	if in.BreakerAllow("m", "s", probe+1) {
+		t.Fatal("breaker allows right after a failed probe")
+	}
+	if !in.BreakerAllow("m", "s", probe+BreakerCooldown) {
+		t.Fatal("breaker refused the second probe")
+	}
+	in.BreakerSuccess("m", "s")
+	if !in.BreakerAllow("m", "s", probe+BreakerCooldown+1) {
+		t.Fatal("breaker not closed after probe success")
+	}
+	if n := in.TrippedBreakers(); n != 0 {
+		t.Fatalf("tripped breakers after recovery = %d", n)
+	}
+	stats := in.BreakerStats()
+	if len(stats) != 1 || stats[0].Trips != 2 || stats[0].State != "closed" {
+		t.Fatalf("breaker stats = %+v", stats)
+	}
+	if got := in.Counters().Get("breaker_trips"); got != 2 {
+		t.Fatalf("breaker_trips counter = %d", got)
+	}
+}
+
+// TestWrapSourceStallAndRecover: a stall rule with Persist=p stalls p
+// polls of the frame and then serves it; FrameAt stays un-faulted
+// throughout.
+func TestWrapSourceStallAndRecover(t *testing.T) {
+	v := video.CityFlow(7, 1).Generate()
+	in := New(testSchedule())
+	src := WrapSource(v, in)
+	if src == video.FrameSource(v) {
+		t.Fatal("WrapSource with injector returned the source unchanged")
+	}
+	if plain := WrapSource(v, nil); plain != video.FrameSource(v) {
+		t.Fatal("WrapSource(nil) must return the source unchanged")
+	}
+	// The schedule's stall rule targets "cam0", not this clip's source
+	// name, so every poll here is healthy.
+	for i := 0; i < v.NumFrames(); i++ {
+		f, status := Poll(src, i)
+		if status != StatusReady || f == nil {
+			t.Fatalf("frame %d: status %v", i, status)
+		}
+	}
+	// Retarget: a source actually named by the rule stalls Persist
+	// times at frame 5, then recovers.
+	in2 := New(Schedule{Seed: 7, Rules: []Rule{
+		{Kind: KindSourceStall, Target: v.SourceName(), Rate: 1, FromFrame: 5, ToFrame: 6, Persist: 3},
+	}})
+	src2 := WrapSource(v, in2)
+	for attempt := 0; attempt < 3; attempt++ {
+		if f, status := Poll(src2, 5); status != StatusStalled || f != nil {
+			t.Fatalf("poll %d of frame 5: status %v", attempt, status)
+		}
+	}
+	if f, status := Poll(src2, 5); status != StatusReady || f == nil {
+		t.Fatalf("frame 5 after stalls: status %v", status)
+	}
+	if f := src2.FrameAt(5); f == nil {
+		t.Fatal("FrameAt must bypass injection")
+	}
+}
+
+// TestSourceDrop: a drop rule loses the frame permanently.
+func TestSourceDrop(t *testing.T) {
+	v := video.CityFlow(7, 1).Generate()
+	in := New(Schedule{Seed: 1, Rules: []Rule{
+		{Kind: KindSourceDrop, Target: v.SourceName(), Rate: 1, FromFrame: 2, ToFrame: 3},
+	}})
+	src := WrapSource(v, in)
+	if _, status := Poll(src, 2); status != StatusDropped {
+		t.Fatalf("frame 2 status %v, want dropped", status)
+	}
+	if _, status := Poll(src, 3); status != StatusReady {
+		t.Fatalf("frame 3 status %v, want ready", status)
+	}
+}
+
+// TestStoreFaultOrdinals: store decisions use a per-kind op ordinal as
+// the frame axis, so a FromFrame=N write rule lets the first N appends
+// through and fails the rest.
+func TestStoreFaultOrdinals(t *testing.T) {
+	in := New(testSchedule())
+	for i := 0; i < 2; i++ {
+		if err := in.StoreWriteFault("scans"); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	err := in.StoreWriteFault("scans")
+	if err == nil {
+		t.Fatal("write 2 should fail (FromFrame 2)")
+	}
+	if !IsFault(err) {
+		t.Fatalf("store fault not recognized by IsFault: %v", err)
+	}
+	// Reads have their own ordinal stream and no read rule: all pass.
+	for i := 0; i < 5; i++ {
+		if err := in.StoreReadFault("scans"); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+}

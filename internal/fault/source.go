@@ -1,0 +1,109 @@
+package fault
+
+// Frame-source faults: stalls (the frame is not ready yet; poll again)
+// and drops (the frame is lost; skip it). Serving loops poll through
+// Poll/Poller instead of calling FrameAt directly, which keeps the
+// FrameSource contract — FrameAt never fails — intact for every replay,
+// backfill and archive path that must stay fault-free.
+
+import (
+	"sync"
+
+	"vqpy/internal/video"
+)
+
+// Status is the outcome of polling a frame from a possibly-faulted
+// source.
+type Status int
+
+const (
+	// StatusReady: the frame arrived.
+	StatusReady Status = iota
+	// StatusStalled: the frame is not available this poll; retry the
+	// same index later.
+	StatusStalled
+	// StatusDropped: the frame is permanently lost; skip the index.
+	StatusDropped
+)
+
+// Poller is the fallible polling interface serving loops use. A plain
+// FrameSource is polled through Poll, which adapts it.
+type Poller interface {
+	// PollFrame attempts to produce frame i; a nil frame carries the
+	// non-ready status.
+	PollFrame(i int) (*video.Frame, Status)
+}
+
+// FaultedSource wraps a FrameSource with injected stalls and drops. It
+// implements both FrameSource (FrameAt passes through un-faulted, so
+// metadata readers and replay paths are untouched) and Poller (the
+// faulted path). Stall length is governed by the firing rule's Persist:
+// each stalled poll of the same index advances the attempt ordinal.
+type FaultedSource struct {
+	inner video.FrameSource
+	inj   *Injector
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+// WrapSource wraps src with injector-driven stalls and drops. With a
+// nil injector the source is returned unchanged.
+func WrapSource(src video.FrameSource, inj *Injector) video.FrameSource {
+	if inj == nil {
+		return src
+	}
+	return &FaultedSource{inner: src, inj: inj, attempts: make(map[int]int)}
+}
+
+// SourceName implements FrameSource.
+func (s *FaultedSource) SourceName() string { return s.inner.SourceName() }
+
+// SourceFPS implements FrameSource.
+func (s *FaultedSource) SourceFPS() int { return s.inner.SourceFPS() }
+
+// NumFrames implements FrameSource.
+func (s *FaultedSource) NumFrames() int { return s.inner.NumFrames() }
+
+// FrameAt implements FrameSource, bypassing injection: archive replay
+// and backfill must observe the true clip.
+func (s *FaultedSource) FrameAt(i int) *video.Frame { return s.inner.FrameAt(i) }
+
+// PollFrame implements Poller.
+func (s *FaultedSource) PollFrame(i int) (*video.Frame, Status) {
+	s.mu.Lock()
+	attempt := s.attempts[i]
+	s.mu.Unlock()
+	switch s.inj.SourceFault(s.inner.SourceName(), i, attempt) {
+	case KindSourceStall:
+		s.mu.Lock()
+		s.attempts[i] = attempt + 1
+		s.mu.Unlock()
+		return nil, StatusStalled
+	case KindSourceDrop:
+		s.forget(i)
+		return nil, StatusDropped
+	}
+	s.forget(i)
+	return s.inner.FrameAt(i), StatusReady
+}
+
+func (s *FaultedSource) forget(i int) {
+	s.mu.Lock()
+	delete(s.attempts, i)
+	s.mu.Unlock()
+}
+
+// Poll fetches frame i through src's Poller if it has one, else
+// directly via FrameAt. A nil frame from a plain source is reported as
+// a stall defensively (the FrameSource contract says it cannot happen).
+func Poll(src video.FrameSource, i int) (*video.Frame, Status) {
+	if p, ok := src.(Poller); ok {
+		return p.PollFrame(i)
+	}
+	f := src.FrameAt(i)
+	if f == nil {
+		return nil, StatusStalled
+	}
+	return f, StatusReady
+}

@@ -445,6 +445,25 @@ var builtinProfiles = []Profile{
 	{Name: "ball_person_cheap", Task: TaskDetect, CostMS: 5, Classes: []video.Class{video.ClassPerson, video.ClassBall}, MissRate: 0.08, FPRate: 0.05, JitterPx: 4},
 }
 
+// detectorFallbacks is the degradation ladder of the builtin zoo: when
+// a detector's circuit breaker opens, the execution layer retargets the
+// scan at its fallback tier — the cheap universal yolov5s, whose empty
+// Classes profile covers every class the specialized tiers bind. The
+// bottom tier has no fallback; past it the scan carries tracker state
+// forward.
+var detectorFallbacks = map[string]string{
+	"yolox":               "yolov5s",
+	"yolov8m":             "yolov5s",
+	"car_detector":        "yolov5s",
+	"person_detector":     "yolov5s",
+	"red_car_specialized": "yolov5s",
+	"ball_person_cheap":   "yolov5s",
+}
+
+// FallbackDetector returns the cheaper detector tier a broken detector
+// degrades to, or "" when none exists.
+func FallbackDetector(name string) string { return detectorFallbacks[name] }
+
 // BuiltinRegistry returns a registry populated with the library model
 // zoo described in §2 of the paper.
 func BuiltinRegistry() *Registry {

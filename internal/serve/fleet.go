@@ -18,6 +18,7 @@ import (
 	"vqpy"
 
 	"vqpy/internal/exec"
+	"vqpy/internal/fault"
 	"vqpy/internal/fleet"
 )
 
@@ -63,15 +64,23 @@ func (s *Server) initFleet() error {
 	for _, v := range clip.Videos {
 		session := vqpy.NewSession(s.cfg.Seed)
 		session.SetNoBurn(true)
-		mux, err := session.Serve(v.FPS)
-		if err != nil {
-			return err
-		}
 		if s.fleet.batch == nil {
 			s.fleet.batch = exec.NewBatchScheduler(0, exec.DetectorAccounts(session.Registry()))
 		}
 		session.Env().Interceptor = s.fleet.batch
-		s.sources[v.Name] = &source{name: v.Name, session: session, video: v, mux: mux}
+		// Chaos chains AFTER the batch wiring so the injector wraps the
+		// batch scheduler (failed calls are not batchable model work),
+		// and BEFORE Serve so the executor sees the injector.
+		session.SetFaults(s.cfg.Faults)
+		mux, err := session.Serve(v.FPS)
+		if err != nil {
+			return err
+		}
+		mux.BindSource(v)
+		s.sources[v.Name] = &source{
+			name: v.Name, session: session, video: v, mux: mux,
+			feed: fault.WrapSource(v, s.cfg.Faults),
+		}
 		s.order = append(s.order, v.Name)
 	}
 	return nil
@@ -119,6 +128,9 @@ func (s *Server) fleetLoadLocked(source string) (float64, int) {
 func (s *Server) AttachFleet(queryName string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return 0, ErrDraining
+	}
 	if s.fleet == nil {
 		return 0, fmt.Errorf("serve: fleet mode disabled (run with -fleet): %w", ErrNotFound)
 	}

@@ -7,7 +7,10 @@ package serve
 //	DELETE /queries/{id}         → final result JSON
 //	GET    /queries/{id}/results → live result snapshot JSON
 //	                             (?since=F restricts hits to frames >= F — delta polling)
-//	GET    /streamz              → sources, groups, lanes, counters, store tiers
+//	GET    /streamz              → sources, groups, lanes, counters, store tiers,
+//	                             degradation state (breakers, quarantines, chaos counters)
+//	GET    /healthz              → liveness + degradation summary (always 200)
+//	GET    /readyz               → readiness (503 while draining)
 //
 // Fleet mode (vqserve -fleet N) adds the fleet-wide surface:
 //
@@ -78,6 +81,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /fleet/queries/{id}", s.handleFleetDetach)
 	mux.HandleFunc("GET /fleet/queries/{id}/results", s.handleFleetResults)
 	mux.HandleFunc("GET /streamz", s.handleStreamz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -94,6 +99,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
 	case errors.As(err, &adm):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
@@ -250,4 +257,20 @@ func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStreamz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Streamz())
+}
+
+// handleHealthz is the liveness probe: always 200, with the
+// degradation summary (breakers, quarantines, draining) in the body.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// handleReadyz is the readiness probe: 503 from the moment a drain
+// starts, so load balancers route away before the listener goes down.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -21,12 +21,28 @@ import (
 
 	"vqpy"
 
+	"vqpy/internal/fault"
 	"vqpy/internal/metrics"
 )
 
 // ErrNotFound marks lookups of unregistered sources, queries or ids
 // (the HTTP layer maps it to 404).
 var ErrNotFound = errors.New("not found")
+
+// ErrDraining marks requests refused because the daemon is shutting
+// down gracefully (the HTTP layer maps it to 503, and /readyz flips).
+var ErrDraining = errors.New("serve: draining")
+
+// Source-quarantine policy (DESIGN.md §9): a source that stalls this
+// many consecutive polls is quarantined — the step loop stops polling
+// it every tick and probes it only every quarantineProbeEvery ticks, so
+// a wedged camera costs almost nothing while the healthy ones keep
+// flowing. Any successful poll (or a drop, which proves the source is
+// answering) lifts the quarantine.
+const (
+	quarantineThreshold  = 3
+	quarantineProbeEvery = 4
+)
 
 // Config tunes the serving daemon.
 type Config struct {
@@ -59,6 +75,15 @@ type Config struct {
 	// inference and a shared global re-ID registry; fleet-wide queries
 	// attach through POST /fleet/queries. Incompatible with StoreDir.
 	FleetCams int
+	// Faults installs a deterministic fault injector (DESIGN.md §9)
+	// across the whole daemon: model calls gate through its schedule
+	// (absorbed by retry, breakers, degradation), store I/O routes
+	// through its write/read hooks, and every source is polled through
+	// a fault wrapper that can stall or drop frames (stalled sources
+	// quarantine instead of being re-polled every tick). Nil — or an
+	// injector with an empty schedule — leaves the daemon bit-identical
+	// to an unconfigured one.
+	Faults *vqpy.FaultInjector
 }
 
 // source is one registered scenario feed: its own session (private
@@ -67,10 +92,21 @@ type source struct {
 	name    string
 	session *vqpy.Session
 	video   *vqpy.Video
+	feed    vqpy.FrameSource // poll path: the clip, fault-wrapped when chaos is on
 	mux     *vqpy.MuxStream
-	fed     int   // frames fed (monotonic, counts wrapped frames once each)
+	fed     int   // frames fed (monotonic, counts wrapped and dropped frames once each)
 	done    bool  // no more frames will be fed (clip end, or a feed error)
 	feedErr error // the error that stopped the feed, if any
+
+	// Failure-domain state (only moves when Config.Faults injects
+	// source faults; see stepLocked).
+	ticks         int  // step attempts, the quarantine probe clock
+	stalls        int  // consecutive stalled polls of the current frame
+	totalStalls   int  // lifetime stalled polls
+	dropped       int  // frames lost to injected drops
+	quarantined   bool // stalled past the threshold; polled only on probes
+	quarantinedAt int  // tick of the last quarantine entry
+	quarantines   int  // lifetime quarantine entries
 }
 
 // liveQuery is one attached query's registration.
@@ -97,9 +133,11 @@ type Server struct {
 	store    *vqpy.Store // persistent result store, nil without StoreDir
 	fleet    *fleetState // fleet-mode extension, nil without FleetCams
 
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	started bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  bool
+	draining bool // Drain began: no new queries, no new frames
+	drained  bool // Drain finished: muxes and store are closed
 }
 
 // scenarios maps source names to scenario generators (the daemon's
@@ -151,8 +189,10 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 	if cfg.StoreDir != "" {
 		// One store serves every source: records are keyed by source
 		// name. A restart over the same directory finds its own archive
-		// (the manifest guards the seed).
-		st, err := vqpy.OpenStore(cfg.StoreDir, cfg.Seed)
+		// (the manifest guards the seed). With chaos on, the store's I/O
+		// paths route through the injector (write failures degrade a
+		// tier to memory-only; read failures become misses).
+		st, err := vqpy.OpenStoreWithFaults(cfg.StoreDir, cfg.Seed, cfg.Faults)
 		if err != nil {
 			return nil, err
 		}
@@ -170,6 +210,7 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		}
 		session := vqpy.NewSession(cfg.Seed)
 		session.SetNoBurn(true)
+		session.SetFaults(cfg.Faults)
 		v := vqpy.GenerateVideo(gen(cfg.Seed, cfg.Seconds))
 		mux, err := session.Serve(v.FPS)
 		if err != nil {
@@ -178,8 +219,16 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		}
 		if s.store != nil {
 			mux.BindStore(s.store, v)
+		} else {
+			// No store: bind the source name alone so circuit breakers
+			// (keyed per model AND source) and /healthz attribute
+			// failures to the right camera.
+			mux.BindSource(v)
 		}
-		s.sources[name] = &source{name: name, session: session, video: v, mux: mux}
+		s.sources[name] = &source{
+			name: name, session: session, video: v, mux: mux,
+			feed: fault.WrapSource(v, cfg.Faults),
+		}
 		s.order = append(s.order, name)
 	}
 	return s, nil
@@ -265,7 +314,8 @@ func (s *Server) Run() {
 	}
 }
 
-// Close stops the tickers and closes every mux.
+// Close stops the tickers and closes every mux. After a Drain it only
+// reaps the (already torn down) ticker state.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.started {
@@ -276,10 +326,95 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.drained {
+		return
+	}
+	s.drained = true
 	for _, src := range s.sources {
 		src.mux.Close()
 	}
 	s.closeStore()
+}
+
+// DrainSummary reports what a graceful drain tore down.
+type DrainSummary struct {
+	// QueriesDetached / FleetQueriesDetached count the live queries
+	// finalized by the drain.
+	QueriesDetached      int `json:"queries_detached"`
+	FleetQueriesDetached int `json:"fleet_queries_detached,omitempty"`
+	// StoreFlushed reports that a persistent store was synced and
+	// closed.
+	StoreFlushed bool `json:"store_flushed,omitempty"`
+	// Results holds the final result of every per-source query that was
+	// still attached, keyed by query id (not serialized: drains are
+	// logged, not shipped).
+	Results map[int]*vqpy.Result `json:"-"`
+}
+
+// Drain shuts the daemon down gracefully (the SIGTERM path of
+// cmd/vqserve): stop admitting queries and frames, stop the tickers,
+// detach and finalize every live query, then flush and close the
+// store. /readyz reports 503 from the moment draining starts while
+// /healthz keeps answering 200, so load balancers route away before
+// the listener goes down. Idempotent; a later Close is a no-op.
+func (s *Server) Drain() DrainSummary {
+	s.mu.Lock()
+	if s.drained {
+		s.mu.Unlock()
+		return DrainSummary{}
+	}
+	s.draining = true
+	if s.started {
+		close(s.stop)
+		s.started = false
+	}
+	s.mu.Unlock()
+	s.wg.Wait() // tickers gone: no frame moves after this point
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return DrainSummary{}
+	}
+	sum := DrainSummary{Results: make(map[int]*vqpy.Result)}
+	ids := make([]int, 0, len(s.queries))
+	for id := range s.queries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		q := s.queries[id]
+		if res, err := s.sources[q.source].mux.Detach(q.lane); err == nil {
+			sum.Results[id] = res
+		}
+		delete(s.queries, id)
+		sum.QueriesDetached++
+		s.counters.Add("queries_detached", 1)
+	}
+	if s.fleet != nil {
+		fids := make([]int, 0, len(s.fleet.queries))
+		for id := range s.fleet.queries {
+			fids = append(fids, id)
+		}
+		sort.Ints(fids)
+		for _, id := range fids {
+			q := s.fleet.queries[id]
+			for name, lane := range q.lanes {
+				_, _ = s.sources[name].mux.Detach(lane)
+			}
+			delete(s.fleet.queries, id)
+			sum.FleetQueriesDetached++
+			s.counters.Add("fleet_queries_detached", 1)
+		}
+	}
+	for _, name := range s.order {
+		s.sources[name].mux.Close()
+	}
+	if s.store != nil {
+		sum.StoreFlushed = true
+	}
+	s.closeStore()
+	s.drained = true
+	return sum
 }
 
 // Step feeds one frame on the named source (wrapping when Loop is
@@ -289,6 +424,9 @@ func (s *Server) Close() {
 func (s *Server) Step(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
 	if s.fleet != nil {
 		return fmt.Errorf("serve: fleet sources step in lockstep; use StepAll")
 	}
@@ -300,6 +438,9 @@ func (s *Server) Step(name string) error {
 func (s *Server) StepAll() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
 	if s.fleet != nil {
 		return s.fleetStepLocked()
 	}
@@ -328,7 +469,36 @@ func (s *Server) stepLocked(name string) error {
 		}
 		idx %= n
 	}
-	if _, err := src.mux.Feed(src.video.FrameAt(idx)); err != nil {
+	src.ticks++
+	if src.quarantined && (src.ticks-src.quarantinedAt)%quarantineProbeEvery != 0 {
+		// Quarantined: skip this tick, probe on the cadence only.
+		return nil
+	}
+	f, status := fault.Poll(src.feed, idx)
+	switch status {
+	case fault.StatusStalled:
+		src.stalls++
+		src.totalStalls++
+		s.counters.Add("frames_stalled:"+name, 1)
+		if !src.quarantined && src.stalls >= quarantineThreshold {
+			src.quarantined = true
+			src.quarantinedAt = src.ticks
+			src.quarantines++
+			s.counters.Add("quarantine_events", 1)
+			s.counters.Add("quarantined:"+name, 1)
+		}
+		return nil
+	case fault.StatusDropped:
+		// The frame is lost for good: skip it. A drop proves the source
+		// is answering, so it also lifts any quarantine.
+		src.stalls = 0
+		src.quarantined = false
+		src.dropped++
+		src.fed++
+		s.counters.Add("frames_dropped:"+name, 1)
+		return nil
+	}
+	if _, err := src.mux.Feed(f); err != nil {
 		// A feed error is fatal for the source: record it so /streamz
 		// shows why frames stopped instead of freezing silently.
 		src.done = true
@@ -336,6 +506,8 @@ func (s *Server) stepLocked(name string) error {
 		s.counters.Add("feed_errors:"+name, 1)
 		return fmt.Errorf("serve: feed %s: %w", name, err)
 	}
+	src.stalls = 0
+	src.quarantined = false
 	src.fed++
 	s.counters.Add("frames_fed:"+name, 1)
 	return nil
@@ -396,6 +568,9 @@ func (s *Server) attach(sourceName, queryName string, backfill bool) (int, error
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		return 0, ErrDraining
+	}
 	src, ok := s.sources[sourceName]
 	if !ok {
 		return 0, fmt.Errorf("serve: unknown source %q: %w", sourceName, ErrNotFound)
@@ -497,6 +672,52 @@ func (s *Server) ResultsSince(id int, since int) (*vqpy.Result, error) {
 	return res, nil
 }
 
+// Health is the GET /healthz payload. The endpoint always answers 200
+// — it reports liveness plus a degradation summary; readiness (503
+// while draining) is /readyz's job.
+type Health struct {
+	// Status is "ok", "degraded" (a breaker is open or a source is
+	// quarantined) or "draining".
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	// Quarantined lists the sources currently under stall quarantine.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// OpenBreakers lists every circuit breaker not currently closed.
+	OpenBreakers []fault.BreakerStat `json:"open_breakers,omitempty"`
+}
+
+// Health assembles the /healthz view.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Status: "ok", Draining: s.draining}
+	for _, name := range s.order {
+		if s.sources[name].quarantined {
+			h.Quarantined = append(h.Quarantined, name)
+		}
+	}
+	for _, b := range s.cfg.Faults.BreakerStats() {
+		if b.State != "closed" {
+			h.OpenBreakers = append(h.OpenBreakers, b)
+		}
+	}
+	switch {
+	case s.draining:
+		h.Status = "draining"
+	case len(h.Quarantined) > 0 || len(h.OpenBreakers) > 0:
+		h.Status = "degraded"
+	}
+	return h
+}
+
+// Ready reports whether the daemon accepts new work (false from the
+// moment a drain starts).
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
 // SourceStat is one source's /streamz row.
 type SourceStat struct {
 	Name         string           `json:"name"`
@@ -513,6 +734,14 @@ type SourceStat struct {
 	EstLoadMS    float64          `json:"est_load_ms_per_frame"`
 	BudgetMS     float64          `json:"budget_ms_per_frame"`
 	VirtualMS    float64          `json:"virtual_ms_total"`
+
+	// Degradation state (chaos runs; zero-valued otherwise).
+	Stalls         int                 `json:"stalls,omitempty"`
+	Dropped        int                 `json:"dropped,omitempty"`
+	Quarantined    bool                `json:"quarantined,omitempty"`
+	Quarantines    int                 `json:"quarantines,omitempty"`
+	DegradedFrames int                 `json:"degraded_frames,omitempty"`
+	Breakers       []fault.BreakerStat `json:"breakers,omitempty"`
 }
 
 // QueryStat is one live query's /streamz row.
@@ -535,6 +764,20 @@ type StoreStat struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// ChaosStat is the /streamz fault-injection block, present when the
+// daemon runs with an injector.
+type ChaosStat struct {
+	// Enabled mirrors the injector's live toggle.
+	Enabled bool `json:"enabled"`
+	// TrippedBreakers counts breakers currently open or half-open;
+	// Breakers lists every breaker that has seen a failure.
+	TrippedBreakers int                 `json:"tripped_breakers"`
+	Breakers        []fault.BreakerStat `json:"breakers,omitempty"`
+	// Counters are the injector's event counters (injections by kind
+	// and target, breaker trips, degradations).
+	Counters map[string]int64 `json:"counters"`
+}
+
 // Stats is the /streamz payload.
 type Stats struct {
 	Sources  []SourceStat     `json:"sources"`
@@ -542,6 +785,7 @@ type Stats struct {
 	Counters map[string]int64 `json:"counters"`
 	Store    *StoreStat       `json:"store,omitempty"`
 	Fleet    *FleetStat       `json:"fleet,omitempty"`
+	Chaos    *ChaosStat       `json:"chaos,omitempty"`
 }
 
 // Streamz assembles the live stats snapshot.
@@ -549,6 +793,14 @@ func (s *Server) Streamz() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{Counters: s.counters.Snapshot(), Fleet: s.fleetStatLocked()}
+	if inj := s.cfg.Faults; inj != nil {
+		st.Chaos = &ChaosStat{
+			Enabled:         inj.Enabled(),
+			TrippedBreakers: inj.TrippedBreakers(),
+			Breakers:        inj.BreakerStats(),
+			Counters:        inj.Counters().Snapshot(),
+		}
+	}
 	if s.store != nil {
 		st.Store = &StoreStat{
 			Dir: s.store.Dir(), Tiers: s.store.TierStats(),
@@ -562,13 +814,22 @@ func (s *Server) Streamz() Stats {
 		if src.feedErr != nil {
 			feedErr = src.feedErr.Error()
 		}
+		groupStats := src.mux.GroupStats()
+		degraded := 0
+		for _, g := range groupStats {
+			degraded += g.Degraded
+		}
 		st.Sources = append(st.Sources, SourceStat{
 			Name: name, FPS: src.video.FPS, ClipFrames: len(src.video.Frames),
 			FramesFed: src.fed, Done: src.done, FeedError: feedErr, Queries: resident,
 			Groups: src.mux.Groups(), GroupMembers: src.mux.GroupMembers(),
-			GroupStats: src.mux.GroupStats(),
+			GroupStats: groupStats,
 			Lanes:      src.mux.LaneStats(), EstLoadMS: load, BudgetMS: s.cfg.BudgetMS,
 			VirtualMS: src.session.Clock().TotalMS(),
+			Stalls:    src.totalStalls, Dropped: src.dropped,
+			Quarantined: src.quarantined, Quarantines: src.quarantines,
+			DegradedFrames: degraded,
+			Breakers:       s.cfg.Faults.BreakerStatsFor(name),
 		})
 	}
 	// Per-query rows come from the lane stats already collected above —

@@ -63,6 +63,19 @@ type Options struct {
 	// MemRecords caps the in-memory tier, per record kind (scan / det /
 	// label). 0 uses DefaultMemRecords.
 	MemRecords int
+
+	// WriteFault, when set, is consulted before every disk append (the
+	// chaos layer's injectable store write hook; kind is the tier name).
+	// An error fails the append: the record is installed memory-only and
+	// the tier degrades to memory-only mode — correct by the cache
+	// contract (recomputing is always right), losing only cross-process
+	// reuse. Counters: <kind>_write_failures, tier_degraded_mem_only,
+	// <kind>_puts_mem_only.
+	WriteFault func(kind string) error
+	// ReadFault, when set, is consulted before every disk-tier read; an
+	// error is served as a miss (counter <kind>_faulted_reads) and the
+	// engine recomputes. Hot-tier (memory) hits are unaffected.
+	ReadFault func(kind string) error
 }
 
 // Store is a tiered persistent result store over one directory.
@@ -75,9 +88,10 @@ type Store struct {
 	dets   *tier // DetRecord:   source ⨯ detector model ⨯ frame
 	labels *tier // LabelRecord: source ⨯ model ⨯ frame ⨯ box ⨯ object
 
-	counters *metrics.Counters
-	warnings []string
-	closed   bool
+	counters   *metrics.Counters
+	warnings   []string
+	closed     bool
+	writeFault func(kind string) error
 }
 
 // manifestName is the manifest file inside the store directory.
@@ -148,6 +162,10 @@ func Open(dir string, meta Meta, opts Options) (*Store, error) {
 		s.scans.close()
 		s.dets.close()
 		return nil, err
+	}
+	s.writeFault = opts.WriteFault
+	for _, t := range []*tier{s.scans, s.dets, s.labels} {
+		t.readFault = opts.ReadFault
 	}
 	return s, nil
 }
@@ -237,11 +255,43 @@ func (s *Store) put(t *tier, kind, key string, val any) error {
 	if s.closed {
 		return fmt.Errorf("store: %s put on closed store", kind)
 	}
-	if err := t.put(key, val, framed); err != nil {
-		return err
+	if t.memOnly {
+		t.install(key, val)
+		s.counters.Add(kind+"_puts_mem_only", 1)
+		return nil
+	}
+	if s.writeFault != nil {
+		err = s.writeFault(t.name)
+	}
+	if err == nil {
+		err = t.put(key, val, framed)
+	}
+	if err != nil {
+		// A failed append downgrades the whole tier to memory-only
+		// rather than failing the query: the store is a cache, so
+		// serving from memory (and recomputing what falls out) is always
+		// correct — only cross-process reuse is lost. Appending past a
+		// failed write is not attempted again: the log tail state is
+		// unknown, and a gap would corrupt the framing.
+		s.degradeTierLocked(t, kind, err)
+		t.install(key, val)
+		s.counters.Add(kind+"_puts_mem_only", 1)
+		return nil
 	}
 	s.counters.Add(kind+"_puts", 1)
 	return nil
+}
+
+// degradeTierLocked flips one tier into memory-only mode after a write
+// failure. Callers hold s.mu.
+func (s *Store) degradeTierLocked(t *tier, kind string, err error) {
+	s.counters.Add(kind+"_write_failures", 1)
+	if !t.memOnly {
+		t.memOnly = true
+		s.counters.Add("tier_degraded_mem_only", 1)
+		s.warnings = append(s.warnings, fmt.Sprintf(
+			"store: %s: append failed (%v); tier degraded to memory-only", t.name, err))
+	}
 }
 
 // get reads one record under the store lock, counting tier hits.
@@ -251,7 +301,11 @@ func (s *Store) get(t *tier, kind, key string) (any, bool) {
 	if s.closed {
 		return nil, false
 	}
+	faultedBefore := t.faultedReads
 	v, memHit, ok := t.get(key)
+	if t.faultedReads > faultedBefore {
+		s.counters.Add(kind+"_faulted_reads", 1)
+	}
 	switch {
 	case !ok:
 		s.counters.Add(kind+"_misses", 1)
@@ -379,18 +433,30 @@ type Stats struct {
 	Evicted int
 	// CorruptRecords counts records skipped at open.
 	CorruptRecords int
+	// MemOnlyTiers counts tiers degraded to memory-only by write
+	// failures (0–3); FaultedReads counts disk reads served as misses
+	// by the injected read hook.
+	MemOnlyTiers int
+	FaultedReads int
 }
 
 // TierStats summarizes the store for dashboards (/streamz) and CLIs.
 func (s *Store) TierStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		ScanRecords:    len(s.scans.idx),
 		DetRecords:     len(s.dets.idx),
 		LabelRecords:   len(s.labels.idx),
 		MemRecords:     len(s.scans.mem) + len(s.dets.mem) + len(s.labels.mem),
 		Evicted:        s.scans.evicted + s.dets.evicted + s.labels.evicted,
 		CorruptRecords: s.scans.corrupt + s.dets.corrupt + s.labels.corrupt,
+		FaultedReads:   s.scans.faultedReads + s.dets.faultedReads + s.labels.faultedReads,
 	}
+	for _, t := range []*tier{s.scans, s.dets, s.labels} {
+		if t.memOnly {
+			st.MemOnlyTiers++
+		}
+	}
+	return st
 }

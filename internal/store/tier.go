@@ -50,6 +50,16 @@ type tier struct {
 
 	corrupt int // records skipped at open (bad CRC / undecodable)
 	evicted int // hot-tier evictions (records remain on disk)
+
+	// memOnly marks a tier degraded by a write failure: appends stop
+	// (the log tail state is unknown) and records live only in the hot
+	// tier — a pure cache, evictions now lose the record. Set by
+	// Store.degradeTierLocked, never cleared within a process.
+	memOnly bool
+	// readFault is the chaos layer's injectable disk-read hook; an
+	// error from it serves the read as a miss (faultedReads counts).
+	readFault    func(kind string) error
+	faultedReads int
 }
 
 // openTier opens (creating if needed) one log file and rebuilds its
@@ -137,6 +147,14 @@ func (t *tier) get(key string) (val any, memHit, ok bool) {
 	rec, hit := t.idx[key]
 	if !hit {
 		return nil, false, false
+	}
+	if t.readFault != nil {
+		if err := t.readFault(t.name); err != nil {
+			// Injected disk-read failure: served as a miss. The engine
+			// recomputes, which is always correct.
+			t.faultedReads++
+			return nil, false, false
+		}
 	}
 	blob := make([]byte, rec.n)
 	if _, err := t.f.ReadAt(blob, rec.off+recordHeaderBytes); err != nil {

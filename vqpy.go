@@ -38,6 +38,7 @@ package vqpy
 import (
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
+	"vqpy/internal/fault"
 	"vqpy/internal/models"
 	"vqpy/internal/plan"
 	"vqpy/internal/sim"
@@ -136,6 +137,7 @@ const (
 type Session struct {
 	env      *models.Env
 	registry *models.Registry
+	faults   *fault.Injector
 }
 
 // NewSession creates a session with the built-in model zoo and a fresh
@@ -162,6 +164,28 @@ func (s *Session) Env() *models.Env { return s.env }
 // SetNoBurn disables proportional real CPU work (useful in unit tests;
 // benchmarks should leave burning on so wall time mirrors virtual time).
 func (s *Session) SetNoBurn(noBurn bool) { s.env.NoBurn = noBurn }
+
+// SetFaults installs a deterministic fault injector on the session's
+// serving paths (Serve, OpenShared, OpenStream): model calls gate
+// through its schedule (absorbed by retry, then circuit breakers and
+// graceful degradation; see internal/fault and DESIGN.md §9). The
+// injector chains in front of any ChargeInterceptor already installed
+// (a fleet batch scheduler), so call it after that wiring. A nil
+// injector — or one with an empty schedule — leaves results
+// bit-identical to a fault-free session (the no-op guarantee pinned by
+// TestFaultInjectorNoop). Planner-driven paths (Execute, ExecuteAll,
+// ExecuteShared, PlanQuery profiling) stay fault-free on purpose: plan
+// selection must not depend on transient chaos.
+func (s *Session) SetFaults(inj *fault.Injector) {
+	s.faults = inj
+	if inj != nil {
+		inj.Wrap(s.env.Interceptor)
+		s.env.Interceptor = inj
+	}
+}
+
+// Faults returns the injector installed by SetFaults, or nil.
+func (s *Session) Faults() *fault.Injector { return s.faults }
 
 // config collects per-execution options.
 type config struct {
@@ -275,6 +299,48 @@ func OpenStoreOptions(dir string, seed uint64, memRecords int) (*Store, error) {
 	return store.Open(dir, store.Meta{Seed: seed}, store.Options{MemRecords: memRecords})
 }
 
+// OpenStoreWithFaults is OpenStore with the store's I/O paths routed
+// through a fault injector: writes consult inj.StoreWriteFault (a
+// failure degrades that tier to memory-only) and disk reads consult
+// inj.StoreReadFault (a failure serves the read as a miss, forcing a
+// recompute). A nil injector behaves exactly like OpenStore.
+func OpenStoreWithFaults(dir string, seed uint64, inj *FaultInjector) (*Store, error) {
+	opts := store.Options{}
+	if inj != nil {
+		opts.WriteFault = inj.StoreWriteFault
+		opts.ReadFault = inj.StoreReadFault
+	}
+	return store.Open(dir, store.Meta{Seed: seed}, opts)
+}
+
+// Deterministic fault injection (internal/fault, DESIGN.md §9): a
+// FaultSchedule of FaultRules drives a seeded FaultInjector installed
+// with Session.SetFaults and wired into a store via
+// OpenStoreWithFaults.
+type (
+	// FaultInjector is the deterministic, seeded fault injector.
+	FaultInjector = fault.Injector
+	// FaultSchedule is a reproducible fault schedule.
+	FaultSchedule = fault.Schedule
+	// FaultRule is one fault-injection rule of a schedule.
+	FaultRule = fault.Rule
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = fault.Kind
+)
+
+// Injectable fault classes (see fault.Kind).
+const (
+	FaultModelError   = fault.KindModelError
+	FaultModelTimeout = fault.KindModelTimeout
+	FaultStoreWrite   = fault.KindStoreWrite
+	FaultStoreRead    = fault.KindStoreRead
+	FaultSourceStall  = fault.KindSourceStall
+	FaultSourceDrop   = fault.KindSourceDrop
+)
+
+// NewFaultInjector builds an injector from a schedule.
+var NewFaultInjector = fault.New
+
 // NewSharedCache creates a cache for WithSharedCache.
 func NewSharedCache() *exec.SharedCache { return exec.NewSharedCache() }
 
@@ -356,7 +422,7 @@ func (s *Session) OpenShared(qs []*Query, canary *Video, fps int, opts ...Option
 	// A WithSharedCache cache reaches the mux so several streams (e.g.
 	// one per camera) can share detection work; OpenMux creates a
 	// stream-private cache otherwise.
-	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache, Faults: s.faults})
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +450,7 @@ func (s *Session) Serve(fps int, opts ...Option) (*MuxStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache, Faults: s.faults})
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +558,7 @@ func (s *Session) OpenStream(q *Query, canary *Video, fps int, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
-	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache})
+	ex, err := exec.NewExecutor(exec.Options{Env: s.env, Registry: s.registry, Cache: cfg.planOpts.Cache, Faults: s.faults})
 	if err != nil {
 		return nil, err
 	}
