@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|dag|multi|muxscan|churn|rescan|fleet|chaos]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|edge|multi|muxscan|churn|rescan|fleet|chaos|search|dag]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
+//
+// The experiment vocabulary is the experiments table below — the -exp
+// help text is derived from it, and the usage line above is pinned to
+// it by a test, so the three cannot drift apart.
 //
 // The multi experiment exercises the parallel multi-query scheduler
 // (sequential vs. -parallel workers over the 8-query serving workload);
@@ -24,7 +28,10 @@
 // fleet workload under deterministic fault injection (E19) — retries
 // absorb recoverable faults at ≥99% verdict parity, breakers degrade
 // gracefully, a disabled injector is bit-identical, and store faults
-// downgrade tiers without changing answers.
+// downgrade tiers without changing answers; search measures the
+// appearance index's index-then-verify path against the full rescan on
+// a 1x and a 3x archive (E20) — bit-identical answers with sub-linear
+// verified-frame and virtual-cost growth.
 // -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 //
@@ -39,14 +46,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"vqpy/internal/bench"
 	"vqpy/internal/metrics"
 )
 
+// experiment is one -exp dispatch entry: a report-producing runner, or
+// a text-only explainer (run and text are mutually exclusive).
+type experiment struct {
+	name string
+	run  func(bench.Config) (*metrics.Report, error)
+	text func(bench.Config) (string, error)
+}
+
+// experiments is the single source of truth for the -exp vocabulary,
+// in "all" execution order. The flag's help text is derived from it;
+// main_test.go pins the doc comment's usage line to it.
+var experiments = []experiment{
+	{name: "fig13a", run: bench.RunFig13a},
+	{name: "fig13b", run: bench.RunFig13b},
+	{name: "fig14", run: bench.RunFig14},
+	{name: "fig15", run: bench.RunFig15},
+	{name: "fig16", run: bench.RunFig16},
+	{name: "table5", run: bench.RunTable5},
+	{name: "table6", run: bench.RunTable6},
+	{name: "table7", run: bench.RunTable7},
+	{name: "memo", run: bench.RunMemoAblation},
+	{name: "planner", run: bench.RunPlannerAblation},
+	{name: "batch", run: bench.RunBatchAblation},
+	{name: "lazy", run: bench.RunLazyAblation},
+	{name: "edge", run: bench.RunEdgeAblation},
+	{name: "multi", run: bench.RunMultiQuery},
+	{name: "muxscan", run: bench.RunMuxScan},
+	{name: "churn", run: bench.RunChurn},
+	{name: "rescan", run: bench.RunRescan},
+	{name: "fleet", run: bench.RunFleet},
+	{name: "chaos", run: bench.RunChaos},
+	{name: "search", run: bench.RunSearch},
+	{name: "dag", text: bench.ExplainSuspectDAG},
+}
+
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+func findExperiment(name string) (experiment, bool) {
+	for _, e := range experiments {
+		if e.name == name {
+			return e, true
+		}
+	}
+	return experiment{}, false
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig13a, fig13b, fig14, fig15, fig16, table5, table6, table7, memo, planner, batch, lazy, dag, multi, muxscan, churn, rescan, fleet, chaos)")
+	exp := flag.String("exp", "all", "experiment to run (all, "+strings.Join(experimentNames(), ", ")+")")
 	seed := flag.Uint64("seed", 20240501, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
 	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
@@ -87,51 +147,28 @@ func main() {
 	}
 
 	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn, Workers: *parallel}
-	runners := map[string]func(bench.Config) (*metrics.Report, error){
-		"fig13a":  bench.RunFig13a,
-		"fig13b":  bench.RunFig13b,
-		"fig14":   bench.RunFig14,
-		"fig15":   bench.RunFig15,
-		"fig16":   bench.RunFig16,
-		"table5":  bench.RunTable5,
-		"table6":  bench.RunTable6,
-		"table7":  bench.RunTable7,
-		"memo":    bench.RunMemoAblation,
-		"planner": bench.RunPlannerAblation,
-		"batch":   bench.RunBatchAblation,
-		"lazy":    bench.RunLazyAblation,
-		"edge":    bench.RunEdgeAblation,
-		"multi":   bench.RunMultiQuery,
-		"muxscan": bench.RunMuxScan,
-		"churn":   bench.RunChurn,
-		"rescan":  bench.RunRescan,
-		"fleet":   bench.RunFleet,
-		"chaos":   bench.RunChaos,
-	}
-	order := []string{"fig13a", "fig13b", "fig14", "fig15", "fig16", "table5", "table6", "table7", "memo", "planner", "batch", "lazy", "edge", "multi", "muxscan", "churn", "rescan", "fleet", "chaos", "dag"}
-
 	selected := []string{*exp}
 	if *exp == "all" {
-		selected = order
+		selected = experimentNames()
 	}
 	var reports []*metrics.Report
 	for _, name := range selected {
-		if name == "dag" {
-			out, err := bench.ExplainSuspectDAG(cfg)
+		e, ok := findExperiment(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vqbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if e.text != nil {
+			out, err := e.text(cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "vqbench: dag: %v\n", err)
+				fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
 			fmt.Println(out)
 			continue
 		}
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "vqbench: unknown experiment %q\n", name)
-			os.Exit(2)
-		}
 		start := time.Now()
-		rep, err := run(cfg)
+		rep, err := e.run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
 			os.Exit(1)

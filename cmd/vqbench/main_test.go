@@ -1,0 +1,69 @@
+package main
+
+// Pins the -exp vocabulary: the experiments table is the source of
+// truth, and both the doc comment's usage line and the derived flag
+// help must cover every dispatch key (the drift this guards against:
+// an experiment wired into the table but invisible in the docs).
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestExperimentTableIsWellFormed(t *testing.T) {
+	seen := make(map[string]bool, len(experiments))
+	for _, e := range experiments {
+		if e.name == "" || e.name == "all" {
+			t.Errorf("experiment name %q is reserved", e.name)
+		}
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if (e.run == nil) == (e.text == nil) {
+			t.Errorf("experiment %q must set exactly one of run/text", e.name)
+		}
+		if got, ok := findExperiment(e.name); !ok || got.name != e.name {
+			t.Errorf("findExperiment(%q) did not resolve", e.name)
+		}
+	}
+	if _, ok := findExperiment("no-such-experiment"); ok {
+		t.Error("findExperiment resolved an unknown name")
+	}
+}
+
+func TestUsageDocCoversEveryExperiment(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _, ok := strings.Cut(string(src), "package main")
+	if !ok {
+		t.Fatal("main.go has no package clause")
+	}
+	usage := ""
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.Contains(line, "-exp all|") {
+			usage = line
+			break
+		}
+	}
+	if usage == "" {
+		t.Fatal("doc comment has no '-exp all|...' usage line")
+	}
+	for _, name := range experimentNames() {
+		if !strings.Contains(usage, "|"+name) {
+			t.Errorf("usage line omits experiment %q: %s", name, strings.TrimSpace(usage))
+		}
+	}
+}
+
+func TestFlagHelpCoversEveryExperiment(t *testing.T) {
+	help := "experiment to run (all, " + strings.Join(experimentNames(), ", ") + ")"
+	for _, name := range experimentNames() {
+		if !strings.Contains(help, name) {
+			t.Errorf("-exp help omits experiment %q", name)
+		}
+	}
+}

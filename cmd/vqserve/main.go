@@ -7,12 +7,17 @@
 //
 //	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
 //	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop] [-store DIR]
-//	        [-attach source:query,...] [-fleet N] [-chaos] [-chaos-seed N]
+//	        [-index DIR] [-attach source:query,...] [-fleet N]
+//	        [-chaos] [-chaos-seed N]
 //
 // API:
 //
 //	POST   /queries              {"source":"cityflow","query":"redcar"}
 //	                             (+"backfill":true replays scanned history)
+//	                             (+"mode":"search" answers an archive search
+//	                             synchronously: probe-then-verify over the fed
+//	                             frames, tuned by "track"/"threshold"/"topk";
+//	                             requires -store and -index)
 //	DELETE /queries/{id}         detach, returns the final result
 //	GET    /queries/{id}/results live result snapshot (?since=F for deltas)
 //	GET    /streamz              sources, scan groups, lanes, counters, store,
@@ -43,6 +48,14 @@
 // with -store, that guarantees the archive covers the stream from
 // frame zero, which is what later backfill attaches need. See
 // DESIGN.md §6 for attach/detach semantics and §7 for the store.
+//
+// -index DIR opens the appearance-embedding index (DESIGN.md §10) over
+// the store and enables the archive-search mode above: each search
+// warms the archive up to the fed-frame watermark, extracts new tracks
+// into the index (one embedding per track, ever), probes it for
+// candidate tracks and verifies only their frames. /streamz gains an
+// index block (probes, candidates, verified frames, pruned-frame
+// ratio). Requires -store; incompatible with -fleet.
 //
 // -chaos enables the deterministic fault injector (DESIGN.md §9) with
 // a canned schedule seeded by -chaos-seed: transient model errors the
@@ -106,6 +119,7 @@ func main() {
 	budget := flag.Float64("budget-ms", 0, "per-frame virtual-time admission budget per source (0 = admit all)")
 	loop := flag.Bool("loop", false, "wrap clips endlessly (live-camera stand-in)")
 	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
+	indexDir := flag.String("index", "", "appearance index directory enabling archive search (requires -store)")
 	attach := flag.String("attach", "", "comma-separated source:query pairs to attach before frames start flowing")
 	fleetCams := flag.Int("fleet", 0, "fleet mode: drive N correlated cameras in lockstep with batched cross-source inference (replaces -sources)")
 	chaos := flag.Bool("chaos", false, "enable the deterministic fault injector with a canned schedule (DESIGN.md §9)")
@@ -132,7 +146,7 @@ func main() {
 	}
 	s, err := serve.NewServer(serve.Config{
 		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
-		StoreDir: *storeDir, FleetCams: *fleetCams, Faults: inj,
+		StoreDir: *storeDir, IndexDir: *indexDir, FleetCams: *fleetCams, Faults: inj,
 	}, names)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
@@ -169,6 +183,9 @@ func main() {
 	persistence := "off"
 	if *storeDir != "" {
 		persistence = *storeDir
+		if *indexDir != "" {
+			persistence += " (index: " + *indexDir + ")"
+		}
 	}
 	serving := strings.Join(names, ",")
 	queries := strings.Join(serve.QueryNames(), ",")

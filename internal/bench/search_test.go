@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestSearchShape runs the E20 experiment at test scale and pins its
+// contract: probe answers identical to the full rescan (RunSearch
+// errors otherwise), every gated metric exported, and the sub-linear
+// shape — probe growth well below the 3x archive growth with a high
+// pruned-frame ratio on the long archive.
+func TestSearchShape(t *testing.T) {
+	rep, err := RunSearch(Config{Seed: 13, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (probe/full at 1x and 3x)", len(rep.Rows))
+	}
+	for _, name := range []string{
+		"search_identical", "search_frames_growth",
+		"search_probe_verified_growth", "search_probe_virtual_growth",
+		"search_full_virtual_growth", "search_pruned_ratio",
+	} {
+		if _, ok := rep.Metric(name); !ok {
+			t.Errorf("metric %s missing from report", name)
+		}
+	}
+	if v, _ := rep.Metric("search_identical"); v != 1 {
+		t.Error("probe search not identical to the full rescan")
+	}
+	if g, _ := rep.Metric("search_frames_growth"); g < 2.5 {
+		t.Errorf("archive frames growth %.2f, want ~3x", g)
+	}
+	if g, _ := rep.Metric("search_probe_verified_growth"); g > 1.4 {
+		t.Errorf("probe verified-frame growth %.2f on a 3x archive: not sub-linear", g)
+	}
+	if g, _ := rep.Metric("search_probe_virtual_growth"); g > 1.4 {
+		t.Errorf("probe virtual-cost growth %.2f on a 3x archive: not sub-linear", g)
+	}
+	if full, _ := rep.Metric("search_full_virtual_growth"); full < 2 {
+		t.Errorf("full-rescan virtual growth %.2f, expected roughly linear in the archive", full)
+	}
+	if r, _ := rep.Metric("search_pruned_ratio"); r < 0.8 {
+		t.Errorf("pruned-frame ratio %.2f on the long archive, want >= 0.8", r)
+	}
+}

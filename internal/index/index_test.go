@@ -1,0 +1,487 @@
+package index
+
+// Extraction and probe tests run against a hand-archived store: a
+// CityFlow clip written frame-by-frame under a perfect tracker (track
+// id = ground-truth id), the controlled stand-in for the shared
+// executor's archive writes. Ground truth is then recomputed directly
+// from the clip, so every span and embedding count the index claims is
+// checked against what the archive actually contained.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vqpy/internal/fleet"
+	"vqpy/internal/models"
+	"vqpy/internal/store"
+	"vqpy/internal/video"
+)
+
+const (
+	fxSource = "cam0"
+	fxSig    = "scan:test"
+	fxDetect = "yolo"
+)
+
+// fixture holds one generated clip plus the store it is archived into.
+type fixture struct {
+	t   *testing.T
+	v   *video.Video
+	st  *store.Store
+	env *models.Env
+	emb models.Embedder
+}
+
+// newBareFixture generates the clip and opens an empty store; the test
+// archives frames itself (holes, detector switches, drops).
+func newBareFixture(t *testing.T, seed uint64, durSec float64, opts store.Options) *fixture {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Meta{Seed: seed}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return &fixture{
+		t: t, v: video.CityFlow(seed, durSec).Generate(),
+		st: st, env: models.NewEnv(seed), emb: fxEmbedder(t),
+	}
+}
+
+// newFixture is newBareFixture plus a full archive of every frame.
+func newFixture(t *testing.T, seed uint64, durSec float64, opts store.Options) *fixture {
+	t.Helper()
+	f := newBareFixture(t, seed, durSec, opts)
+	for i := range f.v.Frames {
+		f.archiveFrameAs(fxSource, i, fxDetect, false)
+	}
+	return f
+}
+
+func fxEmbedder(t *testing.T) models.Embedder {
+	t.Helper()
+	m, ok := models.BuiltinRegistry().Get("fleet_reid")
+	if !ok {
+		t.Fatal("zoo has no fleet_reid model")
+	}
+	e, ok := m.(models.Embedder)
+	if !ok {
+		t.Fatal("fleet_reid is not an Embedder")
+	}
+	return e
+}
+
+// archiveFrameAs writes frame i's car detections and perfect-tracker
+// ids to the store under the given source and detector.
+func (f *fixture) archiveFrameAs(source string, i int, detect string, dropped bool) {
+	f.t.Helper()
+	rec := &store.ScanRecord{Source: source, ScanKey: fxSig, Detect: detect, Frame: i, Dropped: dropped}
+	if !dropped {
+		var dets []store.Detection
+		ids := []int{}
+		for _, o := range f.v.Frames[i].Objects {
+			if o.Class != video.ClassCar {
+				continue
+			}
+			dets = append(dets, store.Detection{Box: o.Box, Class: int(o.Class), Score: 0.9, TruthID: o.TrackID})
+			ids = append(ids, o.TrackID)
+		}
+		if err := f.st.PutDets(source, detect, i, dets); err != nil {
+			f.t.Fatal(err)
+		}
+		rec.IDs = map[int][]int{int(video.ClassCar): ids}
+	}
+	if err := f.st.PutScan(rec); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
+func (f *fixture) config(source string, fl *fleet.Registry) ExtractConfig {
+	return ExtractConfig{
+		Store: f.st, Src: f.v, Source: source,
+		Sig: fxSig, Detect: fxDetect, Class: int(video.ClassCar),
+		Env: f.env, Embedder: f.emb, Fleet: fl,
+	}
+}
+
+func (f *fixture) extract(x *Index, source string, upto int) ExtractStats {
+	f.t.Helper()
+	stats, err := x.Extract(f.config(source, nil), upto)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return stats
+}
+
+type span struct{ first, last, frames int }
+
+// truthSpans recomputes per-track sighting spans from the clip's ground
+// truth, over the frames include admits (nil = all).
+func (f *fixture) truthSpans(include func(frame int) bool) map[int]span {
+	out := map[int]span{}
+	for i, fr := range f.v.Frames {
+		if include != nil && !include(i) {
+			continue
+		}
+		for _, o := range fr.Objects {
+			if o.Class != video.ClassCar {
+				continue
+			}
+			s, ok := out[o.TrackID]
+			if !ok {
+				s = span{first: i, last: i, frames: 1}
+			} else {
+				s.last = i
+				s.frames++
+			}
+			out[o.TrackID] = s
+		}
+	}
+	return out
+}
+
+func testMeta(seed uint64) Meta {
+	return Meta{Version: FormatVersion, Seed: seed, ZooVersion: models.ZooVersion, Embedder: "fleet_reid"}
+}
+
+func openTestIndex(t *testing.T, dir string, seed uint64) *Index {
+	t.Helper()
+	x, err := Open(dir, testMeta(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { x.Close() })
+	return x
+}
+
+// checkSpans compares the indexed entries of one source against ground
+// truth spans.
+func checkSpans(t *testing.T, x *Index, source string, want map[int]span) {
+	t.Helper()
+	entries := x.Entries(source, fxSig, int(video.ClassCar))
+	if len(entries) != len(want) {
+		t.Fatalf("indexed %d tracks, ground truth has %d", len(entries), len(want))
+	}
+	for _, e := range entries {
+		s, ok := want[e.Track]
+		if !ok {
+			t.Errorf("track %d indexed but absent from ground truth", e.Track)
+			continue
+		}
+		if e.First != s.first || e.Last != s.last || e.Frames != s.frames {
+			t.Errorf("track %d span [%d,%d]/%d frames, want [%d,%d]/%d",
+				e.Track, e.First, e.Last, e.Frames, s.first, s.last, s.frames)
+		}
+		if len(e.Vec) == 0 {
+			t.Errorf("track %d has no embedding", e.Track)
+		}
+	}
+}
+
+func TestExtractIndexesArchivedTracks(t *testing.T) {
+	f := newFixture(t, 91, 8, store.Options{})
+	n := len(f.v.Frames)
+	x := openTestIndex(t, t.TempDir(), 91)
+	stats := f.extract(x, fxSource, n)
+	if stats.From != 0 || stats.To != n {
+		t.Fatalf("extraction covered [%d,%d), want [0,%d)", stats.From, stats.To, n)
+	}
+	want := f.truthSpans(nil)
+	if stats.NewTracks != len(want) {
+		t.Errorf("NewTracks = %d, want %d", stats.NewTracks, len(want))
+	}
+	if stats.FaultStopped {
+		t.Error("clean extraction reported FaultStopped")
+	}
+	checkSpans(t, x, fxSource, want)
+	if got := x.Covered(fxSource, fxSig); got != n {
+		t.Errorf("Covered = %d, want %d", got, n)
+	}
+	for _, e := range x.Entries(fxSource, fxSig, int(video.ClassCar)) {
+		if e.GlobalID != -1 {
+			t.Errorf("track %d has global id %d without a fleet registry", e.Track, e.GlobalID)
+		}
+	}
+}
+
+// TestExtractEmbedsOncePerTrack pins the cost contract: one embedder
+// invocation per distinct track at its first archived sighting, none on
+// span extension, none on re-extraction.
+func TestExtractEmbedsOncePerTrack(t *testing.T) {
+	f := newFixture(t, 92, 8, store.Options{})
+	n := len(f.v.Frames)
+	x := openTestIndex(t, t.TempDir(), 92)
+	half := n / 2
+
+	s1 := f.extract(x, fxSource, half)
+	inv1 := f.env.Clock.Invocations("fleet_reid")
+	if inv1 != int64(s1.NewTracks) {
+		t.Errorf("first pass: %d embedder invocations for %d new tracks", inv1, s1.NewTracks)
+	}
+
+	s2 := f.extract(x, fxSource, n)
+	if s2.From != half || s2.To != n {
+		t.Fatalf("incremental pass covered [%d,%d), want [%d,%d)", s2.From, s2.To, half, n)
+	}
+	inv2 := f.env.Clock.Invocations("fleet_reid")
+	if inv2-inv1 != int64(s2.NewTracks) {
+		t.Errorf("incremental pass: %d invocations for %d new tracks", inv2-inv1, s2.NewTracks)
+	}
+	if s1.NewTracks+s2.NewTracks != len(f.truthSpans(nil)) {
+		t.Errorf("passes indexed %d tracks total, ground truth has %d",
+			s1.NewTracks+s2.NewTracks, len(f.truthSpans(nil)))
+	}
+
+	// Re-extraction over covered ground is a free no-op.
+	s3 := f.extract(x, fxSource, n)
+	if s3.From != n || s3.To != n || s3.NewTracks != 0 || s3.Updated != 0 {
+		t.Errorf("no-op pass did work: %+v", s3)
+	}
+	if got := f.env.Clock.Invocations("fleet_reid"); got != inv2 {
+		t.Errorf("no-op pass re-embedded: invocations %d -> %d", inv2, got)
+	}
+}
+
+// TestProbeExactRecallVsBruteForce sweeps thresholds and exemplars:
+// every probe must return exactly the brute-force answer over all
+// entries, while partition pruning skips at least some comparisons.
+func TestProbeExactRecallVsBruteForce(t *testing.T) {
+	f := newFixture(t, 93, 10, store.Options{})
+	x := openTestIndex(t, t.TempDir(), 93)
+	f.extract(x, fxSource, len(f.v.Frames))
+	entries := x.Entries(fxSource, fxSig, int(video.ClassCar))
+	if len(entries) < 3 {
+		t.Fatalf("only %d tracks indexed; fixture too small to exercise pruning", len(entries))
+	}
+
+	probes := 0
+	for _, q := range entries {
+		for _, th := range []float64{0.5, 0.7, 0.95} {
+			want := map[int]bool{}
+			for _, e := range entries {
+				if models.Cosine(e.Vec, q.Vec) >= th {
+					want[e.Track] = true
+				}
+			}
+			got := x.Probe(f.env, fxSource, fxSig, int(video.ClassCar), q.Vec, th)
+			gotSet := map[int]bool{}
+			for _, e := range got {
+				gotSet[e.Track] = true
+			}
+			if !reflect.DeepEqual(want, gotSet) {
+				t.Errorf("probe(track %d, th %.2f) = %v, brute force %v", q.Track, th, gotSet, want)
+			}
+			probes++
+		}
+	}
+	c := x.Counters()
+	if c.Get("probes") != int64(probes) {
+		t.Errorf("probes counter = %d, want %d", c.Get("probes"), probes)
+	}
+	if c.Get("probe_pruned") == 0 {
+		t.Error("no entries pruned across any probe: partitioning is not separating identities")
+	}
+}
+
+// TestExtractStopsAtGapAndResumes: a hole in the archive stops coverage
+// exactly at the hole; filling it lets the next pass resume.
+func TestExtractStopsAtGapAndResumes(t *testing.T) {
+	f := newBareFixture(t, 94, 6, store.Options{})
+	n := len(f.v.Frames)
+	if n < 20 {
+		t.Fatalf("clip too short: %d frames", n)
+	}
+	for i := 0; i < 10; i++ {
+		f.archiveFrameAs(fxSource, i, fxDetect, false)
+	}
+	for i := 12; i < 20; i++ {
+		f.archiveFrameAs(fxSource, i, fxDetect, false)
+	}
+	x := openTestIndex(t, t.TempDir(), 94)
+	s1 := f.extract(x, fxSource, 20)
+	if s1.To != 10 || s1.FaultStopped {
+		t.Fatalf("extraction over a hole covered [%d,%d) fault=%v, want stop at 10", s1.From, s1.To, s1.FaultStopped)
+	}
+	if got := x.Covered(fxSource, fxSig); got != 10 {
+		t.Fatalf("Covered = %d, want 10", got)
+	}
+	f.archiveFrameAs(fxSource, 10, fxDetect, false)
+	f.archiveFrameAs(fxSource, 11, fxDetect, false)
+	s2 := f.extract(x, fxSource, 20)
+	if s2.From != 10 || s2.To != 20 {
+		t.Fatalf("resumed extraction covered [%d,%d), want [10,20)", s2.From, s2.To)
+	}
+	checkSpans(t, x, fxSource, f.truthSpans(func(i int) bool { return i < 20 }))
+}
+
+// TestExtractStopsAtDetectorMismatch: a frame archived under a
+// different detector ends trustworthy coverage there (the store's own
+// invalidation rule applied to the walk).
+func TestExtractStopsAtDetectorMismatch(t *testing.T) {
+	f := newBareFixture(t, 95, 4, store.Options{})
+	n := len(f.v.Frames)
+	for i := 0; i < n; i++ {
+		det := fxDetect
+		if i == 5 {
+			det = "other-detector"
+		}
+		f.archiveFrameAs(fxSource, i, det, false)
+	}
+	x := openTestIndex(t, t.TempDir(), 95)
+	s := f.extract(x, fxSource, n)
+	if s.To != 5 || s.FaultStopped {
+		t.Fatalf("extraction covered [%d,%d) fault=%v, want stop at detector switch (5)", s.From, s.To, s.FaultStopped)
+	}
+	if got := x.Covered(fxSource, fxSig); got != 5 {
+		t.Errorf("Covered = %d, want 5", got)
+	}
+}
+
+// TestDroppedFramesCovered: frames the scheduler dropped are covered —
+// they were archived, there is nothing to verify on them — but
+// contribute no sightings.
+func TestDroppedFramesCovered(t *testing.T) {
+	f := newBareFixture(t, 96, 6, store.Options{})
+	n := len(f.v.Frames)
+	dropped := func(i int) bool { return i%3 == 1 }
+	for i := 0; i < n; i++ {
+		f.archiveFrameAs(fxSource, i, fxDetect, dropped(i))
+	}
+	x := openTestIndex(t, t.TempDir(), 96)
+	s := f.extract(x, fxSource, n)
+	if s.To != n {
+		t.Fatalf("extraction covered [%d,%d), want full %d despite drops", s.From, s.To, n)
+	}
+	checkSpans(t, x, fxSource, f.truthSpans(func(i int) bool { return !dropped(i) }))
+}
+
+// TestFleetGlobalIDs: the same entities archived under two sources
+// resolve to the same cross-camera global id when extraction runs with
+// a fleet registry.
+func TestFleetGlobalIDs(t *testing.T) {
+	f := newBareFixture(t, 97, 6, store.Options{})
+	n := len(f.v.Frames)
+	for i := 0; i < n; i++ {
+		f.archiveFrameAs("camA", i, fxDetect, false)
+		f.archiveFrameAs("camB", i, fxDetect, false)
+	}
+	x := openTestIndex(t, t.TempDir(), 97)
+	fl := fleet.NewRegistry(0.7)
+	for _, src := range []string{"camA", "camB"} {
+		if _, err := x.Extract(f.config(src, fl), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gidsOf := func(source string) map[int]int {
+		out := map[int]int{}
+		for _, e := range x.Entries(source, fxSig, int(video.ClassCar)) {
+			out[e.Track] = e.GlobalID
+		}
+		return out
+	}
+	a, b := gidsOf("camA"), gidsOf("camB")
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sources indexed %d and %d tracks; want equal and non-zero", len(a), len(b))
+	}
+	for track, gidA := range a {
+		gidB, ok := b[track]
+		if !ok {
+			t.Errorf("track %d on camA only", track)
+			continue
+		}
+		if gidA < 0 || gidA != gidB {
+			t.Errorf("track %d resolved to global ids %d / %d across cameras, want one shared id >= 0",
+				track, gidA, gidB)
+		}
+	}
+}
+
+// TestPersistenceAcrossReopen: entries, coverage and probe answers
+// survive a close/reopen byte-for-byte.
+func TestPersistenceAcrossReopen(t *testing.T) {
+	f := newFixture(t, 98, 8, store.Options{})
+	n := len(f.v.Frames)
+	dir := t.TempDir()
+	x := openTestIndex(t, dir, 98)
+	f.extract(x, fxSource, n)
+	entries := x.Entries(fxSource, fxSig, int(video.ClassCar))
+	probe := x.Probe(f.env, fxSource, fxSig, int(video.ClassCar), entries[0].Vec, 0.7)
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	x2 := openTestIndex(t, dir, 98)
+	c := x2.Counters()
+	for _, k := range []string{"invalidated", "corrupt_records", "torn_tail_truncated"} {
+		if c.Get(k) != 0 {
+			t.Errorf("clean reopen booked %s = %d", k, c.Get(k))
+		}
+	}
+	if got := x2.Covered(fxSource, fxSig); got != n {
+		t.Errorf("reopened Covered = %d, want %d", got, n)
+	}
+	if got := x2.Entries(fxSource, fxSig, int(video.ClassCar)); !reflect.DeepEqual(entries, got) {
+		t.Error("entries changed across reopen")
+	}
+	if got := x2.Probe(f.env, fxSource, fxSig, int(video.ClassCar), entries[0].Vec, 0.7); !reflect.DeepEqual(probe, got) {
+		t.Error("probe answer changed across reopen")
+	}
+}
+
+// TestConcurrentProbesDuringExtract interleaves probes with incremental
+// extraction passes (run under -race in CI): probes must stay safe and
+// the final structure must equal a brute-force scan.
+func TestConcurrentProbesDuringExtract(t *testing.T) {
+	f := newFixture(t, 103, 8, store.Options{})
+	n := len(f.v.Frames)
+	x := openTestIndex(t, t.TempDir(), 103)
+
+	// Seed the index until it holds one embeddable entry to probe with.
+	var feat []float64
+	upto := 0
+	for upto < n && feat == nil {
+		upto += 5
+		if upto > n {
+			upto = n
+		}
+		f.extract(x, fxSource, upto)
+		for _, e := range x.Entries(fxSource, fxSig, int(video.ClassCar)) {
+			if len(e.Vec) > 0 {
+				feat = e.Vec
+				break
+			}
+		}
+	}
+	if feat == nil {
+		t.Fatal("no embeddable entry in the whole clip")
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			x.Probe(nil, fxSource, fxSig, int(video.ClassCar), feat, 0.7)
+		}
+	}()
+	for upto < n {
+		upto += 7
+		if upto > n {
+			upto = n
+		}
+		f.extract(x, fxSource, upto)
+	}
+	close(done)
+	wg.Wait()
+
+	if got := x.Covered(fxSource, fxSig); got != n {
+		t.Fatalf("Covered = %d, want %d", got, n)
+	}
+	checkSpans(t, x, fxSource, f.truthSpans(nil))
+}

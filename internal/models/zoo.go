@@ -422,6 +422,15 @@ func (a *ActionProposalFilter) Keep(env *Env, f *video.Frame) bool {
 	return rng.Bool(a.P.FPRate)
 }
 
+// ZooVersion identifies the behaviour of the simulated model zoo: the
+// cost table, the output-distribution parameters and the deterministic
+// rng keying below. Derived artifacts that persist model outputs beyond
+// the record kinds the store keys by model name — today the appearance
+// index, whose embeddings must match what a live embedder would return
+// — record it in their manifests and invalidate on mismatch, the same
+// rule the store applies to the seed.
+const ZooVersion = 1
+
 // Calibrated cost table (virtual ms, T4-scale). See DESIGN.md §2.
 var builtinProfiles = []Profile{
 	{Name: "yolox", Task: TaskDetect, CostMS: 28, MissRate: 0.03, FPRate: 0.05, JitterPx: 2.5},

@@ -35,12 +35,36 @@ import (
 // IRKind discriminates QueryIR nodes.
 type IRKind int
 
-// QueryIR node kinds: a basic pipeline leaf, or an event combinator.
+// QueryIR node kinds: a basic pipeline leaf, an event combinator, or an
+// index-probe leaf (archive search).
 const (
 	IRBasic IRKind = iota
 	IRDuration
 	IRTemporal
+	IRIndexProbe
 )
+
+// ProbeIR is the compiled form of an archive search: probe the
+// appearance index for tracks of Class whose embedding matches
+// FeatureRef at Threshold (keeping the TopK best after verification),
+// then verify only the frames those tracks span through the wrapped
+// basic pipeline. Verify is the pipeline that would answer the query by
+// full scan; the probe leaf is purely an access-path choice — executing
+// Verify over every frame yields bit-identical results, which the
+// crosscheck machinery (Search's probe-vs-full comparison) proves.
+type ProbeIR struct {
+	// Class is the tracked class the index was extracted for.
+	Class int
+	// FeatureRef is the exemplar appearance embedding being searched.
+	FeatureRef []float64
+	// Threshold is the cosine-similarity match bar.
+	Threshold float64
+	// TopK keeps the K most similar verified tracks; 0 keeps all.
+	TopK int
+	// Verify is the underlying basic pipeline (compiled with
+	// DisableMemo, see Search) used to confirm candidate frames.
+	Verify *BasicIR
+}
 
 // BasicIR is the compiled logical pipeline of one basic (or merged
 // spatial) query: the validated logical query plus the physical plan the
@@ -60,6 +84,9 @@ type QueryIR struct {
 
 	// Basic is set for IRBasic leaves.
 	Basic *BasicIR
+
+	// Probe is set for IRIndexProbe leaves.
+	Probe *ProbeIR
 
 	// MinSeconds (IRDuration) / WindowSeconds (IRTemporal) carry the
 	// combinator parameters.

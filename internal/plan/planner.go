@@ -20,6 +20,7 @@ import (
 
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
+	"vqpy/internal/index"
 	"vqpy/internal/models"
 	"vqpy/internal/store"
 	"vqpy/internal/video"
@@ -87,6 +88,13 @@ type Options struct {
 	// never see it, so plan selection is independent of what happens to
 	// be persisted.
 	Store *store.Store
+
+	// Index enables the archive-scale appearance index (internal/index):
+	// Search probes it for candidate tracks and verifies only the frames
+	// they span, falling back to a full rescan of any range the index
+	// does not cover. Requires Store — the index is an acceleration
+	// structure over archived records, never a source of truth.
+	Index *index.Index
 }
 
 func (o Options) withDefaults() Options {

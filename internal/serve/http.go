@@ -4,6 +4,9 @@ package serve
 //
 //	POST   /queries              {"source":"cityflow","query":"redcar"} → {"id":0,...}
 //	                             (+"backfill":true to replay scanned history from the store)
+//	                             (+"mode":"search" [+"track","threshold","topk"] for a
+//	                             synchronous archive search — probe-then-verify over the
+//	                             fed frames; requires -store and -index)
 //	DELETE /queries/{id}         → final result JSON
 //	GET    /queries/{id}/results → live result snapshot JSON
 //	                             (?since=F restricts hits to frames >= F — delta polling)
@@ -34,11 +37,19 @@ import (
 
 // attachRequest is the POST /queries body. Backfill asks for the
 // store-replayed attach: results cover the frames scanned before the
-// query arrived (requires the daemon's -store).
+// query arrived (requires the daemon's -store). Mode "search" switches
+// the request to a synchronous archive search (requires -store and
+// -index): no lane attaches, the reply is the search summary, and
+// track/threshold/topk tune the appearance predicate.
 type attachRequest struct {
 	Source   string `json:"source"`
 	Query    string `json:"query"`
 	Backfill bool   `json:"backfill,omitempty"`
+
+	Mode      string  `json:"mode,omitempty"`
+	Track     *int    `json:"track,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	TopK      int     `json:"topk,omitempty"`
 }
 
 // attachResponse is the POST /queries reply.
@@ -112,6 +123,23 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 	var req attachRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	switch req.Mode {
+	case "", "attach":
+	case "search":
+		sum, err := s.Search(SearchRequest{
+			Source: req.Source, Query: req.Query,
+			Track: req.Track, Threshold: req.Threshold, TopK: req.TopK,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+		return
+	default:
+		writeErr(w, errors.New("serve: unknown mode "+strconv.Quote(req.Mode)+" (want \"attach\" or \"search\")"))
 		return
 	}
 	var id int

@@ -68,6 +68,13 @@ type Config struct {
 	// model cost — the warm-restart path — and queries can attach with
 	// backfill. Empty disables persistence.
 	StoreDir string
+	// IndexDir enables the appearance-embedding index (DESIGN.md §10)
+	// over the archive: POST /queries with "mode":"search" answers
+	// archive-scale "find this object" queries probe-then-verify, and
+	// /streamz gains an index block. Requires StoreDir (the index is an
+	// acceleration structure over archived records, never a source of
+	// truth) and is incompatible with fleet mode.
+	IndexDir string
 	// FleetCams > 0 switches the daemon to fleet mode (DESIGN.md §8):
 	// the registered sourceNames are replaced by that many correlated
 	// camera clips sharing one entity population, all driven in
@@ -131,6 +138,7 @@ type Server struct {
 	nextID   int
 	counters *metrics.Counters
 	store    *vqpy.Store // persistent result store, nil without StoreDir
+	index    *vqpy.Index // appearance index over the store, nil without IndexDir
 	fleet    *fleetState // fleet-mode extension, nil without FleetCams
 
 	stop     chan struct{}
@@ -180,6 +188,14 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		counters: metrics.NewCounters(),
 		stop:     make(chan struct{}),
 	}
+	if cfg.IndexDir != "" {
+		if cfg.FleetCams > 0 {
+			return nil, fmt.Errorf("serve: fleet mode is incompatible with -index")
+		}
+		if cfg.StoreDir == "" {
+			return nil, fmt.Errorf("serve: -index requires -store (the index accelerates archive search, it is not a source of truth)")
+		}
+	}
 	if cfg.FleetCams > 0 {
 		if err := s.initFleet(); err != nil {
 			return nil, err
@@ -197,6 +213,14 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+	}
+	if cfg.IndexDir != "" {
+		x, err := vqpy.OpenIndex(cfg.IndexDir, cfg.Seed)
+		if err != nil {
+			s.closeStore()
+			return nil, err
+		}
+		s.index = x
 	}
 	for _, name := range sourceNames {
 		gen, ok := scenarios[name]
@@ -234,8 +258,13 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 	return s, nil
 }
 
-// closeStore releases the store during failed construction / shutdown.
+// closeStore releases the store and index during failed construction /
+// shutdown.
 func (s *Server) closeStore() {
+	if s.index != nil {
+		s.index.Close()
+		s.index = nil
+	}
 	if s.store != nil {
 		s.store.Close()
 		s.store = nil
@@ -764,6 +793,28 @@ type StoreStat struct {
 	Counters map[string]int64 `json:"counters"`
 }
 
+// IndexStat is the /streamz appearance-index block, present when the
+// daemon runs with -index: the index shape plus the accumulated
+// archive-search activity.
+type IndexStat struct {
+	Dir string `json:"dir"`
+	// Stats is the index's own shape and probe counters (entries,
+	// partitions, probes, candidates, pruned entries, faulted reads).
+	Stats vqpy.IndexStats `json:"stats"`
+	// Searches counts POST /queries mode=search requests served;
+	// SearchFrames the frames those searches spanned, VerifiedFrames the
+	// frames actually executed (candidate frames verified plus residual
+	// frames full-scanned past coverage), ResidualFrames the residual
+	// component alone.
+	Searches       int64 `json:"searches"`
+	SearchFrames   int64 `json:"search_frames"`
+	VerifiedFrames int64 `json:"verified_frames"`
+	ResidualFrames int64 `json:"residual_frames"`
+	// PrunedFrameRatio is the fraction of searched frames the index
+	// proved need no execution: 1 − verified/searched.
+	PrunedFrameRatio float64 `json:"pruned_frame_ratio"`
+}
+
 // ChaosStat is the /streamz fault-injection block, present when the
 // daemon runs with an injector.
 type ChaosStat struct {
@@ -784,6 +835,7 @@ type Stats struct {
 	Queries  []QueryStat      `json:"queries"`
 	Counters map[string]int64 `json:"counters"`
 	Store    *StoreStat       `json:"store,omitempty"`
+	Index    *IndexStat       `json:"index,omitempty"`
 	Fleet    *FleetStat       `json:"fleet,omitempty"`
 	Chaos    *ChaosStat       `json:"chaos,omitempty"`
 }
@@ -805,6 +857,22 @@ func (s *Server) Streamz() Stats {
 		st.Store = &StoreStat{
 			Dir: s.store.Dir(), Tiers: s.store.TierStats(),
 			Counters: s.store.Counters().Snapshot(),
+		}
+	}
+	if s.index != nil {
+		searched := s.counters.Get("search_frames")
+		executed := s.counters.Get("search_verified_frames")
+		ratio := 0.0
+		if searched > 0 {
+			ratio = 1 - float64(executed)/float64(searched)
+		}
+		st.Index = &IndexStat{
+			Dir: s.index.Dir(), Stats: s.index.TierStats(),
+			Searches:         s.counters.Get("searches"),
+			SearchFrames:     searched,
+			VerifiedFrames:   s.counters.Get("search_verified_frames"),
+			ResidualFrames:   s.counters.Get("search_residual_frames"),
+			PrunedFrameRatio: ratio,
 		}
 	}
 	for _, name := range s.order {

@@ -273,9 +273,18 @@ func (s *Scenario) newVehicle(rng *sim.RNG, id, spawn, frames int) *track {
 	return &track{
 		id: id, class: vehicleClass(kind), color: color, kind: kind,
 		plate: synthPlate(rng), spawnFrame: spawn, life: life,
-		path: path, w: w, h: h, dir: turn, pairTrack: -1,
+		featureID: vehicleFeatureID(id),
+		path:      path, w: w, h: h, dir: turn, pairTrack: -1,
 	}
 }
+
+// vehicleFeatureID derives a per-vehicle appearance key without
+// consuming generator randomness (an extra draw here would shift every
+// later sample and change existing clips). Distinct vehicles must embed
+// near-orthogonally for appearance search over single-camera archives;
+// the offset keeps the space disjoint from person features and from the
+// fleet generator's 1<<20 range.
+func vehicleFeatureID(id int) int { return 1<<18 + id }
 
 func vehicleClass(k VehicleKind) Class {
 	switch k {
@@ -378,7 +387,8 @@ func (s *Scenario) plantPickup(rng *sim.RNG, nextID, frames int) []*track {
 	car := &track{
 		id: nextID + 1, class: ClassCar, color: ColorRed, kind: KindSedan,
 		plate: "SUS-745", spawnFrame: spawn, life: carLife,
-		path: carPath, w: 95, h: 60, dir: geom.DirStraight,
+		featureID: vehicleFeatureID(nextID + 1),
+		path:      carPath, w: 95, h: 60, dir: geom.DirStraight,
 		pairTrack: nextID,
 	}
 	_ = rng

@@ -1,0 +1,271 @@
+package vqpy_test
+
+// Acceptance crosschecks of archive-scale appearance search (DESIGN.md
+// §10): the probe-then-verify fast path must answer bit-identically to
+// the full-rescan path — including when index coverage ends mid-archive
+// and the residual range falls back to ordinary execution — while
+// verifying strictly fewer frames.
+
+import (
+	"reflect"
+	"testing"
+
+	"vqpy"
+)
+
+// searchQuery is the archive-search workload: confidently detected cars
+// with their track ids and plates — the "find frames where this car
+// appears" shape, narrowed by the appearance exemplar rather than a
+// symbolic predicate. Its residual (post-scan) operators are stateless
+// per-crop properties, so it is index-verifiable.
+func searchQuery() *vqpy.Query {
+	return vqpy.NewQuery("CarSearch").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", vqpy.PropScore).Gt(0.6)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "plate"))
+}
+
+// selectiveSearchQuery adds a symbolic color filter on top; for most
+// exemplars it excludes the matching entity entirely, pinning the
+// empty-intersection case.
+func selectiveSearchQuery() *vqpy.Query {
+	return vqpy.NewQuery("RedCarSearch").
+		Use("car", vqpy.Car()).
+		Where(vqpy.And(
+			vqpy.P("car", vqpy.PropScore).Gt(0.6),
+			vqpy.P("car", "color").Eq("red"),
+		)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID), vqpy.Sel("car", "plate"))
+}
+
+func searchVideo(seed uint64) *vqpy.Video {
+	return vqpy.GenerateVideo(vqpy.DatasetCityFlow(seed, 16))
+}
+
+// ingestSearchArchive runs the queries once over the clip with a store
+// bound, archiving scan records for later extraction and search.
+// Memoization is disabled to match search compilation (Search always
+// compiles memo-free; an archive ingested under a different plan merely
+// lacks coverage for the fast path, but aligning them here keeps the
+// tests on the path they mean to test).
+func ingestSearchArchive(t *testing.T, dir string, seed uint64, qs ...*vqpy.Query) {
+	t.Helper()
+	if len(qs) == 0 {
+		qs = []*vqpy.Query{searchQuery()}
+	}
+	nodes := make([]vqpy.QueryNode, len(qs))
+	for i, q := range qs {
+		nodes[i] = q
+	}
+	st, err := vqpy.OpenStore(dir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	if _, err := s.ExecuteShared(nodes, searchVideo(seed), vqpy.WithStore(st), vqpy.WithoutMemo()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// extractSearchIndex opens the index at xdir and extracts frames
+// [covered, upto) from the archived store at sdir in a fresh session.
+func extractSearchIndex(t *testing.T, sdir, xdir string, seed uint64, q *vqpy.Query, upto int) vqpy.IndexExtractStats {
+	t.Helper()
+	st, err := vqpy.OpenStore(sdir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	x, err := vqpy.OpenIndex(xdir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	stats, err := s.IndexArchive(x, q, searchVideo(seed), upto, vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// runSearch executes one search in a fresh session over the stored
+// archive, optionally with the index attached.
+func runSearch(t *testing.T, sdir, xdir string, seed uint64, spec vqpy.SearchSpec) *vqpy.SearchResult {
+	t.Helper()
+	st, err := vqpy.OpenStore(sdir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	opts := []vqpy.Option{vqpy.WithStore(st)}
+	if xdir != "" {
+		x, err := vqpy.OpenIndex(xdir, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		opts = append(opts, vqpy.WithIndex(x))
+	}
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	res, err := s.Search(searchVideo(seed), spec, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameSearchResults(t *testing.T, label string, want, got *vqpy.SearchResult) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Matched, got.Matched) {
+		t.Errorf("%s: matched vectors differ", label)
+	}
+	if !reflect.DeepEqual(want.Hits, got.Hits) {
+		t.Errorf("%s: hits differ", label)
+	}
+	if !reflect.DeepEqual(want.MatchedTracks, got.MatchedTracks) {
+		t.Errorf("%s: matched tracks differ: %v vs %v", label, want.MatchedTracks, got.MatchedTracks)
+	}
+	if !reflect.DeepEqual(want.Sims, got.Sims) {
+		t.Errorf("%s: similarities differ", label)
+	}
+}
+
+// TestSearchProbeIdenticalToFullScan is the headline crosscheck: over a
+// fully indexed archive, probe-then-verify returns bit-identical
+// matches, hits and track rankings to the full rescan while executing
+// strictly fewer frames.
+func TestSearchProbeIdenticalToFullScan(t *testing.T) {
+	const seed = 141
+	sdir, xdir := t.TempDir(), t.TempDir()
+	ingestSearchArchive(t, sdir, seed)
+	stats := extractSearchIndex(t, sdir, xdir, seed, searchQuery(), 0)
+	n := len(searchVideo(seed).Frames)
+	if stats.To != n {
+		t.Fatalf("extraction covered [%d, %d), want full clip of %d frames", stats.From, stats.To, n)
+	}
+	if stats.NewTracks == 0 {
+		t.Fatal("extraction indexed no tracks")
+	}
+
+	// Exemplar: an indexed track, borrowed by id on the probe path; the
+	// full path gets the identical resolved feature vector explicitly.
+	exemplar := pickExemplarTrack(t, sdir, xdir, seed)
+	probe := runSearch(t, sdir, xdir, seed, vqpy.SearchSpec{Query: searchQuery(), Track: exemplar})
+	if !probe.UsedIndex {
+		t.Fatal("probe search did not use the index")
+	}
+	feature := probe.IR.Probe.FeatureRef
+	full := runSearch(t, sdir, "", seed, vqpy.SearchSpec{Query: searchQuery(), Feature: feature})
+	if full.UsedIndex {
+		t.Fatal("full search unexpectedly used an index")
+	}
+
+	sameSearchResults(t, "probe vs full", full, probe)
+	if len(probe.MatchedTracks) == 0 {
+		t.Fatal("search matched no tracks (exemplar should at least match itself)")
+	}
+	if probe.VerifiedFrames >= full.VerifiedFrames {
+		t.Errorf("probe verified %d frames, full %d: no pruning", probe.VerifiedFrames, full.VerifiedFrames)
+	}
+
+	// TopK=1 keeps only the best-ranked track and only its frames.
+	top1 := runSearch(t, sdir, xdir, seed, vqpy.SearchSpec{Query: searchQuery(), Feature: feature, TopK: 1})
+	fullTop1 := runSearch(t, sdir, "", seed, vqpy.SearchSpec{Query: searchQuery(), Feature: feature, TopK: 1})
+	sameSearchResults(t, "topk probe vs full", fullTop1, top1)
+	if len(top1.MatchedTracks) != 1 || top1.MatchedTracks[0] != probe.MatchedTracks[0] {
+		t.Errorf("topk=1 kept %v, want best-ranked %d", top1.MatchedTracks, probe.MatchedTracks[0])
+	}
+}
+
+// TestSearchResidualFallbackIdentical pins the partial-coverage case:
+// with the index stopping at the halfway watermark, the probe path
+// verifies candidates inside coverage and full-scans the residual tail
+// — still bit-identical to the full rescan.
+func TestSearchResidualFallbackIdentical(t *testing.T) {
+	const seed = 142
+	sdir, xdir := t.TempDir(), t.TempDir()
+	ingestSearchArchive(t, sdir, seed)
+	n := len(searchVideo(seed).Frames)
+	half := n / 2
+	stats := extractSearchIndex(t, sdir, xdir, seed, searchQuery(), half)
+	if stats.To != half {
+		t.Fatalf("extraction covered [%d, %d), want [0, %d)", stats.From, stats.To, half)
+	}
+
+	exemplar := pickExemplarTrack(t, sdir, xdir, seed)
+	probe := runSearch(t, sdir, xdir, seed, vqpy.SearchSpec{Query: searchQuery(), Track: exemplar})
+	if !probe.UsedIndex || probe.Covered != half || probe.ResidualFrames != n-half {
+		t.Fatalf("probe path: UsedIndex=%v Covered=%d Residual=%d, want true/%d/%d",
+			probe.UsedIndex, probe.Covered, probe.ResidualFrames, half, n-half)
+	}
+	full := runSearch(t, sdir, "", seed, vqpy.SearchSpec{Query: searchQuery(), Feature: probe.IR.Probe.FeatureRef})
+	sameSearchResults(t, "residual probe vs full", full, probe)
+
+	// A second extraction pass resumes from the watermark; re-searching
+	// over the now-complete index stays identical and verifies fewer
+	// frames than the residual-fallback search did.
+	stats2 := extractSearchIndex(t, sdir, xdir, seed, searchQuery(), 0)
+	if stats2.From != half || stats2.To != n {
+		t.Fatalf("incremental extraction covered [%d, %d), want [%d, %d)", stats2.From, stats2.To, half, n)
+	}
+	probe2 := runSearch(t, sdir, xdir, seed, vqpy.SearchSpec{Query: searchQuery(), Track: exemplar})
+	if !probe2.UsedIndex || probe2.Covered != n {
+		t.Fatalf("post-resume probe: UsedIndex=%v Covered=%d, want true/%d", probe2.UsedIndex, probe2.Covered, n)
+	}
+	sameSearchResults(t, "post-resume probe vs full", full, probe2)
+	if probe2.ResidualFrames != 0 {
+		t.Errorf("full-coverage probe still ran %d residual frames", probe2.ResidualFrames)
+	}
+	if probe2.VerifiedFrames >= n {
+		t.Errorf("full-coverage probe verified %d of %d frames: no pruning", probe2.VerifiedFrames, n)
+	}
+}
+
+// TestSearchSelectivePredicateIdentical crosschecks the two paths under
+// a query whose symbolic predicate (color = red) intersects the
+// appearance match: for most exemplars the intersection is empty, and
+// empty must mean empty on both paths — the probe must not manufacture
+// matches the predicate rejects, nor the full scan keep frames the
+// appearance join drops.
+func TestSearchSelectivePredicateIdentical(t *testing.T) {
+	const seed = 143
+	sdir, xdir := t.TempDir(), t.TempDir()
+	q := selectiveSearchQuery()
+	ingestSearchArchive(t, sdir, seed, q)
+	if stats := extractSearchIndex(t, sdir, xdir, seed, q, 0); stats.NewTracks == 0 {
+		t.Fatal("extraction indexed no tracks")
+	}
+	exemplar := pickExemplarTrack(t, sdir, xdir, seed)
+	probe := runSearch(t, sdir, xdir, seed, vqpy.SearchSpec{Query: q, Track: exemplar})
+	if !probe.UsedIndex {
+		t.Fatal("probe search did not use the index")
+	}
+	full := runSearch(t, sdir, "", seed, vqpy.SearchSpec{Query: q, Feature: probe.IR.Probe.FeatureRef})
+	sameSearchResults(t, "selective probe vs full", full, probe)
+}
+
+// pickExemplarTrack returns a track id that is certainly indexed: the
+// first track of the first search hit under a throwaway full search.
+func pickExemplarTrack(t *testing.T, sdir, xdir string, seed uint64) int {
+	t.Helper()
+	st, err := vqpy.OpenStore(sdir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	x, err := vqpy.OpenIndex(xdir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if ex, ok := x.Exemplar(); ok {
+		return ex.Track
+	}
+	t.Fatal("index holds no embeddable entry to use as an exemplar")
+	return -1
+}

@@ -39,6 +39,7 @@ import (
 	"vqpy/internal/core"
 	"vqpy/internal/exec"
 	"vqpy/internal/fault"
+	"vqpy/internal/index"
 	"vqpy/internal/models"
 	"vqpy/internal/plan"
 	"vqpy/internal/sim"
@@ -311,6 +312,92 @@ func OpenStoreWithFaults(dir string, seed uint64, inj *FaultInjector) (*Store, e
 		opts.ReadFault = inj.StoreReadFault
 	}
 	return store.Open(dir, store.Meta{Seed: seed}, opts)
+}
+
+// Archive-scale appearance search (internal/index, DESIGN.md §10): an
+// on-disk ANN-style index over per-track appearance embeddings
+// extracted from a store's archived records. Searches probe it for
+// candidate tracks and verify only the frames they span — sub-linear in
+// archive length — falling back to a full rescan of any uncovered
+// residual range, with results bit-identical to the full scan either
+// way.
+type (
+	// Index is the persistent appearance index.
+	Index = index.Index
+	// IndexStats summarizes an index (Index.TierStats).
+	IndexStats = index.Stats
+	// IndexExtractStats reports one IndexArchive extraction pass.
+	IndexExtractStats = index.ExtractStats
+	// SearchSpec parameterizes Session.Search.
+	SearchSpec = plan.SearchSpec
+	// SearchResult is the outcome of Session.Search.
+	SearchResult = plan.SearchResult
+)
+
+// OpenIndex opens (creating if needed) an appearance index rooted at
+// dir for sessions seeded with seed. Like the store, an index written
+// under a different seed — or a different index format or model-zoo
+// version — is invalidated rather than served: its embeddings would not
+// match what live models compute.
+func OpenIndex(dir string, seed uint64) (*Index, error) {
+	return index.Open(dir, index.Meta{
+		Version: index.FormatVersion, Seed: seed,
+		ZooVersion: models.ZooVersion, Embedder: "fleet_reid",
+	})
+}
+
+// WithIndex makes the appearance index available to Search (and any
+// other planner path that can use it as an access path). Requires
+// WithStore on the same call: the index accelerates queries over the
+// archive, it is never a source of truth.
+func WithIndex(x *Index) Option {
+	return func(c *config) { c.planOpts.Index = x }
+}
+
+// Search answers an appearance search over src: which archived tracks
+// of spec.Query's class look like the exemplar (spec.Feature, or the
+// stored embedding of spec.Track), and on which frames do they satisfy
+// the query? With WithIndex the probe-then-verify fast path runs where
+// index coverage allows; without it (or where coverage ends) the full
+// rescan runs. Results are bit-identical either way — only cost
+// differs. Requires WithStore.
+func (s *Session) Search(src FrameSource, spec SearchSpec, opts ...Option) (*SearchResult, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Search(src, spec)
+}
+
+// IndexArchive incrementally extracts the appearance index from the
+// archived records of q's scan group, walking frames [covered, upto)
+// (upto <= 0 means the whole source). Each distinct track is embedded
+// exactly once, at its first archived sighting, charged on the session
+// clock; later passes resume from the coverage watermark. Requires
+// WithStore; a store read fault stops the watermark at the failing
+// frame (counter index_faulted_reads), leaving that range to Search's
+// full-rescan fallback.
+func (s *Session) IndexArchive(x *Index, q *Query, src FrameSource, upto int, opts ...Option) (IndexExtractStats, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return IndexExtractStats{}, err
+	}
+	return pl.IndexArchive(x, q, src, upto, nil)
+}
+
+// WarmSearchArchive runs q's search pipeline over frames [0, upto)
+// with the store bound, building archive coverage under the search
+// scan signature — the cold-start ingest before IndexArchive when the
+// clip was never executed store-backed (or only under a memoizing
+// plan, whose signature differs). Already-archived frames replay at
+// near-zero model cost, so warming is idempotent. upto <= 0 warms the
+// whole clip. Requires WithStore.
+func (s *Session) WarmSearchArchive(q *Query, src FrameSource, upto int, opts ...Option) error {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return err
+	}
+	return pl.WarmSearchArchive(q, src, upto)
 }
 
 // Deterministic fault injection (internal/fault, DESIGN.md §9): a
