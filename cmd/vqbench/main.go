@@ -8,6 +8,11 @@
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
+// Every knob also loads from a -config JSON file and $VQBENCH_*
+// environment variables (defaults < file < env < flags; DESIGN.md
+// §11), so CI matrices can pin seeds and scales without editing
+// command lines.
+//
 // The experiment vocabulary is the experiments table below — the -exp
 // help text is derived from it, and the usage line above is pinned to
 // it by a test, so the three cannot drift apart.
@@ -43,13 +48,13 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
 	"vqpy/internal/bench"
+	"vqpy/internal/config"
 	"vqpy/internal/metrics"
 )
 
@@ -105,36 +110,54 @@ func findExperiment(name string) (experiment, bool) {
 	return experiment{}, false
 }
 
+// benchConfig is vqbench's typed configuration (internal/config): the
+// flags, their $VQBENCH_* bindings and the -config file keys.
+type benchConfig struct {
+	Exp      string  `flag:"exp" json:"exp" usage:"experiment to run"`
+	Seed     uint64  `flag:"seed" json:"seed" usage:"experiment seed"`
+	Scale    float64 `flag:"scale" json:"scale" usage:"workload duration scale (1.0 = paper-like)"`
+	Parallel int     `flag:"parallel" json:"parallel" usage:"worker pool size for the multi experiment"`
+	Burn     bool    `flag:"burn" json:"burn" usage:"do real CPU work proportional to virtual cost"`
+	CSV      bool    `flag:"csv" json:"csv" usage:"emit CSV instead of tables"`
+	JSONPath string  `flag:"json" json:"json_path" usage:"also write selected reports as a JSON array to this file"`
+	Check    string  `flag:"check" json:"check" usage:"check benchmark artifacts against this baselines file and exit (regression gate)"`
+}
+
+// Validate rejects unknown experiment selections with the full
+// vocabulary in the message.
+func (c *benchConfig) Validate() error {
+	if c.Exp == "all" {
+		return nil
+	}
+	if _, ok := findExperiment(c.Exp); !ok {
+		return fmt.Errorf("unknown experiment %q (want all, %s)", c.Exp, strings.Join(experimentNames(), ", "))
+	}
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, "+strings.Join(experimentNames(), ", ")+")")
-	seed := flag.Uint64("seed", 20240501, "experiment seed")
-	scale := flag.Float64("scale", 1.0, "workload duration scale (1.0 = paper-like)")
-	parallel := flag.Int("parallel", 4, "worker pool size for the multi experiment")
-	burn := flag.Bool("burn", false, "do real CPU work proportional to virtual cost")
-	csv := flag.Bool("csv", false, "emit CSV instead of tables")
-	jsonPath := flag.String("json", "", "also write selected reports as a JSON array to this file")
-	check := flag.String("check", "", "check benchmark artifacts against this baselines file and exit (regression gate)")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "vqbench: unexpected arguments %q\n", flag.Args())
+	cfg := benchConfig{Exp: "all", Seed: 20240501, Scale: 1.0, Parallel: 4}
+	res, err := config.Load(&cfg, config.Options{
+		Name: "vqbench", EnvPrefix: "VQBENCH", Args: os.Args[1:],
+		// The -exp help text carries the run-time experiment vocabulary.
+		Usage: map[string]string{
+			"exp": "experiment to run (all, " + strings.Join(experimentNames(), ", ") + ")",
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqbench: %v\n", err)
 		os.Exit(2)
 	}
 
-	if *check != "" {
+	if cfg.Check != "" {
 		// The gate reads previously written artifacts; combining it with
 		// experiment selection or output flags is a misconfigured CI
 		// step, not a request.
-		expSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "exp" || f.Name == "json" || f.Name == "csv" {
-				expSet = true
-			}
-		})
-		if expSet {
+		if res.Explicit("exp") || res.Explicit("json") || res.Explicit("csv") {
 			fmt.Fprintln(os.Stderr, "vqbench: -check cannot be combined with -exp/-json/-csv")
 			os.Exit(2)
 		}
-		summary, err := bench.CheckBaselines(*check)
+		summary, err := bench.CheckBaselines(cfg.Check)
 		if summary != "" {
 			fmt.Println(summary)
 		}
@@ -142,13 +165,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vqbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("baselines %s: all checks passed\n", *check)
+		fmt.Printf("baselines %s: all checks passed\n", cfg.Check)
 		return
 	}
 
-	cfg := bench.Config{Seed: *seed, Scale: *scale, Burn: *burn, Workers: *parallel}
-	selected := []string{*exp}
-	if *exp == "all" {
+	bcfg := bench.Config{Seed: cfg.Seed, Scale: cfg.Scale, Burn: cfg.Burn, Workers: cfg.Parallel}
+	selected := []string{cfg.Exp}
+	if cfg.Exp == "all" {
 		selected = experimentNames()
 	}
 	var reports []*metrics.Report
@@ -159,7 +182,7 @@ func main() {
 			os.Exit(2)
 		}
 		if e.text != nil {
-			out, err := e.text(cfg)
+			out, err := e.text(bcfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
 				os.Exit(1)
@@ -168,24 +191,24 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		rep, err := e.run(cfg)
+		rep, err := e.run(bcfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vqbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		reports = append(reports, rep)
-		if *csv {
+		if cfg.CSV {
 			fmt.Printf("# %s\n%s\n", rep.Title, rep.CSV())
 		} else {
 			fmt.Println(rep.String())
 		}
 		fmt.Printf("(%s completed in %.1fs wall time)\n\n", name, time.Since(start).Seconds())
 	}
-	if *jsonPath != "" {
+	if cfg.JSONPath != "" {
 		if len(reports) == 0 {
 			// A gate consuming this file would read "null" and pass
 			// vacuously; refuse instead.
-			fmt.Fprintf(os.Stderr, "vqbench: -json with no reports produced (exp %q)\n", *exp)
+			fmt.Fprintf(os.Stderr, "vqbench: -json with no reports produced (exp %q)\n", cfg.Exp)
 			os.Exit(1)
 		}
 		blob, err := json.MarshalIndent(reports, "", "  ")
@@ -193,10 +216,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vqbench: json: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "vqbench: json: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d report(s) to %s\n", len(reports), *jsonPath)
+		fmt.Printf("wrote %d report(s) to %s\n", len(reports), cfg.JSONPath)
 	}
 }

@@ -8,6 +8,9 @@
 //	      [-dataset cityflow|banff|jackson|southampton|auburn|pickup|retail]
 //	      [-seconds N] [-seed N] [-parallel N] [-shared] [-store DIR] [-v]
 //
+// Every knob also loads from a -config JSON file and $VQRUN_*
+// environment variables (defaults < file < env < flags; DESIGN.md §11).
+//
 // -query accepts a comma-separated list; with -parallel N > 1 the
 // queries run on the parallel multi-query scheduler sharing one
 // cross-query cache (one worker per N; results are identical to
@@ -26,13 +29,15 @@
 package main
 
 import (
-	"flag"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
 
 	"vqpy"
+
+	"vqpy/internal/config"
 )
 
 func buildQuery(name string) (vqpy.QueryNode, error) {
@@ -76,28 +81,40 @@ func buildQuery(name string) (vqpy.QueryNode, error) {
 	return nil, fmt.Errorf("unknown query %q", name)
 }
 
-func main() {
-	query := flag.String("query", "redcar", "comma-separated queries to run (redcar, speeding, redspeeding, loitering, hitandrun)")
-	dataset := flag.String("dataset", "cityflow", "scenario (cityflow, banff, jackson, southampton, auburn, pickup, retail)")
-	seconds := flag.Float64("seconds", 60, "video length in seconds")
-	seed := flag.Uint64("seed", 42, "scenario and model seed")
-	parallel := flag.Int("parallel", 1, "worker pool size for multi-query execution (<=1 sequential)")
-	shared := flag.Bool("shared", false, "multiplex all queries over one shared scan (single-pass engine)")
-	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
-	verbose := flag.Bool("v", false, "print per-hit detail")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "vqrun: unexpected arguments %q\n", flag.Args())
-		os.Exit(2)
-	}
-	if *shared && *parallel > 1 {
+// runConfig is vqrun's typed configuration (internal/config): the
+// flags, their $VQRUN_* bindings and the -config file keys.
+type runConfig struct {
+	Query    string  `flag:"query" json:"query" usage:"comma-separated queries to run (redcar, speeding, redspeeding, loitering, hitandrun)"`
+	Dataset  string  `flag:"dataset" json:"dataset" usage:"scenario (cityflow, banff, jackson, southampton, auburn, pickup, retail)"`
+	Seconds  float64 `flag:"seconds" json:"seconds" usage:"video length in seconds"`
+	Seed     uint64  `flag:"seed" json:"seed" usage:"scenario and model seed"`
+	Parallel int     `flag:"parallel" json:"parallel" usage:"worker pool size for multi-query execution (<=1 sequential)"`
+	Shared   bool    `flag:"shared" json:"shared" usage:"multiplex all queries over one shared scan (single-pass engine)"`
+	StoreDir string  `flag:"store" json:"store" usage:"persistent result store directory (empty = no persistence)"`
+	Verbose  bool    `flag:"v" json:"verbose" usage:"print per-hit detail"`
+}
+
+// Validate accumulates every bad knob, mirroring the old one-by-one
+// flag guards.
+func (c *runConfig) Validate() error {
+	var errs []error
+	if c.Shared && c.Parallel > 1 {
 		// The shared scan is single-pass by construction; silently
 		// ignoring -parallel would misreport what actually ran.
-		fmt.Fprintln(os.Stderr, "vqrun: -shared and -parallel > 1 are mutually exclusive")
-		os.Exit(2)
+		errs = append(errs, errors.New("-shared and -parallel > 1 are mutually exclusive"))
 	}
-	if *seconds <= 0 {
-		fmt.Fprintf(os.Stderr, "vqrun: -seconds must be > 0 (got %g)\n", *seconds)
+	if c.Seconds <= 0 {
+		errs = append(errs, fmt.Errorf("-seconds must be > 0 (got %g)", c.Seconds))
+	}
+	return errors.Join(errs...)
+}
+
+func main() {
+	cfg := runConfig{Query: "redcar", Dataset: "cityflow", Seconds: 60, Seed: 42, Parallel: 1}
+	if _, err := config.Load(&cfg, config.Options{
+		Name: "vqrun", EnvPrefix: "VQRUN", Args: os.Args[1:],
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -107,13 +124,13 @@ func main() {
 		"auburn": vqpy.DatasetAuburn, "pickup": vqpy.DatasetPickup,
 		"retail": vqpy.DatasetRetail,
 	}
-	gen, ok := gens[*dataset]
+	gen, ok := gens[cfg.Dataset]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "vqrun: unknown dataset %q\n", *dataset)
+		fmt.Fprintf(os.Stderr, "vqrun: unknown dataset %q\n", cfg.Dataset)
 		os.Exit(2)
 	}
 	var nodes []vqpy.QueryNode
-	for _, name := range strings.Split(*query, ",") {
+	for _, name := range strings.Split(cfg.Query, ",") {
 		node, err := buildQuery(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
@@ -122,14 +139,14 @@ func main() {
 		nodes = append(nodes, node)
 	}
 
-	v := vqpy.GenerateVideo(gen(*seed, *seconds))
-	s := vqpy.NewSession(*seed)
+	v := vqpy.GenerateVideo(gen(cfg.Seed, cfg.Seconds))
+	s := vqpy.NewSession(cfg.Seed)
 	s.SetNoBurn(true)
 	var opts []vqpy.Option
 	var st *vqpy.Store
-	if *storeDir != "" {
+	if cfg.StoreDir != "" {
 		var err error
-		if st, err = vqpy.OpenStore(*storeDir, *seed); err != nil {
+		if st, err = vqpy.OpenStore(cfg.StoreDir, cfg.Seed); err != nil {
 			fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
 			os.Exit(1)
 		}
@@ -141,22 +158,22 @@ func main() {
 	}
 	var results []*vqpy.RunResult
 	var err error
-	if *shared {
+	if cfg.Shared {
 		results, err = s.ExecuteShared(nodes, v, opts...)
 	} else {
-		results, err = s.ExecuteAll(nodes, v, *parallel, opts...)
+		results, err = s.ExecuteAll(nodes, v, cfg.Parallel, opts...)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqrun: %v\n", err)
 		os.Exit(1)
 	}
 
-	if *shared {
+	if cfg.Shared {
 		fmt.Printf("%d quer%s on %s (%d frames @ %d fps, single shared scan)\n",
 			len(results), pluralIes(len(results)), v.Name, len(v.Frames), v.FPS)
 	} else {
 		// Mirror the scheduler's effective pool size (plan.RunAll clamps).
-		workers := *parallel
+		workers := cfg.Parallel
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
@@ -177,7 +194,7 @@ func main() {
 			if rr.Basic.Count > 0 {
 				fmt.Printf("video aggregation count: %d\n", rr.Basic.Count)
 			}
-			if *verbose {
+			if cfg.Verbose {
 				for _, hit := range rr.Basic.Hits {
 					fmt.Printf("  frame %5d t=%6.1fs:", hit.FrameIdx, hit.TimeSec)
 					for _, o := range hit.Objects {
@@ -193,7 +210,7 @@ func main() {
 		stats := st.TierStats()
 		c := st.Counters()
 		fmt.Printf("\nresult store %s: %d scan / %d det / %d label records (%d hot, %d evicted)\n",
-			*storeDir, stats.ScanRecords, stats.DetRecords, stats.LabelRecords,
+			cfg.StoreDir, stats.ScanRecords, stats.DetRecords, stats.LabelRecords,
 			stats.MemRecords, stats.Evicted)
 		fmt.Printf("  hits: scan %d+%d det %d+%d label %d+%d (mem+disk), misses: scan %d det %d label %d\n",
 			c.Get("scan_mem_hits"), c.Get("scan_disk_hits"),

@@ -3,12 +3,18 @@
 // shared-scan MuxStream per source on a frame-rate ticker, and lets
 // queries attach and detach over HTTP while frames keep flowing.
 //
+// Configuration (DESIGN.md §11) is layered: built-in defaults, then a
+// JSON config file (-config PATH or $VQSERVE_CONFIG), then $VQSERVE_*
+// environment variables, then flags — each layer overriding the last,
+// so the daemon runs with ZERO flags from a file or environment alone.
+//
 // Usage:
 //
-//	vqserve [-addr :8791] [-sources cityflow,retail] [-seconds 60]
-//	        [-seed 42] [-speed 1] [-budget-ms 0] [-loop] [-store DIR]
-//	        [-index DIR] [-attach source:query,...] [-fleet N]
-//	        [-chaos] [-chaos-seed N]
+//	vqserve [-config FILE] [-addr :8791] [-sources cityflow,retail]
+//	        [-seconds 60] [-seed 42] [-speed 1] [-budget-ms 0] [-loop]
+//	        [-store DIR] [-index DIR] [-attach source:query,...]
+//	        [-fleet N] [-chaos] [-chaos-seed N]
+//	        [-tenants name:share[:rate[:burst]],...]
 //
 // API:
 //
@@ -22,6 +28,7 @@
 //	GET    /queries/{id}/results live result snapshot (?since=F for deltas)
 //	GET    /streamz              sources, scan groups, lanes, counters, store,
 //	                             degradation state (breakers, quarantines)
+//	GET    /metrics              Prometheus text exposition (DESIGN.md §11)
 //	GET    /healthz              liveness + degradation summary (always 200)
 //	GET    /readyz               readiness (503 while draining)
 //
@@ -64,6 +71,15 @@
 // quarantine a camera, and store write/read faults. Degradation state
 // is visible on /streamz and /healthz.
 //
+// -tenants enables multi-tenant QoS (DESIGN.md §11): each tenant's
+// share carves a slice of -budget-ms, over-slice attaches and
+// rate-limited requests answer 429 with a Retry-After header, and
+// requests name their tenant with the X-Tenant header. SIGHUP reloads
+// the configuration in place: budget and tenant changes apply to the
+// running daemon (logged as "config reloaded"); anything else —
+// sources, store, fleet shape, listen address — logs a restart-needed
+// notice and keeps its old value.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // admitting queries and frames (readyz flips to 503), detaches and
 // finalizes every live query, flushes the store, then stops the HTTP
@@ -73,7 +89,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"net/http"
 	"os"
@@ -83,6 +98,7 @@ import (
 
 	"vqpy"
 
+	"vqpy/internal/config"
 	"vqpy/internal/serve"
 )
 
@@ -111,43 +127,24 @@ func chaosSchedule(seed uint64) vqpy.FaultSchedule {
 }
 
 func main() {
-	addr := flag.String("addr", ":8791", "HTTP listen address")
-	sources := flag.String("sources", "cityflow", "comma-separated scenario sources to register")
-	seconds := flag.Float64("seconds", 60, "clip length per source in seconds")
-	seed := flag.Uint64("seed", 42, "scenario and model seed")
-	speed := flag.Float64("speed", 1, "frame ticker speed multiplier (x capture rate)")
-	budget := flag.Float64("budget-ms", 0, "per-frame virtual-time admission budget per source (0 = admit all)")
-	loop := flag.Bool("loop", false, "wrap clips endlessly (live-camera stand-in)")
-	storeDir := flag.String("store", "", "persistent result store directory (empty = no persistence)")
-	indexDir := flag.String("index", "", "appearance index directory enabling archive search (requires -store)")
-	attach := flag.String("attach", "", "comma-separated source:query pairs to attach before frames start flowing")
-	fleetCams := flag.Int("fleet", 0, "fleet mode: drive N correlated cameras in lockstep with batched cross-source inference (replaces -sources)")
-	chaos := flag.Bool("chaos", false, "enable the deterministic fault injector with a canned schedule (DESIGN.md §9)")
-	chaosSeed := flag.Uint64("chaos-seed", 1, "fault schedule seed (with -chaos)")
-	flag.Parse()
-	if flag.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "vqserve: unexpected arguments %q\n", flag.Args())
+	cfg, res, err := config.LoadServe(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(2)
 	}
-	if *speed <= 0 {
-		fmt.Fprintf(os.Stderr, "vqserve: -speed must be > 0 (got %g)\n", *speed)
-		os.Exit(2)
+	if res.File != "" {
+		fmt.Printf("vqserve: config file %s\n", res.File)
 	}
 
-	var names []string
-	for _, name := range strings.Split(*sources, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			names = append(names, name)
-		}
-	}
 	var inj *vqpy.FaultInjector
-	if *chaos {
-		inj = vqpy.NewFaultInjector(chaosSchedule(*chaosSeed))
+	if cfg.Chaos {
+		inj = vqpy.NewFaultInjector(chaosSchedule(cfg.ChaosSeed))
 	}
 	s, err := serve.NewServer(serve.Config{
-		Seed: *seed, Seconds: *seconds, Speed: *speed, BudgetMS: *budget, Loop: *loop,
-		StoreDir: *storeDir, IndexDir: *indexDir, FleetCams: *fleetCams, Faults: inj,
-	}, names)
+		Seed: cfg.Seed, Seconds: cfg.Seconds, Speed: cfg.Speed, BudgetMS: cfg.BudgetMS,
+		Loop: cfg.Loop, StoreDir: cfg.StoreDir, IndexDir: cfg.IndexDir,
+		FleetCams: cfg.FleetCams, Tenants: cfg.Tenants, Faults: inj,
+	}, cfg.SourceList())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vqserve: %v\n", err)
 		os.Exit(1)
@@ -156,8 +153,8 @@ func main() {
 	// (and the store archive) see the stream from frame zero. The
 	// pseudo-source "fleet" attaches a fleet-wide query to every camera
 	// at once (fleet mode only).
-	if *attach != "" {
-		for _, pair := range strings.Split(*attach, ",") {
+	if cfg.Attach != "" {
+		for _, pair := range strings.Split(cfg.Attach, ",") {
 			sourceName, queryName, ok := strings.Cut(strings.TrimSpace(pair), ":")
 			if !ok {
 				fmt.Fprintf(os.Stderr, "vqserve: -attach %q: want source:query (or fleet:query)\n", pair)
@@ -180,32 +177,57 @@ func main() {
 	s.Run()
 	defer s.Close()
 
+	// SIGHUP hot reload: re-run the whole precedence chain (same args,
+	// file and environment re-read) and apply the ops-tunable subset —
+	// budget and tenants — to the running daemon. Changes to anything
+	// else are logged as needing a restart and otherwise ignored.
+	stopWatch := config.Watch(func() {
+		next, _, err := config.LoadServe(os.Args[1:])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqserve: reload rejected: %v\n", err)
+			return
+		}
+		if restart := restartOnlyChanges(cfg, next); len(restart) > 0 {
+			fmt.Printf("vqserve: reload: %s need a restart; keeping old values\n", strings.Join(restart, ", "))
+		}
+		s.ApplyOps(serve.OpsConfig{BudgetMS: next.BudgetMS, Tenants: next.Tenants})
+		tl := config.TenantList(next.Tenants)
+		text, _ := tl.MarshalText()
+		fmt.Printf("vqserve: config reloaded (budget %.1f ms/frame, tenants: %s)\n", next.BudgetMS, orNone(string(text)))
+	})
+	defer stopWatch()
+
 	persistence := "off"
-	if *storeDir != "" {
-		persistence = *storeDir
-		if *indexDir != "" {
-			persistence += " (index: " + *indexDir + ")"
+	if cfg.StoreDir != "" {
+		persistence = cfg.StoreDir
+		if cfg.IndexDir != "" {
+			persistence += " (index: " + cfg.IndexDir + ")"
 		}
 	}
-	serving := strings.Join(names, ",")
+	serving := strings.Join(cfg.SourceList(), ",")
 	queries := strings.Join(serve.QueryNames(), ",")
-	if *fleetCams > 0 {
-		serving = fmt.Sprintf("fleet of %d cameras (%s)", *fleetCams, strings.Join(s.SourceNamesRegistered(), ","))
+	if cfg.FleetCams > 0 {
+		serving = fmt.Sprintf("fleet of %d cameras (%s)", cfg.FleetCams, strings.Join(s.SourceNamesRegistered(), ","))
 		queries = queries + "; fleet: " + strings.Join(serve.FleetQueryNames(), ",")
 	}
 	chaosNote := ""
-	if *chaos {
-		chaosNote = fmt.Sprintf(", chaos seed %d", *chaosSeed)
+	if cfg.Chaos {
+		chaosNote = fmt.Sprintf(", chaos seed %d", cfg.ChaosSeed)
 	}
-	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s%s, queries: %s)\n",
-		serving, *addr, *speed, *budget, persistence, chaosNote, queries)
+	tenantNote := ""
+	if len(cfg.Tenants) > 0 {
+		text, _ := config.TenantList(cfg.Tenants).MarshalText()
+		tenantNote = ", tenants: " + string(text)
+	}
+	fmt.Printf("vqserve: serving %s on %s (speed %gx, budget %.1f ms/frame, store: %s%s%s, queries: %s)\n",
+		serving, cfg.Addr, cfg.Speed, cfg.BudgetMS, persistence, chaosNote, tenantNote, queries)
 
 	// Graceful shutdown: SIGINT/SIGTERM drains before the listener goes
 	// down — stop admitting (readyz → 503), detach and finalize every
 	// live query, flush the store, then stop serving HTTP.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	httpSrv := &http.Server{Addr: cfg.Addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
@@ -225,4 +247,51 @@ func main() {
 		}
 		fmt.Println("vqserve: stopped")
 	}
+}
+
+// restartOnlyChanges names the reloaded fields a SIGHUP cannot apply to
+// a running daemon.
+func restartOnlyChanges(cur, next config.Config) []string {
+	var out []string
+	if next.Addr != cur.Addr {
+		out = append(out, "addr")
+	}
+	if next.Sources != cur.Sources {
+		out = append(out, "sources")
+	}
+	if next.Seconds != cur.Seconds {
+		out = append(out, "seconds")
+	}
+	if next.Seed != cur.Seed {
+		out = append(out, "seed")
+	}
+	if next.Speed != cur.Speed {
+		out = append(out, "speed")
+	}
+	if next.Loop != cur.Loop {
+		out = append(out, "loop")
+	}
+	if next.StoreDir != cur.StoreDir {
+		out = append(out, "store")
+	}
+	if next.IndexDir != cur.IndexDir {
+		out = append(out, "index")
+	}
+	if next.Attach != cur.Attach {
+		out = append(out, "attach")
+	}
+	if next.FleetCams != cur.FleetCams {
+		out = append(out, "fleet")
+	}
+	if next.Chaos != cur.Chaos || next.ChaosSeed != cur.ChaosSeed {
+		out = append(out, "chaos")
+	}
+	return out
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
 }

@@ -1,0 +1,367 @@
+// Package config is the typed configuration layer for the
+// repository's commands (vqserve, vqbench, vqrun): one struct per
+// command, its fields bound by `flag:` struct tags, loaded in a fixed
+// precedence order
+//
+//	defaults < config file (JSON) < environment < flags
+//
+// with per-field provenance tracking, accumulated validation errors
+// and SIGHUP-driven hot reload (Watch). The pattern follows the
+// struct-first env/flag loaders (jpillora/opts, nicolasmmb/envx) from
+// the related-work snippets, reimplemented on the standard library so
+// the module stays dependency-free.
+//
+// A field declared as
+//
+//	BudgetMS float64 `flag:"budget-ms" json:"budget_ms" usage:"..."`
+//
+// becomes the -budget-ms flag, the $PREFIX_BUDGET_MS environment
+// variable (the env key is the flag name uppercased, dashes to
+// underscores, unless an `env:` tag overrides it) and the "budget_ms"
+// config-file key. Every loader also accepts -config FILE (or
+// $PREFIX_CONFIG) naming a JSON file whose keys are the `json:` tags —
+// the one knob that cannot live in the file itself.
+package config
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Source says where a field's loaded value came from — the last layer
+// of the precedence chain that set it.
+type Source int
+
+// The precedence layers, in ascending override order.
+const (
+	SourceDefault Source = iota
+	SourceFile
+	SourceEnv
+	SourceFlag
+)
+
+// String names the layer ("default", "file", "env", "flag").
+func (s Source) String() string {
+	switch s {
+	case SourceFile:
+		return "file"
+	case SourceEnv:
+		return "env"
+	case SourceFlag:
+		return "flag"
+	}
+	return "default"
+}
+
+// Options tunes one Load call.
+type Options struct {
+	// Name is the command name, used in flag-parse errors and usage
+	// output (e.g. "vqserve").
+	Name string
+	// EnvPrefix is the environment namespace without the trailing
+	// underscore (e.g. "VQSERVE" binds $VQSERVE_ADDR and
+	// $VQSERVE_CONFIG). Empty disables the env and file-by-env layers.
+	EnvPrefix string
+	// Args are the command-line arguments after the program name
+	// (os.Args[1:]).
+	Args []string
+	// Usage overrides the `usage:` tag per flag name — for help text
+	// that must be computed at run time (e.g. vqbench's experiment
+	// vocabulary).
+	Usage map[string]string
+	// LookupEnv replaces os.LookupEnv (tests inject a fake
+	// environment). Nil uses the real environment.
+	LookupEnv func(string) (string, bool)
+	// Output receives flag usage/error text; nil means os.Stderr.
+	Output io.Writer
+}
+
+// Result reports what a Load actually did: which file it read and
+// where each field's value came from.
+type Result struct {
+	// File is the config file that was loaded, if any.
+	File string
+
+	sources map[string]Source
+}
+
+// Source returns the provenance of the named flag's field.
+func (r *Result) Source(flagName string) Source { return r.sources[flagName] }
+
+// Explicit reports whether the named flag's field was set by any layer
+// above the defaults (file, env or flag) — the replacement for
+// flag.Visit-based "was it passed?" checks.
+func (r *Result) Explicit(flagName string) bool { return r.sources[flagName] > SourceDefault }
+
+// Validator is implemented by config structs that check themselves
+// after loading; the returned error (usually an errors.Join of every
+// problem found) fails Load.
+type Validator interface {
+	Validate() error
+}
+
+// binding is one struct field bound to a flag name and env key.
+type binding struct {
+	name  string // flag name
+	env   string // env key without the prefix
+	usage string
+	v     reflect.Value
+}
+
+// bindings reflects over dst's struct fields with `flag:` tags.
+func bindings(dst any) ([]binding, error) {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() || rv.Elem().Kind() != reflect.Struct {
+		return nil, fmt.Errorf("config: Load wants a non-nil pointer to struct, got %T", dst)
+	}
+	elem := rv.Elem()
+	t := elem.Type()
+	var out []binding
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		name, ok := f.Tag.Lookup("flag")
+		if !ok || name == "" || name == "-" || !f.IsExported() {
+			continue
+		}
+		if name == "config" {
+			return nil, fmt.Errorf("config: field %s: the flag name %q is reserved for the config-file path", f.Name, name)
+		}
+		env := f.Tag.Get("env")
+		if env == "" {
+			env = strings.ToUpper(strings.ReplaceAll(name, "-", "_"))
+		}
+		b := binding{name: name, env: env, usage: f.Tag.Get("usage"), v: elem.Field(i)}
+		if _, err := formatValue(b.v); err != nil {
+			return nil, fmt.Errorf("config: field %s (-%s): %w", f.Name, name, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// setValue parses raw into a bound field. Fields implementing
+// encoding.TextUnmarshaler take priority over the built-in kinds.
+func setValue(v reflect.Value, raw string) error {
+	if tu, ok := v.Addr().Interface().(encoding.TextUnmarshaler); ok {
+		return tu.UnmarshalText([]byte(raw))
+	}
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(raw)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return fmt.Errorf("parsing %q as bool: %w", raw, errors.Unwrap(err))
+		}
+		v.SetBool(b)
+	case reflect.Int, reflect.Int64:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q as int: %w", raw, errors.Unwrap(err))
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint64:
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q as uint: %w", raw, errors.Unwrap(err))
+		}
+		v.SetUint(n)
+	case reflect.Float64:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q as float: %w", raw, errors.Unwrap(err))
+		}
+		v.SetFloat(f)
+	default:
+		return fmt.Errorf("unsupported field kind %s", v.Kind())
+	}
+	return nil
+}
+
+// formatValue renders a bound field back to flag syntax — the inverse
+// of setValue, used for provenance snapshots and -help defaults.
+func formatValue(v reflect.Value) (string, error) {
+	if tm, ok := v.Addr().Interface().(encoding.TextMarshaler); ok {
+		b, err := tm.MarshalText()
+		return string(b), err
+	}
+	switch v.Kind() {
+	case reflect.String:
+		return v.String(), nil
+	case reflect.Bool:
+		return strconv.FormatBool(v.Bool()), nil
+	case reflect.Int, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10), nil
+	case reflect.Uint, reflect.Uint64:
+		return strconv.FormatUint(v.Uint(), 10), nil
+	case reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64), nil
+	}
+	return "", fmt.Errorf("unsupported field kind %s", v.Kind())
+}
+
+// fieldValue adapts a binding to flag.Value, recording provenance on
+// every successful Set.
+type fieldValue struct {
+	b     *binding
+	onSet func()
+}
+
+// String renders the current value (flag's -help default).
+func (f fieldValue) String() string {
+	if f.b == nil {
+		return ""
+	}
+	s, _ := formatValue(f.b.v)
+	return s
+}
+
+// Set parses a flag occurrence into the field.
+func (f fieldValue) Set(raw string) error {
+	if err := setValue(f.b.v, raw); err != nil {
+		return err
+	}
+	f.onSet()
+	return nil
+}
+
+// IsBoolFlag lets bool fields parse as bare -flag (no value).
+func (f fieldValue) IsBoolFlag() bool { return f.b.v.Kind() == reflect.Bool }
+
+// findFileArg pre-scans the raw arguments for -config/--config so the
+// file layer can load BEFORE env and flags override it.
+func findFileArg(args []string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			return ""
+		}
+		name, val, eq := strings.Cut(strings.TrimLeft(a, "-"), "=")
+		if !strings.HasPrefix(a, "-") || name != "config" {
+			continue
+		}
+		if eq {
+			return val
+		}
+		if i+1 < len(args) {
+			return args[i+1]
+		}
+	}
+	return ""
+}
+
+// Load fills dst (a pointer to a tagged struct whose defaults are
+// already set) from the precedence chain defaults < file < env < flag,
+// then validates it. Leftover positional arguments are an error — every
+// command in this repository is flag-only. The returned Result carries
+// per-field provenance even when Load also returns an error, so
+// callers can report what was loaded before validation failed.
+func Load(dst any, o Options) (*Result, error) {
+	bs, err := bindings(dst)
+	if err != nil {
+		return nil, err
+	}
+	lookup := o.LookupEnv
+	if lookup == nil {
+		lookup = os.LookupEnv
+	}
+	res := &Result{sources: make(map[string]Source, len(bs))}
+
+	// Layer 1: the config file, named by a pre-scanned -config flag or
+	// $PREFIX_CONFIG. JSON with unknown keys rejected — a typoed key
+	// silently ignored is the classic config footgun.
+	file := findFileArg(o.Args)
+	if file == "" && o.EnvPrefix != "" {
+		if v, ok := lookup(o.EnvPrefix + "_CONFIG"); ok {
+			file = v
+		}
+	}
+	if file != "" {
+		before := make(map[string]string, len(bs))
+		for _, b := range bs {
+			s, _ := formatValue(b.v)
+			before[b.name] = s
+		}
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(blob))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			return nil, fmt.Errorf("config: %s: %w", file, err)
+		}
+		res.File = file
+		for _, b := range bs {
+			if s, _ := formatValue(b.v); s != before[b.name] {
+				res.sources[b.name] = SourceFile
+			}
+		}
+	}
+
+	// Layer 2: the environment. Parse errors accumulate so one run
+	// reports every bad variable, not just the first.
+	var errs []error
+	if o.EnvPrefix != "" {
+		for _, b := range bs {
+			key := o.EnvPrefix + "_" + b.env
+			raw, ok := lookup(key)
+			if !ok {
+				continue
+			}
+			if err := setValue(b.v, raw); err != nil {
+				errs = append(errs, fmt.Errorf("config: $%s: %v", key, err))
+				continue
+			}
+			res.sources[b.name] = SourceEnv
+		}
+	}
+
+	// Layer 3: flags, highest precedence. The -config flag is
+	// registered so parsing accepts it; its value was already consumed
+	// by the pre-scan.
+	fs := flag.NewFlagSet(o.Name, flag.ContinueOnError)
+	if o.Output != nil {
+		fs.SetOutput(o.Output)
+	}
+	fileEcho := file
+	fs.StringVar(&fileEcho, "config", file, "config file (JSON; also $"+o.EnvPrefix+"_CONFIG)")
+	for i := range bs {
+		b := &bs[i]
+		usage := b.usage
+		if over, ok := o.Usage[b.name]; ok {
+			usage = over
+		}
+		if o.EnvPrefix != "" {
+			usage += " (also $" + o.EnvPrefix + "_" + b.env + ")"
+		}
+		name := b.name
+		fs.Var(fieldValue{b: b, onSet: func() { res.sources[name] = SourceFlag }}, name, usage)
+	}
+	if err := fs.Parse(o.Args); err != nil {
+		return res, err
+	}
+	if fs.NArg() > 0 {
+		return res, fmt.Errorf("%s: unexpected arguments %q", o.Name, fs.Args())
+	}
+
+	// Layer 4: validation, with everything already in place.
+	if v, ok := dst.(Validator); ok {
+		if err := v.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return res, errors.Join(errs...)
+	}
+	return res, nil
+}

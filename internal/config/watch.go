@@ -1,0 +1,46 @@
+package config
+
+// SIGHUP hot reload: the classic daemon contract. Watch installs a
+// handler and invokes the supplied reload function on every hangup;
+// the caller re-runs its Load (same args, same environment, fresh
+// file contents) and applies whatever subset of the result is
+// hot-swappable. Everything stateful stays in the caller, so Watch is
+// reusable by any command and trivially race-testable.
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Watch invokes onHUP (serially, from one goroutine) every time the
+// process receives SIGHUP, until the returned stop function is called.
+// Signals arriving while onHUP runs coalesce into one pending reload —
+// the semantics of signal.Notify on a buffered channel of one.
+func Watch(onHUP func()) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ch:
+				onHUP()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			wg.Wait()
+		})
+	}
+}

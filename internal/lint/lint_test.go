@@ -116,13 +116,15 @@ func repoDocPaths(t *testing.T) []string {
 		filepath.Join(root, "internal/fleet"),
 		filepath.Join(root, "internal/video"),
 		filepath.Join(root, "internal/track"),
+		filepath.Join(root, "internal/config"),
+		filepath.Join(root, "internal/metrics"),
 	}
 }
 
 // TestRepoDocComments enforces the doc-comment rule over the repo's
 // public API surface: the facade plus the plan / exec / serve / store /
-// fleet / video / track packages. A failure names each undocumented
-// exported identifier.
+// fleet / video / track / config / metrics packages. A failure names
+// each undocumented exported identifier.
 func TestRepoDocComments(t *testing.T) {
 	issues, err := CheckDocs(repoDocPaths(t))
 	if err != nil {

@@ -1,0 +1,208 @@
+package metrics
+
+// Prometheus text exposition (format version 0.0.4): the minimal
+// writer behind vqserve's GET /metrics. The serving layer assembles
+// Family values (typed, labeled samples) and WriteText renders them in
+// the canonical shape scrapers parse:
+//
+//	# HELP vqserve_frames_fed_total Frames fed per source.
+//	# TYPE vqserve_frames_fed_total counter
+//	vqserve_frames_fed_total{source="cityflow"} 240
+//
+// Names are sanitized to the Prometheus grammar, label values are
+// escaped, families and samples are emitted in sorted order so scrapes
+// diff cleanly, and float values render in the shortest round-trip
+// form. No client library — the format is small and the module stays
+// dependency-free.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type header value for the text format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// Sample is one measurement line of a family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one named metric with its type, help text and samples.
+type Family struct {
+	// Name is the metric name (sanitized on write); counters should
+	// carry the _total suffix by convention.
+	Name string
+	// Help is the one-line # HELP text.
+	Help string
+	// Type is "counter" or "gauge".
+	Type string
+	// Samples are the family's measurement lines.
+	Samples []Sample
+}
+
+// Counter builds a counter family.
+func Counter(name, help string, samples ...Sample) Family {
+	return Family{Name: name, Help: help, Type: "counter", Samples: samples}
+}
+
+// Gauge builds a gauge family.
+func Gauge(name, help string, samples ...Sample) Family {
+	return Family{Name: name, Help: help, Type: "gauge", Samples: samples}
+}
+
+// V builds an unlabeled sample.
+func V(v float64) Sample { return Sample{Value: v} }
+
+// LV builds a sample with one label.
+func LV(key, value string, v float64) Sample {
+	return Sample{Labels: []Label{{Key: key, Value: value}}, Value: v}
+}
+
+// SanitizeName maps an arbitrary string onto the Prometheus metric-
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every illegal rune becomes
+// '_' and a leading digit is prefixed with '_'.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v > 1e308 && v*2 == v:
+		return "+Inf"
+	case v < -1e308 && v*2 == v:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderSample builds one exposition line.
+func renderSample(name string, s Sample) string {
+	if len(s.Labels) == 0 {
+		return name + " " + formatFloat(s.Value)
+	}
+	parts := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		parts[i] = SanitizeName(l.Key) + `="` + escapeLabel(l.Value) + `"`
+	}
+	return name + "{" + strings.Join(parts, ",") + "} " + formatFloat(s.Value)
+}
+
+// WriteText renders the families in the text exposition format.
+// Families are sorted by name and each family's samples by their
+// rendered label set, so the output is deterministic scrape to scrape;
+// families without samples are skipped (a family only exists when it
+// has been measured).
+func WriteText(w io.Writer, fams []Family) error {
+	sorted := make([]Family, len(fams))
+	copy(sorted, fams)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return SanitizeName(sorted[i].Name) < SanitizeName(sorted[j].Name)
+	})
+	for _, f := range sorted {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		name := SanitizeName(f.Name)
+		typ := f.Type
+		if typ != "counter" && typ != "gauge" {
+			typ = "untyped"
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(f.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		lines := make([]string, len(f.Samples))
+		for i, s := range f.Samples {
+			lines[i] = renderSample(name, s)
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CounterFamilies converts a Counters snapshot into counter families
+// under the given namespace. Counter names follow the serving layer's
+// "base:target" convention — the base becomes the family
+// <ns>_<base>_total and the target a label. The label key is "tenant"
+// for tenant_* counters and labelKey (usually "target") otherwise;
+// untargeted counters emit one unlabeled sample.
+func CounterFamilies(ns, labelKey string, snapshot map[string]int64) []Family {
+	byBase := make(map[string]*Family)
+	for name, v := range snapshot {
+		base, target, _ := strings.Cut(name, ":")
+		fam, ok := byBase[base]
+		if !ok {
+			fam = &Family{
+				Name: ns + "_" + SanitizeName(base) + "_total",
+				Help: "Event counter " + base + ".",
+				Type: "counter",
+			}
+			byBase[base] = fam
+		}
+		s := V(float64(v))
+		if target != "" {
+			key := labelKey
+			if strings.HasPrefix(base, "tenant_") {
+				key = "tenant"
+			}
+			s = LV(key, target, float64(v))
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	out := make([]Family, 0, len(byBase))
+	for _, fam := range byBase {
+		out = append(out, *fam)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -43,10 +43,11 @@ type fleetState struct {
 // fleetQuery is one live fleet-wide query: its per-source lanes and
 // admission estimates.
 type fleetQuery struct {
-	id    int
-	name  string
-	lanes map[string]int
-	estMS map[string]float64
+	id     int
+	name   string
+	tenant string // owning tenant; "" in single-tenant mode
+	lanes  map[string]int
+	estMS  map[string]float64
 }
 
 // initFleet builds the fleet-mode source set: correlated camera clips,
@@ -126,6 +127,14 @@ func (s *Server) fleetLoadLocked(source string) (float64, int) {
 // attach atomically — a failure rolls back the ones already attached,
 // so a fleet query is live everywhere or nowhere.
 func (s *Server) AttachFleet(queryName string) (int, error) {
+	return s.AttachFleetAs("", queryName)
+}
+
+// AttachFleetAs is AttachFleet on behalf of a tenant: every camera's
+// admission check runs against the tenant's slice of that camera's
+// budget, and rejections are ErrTenantBudget (429). In single-tenant
+// mode the tenant name is ignored.
+func (s *Server) AttachFleetAs(tenant, queryName string) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -138,6 +147,14 @@ func (s *Server) AttachFleet(queryName string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("serve: unknown fleet query %q (have %v): %w", queryName, FleetQueryNames(), ErrNotFound)
 	}
+	st, err := s.resolveTenantLocked(tenant)
+	if err != nil {
+		return 0, err
+	}
+	owner := ""
+	if st != nil {
+		owner = st.cfg.Name
+	}
 	// Plan and admit on every camera before attaching anywhere.
 	plans := make(map[string]*vqpy.Plan, len(s.order))
 	est := make(map[string]float64, len(s.order))
@@ -148,13 +165,28 @@ func (s *Server) AttachFleet(queryName string) (int, error) {
 			return 0, err
 		}
 		if s.cfg.BudgetMS > 0 {
-			load, resident := s.estLoadLocked(name)
-			if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
-				s.counters.Add("admission_rejected", 1)
-				s.counters.Add("admission_rejected:"+name, 1)
-				return 0, &ErrAdmission{
-					Source: name, EstMS: plan.EstPerFrameMS,
-					LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+			if st != nil {
+				slice := s.tenantSliceLocked(st)
+				load, resident := s.estTenantLoadLocked(name, owner)
+				if load+plan.EstPerFrameMS > slice {
+					s.counters.Add("admission_rejected", 1)
+					s.counters.Add("admission_rejected:"+name, 1)
+					s.counters.Add("tenant_admission_rejected:"+owner, 1)
+					return 0, &ErrTenantBudget{
+						Tenant: owner, Source: name, EstMS: plan.EstPerFrameMS,
+						LoadMS: load, SliceMS: slice, ResidentQueries: resident,
+						RetryAfterSec: 1,
+					}
+				}
+			} else {
+				load, resident := s.estLoadLocked(name)
+				if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
+					s.counters.Add("admission_rejected", 1)
+					s.counters.Add("admission_rejected:"+name, 1)
+					return 0, &ErrAdmission{
+						Source: name, EstMS: plan.EstPerFrameMS,
+						LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+					}
 				}
 			}
 		}
@@ -174,7 +206,7 @@ func (s *Server) AttachFleet(queryName string) (int, error) {
 	}
 	id := s.nextID
 	s.nextID++
-	s.fleet.queries[id] = &fleetQuery{id: id, name: queryName, lanes: lanes, estMS: est}
+	s.fleet.queries[id] = &fleetQuery{id: id, name: queryName, tenant: owner, lanes: lanes, estMS: est}
 	s.counters.Add("fleet_queries_attached", 1)
 	s.counters.Add("fleet_queries_attached:"+queryName, 1)
 	return id, nil

@@ -12,8 +12,17 @@ package serve
 //	                             (?since=F restricts hits to frames >= F — delta polling)
 //	GET    /streamz              → sources, groups, lanes, counters, store tiers,
 //	                             degradation state (breakers, quarantines, chaos counters)
+//	GET    /metrics              → Prometheus text exposition (DESIGN.md §11)
 //	GET    /healthz              → liveness + degradation summary (always 200)
 //	GET    /readyz               → readiness (503 while draining)
+//
+// With tenants configured (DESIGN.md §11) every query endpoint is
+// tenant-scoped: the caller names its tenant with the X-Tenant header
+// (or the "tenant" body field on POSTs), requests are charged against
+// the tenant's token bucket, and admission runs against the tenant's
+// budget slice — both rejections answer 429 with a Retry-After header.
+// /streamz, /metrics and the health probes stay ungated so a saturated
+// daemon remains observable.
 //
 // Fleet mode (vqserve -fleet N) adds the fleet-wide surface:
 //
@@ -29,10 +38,13 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"strconv"
 
 	"vqpy"
+
+	"vqpy/internal/metrics"
 )
 
 // attachRequest is the POST /queries body. Backfill asks for the
@@ -44,6 +56,7 @@ import (
 type attachRequest struct {
 	Source   string `json:"source"`
 	Query    string `json:"query"`
+	Tenant   string `json:"tenant,omitempty"`
 	Backfill bool   `json:"backfill,omitempty"`
 
 	Mode      string  `json:"mode,omitempty"`
@@ -57,6 +70,7 @@ type attachResponse struct {
 	ID       int    `json:"id"`
 	Source   string `json:"source"`
 	Query    string `json:"query"`
+	Tenant   string `json:"tenant,omitempty"`
 	Backfill bool   `json:"backfill,omitempty"`
 }
 
@@ -92,9 +106,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /fleet/queries/{id}", s.handleFleetDetach)
 	mux.HandleFunc("GET /fleet/queries/{id}/results", s.handleFleetResults)
 	mux.HandleFunc("GET /streamz", s.handleStreamz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// requestTenant resolves the tenant a request acts as: the X-Tenant
+// header, or the body's "tenant" field when the header is absent.
+func requestTenant(r *http.Request, bodyTenant string) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return bodyTenant
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -105,10 +129,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (a 429 must always carry a usable hint).
+func retryAfterSeconds(sec float64) string {
+	n := int(math.Ceil(sec))
+	if n < 1 {
+		n = 1
+	}
+	return strconv.Itoa(n)
+}
+
 func writeErr(w http.ResponseWriter, err error) {
 	var adm *ErrAdmission
+	var tb *ErrTenantBudget
+	var rl *ErrRateLimited
 	code := http.StatusBadRequest
 	switch {
+	case errors.As(err, &tb):
+		// Tenant-level rejections are 429, not 503: the daemon is fine,
+		// THIS tenant is over ITS budget.
+		w.Header().Set("Retry-After", retryAfterSeconds(tb.RetryAfterSec))
+		code = http.StatusTooManyRequests
+	case errors.As(err, &rl):
+		w.Header().Set("Retry-After", retryAfterSeconds(rl.RetryAfterSec))
+		code = http.StatusTooManyRequests
 	case errors.As(err, &adm):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrDraining):
@@ -123,6 +167,11 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 	var req attachRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	tenant := requestTenant(r, req.Tenant)
+	if err := s.TenantGate(tenant); err != nil {
+		writeErr(w, err)
 		return
 	}
 	switch req.Mode {
@@ -142,18 +191,12 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("serve: unknown mode "+strconv.Quote(req.Mode)+" (want \"attach\" or \"search\")"))
 		return
 	}
-	var id int
-	var err error
-	if req.Backfill {
-		id, err = s.AttachNamedBackfill(req.Source, req.Query)
-	} else {
-		id, err = s.AttachNamed(req.Source, req.Query)
-	}
+	id, err := s.AttachNamedAs(tenant, req.Source, req.Query, req.Backfill)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query, Backfill: req.Backfill})
+	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query, Tenant: tenant, Backfill: req.Backfill})
 }
 
 func queryID(r *http.Request) (int, error) {
@@ -165,6 +208,10 @@ func queryID(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	if err := s.TenantGate(requestTenant(r, "")); err != nil {
+		writeErr(w, err)
+		return
+	}
 	id, err := queryID(r)
 	if err != nil {
 		writeErr(w, err)
@@ -179,6 +226,10 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	if err := s.TenantGate(requestTenant(r, "")); err != nil {
+		writeErr(w, err)
+		return
+	}
 	id, err := queryID(r)
 	if err != nil {
 		writeErr(w, err)
@@ -202,7 +253,8 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 
 // fleetAttachRequest is the POST /fleet/queries body.
 type fleetAttachRequest struct {
-	Query string `json:"query"`
+	Query  string `json:"query"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // fleetAttachResponse is the POST /fleet/queries reply.
@@ -218,7 +270,12 @@ func (s *Server) handleFleetAttach(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
 		return
 	}
-	id, err := s.AttachFleet(req.Query)
+	tenant := requestTenant(r, req.Tenant)
+	if err := s.TenantGate(tenant); err != nil {
+		writeErr(w, err)
+		return
+	}
+	id, err := s.AttachFleetAs(tenant, req.Query)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -234,6 +291,10 @@ type fleetDetachResponse struct {
 }
 
 func (s *Server) handleFleetDetach(w http.ResponseWriter, r *http.Request) {
+	if err := s.TenantGate(requestTenant(r, "")); err != nil {
+		writeErr(w, err)
+		return
+	}
 	id, err := queryID(r)
 	if err != nil {
 		writeErr(w, err)
@@ -256,6 +317,10 @@ func (s *Server) handleFleetDetach(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
+	if err := s.TenantGate(requestTenant(r, "")); err != nil {
+		writeErr(w, err)
+		return
+	}
 	id, err := queryID(r)
 	if err != nil {
 		writeErr(w, err)
@@ -285,6 +350,13 @@ func (s *Server) handleFleetResults(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStreamz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Streamz())
+}
+
+// handleMetrics is GET /metrics: the Prometheus text exposition of the
+// daemon's counters and gauges (DESIGN.md §11). Never tenant-gated.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_ = metrics.WriteText(w, s.MetricsFamilies())
 }
 
 // handleHealthz is the liveness probe: always 200, with the

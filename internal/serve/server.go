@@ -21,6 +21,7 @@ import (
 
 	"vqpy"
 
+	"vqpy/internal/config"
 	"vqpy/internal/fault"
 	"vqpy/internal/metrics"
 )
@@ -82,6 +83,13 @@ type Config struct {
 	// inference and a shared global re-ID registry; fleet-wide queries
 	// attach through POST /fleet/queries. Incompatible with StoreDir.
 	FleetCams int
+	// Tenants is the multi-tenant QoS section (DESIGN.md §11): named
+	// tenants split BudgetMS between them in proportion to their shares
+	// and rate-limit their HTTP requests. Empty runs the daemon in
+	// single-tenant mode — one implicit tenant owning the whole budget,
+	// no rate limits, admission rejections in their historical 503
+	// shape. Hot-reloadable via ApplyOps.
+	Tenants []config.Tenant
 	// Faults installs a deterministic fault injector (DESIGN.md §9)
 	// across the whole daemon: model calls gate through its schedule
 	// (absorbed by retry, breakers, degradation), store I/O routes
@@ -121,6 +129,7 @@ type liveQuery struct {
 	id     int
 	name   string
 	source string
+	tenant string // owning tenant; "" in single-tenant mode
 	lane   int
 	estMS  float64 // estimated virtual ms per frame (admission signal)
 }
@@ -140,6 +149,14 @@ type Server struct {
 	store    *vqpy.Store // persistent result store, nil without StoreDir
 	index    *vqpy.Index // appearance index over the store, nil without IndexDir
 	fleet    *fleetState // fleet-mode extension, nil without FleetCams
+
+	// Multi-tenant QoS state (tenant.go); empty maps in single-tenant
+	// mode. now is the wall clock behind the token buckets, swappable in
+	// tests.
+	tenants     map[string]*tenantState
+	tenantOrder []string
+	totalShares float64
+	now         func() time.Time
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -187,7 +204,9 @@ func NewServer(cfg Config, sourceNames []string) (*Server, error) {
 		queries:  make(map[int]*liveQuery),
 		counters: metrics.NewCounters(),
 		stop:     make(chan struct{}),
+		now:      time.Now,
 	}
+	s.configureTenantsLocked(cfg.Tenants)
 	if cfg.IndexDir != "" {
 		if cfg.FleetCams > 0 {
 			return nil, fmt.Errorf("serve: fleet mode is incompatible with -index")
@@ -578,7 +597,15 @@ func (s *Server) estLoadLocked(source string) (float64, int) {
 // estimate; admission rejects the query when the source's estimated
 // virtual-time load per frame would exceed the budget.
 func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
-	return s.attach(sourceName, queryName, false)
+	return s.attach("", sourceName, queryName, false)
+}
+
+// AttachNamedAs is AttachNamed on behalf of a tenant: admission runs
+// against the tenant's slice of the source budget and rejections are
+// ErrTenantBudget (429) instead of ErrAdmission (503). In
+// single-tenant mode the tenant name is ignored.
+func (s *Server) AttachNamedAs(tenant, sourceName, queryName string, backfill bool) (int, error) {
+	return s.attach(tenant, sourceName, queryName, backfill)
 }
 
 // AttachNamedBackfill is AttachNamed with history: the query replays
@@ -587,10 +614,10 @@ func (s *Server) AttachNamed(sourceName, queryName string) (int, error) {
 // been attached at frame zero. Requires the daemon to run with a store
 // (Config.StoreDir) whose archive covers the scanned frames.
 func (s *Server) AttachNamedBackfill(sourceName, queryName string) (int, error) {
-	return s.attach(sourceName, queryName, true)
+	return s.attach("", sourceName, queryName, true)
 }
 
-func (s *Server) attach(sourceName, queryName string, backfill bool) (int, error) {
+func (s *Server) attach(tenant, sourceName, queryName string, backfill bool) (int, error) {
 	q, err := BuildQuery(queryName)
 	if err != nil {
 		return 0, err
@@ -615,14 +642,41 @@ func (s *Server) attach(sourceName, queryName string, backfill bool) (int, error
 	if err != nil {
 		return 0, err
 	}
+	st, err := s.resolveTenantLocked(tenant)
+	if err != nil {
+		return 0, err
+	}
+	owner := ""
+	if st != nil {
+		owner = st.cfg.Name
+	}
 	if s.cfg.BudgetMS > 0 {
-		load, resident := s.estLoadLocked(sourceName)
-		if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
-			s.counters.Add("admission_rejected", 1)
-			s.counters.Add("admission_rejected:"+sourceName, 1)
-			return 0, &ErrAdmission{
-				Source: sourceName, EstMS: plan.EstPerFrameMS,
-				LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+		if st != nil {
+			// Multi-tenant: admit against the tenant's slice only. The
+			// slices partition the budget, so a tenant filling its slice
+			// cannot eat into anyone else's headroom — and a rejection
+			// here says nothing about the other tenants.
+			slice := s.tenantSliceLocked(st)
+			load, resident := s.estTenantLoadLocked(sourceName, owner)
+			if load+plan.EstPerFrameMS > slice {
+				s.counters.Add("admission_rejected", 1)
+				s.counters.Add("admission_rejected:"+sourceName, 1)
+				s.counters.Add("tenant_admission_rejected:"+owner, 1)
+				return 0, &ErrTenantBudget{
+					Tenant: owner, Source: sourceName, EstMS: plan.EstPerFrameMS,
+					LoadMS: load, SliceMS: slice, ResidentQueries: resident,
+					RetryAfterSec: 1,
+				}
+			}
+		} else {
+			load, resident := s.estLoadLocked(sourceName)
+			if load+plan.EstPerFrameMS > s.cfg.BudgetMS {
+				s.counters.Add("admission_rejected", 1)
+				s.counters.Add("admission_rejected:"+sourceName, 1)
+				return 0, &ErrAdmission{
+					Source: sourceName, EstMS: plan.EstPerFrameMS,
+					LoadMS: load, BudgetMS: s.cfg.BudgetMS, ResidentQueries: resident,
+				}
 			}
 		}
 	}
@@ -638,7 +692,8 @@ func (s *Server) attach(sourceName, queryName string, backfill bool) (int, error
 	id := s.nextID
 	s.nextID++
 	s.queries[id] = &liveQuery{
-		id: id, name: queryName, source: sourceName, lane: lane, estMS: plan.EstPerFrameMS,
+		id: id, name: queryName, source: sourceName, tenant: owner,
+		lane: lane, estMS: plan.EstPerFrameMS,
 	}
 	s.counters.Add("queries_attached", 1)
 	s.counters.Add("queries_attached:"+queryName, 1)
@@ -778,6 +833,7 @@ type QueryStat struct {
 	ID        int     `json:"id"`
 	Name      string  `json:"name"`
 	Source    string  `json:"source"`
+	Tenant    string  `json:"tenant,omitempty"`
 	Lane      int     `json:"lane"`
 	EstMS     float64 `json:"est_ms_per_frame"`
 	Frames    int     `json:"frames"`
@@ -833,6 +889,7 @@ type ChaosStat struct {
 type Stats struct {
 	Sources  []SourceStat     `json:"sources"`
 	Queries  []QueryStat      `json:"queries"`
+	Tenants  []TenantStat     `json:"tenants,omitempty"`
 	Counters map[string]int64 `json:"counters"`
 	Store    *StoreStat       `json:"store,omitempty"`
 	Index    *IndexStat       `json:"index,omitempty"`
@@ -844,7 +901,11 @@ type Stats struct {
 func (s *Server) Streamz() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Counters: s.counters.Snapshot(), Fleet: s.fleetStatLocked()}
+	st := Stats{
+		Counters: s.counters.Snapshot(),
+		Tenants:  s.tenantStatsLocked(),
+		Fleet:    s.fleetStatLocked(),
+	}
 	if inj := s.cfg.Faults; inj != nil {
 		st.Chaos = &ChaosStat{
 			Enabled:         inj.Enabled(),
@@ -917,7 +978,7 @@ func (s *Server) Streamz() Stats {
 	sort.Ints(ids)
 	for _, id := range ids {
 		q := s.queries[id]
-		qs := QueryStat{ID: q.id, Name: q.name, Source: q.source, Lane: q.lane, EstMS: q.estMS}
+		qs := QueryStat{ID: q.id, Name: q.name, Source: q.source, Tenant: q.tenant, Lane: q.lane, EstMS: q.estMS}
 		if l, ok := lanes[q.source][q.lane]; ok {
 			qs.Frames = l.Frames
 			qs.VirtualMS = l.VirtualMS
