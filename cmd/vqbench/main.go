@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|edge|multi|muxscan|churn|rescan|fleet|chaos|search|dag]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|edge|multi|muxscan|churn|rescan|fleet|chaos|search|fidelity|dag]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
@@ -36,14 +36,21 @@
 // downgrade tiers without changing answers; search measures the
 // appearance index's index-then-verify path against the full rescan on
 // a 1x and a 3x archive (E20) — bit-identical answers with sub-linear
-// verified-frame and virtual-cost growth.
+// verified-frame and virtual-cost growth; fidelity archives the clip at
+// every reduced tier of the fidelity lattice and answers an accuracy-
+// budgeted query from the cheapest satisfying tier (E22) — at least 5x
+// cheaper than the live scan within the declared accuracy floor, with
+// strict queries still answered live and bit-identically.
 // -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 //
 // -check runs the CI bench-regression gate instead of experiments: it
 // loads the named baselines file, reads the BENCH_*.json artifacts it
 // references, and exits non-zero when any gated metric regresses beyond
-// tolerance.
+// tolerance. Before reading any artifact it crosschecks the baselines'
+// file references against the experiments table: a referenced artifact
+// no experiment produces, or a produced artifact no baseline gates, is
+// a hard failure — the gate must never pass vacuously.
 package main
 
 import (
@@ -60,15 +67,20 @@ import (
 
 // experiment is one -exp dispatch entry: a report-producing runner, or
 // a text-only explainer (run and text are mutually exclusive).
+// artifact names the BENCH_*.json file CI writes for the experiment
+// ("" for ungated experiments); the -check gate crosschecks it against
+// the baselines file's references.
 type experiment struct {
-	name string
-	run  func(bench.Config) (*metrics.Report, error)
-	text func(bench.Config) (string, error)
+	name     string
+	run      func(bench.Config) (*metrics.Report, error)
+	text     func(bench.Config) (string, error)
+	artifact string
 }
 
 // experiments is the single source of truth for the -exp vocabulary,
 // in "all" execution order. The flag's help text is derived from it;
-// main_test.go pins the doc comment's usage line to it.
+// main_test.go pins the doc comment's usage line and the baselines
+// artifact pairing to it.
 var experiments = []experiment{
 	{name: "fig13a", run: bench.RunFig13a},
 	{name: "fig13b", run: bench.RunFig13b},
@@ -83,13 +95,14 @@ var experiments = []experiment{
 	{name: "batch", run: bench.RunBatchAblation},
 	{name: "lazy", run: bench.RunLazyAblation},
 	{name: "edge", run: bench.RunEdgeAblation},
-	{name: "multi", run: bench.RunMultiQuery},
-	{name: "muxscan", run: bench.RunMuxScan},
-	{name: "churn", run: bench.RunChurn},
-	{name: "rescan", run: bench.RunRescan},
-	{name: "fleet", run: bench.RunFleet},
-	{name: "chaos", run: bench.RunChaos},
-	{name: "search", run: bench.RunSearch},
+	{name: "multi", run: bench.RunMultiQuery, artifact: "BENCH_1.json"},
+	{name: "muxscan", run: bench.RunMuxScan, artifact: "BENCH_2.json"},
+	{name: "churn", run: bench.RunChurn, artifact: "BENCH_3.json"},
+	{name: "rescan", run: bench.RunRescan, artifact: "BENCH_4.json"},
+	{name: "fleet", run: bench.RunFleet, artifact: "BENCH_5.json"},
+	{name: "chaos", run: bench.RunChaos, artifact: "BENCH_6.json"},
+	{name: "search", run: bench.RunSearch, artifact: "BENCH_7.json"},
+	{name: "fidelity", run: bench.RunFidelity, artifact: "BENCH_8.json"},
 	{name: "dag", text: bench.ExplainSuspectDAG},
 }
 
@@ -108,6 +121,37 @@ func findExperiment(name string) (experiment, bool) {
 		}
 	}
 	return experiment{}, false
+}
+
+// crosscheckArtifacts verifies the baselines' artifact references and
+// the experiments table agree both ways: every referenced file is
+// produced by a registered experiment, and every experiment that
+// produces an artifact is gated by at least one check. Either mismatch
+// means the CI gate would pass while covering less than it claims.
+func crosscheckArtifacts(referenced []string) error {
+	produced := make(map[string]string, len(experiments))
+	for _, e := range experiments {
+		if e.artifact != "" {
+			produced[e.artifact] = e.name
+		}
+	}
+	gated := make(map[string]bool, len(referenced))
+	var problems []string
+	for _, f := range referenced {
+		gated[f] = true
+		if _, ok := produced[f]; !ok {
+			problems = append(problems, fmt.Sprintf("baselines gate %s but no registered experiment produces it", f))
+		}
+	}
+	for _, e := range experiments {
+		if e.artifact != "" && !gated[e.artifact] {
+			problems = append(problems, fmt.Sprintf("experiment %q produces %s but no baseline check gates it", e.name, e.artifact))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("artifact/baseline pairing broken:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 // benchConfig is vqbench's typed configuration (internal/config): the
@@ -156,6 +200,15 @@ func main() {
 		if res.Explicit("exp") || res.Explicit("json") || res.Explicit("csv") {
 			fmt.Fprintln(os.Stderr, "vqbench: -check cannot be combined with -exp/-json/-csv")
 			os.Exit(2)
+		}
+		files, err := bench.BaselineFiles(cfg.Check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := crosscheckArtifacts(files); err != nil {
+			fmt.Fprintf(os.Stderr, "vqbench: %v\n", err)
+			os.Exit(1)
 		}
 		summary, err := bench.CheckBaselines(cfg.Check)
 		if summary != "" {

@@ -9,6 +9,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"vqpy/internal/bench"
 )
 
 func TestExperimentTableIsWellFormed(t *testing.T) {
@@ -56,6 +58,40 @@ func TestUsageDocCoversEveryExperiment(t *testing.T) {
 		if !strings.Contains(usage, "|"+name) {
 			t.Errorf("usage line omits experiment %q: %s", name, strings.TrimSpace(usage))
 		}
+	}
+}
+
+// TestBaselineArtifactPairing pins the -check gate's crosscheck against
+// the repo's real baselines file: every gated BENCH_*.json artifact is
+// produced by a registered experiment and vice versa, and both failure
+// directions are detected.
+func TestBaselineArtifactPairing(t *testing.T) {
+	files, err := bench.BaselineFiles("../../bench_baselines.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("baselines reference no artifacts")
+	}
+	if err := crosscheckArtifacts(files); err != nil {
+		t.Fatalf("repo baselines and experiments table disagree: %v", err)
+	}
+
+	// A baseline file nothing produces fails loudly...
+	err = crosscheckArtifacts(append(append([]string{}, files...), "BENCH_99.json"))
+	if err == nil || !strings.Contains(err.Error(), "BENCH_99.json") {
+		t.Errorf("unproduced baseline artifact not detected: %v", err)
+	}
+	// ...and so does a produced artifact nothing gates.
+	var ungated []string
+	for _, f := range files {
+		if f != "BENCH_8.json" {
+			ungated = append(ungated, f)
+		}
+	}
+	err = crosscheckArtifacts(ungated)
+	if err == nil || !strings.Contains(err.Error(), "BENCH_8.json") || !strings.Contains(err.Error(), "fidelity") {
+		t.Errorf("ungated experiment artifact not detected: %v", err)
 	}
 }
 

@@ -1,0 +1,321 @@
+package vqpy_test
+
+// Acceptance tests of multi-fidelity archival and fidelity-aware
+// planning (DESIGN.md §12): a query with a declared accuracy floor is
+// answered from the cheapest archived fidelity meeting it, a strict
+// query always runs live, and faulted tiers degrade to money — the
+// next-cheapest satisfying tier or a live scan — never to silently
+// wrong answers. The fault suites run under -race in CI like the rest
+// of the repo tests.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vqpy"
+)
+
+const fidelitySeed = 20240912
+
+// fidelityQuery is the fidelity workload: confidently detected cars
+// with their track ids. Its residual is per-frame pure (one builtin
+// score filter), so it is fidelity-servable.
+func fidelityQuery() *vqpy.Query {
+	return vqpy.NewQuery("CarFidelity").
+		Use("car", vqpy.Car()).
+		Where(vqpy.P("car", vqpy.PropScore).Gt(0.6)).
+		FrameOutput(vqpy.Sel("car", vqpy.PropTrackID))
+}
+
+func fidelityVideo(seed uint64) *vqpy.Video {
+	return vqpy.GenerateVideo(vqpy.DatasetCityFlow(seed, 16))
+}
+
+// fidelityTestTiers is the reduced lattice the tests archive: one
+// mid tier and one cheap tier.
+func fidelityTestTiers() []vqpy.Fidelity {
+	return []vqpy.Fidelity{
+		{Stride: 2, Res: vqpy.ResHalf, Detector: "yolov8m@half"},
+		{Stride: 4, Res: vqpy.ResQuarter, Detector: "yolov5s@quarter"},
+	}
+}
+
+// archiveFidelityTiers archives the given fidelities of the test clip
+// into the store at dir.
+func archiveFidelityTiers(t *testing.T, dir string, seed uint64, fids ...vqpy.Fidelity) []vqpy.FidelityEntry {
+	t.Helper()
+	st, err := vqpy.OpenStore(dir, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	var out []vqpy.FidelityEntry
+	for _, fid := range fids {
+		e, err := s.ArchiveFidelity(fidelityQuery(), fidelityVideo(seed), fid, 0, vqpy.WithStore(st))
+		if err != nil {
+			t.Fatalf("archive %s: %v", fid.Key(), err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// runFidelity executes the fidelity query in a fresh session over the
+// store at dir; minAcc 0 leaves the accuracy floor undeclared (strict)
+// and inj, when non-nil, routes store I/O through the fault injector.
+func runFidelity(t *testing.T, dir string, seed uint64, minAcc float64, inj *vqpy.FaultInjector) *vqpy.FidelityResult {
+	t.Helper()
+	var st *vqpy.Store
+	var err error
+	if inj != nil {
+		st, err = vqpy.OpenStoreWithFaults(dir, seed, inj)
+	} else {
+		st, err = vqpy.OpenStore(dir, seed)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(seed)
+	s.SetNoBurn(true)
+	opts := []vqpy.Option{vqpy.WithStore(st)}
+	if minAcc > 0 {
+		opts = append(opts, vqpy.WithMinAccuracy(minAcc))
+	}
+	res, err := s.ExecuteFidelity(fidelityQuery(), fidelityVideo(seed), 0, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// matchedAgreement is the per-frame verdict agreement between two runs.
+func matchedAgreement(a, b []bool) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}
+
+// TestFidelityServedFromArchiveTier pins the tentpole behaviour: with
+// tiers archived and an 0.8 floor declared, the planner answers from a
+// tier (no live residual on a fully covered clip), the verdicts agree
+// with the live reference at least at the floor, and the virtual cost
+// is at least 5x below the live run's.
+func TestFidelityServedFromArchiveTier(t *testing.T) {
+	dir := t.TempDir()
+	archiveFidelityTiers(t, dir, fidelitySeed, fidelityTestTiers()...)
+
+	res := runFidelity(t, dir, fidelitySeed, 0.8, nil)
+	chosen := res.Decision.ChosenCandidate()
+	if chosen.Live {
+		t.Fatalf("expected an archived tier, got live (decision %+v)", res.Decision)
+	}
+	if res.ReplayedFrames == 0 || res.DegradedFrames != 0 || res.ResidualFrames != 0 {
+		t.Fatalf("replay stats: replayed=%d degraded=%d residual=%d", res.ReplayedFrames, res.DegradedFrames, res.ResidualFrames)
+	}
+	if chosen.Accuracy < 0.8 {
+		t.Fatalf("chosen tier %s effective accuracy %.3f below target", chosen.Key, chosen.Accuracy)
+	}
+
+	ref := runFidelity(t, t.TempDir(), fidelitySeed, 0.8, nil) // empty store: live
+	if !ref.Decision.ChosenCandidate().Live {
+		t.Fatalf("reference run on empty store should be live")
+	}
+	if agr := matchedAgreement(res.Matched, ref.Matched); agr < 0.8 {
+		t.Fatalf("tier verdict agreement %.3f below declared floor 0.8", agr)
+	}
+	if res.VirtualMS*5 > ref.VirtualMS {
+		t.Fatalf("tier cost %.1fms not 5x below live %.1fms", res.VirtualMS, ref.VirtualMS)
+	}
+}
+
+// TestFidelityStrictAnswersLive pins the conservative top of the
+// selection rule: an undeclared floor (and an explicit 1.0) always
+// runs live, bit-identical to a run with no archive at all, even with
+// cheap tiers available.
+func TestFidelityStrictAnswersLive(t *testing.T) {
+	dir := t.TempDir()
+	archiveFidelityTiers(t, dir, fidelitySeed, fidelityTestTiers()...)
+
+	ref := runFidelity(t, t.TempDir(), fidelitySeed, 0, nil)
+	for _, minAcc := range []float64{0, 1} {
+		res := runFidelity(t, dir, fidelitySeed, minAcc, nil)
+		if !res.Decision.ChosenCandidate().Live {
+			t.Fatalf("minAcc=%v: strict query served from tier %s", minAcc, res.Decision.ChosenCandidate().Key)
+		}
+		if !reflect.DeepEqual(res.Matched, ref.Matched) {
+			t.Fatalf("minAcc=%v: strict verdicts differ from archive-free run", minAcc)
+		}
+	}
+}
+
+// TestFidelityPlanPicksCheapestSatisfying checks the decision itself:
+// every candidate is priced, and the chosen one is cost-minimal among
+// the accuracy-satisfying ones.
+func TestFidelityPlanPicksCheapestSatisfying(t *testing.T) {
+	dir := t.TempDir()
+	tiers := fidelityTestTiers()
+	archiveFidelityTiers(t, dir, fidelitySeed, tiers...)
+
+	st, err := vqpy.OpenStore(dir, fidelitySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := vqpy.NewSession(fidelitySeed)
+	s.SetNoBurn(true)
+	d, err := s.PlanFidelity(fidelityQuery(), fidelityVideo(fidelitySeed), 0,
+		vqpy.WithStore(st), vqpy.WithMinAccuracy(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + len(tiers); len(d.Candidates) != want {
+		t.Fatalf("got %d candidates, want %d (%+v)", len(d.Candidates), want, d.Candidates)
+	}
+	chosen := d.ChosenCandidate()
+	for _, c := range d.Candidates {
+		if c.Live || c.Accuracy < d.Target {
+			continue
+		}
+		if c.CostMS < chosen.CostMS {
+			t.Fatalf("candidate %s (%.2fms) cheaper than chosen %s (%.2fms)", c.Key, c.CostMS, chosen.Key, chosen.CostMS)
+		}
+	}
+}
+
+// TestFidelityReadFaultsDegradeToLive injects terminal read faults on
+// the scans tier: every tier probe fails, both tiers are skipped as
+// unreadable, and the query falls back to a live scan whose verdicts
+// match the fault-free reference exactly — faults cost money, never
+// accuracy.
+func TestFidelityReadFaultsDegradeToLive(t *testing.T) {
+	dir := t.TempDir()
+	archiveFidelityTiers(t, dir, fidelitySeed, fidelityTestTiers()...)
+
+	inj := vqpy.NewFaultInjector(vqpy.FaultSchedule{Seed: 7, Rules: []vqpy.FaultRule{
+		{Kind: vqpy.FaultStoreRead, Target: "scans", Rate: 1, Persist: 1 << 20},
+	}})
+	res := runFidelity(t, dir, fidelitySeed, 0.8, inj)
+	if !res.Decision.ChosenCandidate().Live {
+		t.Fatalf("expected live fallback, got %s", res.Decision.ChosenCandidate().Key)
+	}
+	if len(res.Decision.SkippedUnreadable) != len(fidelityTestTiers()) {
+		t.Fatalf("skipped unreadable = %v, want both tiers", res.Decision.SkippedUnreadable)
+	}
+	ref := runFidelity(t, t.TempDir(), fidelitySeed, 0.8, nil)
+	if !reflect.DeepEqual(res.Matched, ref.Matched) {
+		t.Fatalf("fault-degraded live verdicts differ from fault-free reference")
+	}
+}
+
+// TestFidelityBogusTierSkipped plants a manifest entry whose records
+// were never archived (cheapest on paper): the readability probe skips
+// it and the planner degrades to the next-cheapest real tier.
+func TestFidelityBogusTierSkipped(t *testing.T) {
+	dir := t.TempDir()
+	entries := archiveFidelityTiers(t, dir, fidelitySeed, fidelityTestTiers()...)
+
+	st, err := vqpy.OpenStore(dir, fidelitySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := vqpy.FidelityEntry{
+		Source: entries[0].Source, Key: "s8/quarter/ghost", ScanKey: "|ghost@s8/quarter/ghost",
+		Detector: "ghost", Stride: 8, Res: "quarter",
+		Covered: entries[0].Covered, Accuracy: 0.99, CostPerFrameMS: entries[0].CostPerFrameMS,
+	}
+	if err := st.PutFidelity(bogus); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	res := runFidelity(t, dir, fidelitySeed, 0.8, nil)
+	chosen := res.Decision.ChosenCandidate()
+	if chosen.Live || chosen.Key == bogus.Key {
+		t.Fatalf("chose %s, want a real archived tier", chosen.Key)
+	}
+	found := false
+	for _, k := range res.Decision.SkippedUnreadable {
+		if k == bogus.Key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bogus tier not reported unreadable: %v", res.Decision.SkippedUnreadable)
+	}
+}
+
+// TestFidelityPartialDetFaultsDegradeFrames injects rate faults on the
+// dets tier only: the tier stays chosen (its scans probe is healthy),
+// unreadable frames degrade one by one to live full-fidelity detector
+// invocations, and the verdicts still meet the declared floor.
+func TestFidelityPartialDetFaultsDegradeFrames(t *testing.T) {
+	dir := t.TempDir()
+	archiveFidelityTiers(t, dir, fidelitySeed, fidelityTestTiers()...)
+
+	inj := vqpy.NewFaultInjector(vqpy.FaultSchedule{Seed: 11, Rules: []vqpy.FaultRule{
+		{Kind: vqpy.FaultStoreRead, Target: "dets", Rate: 0.3, Persist: 1 << 20},
+	}})
+	res := runFidelity(t, dir, fidelitySeed, 0.8, inj)
+	if res.Decision.ChosenCandidate().Live {
+		t.Fatalf("expected tier replay, got live")
+	}
+	if res.DegradedFrames == 0 {
+		t.Fatalf("expected degraded frames under 30%% det read faults (replayed=%d)", res.ReplayedFrames)
+	}
+	ref := runFidelity(t, t.TempDir(), fidelitySeed, 0.8, nil)
+	if agr := matchedAgreement(res.Matched, ref.Matched); agr < 0.8 {
+		t.Fatalf("degraded-tier agreement %.3f below declared floor 0.8", agr)
+	}
+}
+
+// TestFidelityManifestWriteFaultDegradesMemOnly fails the fidelity
+// manifest write: archiving still succeeds for the session (the entry
+// serves in memory) with a degradation warning, and a fresh open of
+// the same directory sees no archived fidelities — so the next query
+// plans live rather than trusting a manifest that was never persisted.
+func TestFidelityManifestWriteFaultDegradesMemOnly(t *testing.T) {
+	dir := t.TempDir()
+	inj := vqpy.NewFaultInjector(vqpy.FaultSchedule{Seed: 3, Rules: []vqpy.FaultRule{
+		{Kind: vqpy.FaultStoreWrite, Target: "fidelity", Rate: 1, Persist: 1 << 20},
+	}})
+	st, err := vqpy.OpenStoreWithFaults(dir, fidelitySeed, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := vqpy.NewSession(fidelitySeed)
+	s.SetNoBurn(true)
+	fid := fidelityTestTiers()[0]
+	entry, err := s.ArchiveFidelity(fidelityQuery(), fidelityVideo(fidelitySeed), fid, 0, vqpy.WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Fidelities(entry.Source); len(got) != 1 {
+		t.Fatalf("in-session manifest has %d entries, want 1", len(got))
+	}
+	warned := false
+	for _, w := range st.Warnings() {
+		if strings.Contains(w, "fidelity") && strings.Contains(w, "memory-only") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no memory-only degradation warning: %v", st.Warnings())
+	}
+	st.Close()
+
+	res := runFidelity(t, dir, fidelitySeed, 0.8, nil)
+	if !res.Decision.ChosenCandidate().Live {
+		t.Fatalf("manifest should not have persisted; got tier %s", res.Decision.ChosenCandidate().Key)
+	}
+}

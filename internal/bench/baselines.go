@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"vqpy/internal/metrics"
@@ -39,6 +40,33 @@ type Baselines struct {
 	// Tolerance is the default relative slack applied to every bound.
 	Tolerance float64         `json:"tolerance"`
 	Checks    []BaselineCheck `json:"checks"`
+}
+
+// BaselineFiles loads a baselines file and returns the distinct
+// artifact files its checks reference, sorted. Callers (the vqbench
+// -check gate) crosscheck this list against the experiments that
+// actually produce artifacts, so a baseline gating a file nothing
+// writes — or an artifact nothing gates — fails loudly instead of
+// passing vacuously.
+func BaselineFiles(path string) ([]string, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baselines: %w", err)
+	}
+	var base Baselines
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("bench: baselines %s: %w", path, err)
+	}
+	seen := make(map[string]bool)
+	var files []string
+	for _, c := range base.Checks {
+		if c.File != "" && !seen[c.File] {
+			seen[c.File] = true
+			files = append(files, c.File)
+		}
+	}
+	sort.Strings(files)
+	return files, nil
 }
 
 // findMetric locates a named metric across an artifact's reports,

@@ -61,6 +61,12 @@ type ScanSig struct {
 	// whole inside their lane.
 	Shareable bool
 
+	// Suffix decorates the signature for non-default scan fidelities
+	// (Plan.ScanSuffix): archives written at different fidelities of the
+	// same prefix must key to disjoint scan groups, or a replay would
+	// serve tier-B records to a tier-A query.
+	Suffix string
+
 	residual []Step
 }
 
@@ -68,7 +74,11 @@ type ScanSig struct {
 // two queries binding different classes of the same detector still land
 // in one group (one detector run, one tracker per class).
 func (s ScanSig) Key() string {
-	return strings.Join(s.Filters, ",") + "|" + s.Detect
+	key := strings.Join(s.Filters, ",") + "|" + s.Detect
+	if s.Suffix != "" {
+		key += "@" + s.Suffix
+	}
+	return key
 }
 
 // ScanPrefixOf extracts the shareable scan prefix of a plan: leading
@@ -94,6 +104,7 @@ func ScanPrefixOf(p *Plan) ScanSig {
 		sig.Class = steps[i].Binds[0].Class
 		sig.Instance = steps[i].Binds[0].Instance
 		sig.Shareable = true
+		sig.Suffix = p.ScanSuffix
 		sig.residual = steps[i+2:]
 	}
 	return sig

@@ -169,6 +169,12 @@ type Plan struct {
 	// Label identifies the plan variant in profiling output.
 	Label string
 
+	// ScanSuffix decorates the plan's scan signature (ScanSig.Suffix)
+	// for non-default scan fidelities: archive passes at a reduced
+	// fidelity set it to the fidelity key so their records never collide
+	// with the full-fidelity archive of the same prefix.
+	ScanSuffix string
+
 	// EstCostMS and EstF1 are filled by the planner's canary
 	// profiling.
 	EstCostMS float64

@@ -118,13 +118,15 @@ func repoDocPaths(t *testing.T) []string {
 		filepath.Join(root, "internal/track"),
 		filepath.Join(root, "internal/config"),
 		filepath.Join(root, "internal/metrics"),
+		filepath.Join(root, "internal/models"),
+		filepath.Join(root, "internal/bench"),
 	}
 }
 
 // TestRepoDocComments enforces the doc-comment rule over the repo's
 // public API surface: the facade plus the plan / exec / serve / store /
-// fleet / video / track / config / metrics packages. A failure names
-// each undocumented exported identifier.
+// fleet / video / track / config / metrics / models / bench packages.
+// A failure names each undocumented exported identifier.
 func TestRepoDocComments(t *testing.T) {
 	issues, err := CheckDocs(repoDocPaths(t))
 	if err != nil {

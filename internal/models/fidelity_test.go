@@ -1,0 +1,73 @@
+package models
+
+// Unit suite for the fidelity tiers of the model zoo (DESIGN.md §12):
+// the built-in lattice shape, the tier detectors' registration and
+// cost ordering, and the resolution visibility gate that makes a
+// reduced-resolution detector blind to small objects.
+
+import (
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+func TestFidelityLatticeShape(t *testing.T) {
+	lattice := FidelityLattice("yolov8m")
+	if len(lattice) != 5 {
+		t.Fatalf("lattice has %d entries, want 5: %+v", len(lattice), lattice)
+	}
+	head := lattice[0]
+	if head.NormStride() != 1 || head.Res != video.ResFull || head.Detector != "yolov8m" {
+		t.Fatalf("lattice head is not full fidelity: %+v", head)
+	}
+	seen := make(map[string]bool, len(lattice))
+	prevCost := 0.0
+	for i, fid := range lattice {
+		if seen[fid.Key()] {
+			t.Fatalf("duplicate lattice key %s", fid.Key())
+		}
+		seen[fid.Key()] = true
+		p, ok := ProfileOf(fid.Detector)
+		if !ok {
+			t.Fatalf("lattice tier %s names unregistered detector %q", fid.Key(), fid.Detector)
+		}
+		// Per-aligned-frame model cost must not increase as the lattice
+		// coarsens (the stride reduction is on top of it).
+		if i > 0 && p.CostMS > prevCost {
+			t.Errorf("tier %s costs %.1fms, more than the finer tier's %.1fms", fid.Key(), p.CostMS, prevCost)
+		}
+		prevCost = p.CostMS
+		if p.Res != fid.Res {
+			t.Errorf("tier %s: profile res %v != lattice res %v", fid.Key(), p.Res, fid.Res)
+		}
+	}
+}
+
+func TestTierDetectorVisibilityGate(t *testing.T) {
+	// A person-heavy clip: persons (26x64) survive half resolution but
+	// vanish at quarter; the gate must drop them before any roll of the
+	// detector's recall dice.
+	v := video.Retail(42, 20).Generate()
+	env := testEnv()
+	half := &SimDetector{P: mustProfile(t, "yolov5s@half")}
+	quarter := &SimDetector{P: mustProfile(t, "yolov5s@quarter")}
+	halfPersons, quarterPersons := 0, 0
+	for i := range v.Frames {
+		for _, d := range half.Detect(env, &v.Frames[i]) {
+			if d.Class == video.ClassPerson {
+				halfPersons++
+			}
+		}
+		for _, d := range quarter.Detect(env, &v.Frames[i]) {
+			if d.Class == video.ClassPerson {
+				quarterPersons++
+			}
+		}
+	}
+	if halfPersons == 0 {
+		t.Fatal("half-resolution tier saw no persons on a person-heavy clip")
+	}
+	if quarterPersons != 0 {
+		t.Fatalf("quarter-resolution tier reported %d persons; the visibility gate must hide them", quarterPersons)
+	}
+}

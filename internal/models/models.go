@@ -78,6 +78,13 @@ type Profile struct {
 	// ColorFilter restricts a specialized detector to objects of one
 	// color (e.g. the "my_red_car" specialized NN of Figure 11).
 	ColorFilter video.Color
+
+	// Res is the resolution tier the detector's input is decoded at
+	// (DESIGN.md §12). The zero value is video.ResFull, so every
+	// pre-fidelity profile is unchanged; lower tiers make objects below
+	// the tier's visibility floor undetectable, which is what buys the
+	// reduced-resolution cost savings their accuracy discount.
+	Res video.ResTier
 }
 
 // Env carries the per-experiment context every model shares: the virtual

@@ -37,6 +37,13 @@ func (d *SimDetector) Detect(env *Env, f *video.Frame) []Detection {
 	rng := sim.NewRNG(hash(env.Seed, strHash(d.P.Name), uint64(f.Index)))
 	var out []Detection
 	for _, o := range f.Objects {
+		// Reduced-resolution tiers cannot see objects below their
+		// visibility floor. The gate sits before any rng draw but only
+		// for tiered profiles (Res != ResFull), so every pre-fidelity
+		// detector's output stream is bit-identical to what it was.
+		if d.P.Res != video.ResFull && !video.VisibleAt(o.Box.Area(), d.P.Res) {
+			continue
+		}
 		if !d.classAllowed(o.Class) {
 			continue
 		}
@@ -452,6 +459,16 @@ var builtinProfiles = []Profile{
 	{Name: "motion_diff", Task: TaskBinary, CostMS: 0.6},
 	{Name: "action_proposal", Task: TaskBinary, CostMS: 2.5, MissRate: 0.06, FPRate: 0.1},
 	{Name: "ball_person_cheap", Task: TaskDetect, CostMS: 5, Classes: []video.Class{video.ClassPerson, video.ClassBall}, MissRate: 0.08, FPRate: 0.05, JitterPx: 4},
+
+	// Reduced-resolution detector tiers (DESIGN.md §12): the same
+	// architectures run on half- or quarter-resolution decodes. Cost
+	// scales roughly with input pixels; the error knobs rise a little
+	// and, more importantly, Res imposes the tier's visibility floor
+	// (small objects vanish), which is where the calibrated accuracy
+	// curves of the fidelity planner come from.
+	{Name: "yolov8m@half", Task: TaskDetect, CostMS: 9, MissRate: 0.05, FPRate: 0.06, JitterPx: 3, Res: video.ResHalf},
+	{Name: "yolov5s@half", Task: TaskDetect, CostMS: 3, MissRate: 0.11, FPRate: 0.1, JitterPx: 4.5, Res: video.ResHalf},
+	{Name: "yolov5s@quarter", Task: TaskDetect, CostMS: 1.5, MissRate: 0.13, FPRate: 0.1, JitterPx: 5, Res: video.ResQuarter},
 }
 
 // detectorFallbacks is the degradation ladder of the builtin zoo: when
@@ -527,4 +544,19 @@ func ProfileOf(name string) (Profile, bool) {
 		}
 	}
 	return Profile{}, false
+}
+
+// FidelityLattice is the scan-config lattice a source can be archived
+// at (DESIGN.md §12), cheapest last: full fidelity first, then
+// progressively strided / downsampled / cheaper-detector tiers. The
+// full-fidelity entry uses the query's own detector; every other tier
+// names a reduced-resolution profile from the table above.
+func FidelityLattice(fullDetector string) []video.Fidelity {
+	return []video.Fidelity{
+		{Stride: 1, Res: video.ResFull, Detector: fullDetector},
+		{Stride: 2, Res: video.ResFull, Detector: "yolov8m"},
+		{Stride: 2, Res: video.ResHalf, Detector: "yolov8m@half"},
+		{Stride: 4, Res: video.ResHalf, Detector: "yolov5s@half"},
+		{Stride: 4, Res: video.ResQuarter, Detector: "yolov5s@quarter"},
+	}
 }

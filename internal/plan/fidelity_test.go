@@ -1,0 +1,159 @@
+package plan
+
+// Unit suite for the fidelity cost model (DESIGN.md §12): the chosen
+// candidate must always be cost-minimal among the accuracy-satisfying
+// ones. A table pins the behaviour over the built-in lattice under
+// every interesting (target, coverage) state, and a brute-force
+// crosscheck over randomized candidate sets proves SelectFidelity
+// equals exhaustive minimization.
+
+import (
+	"math/rand"
+	"testing"
+
+	"vqpy/internal/exec"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// latticeCandidates prices the built-in lattice for an n-frame query:
+// each tier covered to `covered` frames with the given calibrated
+// accuracy, plus the live candidate, using the shared cost model.
+func latticeCandidates(n, covered int, accs []float64, fullMS float64) []FidelityCandidate {
+	lattice := models.FidelityLattice("yolov8m")
+	cands := []FidelityCandidate{{
+		Key: "live/full", Stride: 1, TierAccuracy: 1, Accuracy: 1,
+		CostMS: float64(n) * fullMS, Live: true,
+	}}
+	for i, fid := range lattice {
+		c := covered
+		if c > n {
+			c = n
+		}
+		acc := (float64(c)*accs[i] + float64(n-c)) / float64(n)
+		cands = append(cands, FidelityCandidate{
+			Key: fid.Key(), Detector: fid.Detector, Stride: fid.NormStride(),
+			Covered: c, TierAccuracy: accs[i], Accuracy: acc,
+			CostMS: FidelityCostMS(fid.NormStride(), c, n, fullMS),
+		})
+	}
+	return cands
+}
+
+func TestSelectFidelityLatticeTable(t *testing.T) {
+	// Calibrated accuracies per lattice tier, full → cheapest; coarser
+	// tiers are less accurate.
+	accs := []float64{0.99, 0.97, 0.93, 0.88, 0.82}
+	const n = 900
+	const fullMS = 25.0
+
+	cases := []struct {
+		name    string
+		target  float64
+		covered int
+		want    string // expected chosen key
+	}{
+		// Full coverage: the cheapest tier meeting the target wins.
+		// Same-stride tiers replay the same frame count, so they price
+		// identically and the deterministic key tie-break decides.
+		{"loose target picks a stride-4 tier", 0.80, n, "s4/half/yolov5s@half"},
+		{"mid target drops the quarter tier", 0.85, n, "s4/half/yolov5s@half"},
+		{"tight target needs stride 2", 0.90, n, "s2/full/yolov8m"},
+		{"tighter target keeps full-res stride2", 0.95, n, "s2/full/yolov8m"},
+		{"near-exact target needs the full tier", 0.985, n, "s1/full/yolov8m"},
+		// A target of 1 (and the undeclared default) is strict: only
+		// live qualifies, whatever is archived.
+		{"strict target forces live", 1.0, n, "live/full"},
+		// No coverage: every tier's cost degenerates to the pure live
+		// scan, so everything ties and the key tie-break keeps the
+		// choice stable on the live candidate.
+		{"no coverage degenerates to live", 0.80, 0, "live/full"},
+		// Partial coverage: residual live frames pull effective accuracy
+		// up and cost toward live; a stride-4 tier still wins a loose
+		// target.
+		{"partial coverage still serves stride 4", 0.80, n / 2, "s4/half/yolov5s@half"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cands := latticeCandidates(n, tc.covered, accs, fullMS)
+			got := SelectFidelity(cands, tc.target)
+			if got < 0 {
+				t.Fatalf("no candidate selected")
+			}
+			if cands[got].Key != tc.want {
+				t.Fatalf("chose %s, want %s", cands[got].Key, tc.want)
+			}
+			// Invariant behind every row: the winner is cost-minimal among
+			// satisfying candidates.
+			for _, c := range cands {
+				satisfies := c.Live || (tc.target < 1 && c.Accuracy >= tc.target)
+				if satisfies && c.CostMS < cands[got].CostMS {
+					t.Fatalf("candidate %s (%.2f) cheaper than chosen %s (%.2f)",
+						c.Key, c.CostMS, cands[got].Key, cands[got].CostMS)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectFidelityBruteForce crosschecks SelectFidelity against
+// exhaustive minimization over randomized scenarios: random candidate
+// sets (random strides, coverage, accuracies, costs priced by the
+// shared model) and random targets.
+func TestSelectFidelityBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240912))
+	for scenario := 0; scenario < 80; scenario++ {
+		n := 100 + rng.Intn(2000)
+		fullMS := 5 + rng.Float64()*40
+		cands := []FidelityCandidate{{
+			Key: "live/full", Stride: 1, TierAccuracy: 1, Accuracy: 1,
+			CostMS: float64(n) * fullMS, Live: true,
+		}}
+		tiers := 1 + rng.Intn(6)
+		for i := 0; i < tiers; i++ {
+			stride := 1 << rng.Intn(4)
+			covered := rng.Intn(n + 1)
+			acc := 0.5 + rng.Float64()*0.5
+			eff := (float64(covered)*acc + float64(n-covered)) / float64(n)
+			cands = append(cands, FidelityCandidate{
+				Key:    video.Fidelity{Stride: stride, Res: video.ResTier(rng.Intn(3)), Detector: string(rune('a' + i))}.Key(),
+				Stride: stride, Covered: covered, TierAccuracy: acc, Accuracy: eff,
+				CostMS: FidelityCostMS(stride, covered, n, fullMS),
+			})
+		}
+		target := 0.6 + rng.Float64()*0.45 // spans past 1.0 to hit the strict rule
+
+		got := SelectFidelity(cands, target)
+		want := -1
+		for i, c := range cands {
+			satisfies := c.Live || (target < 1 && c.Accuracy >= target)
+			if !satisfies {
+				continue
+			}
+			if want < 0 || c.CostMS < cands[want].CostMS ||
+				(c.CostMS == cands[want].CostMS && c.Key < cands[want].Key) {
+				want = i
+			}
+		}
+		if got != want {
+			t.Fatalf("scenario %d (target %.3f): SelectFidelity chose %d (%+v), brute force %d (%+v)",
+				scenario, target, got, cands[got], want, cands[want])
+		}
+	}
+}
+
+// TestFidelityCostMSMatchesReplayUnit pins the cost model's replay
+// unit to the executor's actual per-frame bookkeeping charge — if the
+// two drift apart the chosen tier is no longer the cheapest one run.
+func TestFidelityCostMSMatchesReplayUnit(t *testing.T) {
+	// 10 covered frames at stride 4 → frames 0,4,8 → 3 replays; 5
+	// residual frames at 2ms.
+	got := FidelityCostMS(4, 10, 15, 2)
+	want := 3*exec.FidelityReplayMS + 5*2.0
+	if got != want {
+		t.Fatalf("FidelityCostMS = %v, want %v", got, want)
+	}
+	if FidelityCostMS(1, 0, 10, 3) != 30 {
+		t.Fatalf("zero coverage should price as pure live scan")
+	}
+}

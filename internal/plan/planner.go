@@ -95,6 +95,13 @@ type Options struct {
 	// does not cover. Requires Store — the index is an acceleration
 	// structure over archived records, never a source of truth.
 	Index *index.Index
+
+	// MinAccuracy is the accuracy floor a fidelity-served query declares
+	// (DESIGN.md §12): RunFidelity answers from the cheapest archived
+	// fidelity whose calibrated accuracy meets it, live-scanning only the
+	// residual. 0 means no budget was declared and is treated as 1.0 —
+	// strict answers, so fidelity serving is opt-in per query.
+	MinAccuracy float64
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,137 @@
+package serve
+
+// Fidelity-query tests of the serving daemon: the synchronous
+// POST /queries mode=fidelity path, the /streamz fidelity block, the
+// /metrics families, and the configuration contract (-store required).
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestFidelityQueryOverHTTP drives the accuracy-budgeted path over the
+// wire: feed the clip, query under a loose floor (the warm pass
+// archives the reduced tiers, the planner serves from the cheapest
+// satisfying one), query strictly (live), and read the fidelity block
+// off /streamz and /metrics.
+func TestFidelityQueryOverHTTP(t *testing.T) {
+	s := testServer(t, Config{StoreDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for s.Streamz().Sources[0].FramesFed < s.Streamz().Sources[0].ClipFrames {
+		if err := s.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed := s.Streamz().Sources[0].FramesFed
+
+	fidelity := func(body string) FidelitySummary {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /queries (fidelity) status %d", resp.StatusCode)
+		}
+		var sum FidelitySummary
+		if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+
+	budgeted := fidelity(`{"source":"cityflow","query":"plates","mode":"fidelity","accuracy":0.8}`)
+	if budgeted.Live || budgeted.Chosen == "live/full" {
+		t.Fatalf("loose floor answered live (chosen %s); candidates: %+v", budgeted.Chosen, budgeted.Candidates)
+	}
+	if budgeted.Frames != fed {
+		t.Errorf("fidelity query spanned %d frames, want the %d fed", budgeted.Frames, fed)
+	}
+	if budgeted.ReplayedFrames == 0 {
+		t.Error("tier-served query replayed no frames from the archive")
+	}
+	if budgeted.EstimatedAccuracy < 0.8 {
+		t.Errorf("chosen tier priced at %.3f, below the 0.8 floor", budgeted.EstimatedAccuracy)
+	}
+	// Live candidate plus the four warmed reduced tiers.
+	if len(budgeted.Candidates) != 5 {
+		t.Errorf("decision priced %d candidates, want 5: %+v", len(budgeted.Candidates), budgeted.Candidates)
+	}
+
+	// An undeclared floor is strict: live full-fidelity answer, whatever
+	// is archived.
+	strict := fidelity(`{"source":"cityflow","query":"plates","mode":"fidelity"}`)
+	if !strict.Live || strict.Chosen != "live/full" {
+		t.Fatalf("strict query served from tier %s", strict.Chosen)
+	}
+	if strict.ReplayedFrames != 0 || strict.DegradedFrames != 0 || strict.ResidualFrames != fed {
+		t.Errorf("strict query frame breakdown %d/%d/%d, want 0/0/%d live frames",
+			strict.ReplayedFrames, strict.DegradedFrames, strict.ResidualFrames, fed)
+	}
+	// The budgeted answer is what the floor bought: far cheaper than the
+	// live pass.
+	if budgeted.VirtualMS >= strict.VirtualMS {
+		t.Errorf("tier-served query cost %.1fms, live cost %.1fms — no saving",
+			budgeted.VirtualMS, strict.VirtualMS)
+	}
+
+	st := s.Streamz()
+	if st.Fidelity == nil {
+		t.Fatal("streamz has no fidelity block under -store")
+	}
+	if st.Fidelity.Queries != 2 || st.Fidelity.TierDecisions != 1 || st.Fidelity.LiveDecisions != 1 {
+		t.Errorf("fidelity block: queries=%d tier=%d live=%d, want 2/1/1",
+			st.Fidelity.Queries, st.Fidelity.TierDecisions, st.Fidelity.LiveDecisions)
+	}
+	if len(st.Fidelity.Tiers) != 4 {
+		t.Errorf("fidelity block lists %d archived tiers, want 4: %+v", len(st.Fidelity.Tiers), st.Fidelity.Tiers)
+	}
+	if st.Fidelity.ReplayedFrameRatio <= 0 {
+		t.Errorf("replayed_frame_ratio = %g, want > 0", st.Fidelity.ReplayedFrameRatio)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"vqserve_fidelity_tier_accuracy", "vqserve_fidelity_archived_tiers",
+		"vqserve_fidelity_replayed_frame_ratio", "vqserve_fidelity_queries_total",
+	} {
+		if !strings.Contains(string(blob), fam) {
+			t.Errorf("/metrics lacks %s", fam)
+		}
+	}
+}
+
+// TestFidelityRequiresStore pins the mode's error shapes.
+func TestFidelityRequiresStore(t *testing.T) {
+	s := testServer(t, Config{})
+	if err := s.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FidelityQuery(FidelityRequest{Source: "cityflow", Query: "plates", Accuracy: 0.8}); err == nil {
+		t.Error("fidelity query without -store should fail")
+	}
+
+	// A store-backed daemon still refuses before any frame was fed.
+	s2 := testServer(t, Config{StoreDir: t.TempDir()})
+	if _, err := s2.FidelityQuery(FidelityRequest{Source: "cityflow", Query: "plates", Accuracy: 0.8}); err == nil {
+		t.Error("fidelity query before any frame was fed should fail")
+	}
+	if _, err := s2.FidelityQuery(FidelityRequest{Source: "nope", Query: "plates"}); err == nil {
+		t.Error("fidelity query against an unknown source should fail")
+	}
+}

@@ -7,6 +7,9 @@ package serve
 //	                             (+"mode":"search" [+"track","threshold","topk"] for a
 //	                             synchronous archive search — probe-then-verify over the
 //	                             fed frames; requires -store and -index)
+//	                             (+"mode":"fidelity" [+"accuracy"] for a synchronous
+//	                             accuracy-budgeted query answered from the cheapest
+//	                             archived fidelity tier meeting the floor; requires -store)
 //	DELETE /queries/{id}         → final result JSON
 //	GET    /queries/{id}/results → live result snapshot JSON
 //	                             (?since=F restricts hits to frames >= F — delta polling)
@@ -52,7 +55,10 @@ import (
 // query arrived (requires the daemon's -store). Mode "search" switches
 // the request to a synchronous archive search (requires -store and
 // -index): no lane attaches, the reply is the search summary, and
-// track/threshold/topk tune the appearance predicate.
+// track/threshold/topk tune the appearance predicate. Mode "fidelity"
+// switches it to a synchronous accuracy-budgeted query (requires
+// -store): accuracy declares the floor the answer must meet, and the
+// reply is the fidelity summary with the chosen tier.
 type attachRequest struct {
 	Source   string `json:"source"`
 	Query    string `json:"query"`
@@ -63,6 +69,7 @@ type attachRequest struct {
 	Track     *int    `json:"track,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
 	TopK      int     `json:"topk,omitempty"`
+	Accuracy  float64 `json:"accuracy,omitempty"`
 }
 
 // attachResponse is the POST /queries reply.
@@ -187,8 +194,18 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, sum)
 		return
+	case "fidelity":
+		sum, err := s.FidelityQuery(FidelityRequest{
+			Source: req.Source, Query: req.Query, Accuracy: req.Accuracy,
+		})
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+		return
 	default:
-		writeErr(w, errors.New("serve: unknown mode "+strconv.Quote(req.Mode)+" (want \"attach\" or \"search\")"))
+		writeErr(w, errors.New("serve: unknown mode "+strconv.Quote(req.Mode)+" (want \"attach\", \"search\" or \"fidelity\")"))
 		return
 	}
 	id, err := s.AttachNamedAs(tenant, req.Source, req.Query, req.Backfill)

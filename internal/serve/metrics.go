@@ -106,6 +106,24 @@ func (s *Server) MetricsFamilies() []metrics.Family {
 				metrics.V(float64(tiers.FaultedReads))))
 	}
 
+	if st.Fidelity != nil {
+		acc := metrics.Gauge("vqserve_fidelity_tier_accuracy",
+			"Calibrated accuracy per archived fidelity tier.")
+		cov := metrics.Gauge("vqserve_fidelity_tier_covered_frames",
+			"Frames covered per archived fidelity tier.")
+		for _, e := range st.Fidelity.Tiers {
+			labels := []metrics.Label{{Key: "source", Value: e.Source}, {Key: "tier", Value: e.Key}}
+			acc.Samples = append(acc.Samples, metrics.Sample{Labels: labels, Value: e.Accuracy})
+			cov.Samples = append(cov.Samples, metrics.Sample{Labels: labels, Value: float64(e.Covered)})
+		}
+		fams = append(fams, acc, cov,
+			metrics.Gauge("vqserve_fidelity_archived_tiers", "Archived fidelity tiers across all sources.",
+				metrics.V(float64(len(st.Fidelity.Tiers)))),
+			metrics.Gauge("vqserve_fidelity_replayed_frame_ratio",
+				"Fraction of fidelity-served frames answered from tier archives.",
+				metrics.V(st.Fidelity.ReplayedFrameRatio)))
+	}
+
 	if st.Index != nil {
 		fams = append(fams,
 			metrics.Gauge("vqserve_index_entries", "Appearance-index entries.",

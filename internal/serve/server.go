@@ -871,6 +871,29 @@ type IndexStat struct {
 	PrunedFrameRatio float64 `json:"pruned_frame_ratio"`
 }
 
+// FidelityStat is the /streamz fidelity block, present when the daemon
+// runs with -store: the archived tier manifests plus the accumulated
+// fidelity-query activity (DESIGN.md §12).
+type FidelityStat struct {
+	// Tiers lists every archived fidelity across sources, with coverage
+	// and calibrated accuracy.
+	Tiers []vqpy.FidelityEntry `json:"tiers,omitempty"`
+	// Queries counts POST /queries mode=fidelity requests served; the
+	// decision counters split them by outcome.
+	Queries       int64 `json:"queries"`
+	TierDecisions int64 `json:"tier_decisions"`
+	LiveDecisions int64 `json:"live_decisions"`
+	// ReplayedFrames were answered from tier archives at bookkeeping
+	// cost; DegradedFrames fell back live after archive misses;
+	// ResidualFrames were live-scanned past tier coverage.
+	ReplayedFrames int64 `json:"replayed_frames"`
+	DegradedFrames int64 `json:"degraded_frames"`
+	ResidualFrames int64 `json:"residual_frames"`
+	// ReplayedFrameRatio is the fraction of fidelity-served frames that
+	// came from tier archives: replayed / (replayed+degraded+residual).
+	ReplayedFrameRatio float64 `json:"replayed_frame_ratio"`
+}
+
 // ChaosStat is the /streamz fault-injection block, present when the
 // daemon runs with an injector.
 type ChaosStat struct {
@@ -893,6 +916,7 @@ type Stats struct {
 	Counters map[string]int64 `json:"counters"`
 	Store    *StoreStat       `json:"store,omitempty"`
 	Index    *IndexStat       `json:"index,omitempty"`
+	Fidelity *FidelityStat    `json:"fidelity,omitempty"`
 	Fleet    *FleetStat       `json:"fleet,omitempty"`
 	Chaos    *ChaosStat       `json:"chaos,omitempty"`
 }
@@ -919,6 +943,21 @@ func (s *Server) Streamz() Stats {
 			Dir: s.store.Dir(), Tiers: s.store.TierStats(),
 			Counters: s.store.Counters().Snapshot(),
 		}
+		fs := &FidelityStat{
+			Queries:        s.counters.Get("fidelity_queries"),
+			TierDecisions:  s.counters.Get("fidelity_tier_decisions"),
+			LiveDecisions:  s.counters.Get("fidelity_live_decisions"),
+			ReplayedFrames: s.counters.Get("fidelity_replayed_frames"),
+			DegradedFrames: s.counters.Get("fidelity_degraded_frames"),
+			ResidualFrames: s.counters.Get("fidelity_residual_frames"),
+		}
+		for _, name := range s.order {
+			fs.Tiers = append(fs.Tiers, s.store.Fidelities(name)...)
+		}
+		if total := fs.ReplayedFrames + fs.DegradedFrames + fs.ResidualFrames; total > 0 {
+			fs.ReplayedFrameRatio = float64(fs.ReplayedFrames) / float64(total)
+		}
+		st.Fidelity = fs
 	}
 	if s.index != nil {
 		searched := s.counters.Get("search_frames")

@@ -36,6 +36,8 @@ import (
 	"path/filepath"
 	"sync"
 
+	"strings"
+
 	"vqpy/internal/geom"
 	"vqpy/internal/metrics"
 )
@@ -92,6 +94,13 @@ type Store struct {
 	warnings   []string
 	closed     bool
 	writeFault func(kind string) error
+
+	// fidelity is the per-source fidelity manifest (fidelity.go): which
+	// scan configs each source has been archived at, with calibrated
+	// accuracy and cost. fidelityMemOnly is the manifest's write-fault
+	// degradation flag, mirroring the log tiers'.
+	fidelity        []FidelityEntry
+	fidelityMemOnly bool
 }
 
 // manifestName is the manifest file inside the store directory.
@@ -117,8 +126,7 @@ func Open(dir string, meta Meta, opts Options) (*Store, error) {
 
 	manifestPath := filepath.Join(dir, manifestName)
 	if blob, err := os.ReadFile(manifestPath); err == nil {
-		var have Meta
-		if json.Unmarshal(blob, &have) != nil || have != meta {
+		if reason := metaMismatch(blob, meta); reason != "" {
 			// Wrong seed / version / garbage manifest: everything in the
 			// directory was computed under a different identity and must
 			// not be served. A failed removal must fail the open — were
@@ -126,8 +134,8 @@ func Open(dir string, meta Meta, opts Options) (*Store, error) {
 			// be served as valid on every later open.
 			s.counters.Add("invalidated", 1)
 			s.warnings = append(s.warnings, fmt.Sprintf(
-				"store: %s: manifest %+v does not match %+v; invalidating", dir, have, meta))
-			for _, name := range []string{"scans.log", "dets.log", "labels.log"} {
+				"store: %s: %s; invalidating", dir, reason))
+			for _, name := range []string{"scans.log", "dets.log", "labels.log", fidelityName} {
 				if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 					return nil, fmt.Errorf("store: invalidating %s: %w", name, err)
 				}
@@ -167,6 +175,7 @@ func Open(dir string, meta Meta, opts Options) (*Store, error) {
 	for _, t := range []*tier{s.scans, s.dets, s.labels} {
 		t.readFault = opts.ReadFault
 	}
+	s.loadFidelity()
 	return s, nil
 }
 
@@ -204,6 +213,28 @@ func (s *Store) Warnings() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]string(nil), s.warnings...)
+}
+
+// metaMismatch explains why an existing manifest blob does not match
+// the expected identity, naming every offending field with its found
+// and expected values (so an invalidation warning says exactly which
+// identity moved). It returns "" when the manifest matches.
+func metaMismatch(blob []byte, want Meta) string {
+	var have Meta
+	if err := json.Unmarshal(blob, &have); err != nil {
+		return fmt.Sprintf("manifest unreadable (%v)", err)
+	}
+	var fields []string
+	if have.Version != want.Version {
+		fields = append(fields, fmt.Sprintf("version found %d, expected %d", have.Version, want.Version))
+	}
+	if have.Seed != want.Seed {
+		fields = append(fields, fmt.Sprintf("seed found %d, expected %d", have.Seed, want.Seed))
+	}
+	if len(fields) == 0 {
+		return ""
+	}
+	return "manifest mismatch: " + strings.Join(fields, "; ")
 }
 
 // scanKey / detKey / labelKey build the index keys. \x00 separators keep
@@ -438,6 +469,8 @@ type Stats struct {
 	// by the injected read hook.
 	MemOnlyTiers int
 	FaultedReads int
+	// FidelityEntries counts fidelity-manifest entries across sources.
+	FidelityEntries int
 }
 
 // TierStats summarizes the store for dashboards (/streamz) and CLIs.
@@ -445,13 +478,14 @@ func (s *Store) TierStats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		ScanRecords:    len(s.scans.idx),
-		DetRecords:     len(s.dets.idx),
-		LabelRecords:   len(s.labels.idx),
-		MemRecords:     len(s.scans.mem) + len(s.dets.mem) + len(s.labels.mem),
-		Evicted:        s.scans.evicted + s.dets.evicted + s.labels.evicted,
-		CorruptRecords: s.scans.corrupt + s.dets.corrupt + s.labels.corrupt,
-		FaultedReads:   s.scans.faultedReads + s.dets.faultedReads + s.labels.faultedReads,
+		ScanRecords:     len(s.scans.idx),
+		DetRecords:      len(s.dets.idx),
+		LabelRecords:    len(s.labels.idx),
+		MemRecords:      len(s.scans.mem) + len(s.dets.mem) + len(s.labels.mem),
+		Evicted:         s.scans.evicted + s.dets.evicted + s.labels.evicted,
+		CorruptRecords:  s.scans.corrupt + s.dets.corrupt + s.labels.corrupt,
+		FaultedReads:    s.scans.faultedReads + s.dets.faultedReads + s.labels.faultedReads,
+		FidelityEntries: len(s.fidelity),
 	}
 	for _, t := range []*tier{s.scans, s.dets, s.labels} {
 		if t.memOnly {

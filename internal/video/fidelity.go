@@ -1,0 +1,152 @@
+package video
+
+// Multi-fidelity scan configs (DESIGN.md §12): a fidelity is one point
+// of the (frame stride × resolution tier × detector tier) lattice a
+// source can be scanned and archived at. The generator side lives here
+// — per-fidelity ground truth derived from the same synthetic tracks
+// that drive full-fidelity truth — so accuracy curves can be computed
+// analytically in tests and calibrated empirically against archives
+// (plan.ArchiveFidelity) without the two ever disagreeing about what a
+// downsampled scan can see.
+
+import "fmt"
+
+// ResTier is the resolution a frame is decoded at before detection.
+// Lower tiers shrink the decode and the detector input, which makes
+// small objects fall below the detector's visibility floor.
+type ResTier int
+
+// Resolution tiers, full to quarter.
+const (
+	ResFull ResTier = iota
+	ResHalf
+	ResQuarter
+)
+
+// String names the tier for fidelity keys and manifests.
+func (r ResTier) String() string {
+	switch r {
+	case ResFull:
+		return "full"
+	case ResHalf:
+		return "half"
+	case ResQuarter:
+		return "quarter"
+	}
+	return fmt.Sprintf("res(%d)", int(r))
+}
+
+// minVisibleArea is the ground-truth box area (full-resolution pixels)
+// below which an object is invisible to a detector running at the tier:
+// at half resolution the 12×12 balls vanish, at quarter resolution
+// pedestrians (26×64) go too, while every vehicle class stays visible.
+func (r ResTier) minVisibleArea() float64 {
+	switch r {
+	case ResHalf:
+		return 600
+	case ResQuarter:
+		return 2400
+	}
+	return 0
+}
+
+// VisibleAt reports whether an object of the given ground-truth box is
+// large enough to survive decoding at the resolution tier. Boxes are
+// always expressed in full-resolution coordinates; the tier only moves
+// the visibility floor.
+func VisibleAt(area float64, res ResTier) bool {
+	return area >= res.minVisibleArea()
+}
+
+// Fidelity is one scan config of the lattice: process every Stride-th
+// frame, decoded at Res, through Detector. The zero-ish full fidelity
+// is {Stride: 1, Res: ResFull, Detector: <query's detector>}.
+type Fidelity struct {
+	// Stride processes frames 0, Stride, 2·Stride, …; must be >= 1.
+	Stride int
+	// Res is the decode resolution tier.
+	Res ResTier
+	// Detector is the model-zoo detector run at this fidelity.
+	Detector string
+}
+
+// Key is the canonical fidelity name used in scan signatures, store
+// manifests and metrics labels, e.g. "s4/half/yolov5s@half".
+func (f Fidelity) Key() string {
+	return fmt.Sprintf("s%d/%s/%s", f.NormStride(), f.Res, f.Detector)
+}
+
+// NormStride returns the stride with the >=1 floor applied.
+func (f Fidelity) NormStride() int {
+	if f.Stride < 1 {
+		return 1
+	}
+	return f.Stride
+}
+
+// AlignedFrames counts the frames of [0, n) the fidelity actually
+// scans: the stride-aligned indices.
+func (f Fidelity) AlignedFrames(n int) int {
+	s := f.NormStride()
+	if n <= 0 {
+		return 0
+	}
+	return (n + s - 1) / s
+}
+
+// LastAligned returns the greatest stride-aligned index <= i, the frame
+// whose archived verdict a carry-forward replay answers frame i from.
+func (f Fidelity) LastAligned(i int) int {
+	s := f.NormStride()
+	return i - i%s
+}
+
+// FidelityTruth is the per-frame class-presence ground truth as a scan
+// at fidelity f would ideally observe it: on stride-aligned frames an
+// object counts only when its box survives the resolution tier, and the
+// verdict is carried forward across the skipped frames (the replay
+// semantics of plan.RunFidelity). Element i answers "does frame i
+// contain an object of class c, as seen through f".
+func (v *Video) FidelityTruth(f Fidelity, c Class) []bool {
+	out := make([]bool, len(v.Frames))
+	last := false
+	for i := range v.Frames {
+		if i == f.LastAligned(i) {
+			last = false
+			for _, o := range v.Frames[i].Objects {
+				if o.Class == c && VisibleAt(o.Box.Area(), f.Res) {
+					last = true
+					break
+				}
+			}
+		}
+		out[i] = last
+	}
+	return out
+}
+
+// FidelityTruthAccuracy is the analytic accuracy curve point for one
+// clip: the fraction of frames whose f-fidelity presence verdict for
+// class c agrees with the full-fidelity ground truth. This is what the
+// empirical calibration (plan.ArchiveFidelity) estimates from archived
+// detections; tests crosscheck the two.
+func (v *Video) FidelityTruthAccuracy(f Fidelity, c Class) float64 {
+	if len(v.Frames) == 0 {
+		return 1
+	}
+	fid := v.FidelityTruth(f, c)
+	agree := 0
+	for i := range v.Frames {
+		truth := false
+		for _, o := range v.Frames[i].Objects {
+			if o.Class == c {
+				truth = true
+				break
+			}
+		}
+		if truth == fid[i] {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(v.Frames))
+}

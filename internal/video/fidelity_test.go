@@ -1,0 +1,114 @@
+package video
+
+// Unit suite for the fidelity lattice primitives (DESIGN.md §12): key
+// normalization, stride arithmetic, the resolution visibility floor,
+// and the per-fidelity ground truth the empirical calibration is
+// crosschecked against.
+
+import "testing"
+
+func TestFidelityKeyAndStride(t *testing.T) {
+	f := Fidelity{Stride: 4, Res: ResHalf, Detector: "yolov5s@half"}
+	if f.Key() != "s4/half/yolov5s@half" {
+		t.Errorf("Key = %q", f.Key())
+	}
+	// Stride 0 normalizes to 1, everywhere the stride is consumed.
+	z := Fidelity{Res: ResQuarter, Detector: "d"}
+	if z.NormStride() != 1 || z.Key() != "s1/quarter/d" {
+		t.Errorf("zero stride: norm %d key %q", z.NormStride(), z.Key())
+	}
+	if got := f.AlignedFrames(10); got != 3 {
+		t.Errorf("AlignedFrames(10) at stride 4 = %d, want 3 (frames 0,4,8)", got)
+	}
+	if f.AlignedFrames(0) != 0 || f.AlignedFrames(-5) != 0 {
+		t.Error("AlignedFrames of an empty window must be 0")
+	}
+	if f.LastAligned(7) != 4 || f.LastAligned(8) != 8 || f.LastAligned(0) != 0 {
+		t.Error("LastAligned wrong")
+	}
+	for tier, name := range map[ResTier]string{ResFull: "full", ResHalf: "half", ResQuarter: "quarter"} {
+		if tier.String() != name {
+			t.Errorf("ResTier(%d).String() = %q, want %q", tier, tier.String(), name)
+		}
+	}
+	if ResTier(9).String() != "res(9)" {
+		t.Errorf("out-of-range tier string %q", ResTier(9).String())
+	}
+}
+
+func TestVisibilityFloorByTier(t *testing.T) {
+	// 12x12 balls survive only full resolution; 26x64 pedestrians
+	// vanish at quarter; vehicles survive every tier.
+	cases := []struct {
+		area                float64
+		full, half, quarter bool
+	}{
+		{144, true, false, false}, // ball
+		{1664, true, true, false}, // person
+		{6000, true, true, true},  // sedan
+	}
+	for _, tc := range cases {
+		if VisibleAt(tc.area, ResFull) != tc.full ||
+			VisibleAt(tc.area, ResHalf) != tc.half ||
+			VisibleAt(tc.area, ResQuarter) != tc.quarter {
+			t.Errorf("area %.0f visibility (%v/%v/%v) wrong", tc.area,
+				VisibleAt(tc.area, ResFull), VisibleAt(tc.area, ResHalf), VisibleAt(tc.area, ResQuarter))
+		}
+	}
+}
+
+func TestFidelityTruthCarryForward(t *testing.T) {
+	v := CityFlow(7, 8).Generate()
+	full := Fidelity{Stride: 1, Res: ResFull}
+	truth := v.FidelityTruth(full, ClassCar)
+	if len(truth) != len(v.Frames) {
+		t.Fatalf("truth length %d, want %d", len(truth), len(v.Frames))
+	}
+	// At full fidelity the truth is exact presence, so the analytic
+	// accuracy is 1.
+	if acc := v.FidelityTruthAccuracy(full, ClassCar); acc != 1 {
+		t.Errorf("full-fidelity accuracy %v, want 1", acc)
+	}
+
+	// At stride 4 every non-aligned frame repeats the verdict of its
+	// last aligned frame.
+	strided := Fidelity{Stride: 4, Res: ResFull}
+	st := v.FidelityTruth(strided, ClassCar)
+	for i := range st {
+		if st[i] != st[strided.LastAligned(i)] {
+			t.Fatalf("frame %d does not carry frame %d forward", i, strided.LastAligned(i))
+		}
+	}
+	// Coarser fidelities are never more accurate than the exact one,
+	// and accuracy stays a meaningful fraction.
+	acc := v.FidelityTruthAccuracy(strided, ClassCar)
+	if acc <= 0 || acc > 1 {
+		t.Fatalf("strided accuracy %v out of range", acc)
+	}
+
+	// The quarter tier hides pedestrians (26x64 < the 2400 floor)
+	// entirely: on a person-heavy clip the full-tier truth sees them,
+	// the quarter-tier truth never does.
+	retail := Retail(7, 8).Generate()
+	present := 0
+	for _, p := range retail.FidelityTruth(full, ClassPerson) {
+		if p {
+			present++
+		}
+	}
+	if present == 0 {
+		t.Fatal("retail clip generated no visible persons")
+	}
+	quarter := Fidelity{Stride: 1, Res: ResQuarter}
+	for i, p := range retail.FidelityTruth(quarter, ClassPerson) {
+		if p {
+			t.Fatalf("frame %d: person visible at quarter resolution", i)
+		}
+	}
+
+	// Empty clip: accuracy degenerates to 1, not NaN.
+	empty := &Video{}
+	if empty.FidelityTruthAccuracy(full, ClassCar) != 1 {
+		t.Error("empty clip accuracy should be 1")
+	}
+}

@@ -400,6 +400,88 @@ func (s *Session) WarmSearchArchive(q *Query, src FrameSource, upto int, opts ..
 	return pl.WarmSearchArchive(q, src, upto)
 }
 
+// Multi-fidelity archives and fidelity-aware planning (DESIGN.md §12):
+// a source can be archived at several points of the (frame stride ×
+// resolution tier × detector tier) lattice, and a query that declares
+// an accuracy floor is answered from the cheapest archived fidelity
+// meeting it, live-scanning only the uncovered residual.
+type (
+	// Fidelity is one scan config of the lattice.
+	Fidelity = video.Fidelity
+	// ResTier is a decode resolution tier.
+	ResTier = video.ResTier
+	// FidelityEntry is one archived fidelity in a store's manifest.
+	FidelityEntry = store.FidelityEntry
+	// FidelityCandidate is one priced way of answering a query.
+	FidelityCandidate = plan.FidelityCandidate
+	// FidelityDecision records one fidelity planning outcome.
+	FidelityDecision = plan.FidelityDecision
+	// FidelityResult is the outcome of ExecuteFidelity.
+	FidelityResult = plan.FidelityResult
+)
+
+// Resolution tiers, full to quarter.
+const (
+	ResFull    = video.ResFull
+	ResHalf    = video.ResHalf
+	ResQuarter = video.ResQuarter
+)
+
+// FidelityLattice returns the built-in scan-config lattice for a
+// query whose full-fidelity detector is fullDetector (models.
+// FidelityLattice): full fidelity first, then progressively cheaper
+// stride/resolution/detector tiers.
+var FidelityLattice = models.FidelityLattice
+
+// WithMinAccuracy declares the query's accuracy floor for fidelity-
+// aware planning: ExecuteFidelity may answer from any archived
+// fidelity whose calibrated effective accuracy is at least a. Leaving
+// it unset (or setting 1) demands exact answers, which only the live
+// full-fidelity path provides — fidelity serving is opt-in per query.
+func WithMinAccuracy(a float64) Option {
+	return func(c *config) { c.planOpts.MinAccuracy = a }
+}
+
+// ArchiveFidelity scans frames [0, upto) of src at fidelity fid
+// (stride-aligned frames only), archives the tier's records under a
+// fidelity-decorated scan signature, calibrates the tier's accuracy
+// against ground truth and records it in the store's fidelity
+// manifest. upto <= 0 archives the whole source; re-archiving is
+// idempotent. Requires WithStore.
+func (s *Session) ArchiveFidelity(q *Query, src FrameSource, fid Fidelity, upto int, opts ...Option) (FidelityEntry, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return FidelityEntry{}, err
+	}
+	return pl.ArchiveFidelity(q, src, fid, upto)
+}
+
+// PlanFidelity prices every way of answering q over [0, frames) — the
+// live full-fidelity scan plus each readable archived fidelity — and
+// returns the decision without executing it. Requires WithStore.
+func (s *Session) PlanFidelity(q *Query, src FrameSource, frames int, opts ...Option) (*FidelityDecision, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	d, _, err := pl.PlanFidelity(q, src, frames)
+	return d, err
+}
+
+// ExecuteFidelity answers q over frames [0, frames) under the accuracy
+// floor declared with WithMinAccuracy: the planner picks the cheapest
+// archived fidelity meeting the floor (falling back live past
+// unreadable tiers) and replays it, scanning only the uncovered
+// residual at full fidelity. frames <= 0 means the whole source.
+// Requires WithStore.
+func (s *Session) ExecuteFidelity(q *Query, src FrameSource, frames int, opts ...Option) (*FidelityResult, error) {
+	pl, _, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunFidelity(q, src, frames)
+}
+
 // Deterministic fault injection (internal/fault, DESIGN.md §9): a
 // FaultSchedule of FaultRules drives a seeded FaultInjector installed
 // with Session.SetFaults and wired into a store via
