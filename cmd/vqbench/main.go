@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|edge|multi|muxscan|churn|rescan|fleet|chaos|search|fidelity|dag]
+//	vqbench [-exp all|fig13a|fig13b|fig14|fig15|fig16|table5|table6|table7|memo|planner|batch|lazy|edge|multi|muxscan|churn|rescan|fleet|chaos|search|fidelity|text|dag]
 //	        [-seed N] [-scale F] [-parallel N] [-burn] [-csv] [-json FILE]
 //	vqbench -check bench_baselines.json
 //
@@ -40,7 +40,11 @@
 // every reduced tier of the fidelity lattice and answers an accuracy-
 // budgeted query from the cheapest satisfying tier (E22) — at least 5x
 // cheaper than the live scan within the declared accuracy floor, with
-// strict queries still answered live and bit-identically.
+// strict queries still answered live and bit-identically; text drives
+// the language frontend and the lazy open-vocabulary verifier (E23) —
+// every golden sentence compiles bit-identical to its hand-built plan,
+// and the verifier runs on under 10% of frames with verdicts identical
+// to the ask-on-every-frame baseline.
 // -json writes every selected report as a JSON array to FILE in
 // addition to the normal output.
 //
@@ -103,6 +107,7 @@ var experiments = []experiment{
 	{name: "chaos", run: bench.RunChaos, artifact: "BENCH_6.json"},
 	{name: "search", run: bench.RunSearch, artifact: "BENCH_7.json"},
 	{name: "fidelity", run: bench.RunFidelity, artifact: "BENCH_8.json"},
+	{name: "text", run: bench.RunText, artifact: "BENCH_9.json"},
 	{name: "dag", text: bench.ExplainSuspectDAG},
 }
 

@@ -135,7 +135,7 @@ func TestRepoBaselinesConsistent(t *testing.T) {
 
 	cfg := Config{Seed: 11, Scale: 0.2}
 	emitted := map[string]bool{}
-	for _, run := range []func(Config) (*metrics.Report, error){RunMultiQuery, RunMuxScan, RunChurn, RunRescan, RunFleet, RunChaos, RunSearch, RunFidelity} {
+	for _, run := range []func(Config) (*metrics.Report, error){RunMultiQuery, RunMuxScan, RunChurn, RunRescan, RunFleet, RunChaos, RunSearch, RunFidelity, RunText} {
 		rep, err := run(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,40 @@
+package exec
+
+import "vqpy/internal/video"
+
+// VerifyFunc answers an open-vocabulary question about one frame — the
+// executor-side view of a models.ConceptModel call with its question
+// already bound.
+type VerifyFunc func(f *video.Frame) bool
+
+// RunVerify applies the final verification stage of a text query over a
+// cascade's per-frame verdicts: the query holds on a frame iff the
+// cheap cascade matched it AND the verifier confirms it. Frames the
+// cascade already ruled out are decided — under the conjunction they
+// are false whatever the verifier would say — so the lazy mode (eager
+// false) consults the verifier only on cascade-matched frames. Eager
+// mode asks on every frame, the on-every-frame baseline the lazy
+// cascade must agree with: the verifier is deterministic per frame and
+// question, so wherever both modes ask they get the same answer, and
+// the final verdicts are identical by construction. Returns the final
+// verdicts and the number of verifier invocations.
+func RunVerify(base []bool, frames []video.Frame, eager bool, ask VerifyFunc) ([]bool, int) {
+	final := make([]bool, len(base))
+	calls := 0
+	for i, matched := range base {
+		if i >= len(frames) {
+			break
+		}
+		if eager {
+			ans := ask(&frames[i])
+			calls++
+			final[i] = matched && ans
+			continue
+		}
+		if matched {
+			final[i] = ask(&frames[i])
+			calls++
+		}
+	}
+	return final, calls
+}

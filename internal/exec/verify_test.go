@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"testing"
+
+	"vqpy/internal/video"
+)
+
+func TestRunVerifyLazyAsksOnlyUndecided(t *testing.T) {
+	frames := make([]video.Frame, 6)
+	for i := range frames {
+		frames[i] = video.Frame{Index: i}
+	}
+	base := []bool{true, false, true, false, false, true}
+	asked := []int(nil)
+	ask := func(f *video.Frame) bool {
+		asked = append(asked, f.Index)
+		return f.Index != 2
+	}
+
+	final, calls := RunVerify(base, frames, false, ask)
+	if calls != 3 || len(asked) != 3 {
+		t.Fatalf("lazy run asked %d times (%v), want 3", calls, asked)
+	}
+	for _, idx := range asked {
+		if !base[idx] {
+			t.Errorf("lazy run asked about decided frame %d", idx)
+		}
+	}
+	want := []bool{true, false, false, false, false, true}
+	for i := range want {
+		if final[i] != want[i] {
+			t.Errorf("frame %d: verdict %v, want %v", i, final[i], want[i])
+		}
+	}
+}
+
+func TestRunVerifyEagerParity(t *testing.T) {
+	frames := make([]video.Frame, 8)
+	for i := range frames {
+		frames[i] = video.Frame{Index: i}
+	}
+	base := []bool{true, false, true, true, false, false, true, false}
+	// Any deterministic per-frame answer: parity must hold regardless.
+	ask := func(f *video.Frame) bool { return f.Index%3 != 0 }
+
+	lazy, lazyCalls := RunVerify(base, frames, false, ask)
+	eager, eagerCalls := RunVerify(base, frames, true, ask)
+	if eagerCalls != len(frames) {
+		t.Errorf("eager calls = %d, want every frame (%d)", eagerCalls, len(frames))
+	}
+	if lazyCalls >= eagerCalls {
+		t.Errorf("lazy calls %d not below eager %d", lazyCalls, eagerCalls)
+	}
+	for i := range lazy {
+		if lazy[i] != eager[i] {
+			t.Errorf("frame %d: lazy %v vs eager %v", i, lazy[i], eager[i])
+		}
+	}
+}
+
+func TestRunVerifyShortBaseAndFrames(t *testing.T) {
+	frames := []video.Frame{{Index: 0}, {Index: 1}}
+	// More verdicts than frames: the excess is ignored, not panicked on.
+	final, calls := RunVerify([]bool{true, true, true, true}, frames, false, func(*video.Frame) bool { return true })
+	if calls != 2 || len(final) != 4 {
+		t.Errorf("calls = %d, len = %d; want 2 calls over 4 verdicts", calls, len(final))
+	}
+	if final[2] || final[3] {
+		t.Error("verdicts past the frame range should stay false")
+	}
+}

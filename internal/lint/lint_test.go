@@ -108,6 +108,7 @@ func repoDocPaths(t *testing.T) []string {
 		filepath.Join(root, "vqpy.go"),
 		filepath.Join(root, "library.go"),
 		filepath.Join(root, "fleet.go"),
+		filepath.Join(root, "text.go"),
 		filepath.Join(root, "internal/plan"),
 		filepath.Join(root, "internal/exec"),
 		filepath.Join(root, "internal/serve"),
@@ -120,6 +121,7 @@ func repoDocPaths(t *testing.T) []string {
 		filepath.Join(root, "internal/metrics"),
 		filepath.Join(root, "internal/models"),
 		filepath.Join(root, "internal/bench"),
+		filepath.Join(root, "internal/vql"),
 	}
 }
 

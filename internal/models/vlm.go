@@ -1,0 +1,149 @@
+package models
+
+// Simulated open-vocabulary VLM verifier (DESIGN.md §13): the model the
+// text-query frontend (internal/vql) appends as a final verification
+// stage. Like the clip-level MLLM of internal/mllm it answers yes/no
+// questions through a calibrated sensitivity/specificity channel instead
+// of emitting detections, but it is frame-scoped and concept-keyed: a
+// question asks whether any object of a class satisfies a conjunction of
+// open-vocabulary concepts on one frame, and ground truth is evaluated
+// against the scenario's per-object state (speed, crosswalk overlap,
+// interaction flags) and scene context (night). Each call charges a
+// large virtual cost — two orders of magnitude above a binary filter —
+// which is exactly why the planner invokes it lazily, only on frames the
+// cheap cascade could not already rule out.
+
+import (
+	"sort"
+	"strings"
+
+	"vqpy/internal/sim"
+	"vqpy/internal/video"
+)
+
+// VLMModelName is the registry name of the builtin open-vocabulary
+// verifier.
+const VLMModelName = "vlm_verify"
+
+// vlmStoppedSpeed is the ground-truth speed floor (pixels per frame)
+// separating the "stopped" and "moving" concepts.
+const vlmStoppedSpeed = 1.0
+
+// ConceptModel answers open-vocabulary yes/no questions about a frame —
+// the verification-stage contract the lazy cascade calls through.
+type ConceptModel interface {
+	// Name returns the model's registry name.
+	Name() string
+	// AnswerConcept reports whether the frame contains an object of the
+	// class satisfying every listed concept, through the model's
+	// calibrated noise channel. class ClassUnknown matches any class.
+	AnswerConcept(env *Env, f *video.Frame, class video.Class, concepts []string) bool
+}
+
+// conceptTruth evaluates one concept against an object's ground truth
+// and the frame's scene context.
+type conceptTruth func(o *video.Object, sc *video.Scene) bool
+
+// conceptTable is the open-vocabulary concept catalogue the simulated
+// VLM understands, keyed by normalized concept phrase. internal/vql
+// validates parsed concept clauses against it via KnownConcept.
+var conceptTable = map[string]conceptTruth{
+	"stopped":      func(o *video.Object, _ *video.Scene) bool { return o.Speed < vlmStoppedSpeed },
+	"moving":       func(o *video.Object, _ *video.Scene) bool { return o.Speed >= vlmStoppedSpeed },
+	"walking":      func(o *video.Object, _ *video.Scene) bool { return o.Walking },
+	"on crosswalk": func(o *video.Object, _ *video.Scene) bool { return o.OnCrosswalk },
+	"at night":     func(_ *video.Object, sc *video.Scene) bool { return sc != nil && sc.Night },
+	"with ball":    func(o *video.Object, _ *video.Scene) bool { return o.HasBall },
+	"hitting ball": func(o *video.Object, _ *video.Scene) bool { return o.HittingBall },
+	"entering car": func(o *video.Object, _ *video.Scene) bool { return o.EnteringCar },
+	"suspicious":   func(o *video.Object, _ *video.Scene) bool { return o.Suspect },
+}
+
+// KnownConcept reports whether the builtin VLM understands a normalized
+// concept phrase.
+func KnownConcept(key string) bool {
+	_, ok := conceptTable[key]
+	return ok
+}
+
+// ConceptKeys lists the concept phrases the builtin VLM understands,
+// sorted.
+func ConceptKeys() []string {
+	out := make([]string, 0, len(conceptTable))
+	for k := range conceptTable {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SimVLM is the simulated open-vocabulary verifier: frame-level
+// ground truth through a sensitivity/specificity channel, at a per-call
+// cost high enough that invoking it on every frame dominates a scan.
+type SimVLM struct {
+	// P carries the name and per-call virtual cost.
+	P Profile
+	// Sensitivity is P(yes | truth); Specificity is P(no | !truth).
+	Sensitivity float64
+	Specificity float64
+}
+
+// vlmProfile prices the verifier: one call costs more than ten yolox
+// frames, the calibration that makes eager VLM-on-every-frame untenable
+// and the lazy cascade worthwhile.
+var vlmProfile = Profile{Name: VLMModelName, Task: TaskBinary, CostMS: 320}
+
+// NewVLM returns the builtin open-vocabulary verifier.
+func NewVLM() *SimVLM {
+	return &SimVLM{P: vlmProfile, Sensitivity: 0.93, Specificity: 0.95}
+}
+
+// Name implements ConceptModel.
+func (m *SimVLM) Name() string { return m.P.Name }
+
+// ConceptQuestion renders the canonical question string for a
+// class/concept conjunction — the rng key, so every caller asking the
+// same question of the same frame gets the same answer.
+func ConceptQuestion(class video.Class, concepts []string) string {
+	return class.String() + ":" + strings.Join(concepts, "+")
+}
+
+// AnswerConcept implements ConceptModel. The answer is a pure function
+// of (seed, model, frame index, question): the lazy cascade and the
+// eager every-frame baseline see identical answers wherever both ask.
+func (m *SimVLM) AnswerConcept(env *Env, f *video.Frame, class video.Class, concepts []string) bool {
+	env.charge(m.P.Name, m.P.CostMS)
+	truth := conceptFrameTruth(f, class, concepts)
+	q := ConceptQuestion(class, concepts)
+	rng := sim.NewRNG(hash(env.Seed, strHash(m.P.Name), uint64(f.Index), strHash(q)))
+	if truth {
+		return rng.Bool(m.Sensitivity)
+	}
+	return !rng.Bool(m.Specificity)
+}
+
+// conceptFrameTruth is the frame-level ground truth behind a question:
+// does any object of the class satisfy every concept. Unknown concepts
+// are conservatively false (the frontend validates against the table,
+// so they never reach execution).
+func conceptFrameTruth(f *video.Frame, class video.Class, concepts []string) bool {
+	sc := f.Scene()
+	for i := range f.Objects {
+		o := &f.Objects[i]
+		if class != video.ClassUnknown && o.Class != class {
+			continue
+		}
+		all := true
+		for _, c := range concepts {
+			fn, ok := conceptTable[c]
+			if !ok || !fn(o, sc) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

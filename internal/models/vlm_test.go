@@ -1,0 +1,119 @@
+package models
+
+import (
+	"testing"
+
+	"vqpy/internal/geom"
+	"vqpy/internal/video"
+)
+
+// vlmFrame builds a one-object frame for verifier tests.
+func vlmFrame(idx int, o video.Object) *video.Frame {
+	return &video.Frame{Index: idx, W: 640, H: 360, Objects: []video.Object{o}}
+}
+
+func TestVLMDeterministicPerFrameAndQuestion(t *testing.T) {
+	env := NewEnv(7)
+	env.NoBurn = true
+	m := NewVLM()
+	o := video.Object{Class: video.ClassCar, Box: geom.Rect(10, 10, 40, 30), Speed: 0.2}
+
+	for idx := 0; idx < 50; idx++ {
+		f := vlmFrame(idx, o)
+		a := m.AnswerConcept(env, f, video.ClassCar, []string{"stopped"})
+		b := m.AnswerConcept(env, f, video.ClassCar, []string{"stopped"})
+		if a != b {
+			t.Fatalf("frame %d: verifier answered %v then %v for the same question", idx, a, b)
+		}
+		// A fresh env with the same seed answers identically: the answer
+		// is a function of (seed, frame, question), not call history.
+		env2 := NewEnv(7)
+		env2.NoBurn = true
+		if c := m.AnswerConcept(env2, f, video.ClassCar, []string{"stopped"}); c != a {
+			t.Fatalf("frame %d: answer changed across sessions (%v vs %v)", idx, a, c)
+		}
+	}
+}
+
+func TestVLMCalibratedAccuracy(t *testing.T) {
+	env := NewEnv(99)
+	env.NoBurn = true
+	m := NewVLM()
+	stopped := video.Object{Class: video.ClassCar, Box: geom.Rect(0, 0, 20, 20), Speed: 0.1}
+	moving := video.Object{Class: video.ClassCar, Box: geom.Rect(0, 0, 20, 20), Speed: 8}
+
+	const n = 2000
+	tp, tn := 0, 0
+	for i := 0; i < n; i++ {
+		if m.AnswerConcept(env, vlmFrame(i, stopped), video.ClassCar, []string{"stopped"}) {
+			tp++
+		}
+		if !m.AnswerConcept(env, vlmFrame(n+i, moving), video.ClassCar, []string{"stopped"}) {
+			tn++
+		}
+	}
+	sens, spec := float64(tp)/n, float64(tn)/n
+	if sens < m.Sensitivity-0.03 || sens > m.Sensitivity+0.03 {
+		t.Errorf("measured sensitivity %.3f, want ~%.2f", sens, m.Sensitivity)
+	}
+	if spec < m.Specificity-0.03 || spec > m.Specificity+0.03 {
+		t.Errorf("measured specificity %.3f, want ~%.2f", spec, m.Specificity)
+	}
+}
+
+func TestVLMChargesHighCost(t *testing.T) {
+	env := NewEnv(3)
+	env.NoBurn = true
+	m := NewVLM()
+	before := env.Clock.TotalMS()
+	m.AnswerConcept(env, vlmFrame(0, video.Object{Class: video.ClassCar}), video.ClassCar, []string{"stopped"})
+	if got := env.Clock.TotalMS() - before; got != m.P.CostMS {
+		t.Errorf("one verifier call charged %.1f virtual ms, want %.1f", got, m.P.CostMS)
+	}
+}
+
+func TestVLMConceptTruthSemantics(t *testing.T) {
+	// The conjunction binds all concepts to ONE object of the class.
+	walker := video.Object{Class: video.ClassPerson, Walking: true}
+	carrier := video.Object{Class: video.ClassPerson, HasBall: true}
+	both := video.Object{Class: video.ClassPerson, Walking: true, HasBall: true}
+
+	f := &video.Frame{Index: 1, Objects: []video.Object{walker, carrier}}
+	if conceptFrameTruth(f, video.ClassPerson, []string{"walking", "with ball"}) {
+		t.Error("split concepts across two objects counted as true")
+	}
+	f = &video.Frame{Index: 1, Objects: []video.Object{both}}
+	if !conceptFrameTruth(f, video.ClassPerson, []string{"walking", "with ball"}) {
+		t.Error("one object satisfying the conjunction counted as false")
+	}
+	// Class binding: a walking person is not a walking car.
+	if conceptFrameTruth(f, video.ClassCar, []string{"walking"}) {
+		t.Error("concept matched outside the bound class")
+	}
+}
+
+func TestVLMRegisteredInBuiltinZoo(t *testing.T) {
+	r := BuiltinRegistry()
+	m, ok := r.Get(VLMModelName)
+	if !ok {
+		t.Fatalf("%s is not in the builtin registry", VLMModelName)
+	}
+	if _, ok := m.(ConceptModel); !ok {
+		t.Fatalf("%s is not a ConceptModel", VLMModelName)
+	}
+}
+
+func TestConceptKeysKnown(t *testing.T) {
+	keys := ConceptKeys()
+	if len(keys) == 0 {
+		t.Fatal("no concept keys")
+	}
+	for _, k := range keys {
+		if !KnownConcept(k) {
+			t.Errorf("listed concept %q is not known", k)
+		}
+	}
+	if KnownConcept("levitating") {
+		t.Error("unknown concept accepted")
+	}
+}

@@ -497,6 +497,10 @@ func BuiltinRegistry() *Registry {
 	for _, p := range builtinProfiles {
 		r.Register(p.Name, NewFromProfile(p))
 	}
+	// The open-vocabulary verifier is registered outside the profile
+	// loop: its concept-question contract (ConceptModel) is not one of
+	// the task shapes NewFromProfile constructs.
+	r.Register(VLMModelName, NewVLM())
 	return r
 }
 

@@ -35,13 +35,15 @@ import (
 // IRKind discriminates QueryIR nodes.
 type IRKind int
 
-// QueryIR node kinds: a basic pipeline leaf, an event combinator, or an
-// index-probe leaf (archive search).
+// QueryIR node kinds: a basic pipeline leaf, an event combinator, an
+// index-probe leaf (archive search), or a lazy verification stage (text
+// queries).
 const (
 	IRBasic IRKind = iota
 	IRDuration
 	IRTemporal
 	IRIndexProbe
+	IRVerify
 )
 
 // ProbeIR is the compiled form of an archive search: probe the
@@ -66,6 +68,28 @@ type ProbeIR struct {
 	Verify *BasicIR
 }
 
+// VerifyIR is the compiled form of a text query's open-vocabulary
+// remainder (DESIGN.md §13): the concept conjunction the cheap cascade
+// cannot decide, answered by the named ConceptModel. The wrapped basic
+// pipeline's verdicts are the stage's input; under the conjunction a
+// frame the cascade ruled out is decided (false) without consulting the
+// model, which is the undecided-frame semantics that makes lazy
+// invocation exact — only cascade-matched frames are undecided.
+// Execution lives in RunText / exec.RunVerify; the eager every-frame
+// mode exists purely as the parity baseline.
+type VerifyIR struct {
+	// Model names the registered ConceptModel (models.VLMModelName by
+	// default).
+	Model string
+	// Class is the object class the question binds; Concepts the
+	// normalized concept conjunction.
+	Class    video.Class
+	Concepts []string
+	// Basic is the cheap-cascade pipeline whose verdicts gate the
+	// model (also reachable as the node's only child).
+	Basic *BasicIR
+}
+
 // BasicIR is the compiled logical pipeline of one basic (or merged
 // spatial) query: the validated logical query plus the physical plan the
 // optimizer selected for it. The plan's step list is the linearized
@@ -87,6 +111,9 @@ type QueryIR struct {
 
 	// Probe is set for IRIndexProbe leaves.
 	Probe *ProbeIR
+
+	// Verify is set for IRVerify nodes (compiled text queries).
+	Verify *VerifyIR
 
 	// MinSeconds (IRDuration) / WindowSeconds (IRTemporal) carry the
 	// combinator parameters.

@@ -1,0 +1,134 @@
+package plan
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/video"
+)
+
+func textTestSpec(concepts []string, minSeconds float64) TextSpec {
+	q := core.NewQuery("Text(red car stopped)").
+		Use("car", carType()).
+		Where(core.And(
+			core.P("car", core.PropScore).Gt(0.5),
+			core.P("car", "color").Eq("red"),
+		))
+	return TextSpec{Query: q, Class: video.ClassCar, Concepts: concepts, MinSeconds: minSeconds}
+}
+
+func TestCompileTextIRShape(t *testing.T) {
+	pl := testPlanner(t, nil)
+	v := video.CityFlow(42, 6).Generate()
+
+	// Concepts + duration: duration(verify(basic)).
+	ir, err := pl.CompileTextIR(textTestSpec([]string{"stopped"}, 2), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Kind != IRDuration || len(ir.Children) != 1 {
+		t.Fatalf("root = %v with %d children, want duration combinator", ir.Kind, len(ir.Children))
+	}
+	vn := ir.Children[0]
+	if vn.Kind != IRVerify || vn.Verify == nil {
+		t.Fatalf("duration child = %v, want verify stage", vn.Kind)
+	}
+	if vn.Verify.Model == "" || vn.Verify.Class != video.ClassCar || !slices.Equal(vn.Verify.Concepts, []string{"stopped"}) {
+		t.Errorf("verify node = %+v", vn.Verify)
+	}
+	if len(vn.Children) != 1 || vn.Children[0].Kind != IRBasic {
+		t.Fatalf("verify child is not the basic leaf")
+	}
+	if leaves := ir.Leaves(nil); len(leaves) != 1 || leaves[0].Plan == nil {
+		t.Fatalf("verify wrapping broke Leaves: %d", len(leaves))
+	}
+
+	// No concepts: a plain basic pipeline, no verify node.
+	ir, err = pl.CompileTextIR(textTestSpec(nil, 0), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Kind != IRBasic {
+		t.Errorf("concept-free spec compiled to %v, want basic", ir.Kind)
+	}
+
+	if _, err := pl.CompileTextIR(TextSpec{}, v); err == nil {
+		t.Error("empty spec compiled")
+	}
+}
+
+func TestRunTextLazyVsEager(t *testing.T) {
+	v := video.CityFlow(42, 8).Generate()
+	spec := textTestSpec([]string{"stopped"}, 0)
+
+	lazy, err := testPlanner(t, nil).RunText(spec, v, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := testPlanner(t, nil).RunText(spec, v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if lazy.Frames != len(v.Frames) || eager.Frames != len(v.Frames) {
+		t.Fatalf("processed %d/%d frames, want %d", lazy.Frames, eager.Frames, len(v.Frames))
+	}
+	if lazy.VLMCalls != lazy.CascadeMatched {
+		t.Errorf("lazy calls %d != undecided %d", lazy.VLMCalls, lazy.CascadeMatched)
+	}
+	if eager.VLMCalls != eager.Frames {
+		t.Errorf("eager calls %d != frames %d", eager.VLMCalls, eager.Frames)
+	}
+	if !slices.Equal(lazy.Matched, eager.Matched) {
+		t.Error("lazy and eager verdicts diverged")
+	}
+	if eager.VirtualMS <= lazy.VirtualMS {
+		t.Errorf("eager cost %.1f not above lazy %.1f", eager.VirtualMS, lazy.VirtualMS)
+	}
+	// The final verdicts are a strict subset of the cascade's matches.
+	if lazy.MatchedCount() > lazy.CascadeMatched {
+		t.Errorf("verified matches %d exceed cascade matches %d", lazy.MatchedCount(), lazy.CascadeMatched)
+	}
+	for _, h := range lazy.Hits {
+		if !lazy.Matched[h.FrameIdx] {
+			t.Errorf("hit on unmatched frame %d", h.FrameIdx)
+		}
+	}
+}
+
+func TestRunTextDurationFold(t *testing.T) {
+	v := video.CityFlow(42, 8).Generate()
+	plain, err := testPlanner(t, nil).RunText(textTestSpec([]string{"stopped"}, 0), v, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := testPlanner(t, nil).RunText(textTestSpec([]string{"stopped"}, 1.5), v, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.MatchedCount() > plain.MatchedCount() {
+		t.Errorf("duration fold grew matches: %d > %d", held.MatchedCount(), plain.MatchedCount())
+	}
+	minFrames := int(1.5 * float64(v.FPS))
+	for _, e := range held.Events {
+		if e.Frames() < minFrames {
+			t.Errorf("event %+v shorter than %d frames", e, minFrames)
+		}
+	}
+}
+
+func TestRunTextVerifierErrors(t *testing.T) {
+	v := video.CityFlow(42, 4).Generate()
+	spec := textTestSpec([]string{"stopped"}, 0)
+
+	spec.Model = "no_such_model"
+	if _, err := testPlanner(t, nil).RunText(spec, v, false); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Errorf("unregistered verifier: err = %v", err)
+	}
+	spec.Model = "yolox" // registered, but not a ConceptModel
+	if _, err := testPlanner(t, nil).RunText(spec, v, false); err == nil || !strings.Contains(err.Error(), "ConceptModel") {
+		t.Errorf("non-concept verifier: err = %v", err)
+	}
+}

@@ -10,6 +10,9 @@ package serve
 //	                             (+"mode":"fidelity" [+"accuracy"] for a synchronous
 //	                             accuracy-budgeted query answered from the cheapest
 //	                             archived fidelity tier meeting the floor; requires -store)
+//	                             (+"mode":"text" with "text" [+"eager"] for a synchronous
+//	                             language query — the cheap cascade decides most frames
+//	                             and the open-vocabulary verifier answers the rest)
 //	DELETE /queries/{id}         → final result JSON
 //	GET    /queries/{id}/results → live result snapshot JSON
 //	                             (?since=F restricts hits to frames >= F — delta polling)
@@ -41,35 +44,106 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"vqpy"
 
 	"vqpy/internal/metrics"
 )
 
-// attachRequest is the POST /queries body. Backfill asks for the
-// store-replayed attach: results cover the frames scanned before the
-// query arrived (requires the daemon's -store). Mode "search" switches
-// the request to a synchronous archive search (requires -store and
-// -index): no lane attaches, the reply is the search summary, and
-// track/threshold/topk tune the appearance predicate. Mode "fidelity"
-// switches it to a synchronous accuracy-budgeted query (requires
-// -store): accuracy declares the floor the answer must meet, and the
-// reply is the fidelity summary with the chosen tier.
-type attachRequest struct {
+// queryEnvelope is the mode-independent part of every POST /queries
+// body: the mode selects the entry in the queryModes registry, and the
+// tenant (when the X-Tenant header is absent) names who to charge. The
+// rest of the flat JSON body is decoded by the selected mode's own
+// request struct, so existing bodies keep their exact shape.
+type queryEnvelope struct {
+	Mode   string `json:"mode,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// attachModeRequest is the default POST /queries body (mode "" or
+// "attach"): attach a catalogue query to a source's lane. Backfill asks
+// for the store-replayed attach: results cover the frames scanned
+// before the query arrived (requires the daemon's -store).
+type attachModeRequest struct {
 	Source   string `json:"source"`
 	Query    string `json:"query"`
-	Tenant   string `json:"tenant,omitempty"`
 	Backfill bool   `json:"backfill,omitempty"`
+}
 
-	Mode      string  `json:"mode,omitempty"`
+// searchModeRequest is the "mode":"search" body: a synchronous archive
+// search (requires -store and -index). No lane attaches, the reply is
+// the search summary, and track/threshold/topk tune the appearance
+// predicate.
+type searchModeRequest struct {
+	Source    string  `json:"source"`
+	Query     string  `json:"query"`
 	Track     *int    `json:"track,omitempty"`
 	Threshold float64 `json:"threshold,omitempty"`
 	TopK      int     `json:"topk,omitempty"`
-	Accuracy  float64 `json:"accuracy,omitempty"`
+}
+
+// fidelityModeRequest is the "mode":"fidelity" body: a synchronous
+// accuracy-budgeted query (requires -store). Accuracy declares the
+// floor the answer must meet, and the reply is the fidelity summary
+// with the chosen tier.
+type fidelityModeRequest struct {
+	Source   string  `json:"source"`
+	Query    string  `json:"query"`
+	Accuracy float64 `json:"accuracy,omitempty"`
+}
+
+// textModeRequest is the "mode":"text" body: a synchronous language
+// query over the source's fed frames. Eager asks the open-vocabulary
+// verifier on every frame instead of lazily (the parity baseline).
+type textModeRequest struct {
+	Source string `json:"source"`
+	Text   string `json:"text"`
+	Eager  bool   `json:"eager,omitempty"`
+}
+
+// queryMode is one entry in the POST /queries mode registry: the wire
+// value of the "mode" field and the handler that decodes the mode's
+// typed request from the raw body and answers it. The tenant reaching
+// handle is already resolved and charged by TenantGate.
+type queryMode struct {
+	name   string
+	handle func(s *Server, w http.ResponseWriter, tenant string, body []byte)
+}
+
+// queryModes is the mode registry POST /queries dispatches through,
+// mirroring vqbench's experiments table: one row per mode, each with
+// its own typed request struct. An empty mode selects "attach", and
+// the unknown-mode error lists exactly these names.
+var queryModes = []queryMode{
+	{name: "attach", handle: (*Server).modeAttach},
+	{name: "search", handle: (*Server).modeSearch},
+	{name: "fidelity", handle: (*Server).modeFidelity},
+	{name: "text", handle: (*Server).modeText},
+}
+
+// findQueryMode resolves a wire mode name against the registry; "" is
+// the attach default. The error for unknown names is derived from the
+// registry so the list can never drift from the dispatch table.
+func findQueryMode(name string) (queryMode, error) {
+	if name == "" {
+		name = "attach"
+	}
+	for _, m := range queryModes {
+		if m.name == name {
+			return m, nil
+		}
+	}
+	quoted := make([]string, len(queryModes))
+	for i, m := range queryModes {
+		quoted[i] = strconv.Quote(m.name)
+	}
+	want := strings.Join(quoted[:len(quoted)-1], ", ") + " or " + quoted[len(quoted)-1]
+	return queryMode{}, errors.New("serve: unknown mode " + strconv.Quote(name) + " (want " + want + ")")
 }
 
 // attachResponse is the POST /queries reply.
@@ -170,42 +244,37 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// handleAttach is POST /queries: decode the mode-independent envelope,
+// charge the tenant, then dispatch through the mode registry. Every
+// mode re-decodes its own typed request from the same flat body.
 func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
-	var req attachRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
 		return
 	}
-	tenant := requestTenant(r, req.Tenant)
+	var env queryEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	tenant := requestTenant(r, env.Tenant)
 	if err := s.TenantGate(tenant); err != nil {
 		writeErr(w, err)
 		return
 	}
-	switch req.Mode {
-	case "", "attach":
-	case "search":
-		sum, err := s.Search(SearchRequest{
-			Source: req.Source, Query: req.Query,
-			Track: req.Track, Threshold: req.Threshold, TopK: req.TopK,
-		})
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, sum)
+	mode, err := findQueryMode(env.Mode)
+	if err != nil {
+		writeErr(w, err)
 		return
-	case "fidelity":
-		sum, err := s.FidelityQuery(FidelityRequest{
-			Source: req.Source, Query: req.Query, Accuracy: req.Accuracy,
-		})
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, sum)
-		return
-	default:
-		writeErr(w, errors.New("serve: unknown mode "+strconv.Quote(req.Mode)+" (want \"attach\", \"search\" or \"fidelity\")"))
+	}
+	mode.handle(s, w, tenant, body)
+}
+
+func (s *Server) modeAttach(w http.ResponseWriter, tenant string, body []byte) {
+	var req attachModeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
 		return
 	}
 	id, err := s.AttachNamedAs(tenant, req.Source, req.Query, req.Backfill)
@@ -214,6 +283,53 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, attachResponse{ID: id, Source: req.Source, Query: req.Query, Tenant: tenant, Backfill: req.Backfill})
+}
+
+func (s *Server) modeSearch(w http.ResponseWriter, _ string, body []byte) {
+	var req searchModeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	sum, err := s.Search(SearchRequest{
+		Source: req.Source, Query: req.Query,
+		Track: req.Track, Threshold: req.Threshold, TopK: req.TopK,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) modeFidelity(w http.ResponseWriter, _ string, body []byte) {
+	var req fidelityModeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	sum, err := s.FidelityQuery(FidelityRequest{
+		Source: req.Source, Query: req.Query, Accuracy: req.Accuracy,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) modeText(w http.ResponseWriter, _ string, body []byte) {
+	var req textModeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, errors.New("serve: bad request body: "+err.Error()))
+		return
+	}
+	sum, err := s.TextQuery(TextRequest{Source: req.Source, Text: req.Text, Eager: req.Eager})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
 }
 
 func queryID(r *http.Request) (int, error) {

@@ -1,0 +1,435 @@
+// Package vql is the natural-language query frontend (DESIGN.md §13): a
+// lexer and recursive-descent parser for a constrained English query
+// language ("red car stopped near crosswalk for 5 seconds", "person
+// walking at night") that compiles into the same logical query
+// representation every other frontend produces — a core.Query carrying
+// the closed-vocabulary constraints (class, color, kind, speed) the
+// detector/filter cascade can answer cheaply, plus the open-vocabulary
+// concept conjunction only the simulated VLM verifier can decide. The
+// planner (plan.CompileTextIR) appends that verifier as a lazy final
+// stage: it is consulted only on frames the cheap cascade matched.
+//
+// The lexer and error conventions mirror internal/sqlbase: tokens carry
+// byte positions into the input, and every parse error reports one
+// ("vql: ... at %d"), so tooling can point at the offending word.
+package vql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vqpy/internal/core"
+	"vqpy/internal/models"
+	"vqpy/internal/video"
+)
+
+// DefaultScoreFloor is the detector-confidence floor every compiled
+// text query applies to its instance — text queries have no syntax for
+// tuning it, so one documented constant keeps parsed and hand-built
+// plans comparable.
+const DefaultScoreFloor = 0.5
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokNumber
+	tokEOF
+)
+
+// token is one lexeme with its byte position in the input.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into lowercased word and number tokens. Anything
+// but letters, digits and whitespace is an error carrying its position.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := i
+			for i < n && (input[i] >= 'a' && input[i] <= 'z' || input[i] >= 'A' && input[i] <= 'Z') {
+				i++
+			}
+			toks = append(toks, token{kind: tokWord, text: strings.ToLower(input[start:i]), pos: start})
+		default:
+			return nil, fmt.Errorf("vql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// noiseWords are skipped everywhere: they carry no meaning in the
+// constrained grammar.
+var noiseWords = map[string]bool{
+	"a": true, "an": true, "the": true, "is": true, "are": true,
+	"that": true, "which": true, "and": true, "seen": true,
+}
+
+// classAliases maps surface class words to the canonical catalog word.
+var classAliases = map[string]string{
+	"people": "person",
+	"cars":   "car",
+	"trucks": "truck",
+	"buses":  "bus",
+	"balls":  "ball",
+}
+
+// vehicleKinds are the fine-grained kind words accepted before the
+// class word ("suv car"). "bus" and "truck" are class words, not kinds.
+var vehicleKinds = map[string]video.VehicleKind{
+	"sedan":     video.KindSedan,
+	"suv":       video.KindSUV,
+	"hatchback": video.KindHatchback,
+	"van":       video.KindVan,
+}
+
+// singleConcepts maps one-word open-vocabulary clauses to the
+// normalized concept key the VLM's concept table uses.
+var singleConcepts = map[string]string{
+	"stopped":    "stopped",
+	"parked":     "stopped",
+	"moving":     "moving",
+	"walking":    "walking",
+	"suspicious": "suspicious",
+	"suspect":    "suspicious",
+}
+
+// phraseConcepts maps two-word open-vocabulary clauses, keyed by first
+// word then second word, to the normalized concept key.
+var phraseConcepts = map[string]map[string]string{
+	"near":     {"crosswalk": "on crosswalk"},
+	"on":       {"crosswalk": "on crosswalk"},
+	"at":       {"crosswalk": "on crosswalk", "night": "at night"},
+	"with":     {"ball": "with ball"},
+	"carrying": {"ball": "with ball"},
+	"holding":  {"ball": "with ball"},
+	"hitting":  {"ball": "hitting ball"},
+	"entering": {"car": "entering car"},
+}
+
+// Parsed is the AST of one text query.
+type Parsed struct {
+	// ClassWord is the canonical catalog word naming the object class.
+	ClassWord string
+	// Color / Kind are the closed-vocabulary appearance constraints
+	// (zero values when absent).
+	Color video.Color
+	Kind  video.VehicleKind
+	// FasterThan / SlowerThan carry a speed clause's threshold in the
+	// velocity property's units; nil when absent.
+	FasterThan *float64
+	SlowerThan *float64
+	// Concepts lists the normalized open-vocabulary concept keys, in
+	// appearance order, deduplicated.
+	Concepts []string
+	// MinSeconds is the duration clause ("for N seconds"); 0 when
+	// absent.
+	MinSeconds float64
+}
+
+// Canonical renders the parse in normalized clause order; two texts
+// with the same meaning render identically, and the compiled query's
+// name embeds it.
+func (p *Parsed) Canonical() string {
+	var parts []string
+	if p.Color != video.ColorNone {
+		parts = append(parts, p.Color.String())
+	}
+	if p.Kind != video.KindNone {
+		parts = append(parts, p.Kind.String())
+	}
+	parts = append(parts, p.ClassWord)
+	parts = append(parts, p.Concepts...)
+	if p.FasterThan != nil {
+		parts = append(parts, fmt.Sprintf("faster than %g", *p.FasterThan))
+	}
+	if p.SlowerThan != nil {
+		parts = append(parts, fmt.Sprintf("slower than %g", *p.SlowerThan))
+	}
+	if p.MinSeconds > 0 {
+		parts = append(parts, fmt.Sprintf("for %g seconds", p.MinSeconds))
+	}
+	return strings.Join(parts, " ")
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// cur returns the current token with noise words skipped.
+func (p *parser) cur() token {
+	for p.toks[p.i].kind == tokWord && noiseWords[p.toks[p.i].text] {
+		p.i++
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) advance() { p.i++ }
+
+// Parse lexes and parses one text query. Errors carry the byte
+// position of the offending token.
+func Parse(input string) (*Parsed, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	out := &Parsed{}
+
+	// Tail clauses dedup concepts while preserving appearance order.
+	seen := map[string]bool{}
+	addConcept := func(key string, pos int) error {
+		if !models.KnownConcept(key) {
+			return fmt.Errorf("vql: concept %q is outside the verifier's vocabulary at %d", key, pos)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out.Concepts = append(out.Concepts, key)
+		}
+		return nil
+	}
+
+	// Head: [color] [kind] class, with one-word concepts allowed as
+	// pre-class adjectives ("suspicious person").
+	for out.ClassWord == "" {
+		t := p.cur()
+		if t.kind != tokWord {
+			return nil, fmt.Errorf("vql: expected an object class at %d", t.pos)
+		}
+		word := t.text
+		if alias, ok := classAliases[word]; ok {
+			word = alias
+		}
+		switch {
+		case video.ParseClass(word) != video.ClassUnknown:
+			out.ClassWord = word
+		case video.ParseColor(word) != video.ColorNone:
+			if out.Color != video.ColorNone {
+				return nil, fmt.Errorf("vql: duplicate color %q at %d", t.text, t.pos)
+			}
+			out.Color = video.ParseColor(word)
+		default:
+			if k, ok := vehicleKinds[word]; ok {
+				if out.Kind != video.KindNone {
+					return nil, fmt.Errorf("vql: duplicate kind %q at %d", t.text, t.pos)
+				}
+				out.Kind = k
+			} else if key, ok := singleConcepts[word]; ok {
+				if err := addConcept(key, t.pos); err != nil {
+					return nil, err
+				}
+			} else {
+				return nil, fmt.Errorf("vql: unknown word %q at %d (expected a color, kind or object class)", t.text, t.pos)
+			}
+		}
+		p.advance()
+	}
+
+	// Tail: concept, speed and duration clauses until EOF.
+	for {
+		t := p.cur()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokWord {
+			return nil, fmt.Errorf("vql: unexpected number %q at %d", t.text, t.pos)
+		}
+		word := t.text
+		switch {
+		case word == "faster" || word == "slower":
+			p.advance()
+			if than := p.cur(); than.kind != tokWord || than.text != "than" {
+				return nil, fmt.Errorf("vql: expected \"than\" after %q at %d", word, than.pos)
+			}
+			p.advance()
+			num := p.cur()
+			if num.kind != tokNumber {
+				return nil, fmt.Errorf("vql: expected a speed after \"%s than\" at %d", word, num.pos)
+			}
+			v, err := strconv.ParseFloat(num.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vql: bad number %q at %d", num.text, num.pos)
+			}
+			if word == "faster" {
+				if out.FasterThan != nil {
+					return nil, fmt.Errorf("vql: duplicate speed clause at %d", t.pos)
+				}
+				out.FasterThan = &v
+			} else {
+				if out.SlowerThan != nil {
+					return nil, fmt.Errorf("vql: duplicate speed clause at %d", t.pos)
+				}
+				out.SlowerThan = &v
+			}
+			p.advance()
+		case word == "for":
+			p.advance()
+			num := p.cur()
+			if num.kind != tokNumber {
+				return nil, fmt.Errorf("vql: expected a duration after \"for\" at %d", num.pos)
+			}
+			v, err := strconv.ParseFloat(num.text, 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("vql: bad duration %q at %d", num.text, num.pos)
+			}
+			p.advance()
+			if unit := p.cur(); unit.kind != tokWord || (unit.text != "seconds" && unit.text != "second") {
+				return nil, fmt.Errorf("vql: expected \"seconds\" at %d", unit.pos)
+			}
+			if out.MinSeconds > 0 {
+				return nil, fmt.Errorf("vql: duplicate duration clause at %d", t.pos)
+			}
+			out.MinSeconds = v
+			p.advance()
+		default:
+			if second, ok := phraseConcepts[word]; ok {
+				p.advance()
+				nxt := p.cur()
+				if nxt.kind != tokWord {
+					return nil, fmt.Errorf("vql: expected a word after %q at %d", word, nxt.pos)
+				}
+				key, ok := second[nxt.text]
+				if !ok {
+					return nil, fmt.Errorf("vql: unknown phrase %q at %d", word+" "+nxt.text, t.pos)
+				}
+				if err := addConcept(key, t.pos); err != nil {
+					return nil, err
+				}
+				p.advance()
+			} else if key, ok := singleConcepts[word]; ok {
+				if err := addConcept(key, t.pos); err != nil {
+					return nil, err
+				}
+				p.advance()
+			} else {
+				return nil, fmt.Errorf("vql: unknown word %q at %d", t.text, t.pos)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CatalogEntry binds one class word to the library VObj type that
+// detects it.
+type CatalogEntry struct {
+	// Word is the canonical class word ("car", "person", ...).
+	Word string
+	// Class is the detected object class the verifier filters on.
+	Class video.Class
+	// Instance is the instance name the compiled query binds — the same
+	// name the library's hand-built queries use, so compiled plans
+	// render identically to hand-built ones.
+	Instance string
+	// New returns a fresh VObj type per compile (queries must not share
+	// type state).
+	New func() *core.VObjType
+}
+
+// Catalog maps class words to VObj factories. The frontend cannot
+// import the root facade (the facade imports it), so the facade injects
+// its library types through a Catalog at compile time.
+type Catalog struct {
+	entries map[string]CatalogEntry
+}
+
+// NewCatalog builds a catalog from entries; duplicate words panic (a
+// programming error, caught at init).
+func NewCatalog(entries ...CatalogEntry) Catalog {
+	m := make(map[string]CatalogEntry, len(entries))
+	for _, e := range entries {
+		if _, dup := m[e.Word]; dup {
+			panic(fmt.Sprintf("vql: duplicate catalog word %q", e.Word))
+		}
+		m[e.Word] = e
+	}
+	return Catalog{entries: m}
+}
+
+// Words lists the catalog's class words, sorted.
+func (c Catalog) Words() []string {
+	out := make([]string, 0, len(c.entries))
+	for w := range c.entries {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compiled is one compiled text query: the closed-vocabulary part as a
+// regular logical query plus the open-vocabulary remainder for the
+// verification stage.
+type Compiled struct {
+	// Query is the cheap-cascade part (class, score floor, color, kind,
+	// speed), named "Text(<canonical>)".
+	Query *core.Query
+	// Class is the verified object class; Concepts the normalized
+	// open-vocabulary conjunction (empty means no verify stage).
+	Class    video.Class
+	Concepts []string
+	// MinSeconds is the duration clause, applied after verification.
+	MinSeconds float64
+	// Canonical is the normalized rendering of the parse.
+	Canonical string
+}
+
+// Compile parses a text query and lowers it onto catalog types. The
+// compiled query validates against the catalog type's declared
+// properties, so a speed clause on a type without a velocity property
+// fails here, not at execution.
+func Compile(text string, cat Catalog) (*Compiled, error) {
+	p, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	entry, ok := cat.entries[p.ClassWord]
+	if !ok {
+		return nil, fmt.Errorf("vql: no catalog type for class %q (have %v)", p.ClassWord, cat.Words())
+	}
+	inst := entry.Instance
+	preds := []core.Pred{core.P(inst, core.PropScore).Gt(DefaultScoreFloor)}
+	if p.Color != video.ColorNone {
+		preds = append(preds, core.P(inst, "color").Eq(p.Color.String()))
+	}
+	if p.Kind != video.KindNone {
+		preds = append(preds, core.P(inst, "kind").Eq(p.Kind.String()))
+	}
+	if p.FasterThan != nil {
+		preds = append(preds, core.P(inst, "velocity").Gt(*p.FasterThan))
+	}
+	if p.SlowerThan != nil {
+		preds = append(preds, core.P(inst, "velocity").Lt(*p.SlowerThan))
+	}
+	canonical := p.Canonical()
+	q := core.NewQuery("Text("+canonical+")").
+		Use(inst, entry.New()).
+		Where(core.And(preds...))
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("vql: %q does not fit type %s: %w", text, entry.Word, err)
+	}
+	return &Compiled{
+		Query: q, Class: entry.Class, Concepts: p.Concepts,
+		MinSeconds: p.MinSeconds, Canonical: canonical,
+	}, nil
+}

@@ -1,0 +1,182 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+
+	"vqpy/internal/core"
+	"vqpy/internal/video"
+)
+
+// testCatalog builds a minimal catalog mirroring the facade's library
+// shapes: cars carry color/kind/velocity, people and balls only detect.
+func testCatalog() Catalog {
+	car := func() *core.VObjType {
+		return core.NewVObj("Car", video.ClassCar).
+			Detector("yolox").
+			StatelessModel("color", "color_detect", true).
+			StatelessModel("kind", "type_detect", true).
+			StatefulFunc("velocity", core.PropBBox, 1, func(core.PropInput) (any, error) { return 0.0, nil })
+	}
+	person := func() *core.VObjType {
+		return core.NewVObj("Person", video.ClassPerson).Detector("person_detector")
+	}
+	return NewCatalog(
+		CatalogEntry{Word: "car", Class: video.ClassCar, Instance: "car", New: car},
+		CatalogEntry{Word: "person", Class: video.ClassPerson, Instance: "p", New: person},
+	)
+}
+
+// TestParseTable drives the grammar through representative queries and
+// checks the normalized parse.
+func TestParseTable(t *testing.T) {
+	faster := 12.0
+	cases := []struct {
+		text string
+		want Parsed
+	}{
+		{"red car", Parsed{ClassWord: "car", Color: video.ColorRed}},
+		{"a red car that is stopped", Parsed{ClassWord: "car", Color: video.ColorRed, Concepts: []string{"stopped"}}},
+		{"truck stopped near crosswalk", Parsed{ClassWord: "truck", Concepts: []string{"stopped", "on crosswalk"}}},
+		{"people walking at night", Parsed{ClassWord: "person", Concepts: []string{"walking", "at night"}}},
+		{"suv car moving", Parsed{ClassWord: "car", Kind: video.KindSUV, Concepts: []string{"moving"}}},
+		{"car faster than 12", Parsed{ClassWord: "car", FasterThan: &faster}},
+		{"white car parked for 5 seconds", Parsed{ClassWord: "car", Color: video.ColorWhite, Concepts: []string{"stopped"}, MinSeconds: 5}},
+		{"person carrying ball", Parsed{ClassWord: "person", Concepts: []string{"with ball"}}},
+		{"person entering car", Parsed{ClassWord: "person", Concepts: []string{"entering car"}}},
+		{"the suspicious person", Parsed{ClassWord: "person", Concepts: []string{"suspicious"}}},
+	}
+	for _, tc := range cases {
+		got, err := Parse(tc.text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.text, err)
+			continue
+		}
+		if got.ClassWord != tc.want.ClassWord || got.Color != tc.want.Color || got.Kind != tc.want.Kind {
+			t.Errorf("Parse(%q) head = %+v, want %+v", tc.text, got, tc.want)
+		}
+		if len(got.Concepts) != len(tc.want.Concepts) {
+			t.Errorf("Parse(%q) concepts = %v, want %v", tc.text, got.Concepts, tc.want.Concepts)
+		} else {
+			for i := range got.Concepts {
+				if got.Concepts[i] != tc.want.Concepts[i] {
+					t.Errorf("Parse(%q) concepts = %v, want %v", tc.text, got.Concepts, tc.want.Concepts)
+					break
+				}
+			}
+		}
+		if got.MinSeconds != tc.want.MinSeconds {
+			t.Errorf("Parse(%q) MinSeconds = %v, want %v", tc.text, got.MinSeconds, tc.want.MinSeconds)
+		}
+		if (got.FasterThan == nil) != (tc.want.FasterThan == nil) {
+			t.Errorf("Parse(%q) FasterThan = %v, want %v", tc.text, got.FasterThan, tc.want.FasterThan)
+		}
+	}
+}
+
+// TestParseErrorsCarryPositions pins the error contract: every parse
+// failure names a byte offset with the sqlbase-style "at %d" suffix.
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		text    string
+		wantPos string
+	}{
+		{"", "at 0"},
+		{"zebra crossing", "at 0"},
+		{"car dancing", "at 4"},
+		{"car faster 12", "at 11"},
+		{"car faster than fast", "at 16"},
+		{"car for seconds", "at 8"},
+		{"car for 5 minutes", "at 10"},
+		{"red red car", "at 4"},
+		{"car near ball", "at 4"},
+		{"car $", "at 4"},
+		{"car stopped 12", "at 12"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.text)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "vql: ") {
+			t.Errorf("Parse(%q) error %q does not carry the vql: prefix", tc.text, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantPos) {
+			t.Errorf("Parse(%q) error %q does not carry position %q", tc.text, err, tc.wantPos)
+		}
+	}
+}
+
+// TestCompileLowersOntoCatalog checks the closed-vocabulary lowering:
+// the compiled query binds the catalog instance, carries the canonical
+// name and rejects clauses the type cannot answer.
+func TestCompileLowersOntoCatalog(t *testing.T) {
+	cat := testCatalog()
+	c, err := Compile("a red suv car stopped for 2 seconds", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "Text(red suv car stopped for 2 seconds)"; c.Query.Name() != want {
+		t.Errorf("query name = %q, want %q", c.Query.Name(), want)
+	}
+	if c.Class != video.ClassCar || c.MinSeconds != 2 {
+		t.Errorf("compiled = %+v", c)
+	}
+	if len(c.Concepts) != 1 || c.Concepts[0] != "stopped" {
+		t.Errorf("concepts = %v, want [stopped]", c.Concepts)
+	}
+
+	// A speed clause on a type without a velocity property fails at
+	// compile time, not execution.
+	if _, err := Compile("person faster than 3", cat); err == nil {
+		t.Error("Compile accepted a speed clause on a velocity-less type")
+	}
+	// An unknown class word names the catalog vocabulary.
+	if _, err := Compile("ball moving", cat); err == nil || !strings.Contains(err.Error(), "catalog") {
+		t.Errorf("Compile(ball) error = %v, want a catalog error", err)
+	}
+}
+
+// TestCanonicalNormalizes checks that surface variation collapses: two
+// phrasings of the same query share one canonical form.
+func TestCanonicalNormalizes(t *testing.T) {
+	a, err := Parse("a red car that is parked near the crosswalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("red car stopped on crosswalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("canonical forms differ: %q vs %q", a.Canonical(), b.Canonical())
+	}
+}
+
+// FuzzParse asserts the parser never panics and every accepted parse
+// re-parses from its canonical rendering to the same canonical form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"red car stopped", "truck near crosswalk", "people walking at night",
+		"car faster than 12 for 3 seconds", "", "car $", "faster than",
+		"the the the", "car stopped stopped", "person with ball",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		canon := p.Canonical()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", canon, text, err)
+		}
+		if p2.Canonical() != canon {
+			t.Fatalf("canonical not a fixed point: %q -> %q", canon, p2.Canonical())
+		}
+	})
+}

@@ -77,6 +77,15 @@ func Bus() *VObjType {
 		AddProperty(VelocityProp(1))
 }
 
+// Truck is the library truck VObj.
+func Truck() *VObjType {
+	return core.NewVObj("Truck", video.ClassTruck).
+		Detector("yolox").
+		StatelessModel("color", "color_detect", true).
+		AddProperty(DirectionProp(5)).
+		AddProperty(VelocityProp(1))
+}
+
 // RedCar extends Car with the registered specialized NN and binary
 // classifier of Figure 11.
 func RedCar() *VObjType {

@@ -1,0 +1,79 @@
+package vqpy
+
+// Text queries (DESIGN.md §13): a constrained natural-language frontend
+// over the library. CompileText parses a sentence like "red car seen on
+// the crosswalk for 2 seconds" against the library catalog and lowers
+// it onto the ordinary query IR; Session.Text runs the compiled query
+// as a lazy cascade — the cheap closed-vocabulary pipeline decides most
+// frames, and the simulated open-vocabulary verifier (models.SimVLM) is
+// consulted only on the frames the cascade could not rule out.
+
+import (
+	"vqpy/internal/plan"
+	"vqpy/internal/video"
+	"vqpy/internal/vql"
+)
+
+type (
+	// TextQuery is a compiled text query: the closed-vocabulary cascade
+	// query plus the open-vocabulary remainder for the verify stage.
+	TextQuery = vql.Compiled
+	// TextSpec is the planner-side lowering of a TextQuery.
+	TextSpec = plan.TextSpec
+	// TextResult is the outcome of Session.Text.
+	TextResult = plan.TextResult
+	// TextCatalogEntry maps one query-language word onto a library type.
+	TextCatalogEntry = vql.CatalogEntry
+)
+
+// WithEagerVerify makes Session.Text consult the verifier on every
+// processed frame instead of lazily on cascade-matched frames only. The
+// verifier is deterministic per (seed, frame, question), so eager runs
+// produce bit-identical verdicts at strictly higher cost; they exist as
+// the parity baseline (vqbench -exp text).
+func WithEagerVerify() Option {
+	return func(c *config) { c.eagerVerify = true }
+}
+
+// TextCatalog returns the vql catalog backed by the library VObjs: the
+// class words the text grammar accepts and the type each lowers onto.
+func TextCatalog() vql.Catalog {
+	return vql.NewCatalog(
+		vql.CatalogEntry{Word: "car", Class: video.ClassCar, Instance: "car", New: Car},
+		vql.CatalogEntry{Word: "truck", Class: video.ClassTruck, Instance: "truck", New: Truck},
+		vql.CatalogEntry{Word: "bus", Class: video.ClassBus, Instance: "bus", New: Bus},
+		vql.CatalogEntry{Word: "person", Class: video.ClassPerson, Instance: "person", New: Person},
+		vql.CatalogEntry{Word: "ball", Class: video.ClassBall, Instance: "ball", New: Ball},
+	)
+}
+
+// CompileText compiles a text query against the library catalog. The
+// returned query's cascade part is a regular *Query named
+// "Text(<canonical>)" that can also be planned and explained directly.
+func CompileText(text string) (*TextQuery, error) {
+	return vql.Compile(text, TextCatalog())
+}
+
+// TextSpecOf lowers a compiled text query into the planner's spec.
+func TextSpecOf(tq *TextQuery) TextSpec {
+	return plan.TextSpec{
+		Query: tq.Query, Class: tq.Class,
+		Concepts: tq.Concepts, MinSeconds: tq.MinSeconds,
+	}
+}
+
+// Text compiles and runs a text query over a video. The cascade decides
+// every frame it can; undecided (cascade-matched) frames go to the
+// open-vocabulary verifier, and an optional duration clause folds over
+// the verified verdicts.
+func (s *Session) Text(text string, v *Video, opts ...Option) (*TextResult, error) {
+	tq, err := CompileText(text)
+	if err != nil {
+		return nil, err
+	}
+	pl, cfg, err := s.planner(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return pl.RunText(TextSpecOf(tq), v, cfg.eagerVerify)
+}

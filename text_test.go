@@ -1,0 +1,86 @@
+package vqpy_test
+
+// Facade tests for text queries: CompileText against the library
+// catalog, Session.Text's lazy cascade, and the eager parity baseline.
+
+import (
+	"slices"
+	"strings"
+	"testing"
+
+	vqpy "vqpy"
+)
+
+func TestCompileTextAgainstLibraryCatalog(t *testing.T) {
+	tq, err := vqpy.CompileText("a red car that is parked near the crosswalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tq.Query.Name() != "Text(red car stopped on crosswalk)" {
+		t.Errorf("compiled name = %q", tq.Query.Name())
+	}
+	if !slices.Equal(tq.Concepts, []string{"stopped", "on crosswalk"}) {
+		t.Errorf("concepts = %v", tq.Concepts)
+	}
+
+	// Every catalog class word compiles.
+	for _, text := range []string{"car", "truck", "bus", "person", "ball"} {
+		if _, err := vqpy.CompileText(text); err != nil {
+			t.Errorf("CompileText(%q): %v", text, err)
+		}
+	}
+
+	// Parse errors surface with positions; type mismatches are refused.
+	if _, err := vqpy.CompileText("purple banana"); err == nil || !strings.HasPrefix(err.Error(), "vql: ") {
+		t.Errorf("bad text err = %v", err)
+	}
+	if _, err := vqpy.CompileText("person faster than 3"); err == nil {
+		t.Error("velocity clause on a velocity-free type compiled")
+	}
+}
+
+func TestSessionTextLazyEagerParity(t *testing.T) {
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(42, 10))
+
+	lazy, err := vqpy.NewSession(42).Text("red car stopped", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eager, err := vqpy.NewSession(42).Text("red car stopped", v, vqpy.WithEagerVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !slices.Equal(lazy.Matched, eager.Matched) {
+		t.Fatal("lazy and eager verdicts diverged")
+	}
+	if lazy.VLMCalls != lazy.CascadeMatched {
+		t.Errorf("lazy calls %d, want cascade-matched %d", lazy.VLMCalls, lazy.CascadeMatched)
+	}
+	if eager.VLMCalls != eager.Frames {
+		t.Errorf("eager calls %d, want every frame (%d)", eager.VLMCalls, eager.Frames)
+	}
+	if eager.VirtualMS <= lazy.VirtualMS {
+		t.Errorf("eager cost %.1f not above lazy %.1f", eager.VirtualMS, lazy.VirtualMS)
+	}
+	if lazy.Name != "Text(red car stopped)" {
+		t.Errorf("result name = %q", lazy.Name)
+	}
+	if lazy.IR == nil {
+		t.Error("result carries no IR")
+	}
+}
+
+func TestSessionTextConceptFree(t *testing.T) {
+	v := vqpy.GenerateVideo(vqpy.DatasetCityFlow(42, 6))
+	res, err := vqpy.NewSession(42).Text("red car", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VLMCalls != 0 {
+		t.Errorf("concept-free query made %d verifier calls", res.VLMCalls)
+	}
+	if res.MatchedCount() != res.CascadeMatched {
+		t.Errorf("concept-free matches %d != cascade %d", res.MatchedCount(), res.CascadeMatched)
+	}
+}

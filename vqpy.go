@@ -191,6 +191,10 @@ func (s *Session) Faults() *fault.Injector { return s.faults }
 // config collects per-execution options.
 type config struct {
 	planOpts plan.Options
+
+	// eagerVerify makes Session.Text consult the open-vocabulary
+	// verifier on every frame instead of lazily (text.go).
+	eagerVerify bool
 }
 
 // Option customizes one Execute call.
